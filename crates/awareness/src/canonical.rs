@@ -1,0 +1,107 @@
+//! The canonical representation of a standard game as a game with
+//! awareness, and the equivalence theorem.
+//!
+//! A standard extensive-form game `Γ` is the special case of a game with
+//! awareness in which it is common knowledge that `Γ` is being played:
+//! `G = {Γ_m}`, `Γ_m = Γ`, and `F(Γ_m, h) = (Γ_m, I)` where `I` is the
+//! information set containing `h`. Halpern and Rêgo show a strategy profile
+//! is a Nash equilibrium of `Γ` iff it is a generalized Nash equilibrium of
+//! this canonical representation — the sanity check that generalized Nash
+//! equilibrium really does generalize Nash equilibrium.
+
+use crate::structure::{AugmentedGame, BeliefTarget, GameWithAwareness};
+use bne_games::extensive::{ExtensiveGame, Node};
+use std::collections::BTreeMap;
+
+/// Builds the canonical representation of `game` as a game with awareness.
+///
+/// # Panics
+///
+/// Panics only if the constructed structure fails its own validation, which
+/// cannot happen for a well-formed [`ExtensiveGame`].
+pub fn canonical_representation(game: ExtensiveGame) -> GameWithAwareness {
+    let mut beliefs = BTreeMap::new();
+    for node_id in 0..game.num_nodes() {
+        if let Node::Decision { info_set, .. } = game.node(node_id) {
+            beliefs.insert(
+                (0, node_id),
+                BeliefTarget {
+                    game: 0,
+                    info_set: *info_set,
+                },
+            );
+        }
+    }
+    let augmented = AugmentedGame::new(format!("{} (canonical)", game.name()), game);
+    GameWithAwareness::new(vec![augmented], 0, beliefs)
+        .expect("canonical representation of a well-formed game is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generalized::{find_generalized_equilibria, is_generalized_nash, GeneralizedProfile};
+    use bne_games::classic;
+    use bne_games::extensive::PureBehaviorStrategy;
+
+    /// Converts a merged behaviour profile of the underlying game into a
+    /// generalized profile of the canonical representation.
+    fn lift(game: &ExtensiveGame, merged: &PureBehaviorStrategy) -> GeneralizedProfile {
+        let mut profile = GeneralizedProfile::new();
+        for player in 0..game.num_players() {
+            let mut local = PureBehaviorStrategy::new();
+            for (set, _) in game.info_sets_of(player) {
+                if let Some(a) = merged.get(set) {
+                    local.set(set, a);
+                }
+            }
+            profile.set((player, 0), local);
+        }
+        profile
+    }
+
+    #[test]
+    fn nash_iff_generalized_nash_on_figure1() {
+        let game = classic::figure1_game();
+        let gwa = canonical_representation(game.clone());
+        // enumerate all merged pure behaviour profiles of the 2x2 game
+        for a in 0..2usize {
+            for b in 0..2usize {
+                let mut merged = PureBehaviorStrategy::new();
+                merged.set(0, a);
+                merged.set(1, b);
+                let lifted = lift(&game, &merged);
+                assert_eq!(
+                    game.is_nash(&merged),
+                    is_generalized_nash(&gwa, &lifted),
+                    "mismatch at (a = {a}, b = {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equilibrium_counts_agree_on_small_games() {
+        let game = classic::figure1_game();
+        let gwa = canonical_representation(game.clone());
+        let generalized = find_generalized_equilibria(&gwa);
+        let classical = (0..2usize)
+            .flat_map(|a| (0..2usize).map(move |b| (a, b)))
+            .filter(|&(a, b)| {
+                let mut merged = PureBehaviorStrategy::new();
+                merged.set(0, a);
+                merged.set(1, b);
+                game.is_nash(&merged)
+            })
+            .count();
+        assert_eq!(generalized.len(), classical);
+    }
+
+    #[test]
+    fn canonical_representation_has_one_game_and_full_awareness() {
+        let gwa = canonical_representation(classic::figure1_game());
+        assert_eq!(gwa.games().len(), 1);
+        assert_eq!(gwa.modeler(), 0);
+        assert_eq!(gwa.modeler_game().awareness_at(0).len(), 3);
+    }
+}

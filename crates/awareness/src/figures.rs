@@ -1,0 +1,334 @@
+//! The paper's Figures 1–3, built programmatically, and their analysis.
+//!
+//! * Figure 1 — the objective (modeler's) game `Γ_m`: A chooses `downA` or
+//!   `acrossA`; after `acrossA`, B chooses `downB` or `acrossB`.
+//! * Figure 2 — `Γ_A`, the game A believes she is playing: nature first
+//!   decides (with probability `p`) whether B is unaware of `downB`; A moves
+//!   without observing that; an aware B believes `Γ_m`, an unaware B
+//!   believes `Γ_B`.
+//! * Figure 3 — `Γ_B`, the game an unaware B (and, inside it, A) believes:
+//!   B's only move after `acrossA` is `acrossB`.
+//!
+//! The paper's observation: `(acrossA, downB)` is a Nash equilibrium of the
+//! objective game, but if A considers it sufficiently likely that B is
+//! unaware of `downB`, the generalized Nash equilibrium has A playing
+//! `downA`. [`analyze_figure1`] reproduces exactly that threshold (p = 1/2
+//! with the payoffs used here).
+//!
+//! The module also contains a small *awareness of unawareness* example
+//! ([`virtual_move_game`]): A knows B has some move she cannot conceive of,
+//! models it as a "virtual" move with estimated payoffs, and her choice
+//! flips with the estimate — the chess-evaluation style of reasoning
+//! described at the end of Section 4.
+
+use crate::generalized::{expected_payoffs, find_generalized_equilibria, GeneralizedProfile};
+use crate::structure::{AugmentedGame, BeliefTarget, GameWithAwareness};
+use bne_games::classic;
+use bne_games::extensive::{ExtensiveGame, Node};
+use std::collections::BTreeMap;
+
+/// Index of the modeler's game `Γ_m` in [`figure1_awareness_game`].
+pub const GAME_MODELER: usize = 0;
+/// Index of `Γ_A` in [`figure1_awareness_game`].
+pub const GAME_A: usize = 1;
+/// Index of `Γ_B` in [`figure1_awareness_game`].
+pub const GAME_B: usize = 2;
+
+/// Builds the augmented game `Γ_A` of Figure 2 for unawareness probability
+/// `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn gamma_a(p: f64) -> ExtensiveGame {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let nodes = vec![
+        // 0: nature decides whether B is aware of downB
+        Node::Chance {
+            outcomes: vec![
+                ("aware".to_string(), 1.0 - p, 1),
+                ("unaware".to_string(), p, 6),
+            ],
+        },
+        // aware branch
+        Node::Decision {
+            player: 0,
+            info_set: 0,
+            actions: vec![("downA".to_string(), 2), ("acrossA".to_string(), 3)],
+        },
+        Node::Terminal {
+            payoffs: vec![1.0, 1.0],
+        },
+        Node::Decision {
+            player: 1,
+            info_set: 1,
+            actions: vec![("downB".to_string(), 4), ("acrossB".to_string(), 5)],
+        },
+        Node::Terminal {
+            payoffs: vec![2.0, 3.0],
+        },
+        Node::Terminal {
+            payoffs: vec![0.0, 2.0],
+        },
+        // unaware branch (A cannot distinguish it: same information set 0)
+        Node::Decision {
+            player: 0,
+            info_set: 0,
+            actions: vec![("downA".to_string(), 7), ("acrossA".to_string(), 8)],
+        },
+        Node::Terminal {
+            payoffs: vec![1.0, 1.0],
+        },
+        Node::Decision {
+            player: 1,
+            info_set: 2,
+            actions: vec![("acrossB".to_string(), 9)],
+        },
+        Node::Terminal {
+            payoffs: vec![0.0, 2.0],
+        },
+    ];
+    ExtensiveGame::new(format!("Γ_A (p = {p})"), 2, nodes, 0)
+        .expect("static game construction cannot fail")
+}
+
+/// Assembles the full game with awareness `Γ* = ({Γ_m, Γ_A, Γ_B}, Γ_m, F)`
+/// of the Figure 1–3 example, for unawareness probability `p`.
+pub fn figure1_awareness_game(p: f64) -> GameWithAwareness {
+    let modeler = AugmentedGame::new("Γ_m", classic::figure1_game());
+    let gamma_a_game = AugmentedGame::new("Γ_A", gamma_a(p))
+        // at B.2 (node 8) B is only aware of the histories without downB
+        .with_awareness(8, &["downA", "acrossA.acrossB"]);
+    let gamma_b = AugmentedGame::new("Γ_B", classic::figure1_game_unaware());
+
+    let mut beliefs = BTreeMap::new();
+    // Γ_m: A believes Γ_A; B (aware, at the objective node) believes Γ_m.
+    beliefs.insert(
+        (GAME_MODELER, 0),
+        BeliefTarget {
+            game: GAME_A,
+            info_set: 0,
+        },
+    );
+    beliefs.insert(
+        (GAME_MODELER, 2),
+        BeliefTarget {
+            game: GAME_MODELER,
+            info_set: 1,
+        },
+    );
+    // Γ_A: A believes Γ_A at both of her nodes; the aware B believes Γ_m;
+    // the unaware B believes Γ_B.
+    for node in [1usize, 6] {
+        beliefs.insert(
+            (GAME_A, node),
+            BeliefTarget {
+                game: GAME_A,
+                info_set: 0,
+            },
+        );
+    }
+    beliefs.insert(
+        (GAME_A, 3),
+        BeliefTarget {
+            game: GAME_MODELER,
+            info_set: 1,
+        },
+    );
+    beliefs.insert(
+        (GAME_A, 8),
+        BeliefTarget {
+            game: GAME_B,
+            info_set: 1,
+        },
+    );
+    // Γ_B: both players believe Γ_B.
+    beliefs.insert(
+        (GAME_B, 0),
+        BeliefTarget {
+            game: GAME_B,
+            info_set: 0,
+        },
+    );
+    beliefs.insert(
+        (GAME_B, 2),
+        BeliefTarget {
+            game: GAME_B,
+            info_set: 1,
+        },
+    );
+
+    GameWithAwareness::new(vec![modeler, gamma_a_game, gamma_b], GAME_MODELER, beliefs)
+        .expect("the Figure 1-3 structure is consistent by construction")
+}
+
+/// The result of analysing the Figure 1 example at one unawareness
+/// probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure1Analysis {
+    /// The probability A assigns to B being unaware of `downB`.
+    pub p: f64,
+    /// Number of pure generalized Nash equilibria found.
+    pub num_equilibria: usize,
+    /// Whether some generalized equilibrium has A playing `acrossA` in the
+    /// modeler's game (the classical equilibrium behaviour).
+    pub across_equilibrium_exists: bool,
+    /// Whether some generalized equilibrium has A playing `downA` in the
+    /// modeler's game (the unawareness-driven behaviour).
+    pub down_equilibrium_exists: bool,
+    /// The modeler's-game expected payoffs of each equilibrium.
+    pub modeler_payoffs: Vec<Vec<f64>>,
+}
+
+/// Whether A plays `acrossA` in the modeler's game under this profile.
+fn a_plays_across(profile: &GeneralizedProfile) -> bool {
+    // A's action at the modeler's root is pulled from her strategy in Γ_A
+    // (information set 0); action 1 is acrossA.
+    profile
+        .get((0, GAME_A))
+        .and_then(|s| s.get(0))
+        .unwrap_or(0)
+        == 1
+}
+
+/// Runs the full Figure 1 analysis at unawareness probability `p`
+/// (experiment E9/E10).
+pub fn analyze_figure1(p: f64) -> Figure1Analysis {
+    let gwa = figure1_awareness_game(p);
+    let equilibria = find_generalized_equilibria(&gwa);
+    let across = equilibria.iter().any(a_plays_across);
+    let down = equilibria.iter().any(|e| !a_plays_across(e));
+    let modeler_payoffs = equilibria
+        .iter()
+        .map(|e| expected_payoffs(&gwa, GAME_MODELER, e))
+        .collect();
+    Figure1Analysis {
+        p,
+        num_equilibria: equilibria.len(),
+        across_equilibrium_exists: across,
+        down_equilibrium_exists: down,
+        modeler_payoffs,
+    }
+}
+
+/// Awareness of unawareness: A knows B has *some* move after `acrossA` that
+/// A cannot conceive of, and models it as a virtual move whose payoff to A
+/// she estimates as `estimated_payoff` (B's payoff is irrelevant to A's
+/// choice and set to the `acrossB` payoff). A's subjective game then has B
+/// choosing between `acrossB` and the virtual move; backward induction on
+/// that subjective game tells A whether going across is worth the risk.
+pub fn virtual_move_game(estimated_payoff: f64) -> ExtensiveGame {
+    let nodes = vec![
+        Node::Decision {
+            player: 0,
+            info_set: 0,
+            actions: vec![("downA".to_string(), 1), ("acrossA".to_string(), 2)],
+        },
+        Node::Terminal {
+            payoffs: vec![1.0, 1.0],
+        },
+        Node::Decision {
+            player: 1,
+            info_set: 1,
+            actions: vec![
+                ("acrossB".to_string(), 3),
+                ("virtual".to_string(), 4),
+            ],
+        },
+        Node::Terminal {
+            payoffs: vec![0.0, 2.0],
+        },
+        // A's estimate of what the unknown move would give her; she assumes
+        // B would only use it if it benefits B, so B's payoff is set above
+        // acrossB's.
+        Node::Terminal {
+            payoffs: vec![estimated_payoff, 2.5],
+        },
+    ];
+    ExtensiveGame::new(
+        format!("virtual-move subjective game (estimate = {estimated_payoff})"),
+        2,
+        nodes,
+        0,
+    )
+    .expect("static game construction cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_a_structure_matches_figure2() {
+        let g = gamma_a(0.3);
+        assert_eq!(g.num_players(), 2);
+        assert!(!g.is_perfect_information()); // A's two nodes share a set
+        assert_eq!(g.info_sets_of(0).len(), 1);
+        assert_eq!(g.info_sets_of(1).len(), 2);
+    }
+
+    #[test]
+    fn low_unawareness_probability_preserves_the_classical_equilibrium() {
+        let analysis = analyze_figure1(0.2);
+        assert!(analysis.across_equilibrium_exists);
+        assert!(analysis.num_equilibria >= 1);
+        // the across equilibrium reaches the (2, 3) outcome in the modeler's
+        // game
+        assert!(analysis
+            .modeler_payoffs
+            .iter()
+            .any(|p| (p[0] - 2.0).abs() < 1e-9 && (p[1] - 3.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn high_unawareness_probability_forces_a_down() {
+        // the paper's point: although (acrossA, downB) is a Nash equilibrium
+        // of the objective game, A plays downA once she believes B is
+        // likely unaware of downB
+        let analysis = analyze_figure1(0.9);
+        assert!(!analysis.across_equilibrium_exists);
+        assert!(analysis.down_equilibrium_exists);
+        assert!(analysis
+            .modeler_payoffs
+            .iter()
+            .all(|p| (p[0] - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn threshold_is_at_one_half() {
+        // 2(1 − p) ≥ 1 exactly when p ≤ 1/2 with these payoffs
+        assert!(analyze_figure1(0.49).across_equilibrium_exists);
+        assert!(!analyze_figure1(0.51).across_equilibrium_exists);
+    }
+
+    #[test]
+    fn fully_aware_collection_matches_the_standard_game() {
+        // at p = 0 the awareness structure changes nothing: both classical
+        // pure equilibria of the figure-1 game survive
+        let analysis = analyze_figure1(0.0);
+        assert!(analysis.across_equilibrium_exists);
+        assert!(analysis.down_equilibrium_exists);
+    }
+
+    #[test]
+    fn virtual_move_estimate_flips_a_decision() {
+        // pessimistic estimate: going across risks getting 0.4 < 1 → down
+        let pessimistic = virtual_move_game(0.4);
+        let (strategy, _) = pessimistic.backward_induction().unwrap();
+        assert_eq!(strategy.get(0), Some(0));
+        // optimistic estimate: the unknown move would still leave A with 1.8
+        let optimistic = virtual_move_game(1.8);
+        let (strategy, values) = optimistic.backward_induction().unwrap();
+        assert_eq!(strategy.get(0), Some(1));
+        assert!(values[0] > 1.0);
+    }
+
+    #[test]
+    fn unaware_node_awareness_level_excludes_downb() {
+        let gwa = figure1_awareness_game(0.5);
+        let gamma_a_game = &gwa.games()[GAME_A];
+        let level = gamma_a_game.awareness_at(8);
+        assert!(level.contains("acrossA.acrossB"));
+        assert!(!level.iter().any(|h| h.contains("downB")));
+    }
+}

@@ -1,0 +1,247 @@
+//! Generalized strategy profiles and generalized Nash equilibrium.
+//!
+//! A generalized strategy profile assigns a local strategy to every pair
+//! `(i, Γ')` such that player `i` believes the true game is `Γ'` in some
+//! situation. When an augmented game `Γ'` is played out, the action taken at
+//! each decision node `h` is pulled from the local strategy of the mover in
+//! the game she *believes* at `h` (via the `F` mapping), so unaware players
+//! play as they would in their subjective game.
+//!
+//! A profile is a **generalized Nash equilibrium** if, for every pair
+//! `(i, Γ')` in the domain, player `i` cannot increase her expected payoff
+//! *in `Γ'`* by changing her local strategy `σ_{i,Γ'}` (holding every other
+//! local strategy fixed). Halpern and Rêgo prove every game with awareness
+//! has a generalized Nash equilibrium; for the finite games in this
+//! workspace the exhaustive search below finds the pure ones (which exist in
+//! all the paper's examples).
+
+use crate::structure::{GameIndex, GameWithAwareness};
+use bne_games::extensive::{Node, PureBehaviorStrategy};
+use bne_games::profile::ProfileIter;
+use bne_games::{PlayerId, Utility};
+use std::collections::BTreeMap;
+
+/// The key of a local strategy: the player and the game she believes.
+pub type LocalStrategyKey = (PlayerId, GameIndex);
+
+/// A generalized strategy profile.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GeneralizedProfile {
+    strategies: BTreeMap<LocalStrategyKey, PureBehaviorStrategy>,
+}
+
+impl GeneralizedProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the local strategy for `(player, game)`.
+    pub fn set(&mut self, key: LocalStrategyKey, strategy: PureBehaviorStrategy) {
+        self.strategies.insert(key, strategy);
+    }
+
+    /// The local strategy for `(player, game)`, if defined.
+    pub fn get(&self, key: LocalStrategyKey) -> Option<&PureBehaviorStrategy> {
+        self.strategies.get(&key)
+    }
+
+    /// All keys with a defined local strategy.
+    pub fn keys(&self) -> impl Iterator<Item = LocalStrategyKey> + '_ {
+        self.strategies.keys().copied()
+    }
+}
+
+/// Plays out the augmented game `game_index` under the generalized profile:
+/// at every decision node the mover's action comes from her local strategy
+/// in the game she believes there. Returns the expected payoff vector
+/// (expectation over chance moves).
+pub fn expected_payoffs(
+    gwa: &GameWithAwareness,
+    game_index: GameIndex,
+    profile: &GeneralizedProfile,
+) -> Vec<Utility> {
+    let game = gwa.games()[game_index].game();
+    let mut totals = vec![0.0; game.num_players()];
+    // stack of (node, probability)
+    let mut stack = vec![(game.root(), 1.0f64)];
+    while let Some((node_id, prob)) = stack.pop() {
+        match game.node(node_id) {
+            Node::Terminal { payoffs } => {
+                for (p, u) in payoffs.iter().enumerate() {
+                    totals[p] += prob * u;
+                }
+            }
+            Node::Chance { outcomes } => {
+                for (_, q, child) in outcomes {
+                    if *q > 0.0 {
+                        stack.push((*child, prob * q));
+                    }
+                }
+            }
+            Node::Decision {
+                player, actions, ..
+            } => {
+                let belief = gwa
+                    .belief(game_index, node_id)
+                    .expect("validated game has beliefs at every decision node");
+                let action = profile
+                    .get((*player, belief.game))
+                    .and_then(|s| s.get(belief.info_set))
+                    .unwrap_or(0)
+                    .min(actions.len() - 1);
+                stack.push((actions[action].1, prob));
+            }
+        }
+    }
+    totals
+}
+
+/// The information sets of `game_index` (with their action counts) whose
+/// moving player is `player` **and** whose belief points back at
+/// `(believed_game = game_index)`: these are exactly the choices controlled
+/// by the local strategy `σ_{player, game_index}` when `game_index` is
+/// played.
+fn controlled_info_sets(
+    gwa: &GameWithAwareness,
+    player: PlayerId,
+    believed_game: GameIndex,
+) -> Vec<(usize, usize)> {
+    // collect (info_set_of_believed_game, action_count) pairs referenced by
+    // any node (in any game) owned by `player` whose belief is
+    // `believed_game`; the local strategy must cover all of them.
+    let mut sets = BTreeMap::new();
+    for (gi, augmented) in gwa.games().iter().enumerate() {
+        let game = augmented.game();
+        for node_id in 0..game.num_nodes() {
+            if let Node::Decision {
+                player: p, actions, ..
+            } = game.node(node_id)
+            {
+                if *p != player {
+                    continue;
+                }
+                if let Some(belief) = gwa.belief(gi, node_id) {
+                    if belief.game == believed_game {
+                        sets.insert(belief.info_set, actions.len());
+                    }
+                }
+            }
+        }
+    }
+    sets.into_iter().collect()
+}
+
+/// Enumerates every pure local strategy for `(player, believed_game)`.
+fn local_strategies(
+    gwa: &GameWithAwareness,
+    player: PlayerId,
+    believed_game: GameIndex,
+) -> Vec<PureBehaviorStrategy> {
+    let sets = controlled_info_sets(gwa, player, believed_game);
+    if sets.is_empty() {
+        return vec![PureBehaviorStrategy::new()];
+    }
+    let radices: Vec<usize> = sets.iter().map(|(_, n)| *n).collect();
+    ProfileIter::new(&radices)
+        .map(|choice| {
+            let mut s = PureBehaviorStrategy::new();
+            for ((set, _), a) in sets.iter().zip(choice.iter()) {
+                s.set(*set, *a);
+            }
+            s
+        })
+        .collect()
+}
+
+/// Whether the profile satisfies the generalized Nash equilibrium condition:
+/// for every `(i, Γ')` in the domain, no alternative local strategy for
+/// `(i, Γ')` increases `i`'s expected payoff in `Γ'`.
+pub fn is_generalized_nash(gwa: &GameWithAwareness, profile: &GeneralizedProfile) -> bool {
+    for (player, believed_game) in gwa.strategy_domain() {
+        let current = expected_payoffs(gwa, believed_game, profile)[player];
+        for alt in local_strategies(gwa, player, believed_game) {
+            let mut deviated = profile.clone();
+            deviated.set((player, believed_game), alt);
+            let value = expected_payoffs(gwa, believed_game, &deviated)[player];
+            if value > current + 1e-9 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Exhaustively enumerates the pure generalized Nash equilibria of the game
+/// with awareness.
+pub fn find_generalized_equilibria(gwa: &GameWithAwareness) -> Vec<GeneralizedProfile> {
+    let domain = gwa.strategy_domain();
+    let per_key: Vec<Vec<PureBehaviorStrategy>> = domain
+        .iter()
+        .map(|&(player, game)| local_strategies(gwa, player, game))
+        .collect();
+    let radices: Vec<usize> = per_key.iter().map(|s| s.len()).collect();
+    let mut out = Vec::new();
+    for combo in ProfileIter::new(&radices) {
+        let mut profile = GeneralizedProfile::new();
+        for (idx, &choice) in combo.iter().enumerate() {
+            profile.set(domain[idx], per_key[idx][choice].clone());
+        }
+        if is_generalized_nash(gwa, &profile) {
+            out.push(profile);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::canonical_representation;
+    use crate::figures::figure1_awareness_game;
+    use bne_games::classic;
+
+    #[test]
+    fn canonical_representation_payoffs_match_the_underlying_game() {
+        let gwa = canonical_representation(classic::figure1_game());
+        let mut profile = GeneralizedProfile::new();
+        // A across, B down — info sets 0 and 1 of the figure-1 game
+        let mut a = PureBehaviorStrategy::new();
+        a.set(0, 1);
+        let mut b = PureBehaviorStrategy::new();
+        b.set(1, 0);
+        profile.set((0, 0), a);
+        profile.set((1, 0), b);
+        assert_eq!(expected_payoffs(&gwa, 0, &profile), vec![2.0, 3.0]);
+        assert!(is_generalized_nash(&gwa, &profile));
+    }
+
+    #[test]
+    fn generalized_equilibria_exist_for_the_figure1_collection() {
+        for p in [0.0, 0.3, 0.7, 1.0] {
+            let gwa = figure1_awareness_game(p);
+            let eqs = find_generalized_equilibria(&gwa);
+            assert!(!eqs.is_empty(), "no generalized equilibrium at p = {p}");
+        }
+    }
+
+    #[test]
+    fn missing_local_strategy_defaults_to_first_action() {
+        let gwa = canonical_representation(classic::figure1_game());
+        let empty = GeneralizedProfile::new();
+        // default play is (downA, ...) → payoffs (1, 1)
+        assert_eq!(expected_payoffs(&gwa, 0, &empty), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn local_strategy_enumeration_counts() {
+        let gwa = figure1_awareness_game(0.5);
+        // A believes Γ_A everywhere she moves: one information set, two
+        // actions → two local strategies
+        let domain = gwa.strategy_domain();
+        for (player, game) in domain {
+            let count = local_strategies(&gwa, player, game).len();
+            assert!(count >= 1 && count <= 2, "unexpected count {count}");
+        }
+    }
+}

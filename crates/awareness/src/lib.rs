@@ -1,0 +1,39 @@
+//! # bne-awareness
+//!
+//! Section 4 of the paper: *taking (lack of) awareness into account*,
+//! following Halpern and Rêgo. Players may be unaware of some of the moves
+//! available in the game; standard Nash equilibrium is then the wrong
+//! solution concept (in Figure 1, a rational but unaware player A plays
+//! `downA` even though the Nash equilibrium of the full game has her playing
+//! `acrossA`).
+//!
+//! * [`structure`] — augmented games (extensive games annotated with
+//!   awareness levels) and games with awareness `Γ* = (G, Γ_m, F)`,
+//!   including the consistency checks on the `F` mapping;
+//! * [`generalized`] — generalized strategy profiles (one local strategy per
+//!   `(player, game)` pair), play of any augmented game by pulling each
+//!   mover's action from the game she *believes* she is playing, the
+//!   generalized Nash equilibrium condition, exhaustive equilibrium search
+//!   and an existence check;
+//! * [`canonical`] — the canonical representation of a standard extensive
+//!   game as a game with awareness, and the theorem that its generalized
+//!   Nash equilibria coincide with the Nash equilibria of the original game;
+//! * [`figures`] — the paper's Figures 1–3 built programmatically, the
+//!   analysis of how the equilibrium depends on the probability `p` that B
+//!   is unaware of `downB`, and a small awareness-of-unawareness ("virtual
+//!   move") example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canonical;
+pub mod figures;
+pub mod generalized;
+pub mod structure;
+
+pub use canonical::canonical_representation;
+pub use figures::{analyze_figure1, figure1_awareness_game, Figure1Analysis};
+pub use generalized::{
+    find_generalized_equilibria, is_generalized_nash, GeneralizedProfile, LocalStrategyKey,
+};
+pub use structure::{AugmentedGame, AwarenessError, BeliefTarget, GameIndex, GameWithAwareness};

@@ -1,0 +1,31 @@
+//! Benchmarks for games with awareness (E9/E10 backing).
+
+use bne_core::awareness::figures::figure1_awareness_game;
+use bne_core::awareness::generalized::find_generalized_equilibria;
+use bne_core::awareness::{analyze_figure1, canonical_representation};
+use bne_core::games::classic;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_awareness(c: &mut Criterion) {
+    c.bench_function("figure1_analysis/p05", |b| {
+        b.iter(|| black_box(analyze_figure1(0.5)))
+    });
+    c.bench_function("generalized_equilibria/figure1_collection", |b| {
+        let gwa = figure1_awareness_game(0.3);
+        b.iter(|| black_box(find_generalized_equilibria(&gwa)))
+    });
+    c.bench_function("canonical_representation/figure1", |b| {
+        b.iter(|| black_box(canonical_representation(classic::figure1_game())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_awareness
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Benchmarks for the Byzantine agreement substrate (ablation: OM(m) vs
+//! phase-king vs signed broadcast — E4 backing).
+
+use bne_core::byzantine::broadcast::{run_dolev_strong, DolevStrongProcess, SignedMessage};
+use bne_core::byzantine::network::Process;
+use bne_core::byzantine::om::{om_byzantine_generals, OmConfig, TraitorStrategy};
+use bne_core::byzantine::phase_king::{run_phase_king, PhaseKingProcess};
+use bne_core::byzantine::Value;
+use bne_core::crypto::pki::PublicKeyInfrastructure;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench_byzantine(c: &mut Criterion) {
+    c.bench_function("om2/n7_two_traitors", |b| {
+        let config = OmConfig {
+            n: 7,
+            m: 2,
+            commander_value: 1,
+            traitors: BTreeSet::from([2, 5]),
+            strategy: TraitorStrategy::SplitByParity,
+            default_value: 0,
+        };
+        b.iter(|| black_box(om_byzantine_generals(&config)))
+    });
+    c.bench_function("phase_king/n9_t2", |b| {
+        b.iter(|| {
+            let procs: Vec<Box<dyn Process<Msg = Value>>> = (0..9)
+                .map(|_| Box::new(PhaseKingProcess::new(1, 2)) as _)
+                .collect();
+            black_box(run_phase_king(procs, 2))
+        })
+    });
+    c.bench_function("dolev_strong/n7_t2", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let (pki, keys) = PublicKeyInfrastructure::setup(7, &mut rng);
+        b.iter(|| {
+            let procs: Vec<Box<dyn Process<Msg = SignedMessage>>> = (0..7)
+                .map(|i| {
+                    Box::new(DolevStrongProcess::new(0, 1, 2, pki.clone(), keys[i], 0)) as _
+                })
+                .collect();
+            black_box(run_dolev_strong(procs, 2))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_byzantine
+}
+criterion_main!(benches);

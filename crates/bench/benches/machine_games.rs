@@ -1,0 +1,54 @@
+//! Benchmarks for machine games (ablation: automaton-size vs VM-step
+//! complexity measures — E6/E7/E8/E12 backing).
+
+use bne_core::machine::frpd::{analyze_tit_for_tat, MemoryCostModel};
+use bne_core::machine::primality::{
+    primality_bayesian, primality_machine_game, ChallengePool,
+};
+use bne_core::machine::roshambo;
+use bne_core::machine::tournament::{run_tournament, Competitor, TournamentConfig};
+use bne_core::machine::vm::{Program, VirtualMachine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_machine(c: &mut Criterion) {
+    c.bench_function("vm_trial_division/20bit", |b| {
+        let vm = VirtualMachine::default();
+        let program = Program::trial_division_primality();
+        b.iter(|| black_box(vm.run(&program, (1 << 20) - 1).unwrap()))
+    });
+    c.bench_function("primality_equilibria/16bit_pool8", |b| {
+        let pool = ChallengePool::new(16, 8);
+        let game = primality_bayesian(&pool);
+        b.iter(|| {
+            let mg = primality_machine_game(&game, &pool, 0.002);
+            black_box(mg.find_equilibria())
+        })
+    });
+    c.bench_function("frpd_analysis/200_rounds", |b| {
+        b.iter(|| black_box(analyze_tit_for_tat(200, 0.9, MemoryCostModel::default())))
+    });
+    c.bench_function("roshambo_equilibrium_search", |b| {
+        let game = roshambo::roshambo_bayesian();
+        b.iter(|| {
+            let mg = roshambo::computational_roshambo(&game);
+            black_box(mg.find_equilibria())
+        })
+    });
+    c.bench_function("axelrod_tournament/7_strategies_200_rounds", |b| {
+        b.iter(|| {
+            let field = Competitor::standard_field(1);
+            black_box(run_tournament(&field, TournamentConfig::default()))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_machine
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmarks for mediator games, SMC and cheap-talk implementations (E3
+//! backing).
+
+use bne_core::crypto::{ArithmeticCircuit, SmcEngine};
+use bne_core::crypto::field::Fp;
+use bne_core::mediator::feasibility::{regime_table, Assumptions};
+use bne_core::mediator::{
+    ByzantineAgreementGame, CheapTalkImplementation, MediatorGame, OralMessagesCheapTalk,
+    TruthfulMediator,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench_mediator(c: &mut Criterion) {
+    c.bench_function("regime_table/n25_k4_t4", |b| {
+        b.iter(|| black_box(regime_table(25, 4, 4, Assumptions::all())))
+    });
+    c.bench_function("honest_robustness/ba_game_n4_k2", |b| {
+        let game = ByzantineAgreementGame::build(4, 0.5);
+        let mg = MediatorGame::new(&game, TruthfulMediator);
+        b.iter(|| black_box(mg.honest_is_k_resilient(2)))
+    });
+    c.bench_function("om_cheap_talk/n7_kt2", |b| {
+        let protocol = OralMessagesCheapTalk::new(7, 1, 1);
+        let faulty: BTreeSet<usize> = [5, 6].into_iter().collect();
+        let types = vec![1usize, 0, 0, 0, 0, 0, 0];
+        b.iter(|| black_box(protocol.execute(&types, &faulty, 0)))
+    });
+    c.bench_function("smc_product/n7_t2_8_inputs", |b| {
+        let engine = SmcEngine::new(7, 2).unwrap();
+        let circuit = ArithmeticCircuit::product_of_inputs(8);
+        let inputs: Vec<Fp> = (2..10u64).map(Fp::new).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        b.iter(|| black_box(engine.evaluate(&circuit, &inputs, &mut rng).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_mediator
+}
+criterion_main!(benches);

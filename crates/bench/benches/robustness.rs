@@ -1,0 +1,44 @@
+//! Benchmarks for (k,t)-robustness checking (ablation: exhaustive vs sampled
+//! coalition search — E1/E2 backing).
+
+use bne_core::games::classic;
+use bne_core::robust::{is_k_resilient, is_t_immune, ResilienceVariant, RobustnessChecker};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_robustness(c: &mut Criterion) {
+    let game = classic::coordination_game(8);
+    let profile = vec![0usize; 8];
+    c.bench_function("k_resilience_k2/coordination_n8", |b| {
+        b.iter(|| {
+            black_box(is_k_resilient(
+                &game,
+                &profile,
+                2,
+                ResilienceVariant::SomeMemberGains,
+            ))
+        })
+    });
+    let bargaining = classic::bargaining_game(8);
+    c.bench_function("t_immunity_t2/bargaining_n8", |b| {
+        b.iter(|| black_box(is_t_immune(&bargaining, &profile, 2)))
+    });
+    let exhaustive = RobustnessChecker::exhaustive();
+    let sampled = RobustnessChecker::sampled(500, 7);
+    c.bench_function("joint_robustness_exhaustive/coordination_n8", |b| {
+        b.iter(|| black_box(exhaustive.check(&game, &profile, 2, 1)))
+    });
+    c.bench_function("joint_robustness_sampled500/coordination_n8", |b| {
+        b.iter(|| black_box(sampled.check(&game, &profile, 2, 1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_robustness
+}
+criterion_main!(benches);

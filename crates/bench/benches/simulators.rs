@@ -1,0 +1,28 @@
+//! Benchmarks for the scrip-system and file-sharing simulators (E5/E11
+//! backing).
+
+use bne_core::p2p::{simulate as p2p_simulate, P2pConfig};
+use bne_core::scrip::{simulate as scrip_simulate, ScripConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_simulators(c: &mut Criterion) {
+    c.bench_function("scrip/50_agents_20k_rounds", |b| {
+        let config = ScripConfig::homogeneous(50, 10, 20_000, 7);
+        b.iter(|| black_box(scrip_simulate(&config)))
+    });
+    c.bench_function("p2p/2000_peers_20k_queries", |b| {
+        let config = P2pConfig::default();
+        b.iter(|| black_box(p2p_simulate(&config)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_simulators
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmarks for the baseline Nash solvers (ablation: fictitious play vs
+//! support enumeration for two-player mixed equilibria).
+
+use bne_core::games::classic;
+use bne_core::solvers::{fictitious::fictitious_play, pure_nash_equilibria, support_enumeration};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let roshambo = classic::roshambo();
+    c.bench_function("support_enumeration/roshambo", |b| {
+        b.iter(|| black_box(support_enumeration(&roshambo)))
+    });
+    c.bench_function("fictitious_play_1000/roshambo", |b| {
+        b.iter(|| black_box(fictitious_play(&roshambo, 1000)))
+    });
+    let coordination = classic::coordination_game(8);
+    c.bench_function("pure_nash_enumeration/coordination_n8", |b| {
+        b.iter(|| black_box(pure_nash_equilibria(&coordination)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_solvers
+}
+criterion_main!(benches);

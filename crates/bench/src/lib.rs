@@ -1,0 +1,86 @@
+//! Shared helpers for the experiment runner and the Criterion benches:
+//! plain-text table rendering and the experiment registry (one entry per
+//! table/figure of the paper; see `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Renders a simple aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:<width$}", width = widths[i]))
+        .collect();
+    out.push_str(&header_line.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<width$}", width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt_f64(x: f64) -> String {
+    if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Formats a boolean as a check/cross for table cells.
+pub fn fmt_bool(b: bool) -> String {
+    if b { "yes".to_string() } else { "no".to_string() }
+}
+
+/// The list of experiment identifiers understood by the `experiments`
+/// binary.
+pub const EXPERIMENT_IDS: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_is_aligned() {
+        let t = render_table(
+            "demo",
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(t.contains("== demo =="));
+        assert!(t.contains("333"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines.len() >= 4);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_bool(true), "yes");
+        assert_eq!(fmt_bool(false), "no");
+        assert_eq!(fmt_f64(1234.5678), "1234.6");
+        assert_eq!(fmt_f64(0.5), "0.500");
+        assert_eq!(EXPERIMENT_IDS.len(), 12);
+    }
+}

@@ -1,0 +1,146 @@
+//! Canned Byzantine behaviors.
+//!
+//! The paper's reason for caring about immunity is precisely that real
+//! systems contain players whose behavior is not explained by the modelled
+//! utilities — "faulty computers, a faulty network, ... or a lack of
+//! understanding of the game". These process implementations plug into the
+//! [`crate::network::SyncNetwork`] anywhere an honest process would, and
+//! misbehave in the standard ways used to stress Byzantine agreement
+//! protocols.
+
+use crate::network::{ProcId, Process};
+use crate::Value;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// A Byzantine behavior for protocols whose message type is a plain
+/// [`Value`] (the phase-king protocol and other broadcast-style protocols).
+#[derive(Debug, Clone)]
+pub enum FaultyBehavior {
+    /// Sends nothing, ever (a crashed-from-the-start process).
+    Silent,
+    /// Behaves like an honest broadcaster of its initial value for the first
+    /// `after` rounds, then stops (crash fault).
+    Crash {
+        /// Number of rounds of correct behavior before crashing.
+        after: usize,
+        /// The value broadcast while alive.
+        value: Value,
+    },
+    /// Broadcasts a fixed value to everyone in every round, regardless of
+    /// protocol state.
+    FixedValue(Value),
+    /// Sends value 0 to the lower-numbered half of the processes and 1 to
+    /// the rest — the classic equivocation attack.
+    Equivocate,
+    /// Sends uniformly random bits to every process every round.
+    RandomNoise {
+        /// RNG seed (kept per-process so runs are reproducible).
+        seed: u64,
+    },
+}
+
+/// A faulty process wrapping a [`FaultyBehavior`]. It never decides — the
+/// correctness conditions of Byzantine agreement only constrain the honest
+/// processes.
+#[derive(Debug)]
+pub struct FaultyProcess {
+    behavior: FaultyBehavior,
+    id: ProcId,
+    n: usize,
+    rng: StdRng,
+}
+
+impl FaultyProcess {
+    /// Creates a faulty process with the given behavior.
+    pub fn new(behavior: FaultyBehavior) -> Self {
+        FaultyProcess {
+            behavior,
+            id: 0,
+            n: 0,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+}
+
+impl Process for FaultyProcess {
+    type Msg = Value;
+
+    fn init(&mut self, id: ProcId, n: usize) {
+        self.id = id;
+        self.n = n;
+        if let FaultyBehavior::RandomNoise { seed } = self.behavior {
+            self.rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9));
+        }
+    }
+
+    fn round(&mut self, round: usize, _inbox: &[(ProcId, Value)]) -> Vec<(ProcId, Value)> {
+        match &self.behavior {
+            FaultyBehavior::Silent => Vec::new(),
+            FaultyBehavior::Crash { after, value } => {
+                if round < *after {
+                    (0..self.n).map(|d| (d, *value)).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            FaultyBehavior::FixedValue(v) => (0..self.n).map(|d| (d, *v)).collect(),
+            FaultyBehavior::Equivocate => (0..self.n)
+                .map(|d| (d, if d < self.n / 2 { 0 } else { 1 }))
+                .collect(),
+            FaultyBehavior::RandomNoise { .. } => (0..self.n)
+                .map(|d| (d, self.rng.random_range(0..2u64)))
+                .collect(),
+        }
+    }
+
+    fn decision(&self) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_one_round(behavior: FaultyBehavior, n: usize, round: usize) -> Vec<(ProcId, Value)> {
+        let mut p = FaultyProcess::new(behavior);
+        p.init(1, n);
+        p.round(round, &[])
+    }
+
+    #[test]
+    fn silent_sends_nothing() {
+        assert!(run_one_round(FaultyBehavior::Silent, 5, 0).is_empty());
+    }
+
+    #[test]
+    fn crash_stops_after_deadline() {
+        let b = FaultyBehavior::Crash { after: 2, value: 1 };
+        assert_eq!(run_one_round(b.clone(), 4, 1).len(), 4);
+        assert!(run_one_round(b, 4, 2).is_empty());
+    }
+
+    #[test]
+    fn equivocator_splits_the_network() {
+        let msgs = run_one_round(FaultyBehavior::Equivocate, 6, 0);
+        assert_eq!(msgs.len(), 6);
+        assert!(msgs.iter().filter(|(_, v)| *v == 0).count() == 3);
+        assert!(msgs.iter().filter(|(_, v)| *v == 1).count() == 3);
+    }
+
+    #[test]
+    fn random_noise_is_reproducible() {
+        let a = run_one_round(FaultyBehavior::RandomNoise { seed: 9 }, 8, 0);
+        let b = run_one_round(FaultyBehavior::RandomNoise { seed: 9 }, 8, 0);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|(_, v)| *v < 2));
+    }
+
+    #[test]
+    fn faulty_processes_never_decide() {
+        let mut p = FaultyProcess::new(FaultyBehavior::FixedValue(1));
+        p.init(0, 3);
+        p.round(0, &[]);
+        assert_eq!(p.decision(), None);
+    }
+}

@@ -1,0 +1,48 @@
+//! # bne-byzantine
+//!
+//! The distributed-computing substrate behind Section 2 of the paper.
+//! Halpern's mediator-implementation results (Abraham–Dolev–Gonen–Halpern)
+//! are proved by reduction to and from Byzantine agreement: mediators can be
+//! implemented by cheap talk when Byzantine agreement is solvable for the
+//! corresponding fault budget, and the impossibility bounds reuse the
+//! classical `t < n/3` lower bound of Pease, Shostak and Lamport. This crate
+//! builds that substrate from scratch:
+//!
+//! * [`network`] — a deterministic synchronous round-based message-passing
+//!   simulator with a [`network::Process`] trait and pluggable Byzantine
+//!   behaviors;
+//! * [`adversary`] — canned faulty behaviors (crash, silent, random,
+//!   equivocating, value-flipping);
+//! * [`om`] — the recursive Oral Messages algorithm OM(m) of Lamport,
+//!   Shostak and Pease, correct for `n > 3t`;
+//! * [`phase_king`] — the Berman–Garay–Perry phase-king consensus protocol
+//!   running on the network simulator, correct for `n > 4t`;
+//! * [`broadcast`] — Dolev–Strong authenticated broadcast on top of the
+//!   simulated PKI of `bne-crypto`, correct for any `t < n`;
+//! * [`mediator_ba`] — the trivial mediator-based solution the paper uses as
+//!   the specification ("the general simply sends the mediator his
+//!   preference, and the mediator sends it to all the soldiers");
+//! * [`properties`] — agreement/validity checking used by the experiment
+//!   harnesses (E4 in DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod broadcast;
+pub mod mediator_ba;
+pub mod network;
+pub mod om;
+pub mod phase_king;
+pub mod properties;
+
+pub use adversary::FaultyBehavior;
+pub use mediator_ba::mediator_byzantine_agreement;
+pub use network::{Process, ProcId, RoundStats, SyncNetwork};
+pub use om::{om_byzantine_generals, OmConfig, OmOutcome};
+pub use phase_king::{run_phase_king, PhaseKingProcess};
+pub use properties::{check_agreement, check_validity, AgreementReport};
+
+/// A binary value agreed upon (attack = 1, retreat = 0 in the paper's
+/// Byzantine agreement story).
+pub type Value = u64;

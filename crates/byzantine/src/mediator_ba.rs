@@ -1,0 +1,95 @@
+//! The trivial mediator-based solution to Byzantine agreement.
+//!
+//! The paper uses this as the specification the cheap-talk protocols must
+//! implement: *"It is trivial to solve Byzantine agreement with a mediator:
+//! the general simply sends the mediator his preference, and the mediator
+//! sends it to all the soldiers."* The cheap-talk implementations in
+//! `bne-mediator` are judged by whether they induce the same decisions.
+
+use crate::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of the mediator-based Byzantine agreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MediatorBaOutcome {
+    /// Decision of every non-faulty soldier (keyed by process id; faulty
+    /// soldiers are omitted because their behavior is unconstrained).
+    pub decisions: BTreeMap<usize, Value>,
+    /// Number of messages exchanged (general → mediator, mediator → each
+    /// soldier).
+    pub messages: usize,
+}
+
+/// Solves Byzantine agreement for `n` soldiers (process 0 is the general)
+/// using a trusted mediator.
+///
+/// * If the general is non-faulty, every non-faulty soldier decides the
+///   general's preference (validity).
+/// * If the general is faulty it may report anything (we model that as
+///   `faulty_general_report`); the mediator still relays a single value, so
+///   all non-faulty soldiers agree (agreement).
+pub fn mediator_byzantine_agreement(
+    n: usize,
+    general_preference: Value,
+    faulty: &BTreeSet<usize>,
+    faulty_general_report: Value,
+) -> MediatorBaOutcome {
+    assert!(n > 0, "need at least the general");
+    let reported = if faulty.contains(&0) {
+        faulty_general_report
+    } else {
+        general_preference
+    };
+    let mut decisions = BTreeMap::new();
+    for soldier in 0..n {
+        if faulty.contains(&soldier) {
+            continue;
+        }
+        decisions.insert(soldier, reported);
+    }
+    MediatorBaOutcome {
+        decisions,
+        // general → mediator, then mediator → every soldier
+        messages: 1 + n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_general_validity_and_agreement() {
+        let out = mediator_byzantine_agreement(5, 1, &BTreeSet::new(), 0);
+        assert_eq!(out.decisions.len(), 5);
+        assert!(out.decisions.values().all(|&v| v == 1));
+        assert_eq!(out.messages, 6);
+    }
+
+    #[test]
+    fn faulty_soldiers_are_ignored_but_rest_agree() {
+        let faulty: BTreeSet<usize> = [2, 4].into_iter().collect();
+        let out = mediator_byzantine_agreement(6, 0, &faulty, 1);
+        assert_eq!(out.decisions.len(), 4);
+        assert!(out.decisions.values().all(|&v| v == 0));
+        assert!(!out.decisions.contains_key(&2));
+    }
+
+    #[test]
+    fn faulty_general_still_gives_agreement() {
+        let faulty: BTreeSet<usize> = [0].into_iter().collect();
+        let out = mediator_byzantine_agreement(4, 1, &faulty, 0);
+        // the general lied, but everyone (honest) still agrees on the lie
+        assert_eq!(out.decisions.len(), 3);
+        assert!(out.decisions.values().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn works_even_with_majority_faulty() {
+        // the whole point of the mediator: no n > 3t requirement at all
+        let faulty: BTreeSet<usize> = [1, 2, 3].into_iter().collect();
+        let out = mediator_byzantine_agreement(5, 1, &faulty, 0);
+        assert_eq!(out.decisions.len(), 2);
+        assert!(out.decisions.values().all(|&v| v == 1));
+    }
+}

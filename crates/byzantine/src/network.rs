@@ -1,0 +1,255 @@
+//! A deterministic synchronous round-based message-passing simulator.
+//!
+//! Every round, each process inspects the messages delivered to it in the
+//! previous round and emits messages for the next one. Byzantine processes
+//! are ordinary [`Process`] implementations that happen to misbehave — they
+//! can send different messages to different recipients (equivocation), stay
+//! silent, or send garbage; the network itself is reliable and synchronous,
+//! matching the model of the Abraham et al. results ("all the results ...
+//! depend on the system being synchronous").
+
+use std::collections::BTreeMap;
+
+/// Index of a process in the network (0-based).
+pub type ProcId = usize;
+
+/// A protocol participant. The message type is chosen per protocol.
+pub trait Process {
+    /// The message type exchanged by this protocol.
+    type Msg: Clone;
+
+    /// Called once before round 0 with this process's own id and the number
+    /// of processes.
+    fn init(&mut self, id: ProcId, n: usize);
+
+    /// Executes one round: receives the messages delivered this round
+    /// (sender, payload) and returns the messages to deliver next round.
+    fn round(&mut self, round: usize, inbox: &[(ProcId, Self::Msg)]) -> Vec<(ProcId, Self::Msg)>;
+
+    /// The process's decision, if it has decided.
+    fn decision(&self) -> Option<u64>;
+}
+
+/// Per-round message statistics, useful for comparing protocol costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundStats {
+    /// Total number of point-to-point messages sent over the execution.
+    pub messages_sent: usize,
+    /// Number of rounds executed.
+    pub rounds: usize,
+}
+
+/// The synchronous network simulator.
+///
+/// Generic over the message type; every process in one network must use the
+/// same message type.
+pub struct SyncNetwork<M: Clone> {
+    processes: Vec<Box<dyn Process<Msg = M>>>,
+    /// messages to be delivered at the start of the next round, keyed by
+    /// recipient
+    pending: BTreeMap<ProcId, Vec<(ProcId, M)>>,
+    stats: RoundStats,
+    round: usize,
+}
+
+impl<M: Clone> SyncNetwork<M> {
+    /// Creates a network from the given processes and initializes them.
+    pub fn new(mut processes: Vec<Box<dyn Process<Msg = M>>>) -> Self {
+        let n = processes.len();
+        for (id, p) in processes.iter_mut().enumerate() {
+            p.init(id, n);
+        }
+        SyncNetwork {
+            processes,
+            pending: BTreeMap::new(),
+            stats: RoundStats::default(),
+            round: 0,
+        }
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Executes a single round: delivers pending messages, collects new
+    /// ones.
+    pub fn step(&mut self) {
+        let n = self.processes.len();
+        let mut outboxes: Vec<Vec<(ProcId, M)>> = Vec::with_capacity(n);
+        for (id, process) in self.processes.iter_mut().enumerate() {
+            let inbox = self.pending.remove(&id).unwrap_or_default();
+            let out = process.round(self.round, &inbox);
+            outboxes.push(out);
+        }
+        self.pending.clear();
+        for (sender, out) in outboxes.into_iter().enumerate() {
+            for (dest, msg) in out {
+                if dest >= n {
+                    continue; // drop messages to non-existent processes
+                }
+                self.stats.messages_sent += 1;
+                self.pending.entry(dest).or_default().push((sender, msg));
+            }
+        }
+        // deterministic delivery order: sort each inbox by sender
+        for inbox in self.pending.values_mut() {
+            inbox.sort_by_key(|(sender, _)| *sender);
+        }
+        self.round += 1;
+        self.stats.rounds = self.round;
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Runs until every process has decided or `max_rounds` is reached.
+    /// Returns `true` if everyone decided.
+    pub fn run_until_decided(&mut self, max_rounds: usize) -> bool {
+        for _ in 0..max_rounds {
+            if self.decisions().iter().all(|d| d.is_some()) {
+                return true;
+            }
+            self.step();
+        }
+        self.decisions().iter().all(|d| d.is_some())
+    }
+
+    /// The decisions of every process (in process-id order).
+    pub fn decisions(&self) -> Vec<Option<u64>> {
+        self.processes.iter().map(|p| p.decision()).collect()
+    }
+
+    /// Message and round statistics so far.
+    pub fn stats(&self) -> RoundStats {
+        self.stats
+    }
+
+    /// The current round number (number of completed rounds).
+    pub fn current_round(&self) -> usize {
+        self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A process that floods its own id to everyone each round and decides
+    /// on the count of distinct senders it has heard from.
+    struct Flooder {
+        id: ProcId,
+        n: usize,
+        heard: std::collections::BTreeSet<ProcId>,
+        decided: Option<u64>,
+    }
+
+    impl Flooder {
+        fn new() -> Self {
+            Flooder {
+                id: 0,
+                n: 0,
+                heard: Default::default(),
+                decided: None,
+            }
+        }
+    }
+
+    impl Process for Flooder {
+        type Msg = u64;
+
+        fn init(&mut self, id: ProcId, n: usize) {
+            self.id = id;
+            self.n = n;
+        }
+
+        fn round(&mut self, round: usize, inbox: &[(ProcId, u64)]) -> Vec<(ProcId, u64)> {
+            for (sender, _) in inbox {
+                self.heard.insert(*sender);
+            }
+            if round >= 2 {
+                self.decided = Some(self.heard.len() as u64);
+                return Vec::new();
+            }
+            (0..self.n).map(|d| (d, self.id as u64)).collect()
+        }
+
+        fn decision(&self) -> Option<u64> {
+            self.decided
+        }
+    }
+
+    #[test]
+    fn flooding_reaches_everyone() {
+        let processes: Vec<Box<dyn Process<Msg = u64>>> =
+            (0..5).map(|_| Box::new(Flooder::new()) as _).collect();
+        let mut net = SyncNetwork::new(processes);
+        assert!(net.run_until_decided(10));
+        // everyone hears from all 5 processes (including themselves)
+        assert_eq!(net.decisions(), vec![Some(5); 5]);
+        // two rounds of 5*5 messages each
+        assert_eq!(net.stats().messages_sent, 50);
+    }
+
+    #[test]
+    fn messages_to_invalid_destinations_are_dropped() {
+        struct BadSender;
+        impl Process for BadSender {
+            type Msg = u64;
+            fn init(&mut self, _id: ProcId, _n: usize) {}
+            fn round(&mut self, _round: usize, _inbox: &[(ProcId, u64)]) -> Vec<(ProcId, u64)> {
+                vec![(99, 1)]
+            }
+            fn decision(&self) -> Option<u64> {
+                Some(0)
+            }
+        }
+        let mut net = SyncNetwork::new(vec![Box::new(BadSender) as Box<dyn Process<Msg = u64>>]);
+        net.run(3);
+        assert_eq!(net.stats().messages_sent, 0);
+        assert_eq!(net.current_round(), 3);
+    }
+
+    #[test]
+    fn inboxes_are_sorted_by_sender() {
+        struct Recorder {
+            id: ProcId,
+            n: usize,
+            seen: Vec<ProcId>,
+        }
+        impl Process for Recorder {
+            type Msg = u64;
+            fn init(&mut self, id: ProcId, n: usize) {
+                self.id = id;
+                self.n = n;
+            }
+            fn round(&mut self, _round: usize, inbox: &[(ProcId, u64)]) -> Vec<(ProcId, u64)> {
+                self.seen.extend(inbox.iter().map(|(s, _)| *s));
+                // everyone sends to process 0 in reverse-ish order
+                vec![(0, self.id as u64)]
+            }
+            fn decision(&self) -> Option<u64> {
+                None
+            }
+        }
+        let processes: Vec<Box<dyn Process<Msg = u64>>> = (0..4)
+            .map(|_| {
+                Box::new(Recorder {
+                    id: 0,
+                    n: 0,
+                    seen: Vec::new(),
+                }) as _
+            })
+            .collect();
+        let mut net = SyncNetwork::new(processes);
+        net.run(2);
+        // process 0's inbox in round 1 should be sorted 0,1,2,3 — we can't
+        // reach inside, but the simulation must at least have delivered 4
+        // messages per round after the first
+        assert_eq!(net.stats().messages_sent, 8);
+    }
+}

@@ -1,0 +1,204 @@
+//! Agreement and validity checking for Byzantine agreement executions, plus
+//! the sweep helper used by experiment E4 (the t < n/3 boundary table).
+
+use crate::om::{om_byzantine_generals, OmConfig, TraitorStrategy};
+use crate::Value;
+use std::collections::BTreeSet;
+
+/// The classical correctness conditions of Byzantine agreement, evaluated on
+/// the decisions of the honest processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgreementReport {
+    /// All honest processes decided.
+    pub all_decided: bool,
+    /// All honest decisions are equal (IC1).
+    pub agreement: bool,
+    /// If the source/general is honest, every honest decision equals its
+    /// preference (IC2). Vacuously true when the general is faulty.
+    pub validity: bool,
+}
+
+impl AgreementReport {
+    /// Whether the execution satisfies all conditions.
+    pub fn correct(&self) -> bool {
+        self.all_decided && self.agreement && self.validity
+    }
+}
+
+/// Checks agreement over a slice of optional decisions, where `honest[i]`
+/// says whether process `i` is honest. Faulty processes' entries are
+/// ignored.
+pub fn check_agreement(decisions: &[Option<Value>], honest: &[bool]) -> bool {
+    let honest_values: Vec<Value> = decisions
+        .iter()
+        .zip(honest.iter())
+        .filter(|(_, &h)| h)
+        .filter_map(|(d, _)| *d)
+        .collect();
+    honest_values.windows(2).all(|w| w[0] == w[1])
+}
+
+/// Checks validity: every honest decision equals `expected` (use only when
+/// the source is honest).
+pub fn check_validity(decisions: &[Option<Value>], honest: &[bool], expected: Value) -> bool {
+    decisions
+        .iter()
+        .zip(honest.iter())
+        .filter(|(_, &h)| h)
+        .all(|(d, _)| *d == Some(expected))
+}
+
+/// Builds the full [`AgreementReport`] from decisions and the honesty mask.
+pub fn report(
+    decisions: &[Option<Value>],
+    honest: &[bool],
+    general_honest: bool,
+    general_preference: Value,
+) -> AgreementReport {
+    let all_decided = decisions
+        .iter()
+        .zip(honest.iter())
+        .filter(|(_, &h)| h)
+        .all(|(d, _)| d.is_some());
+    let agreement = check_agreement(decisions, honest);
+    let validity = if general_honest {
+        check_validity(decisions, honest, general_preference)
+    } else {
+        true
+    };
+    AgreementReport {
+        all_decided,
+        agreement,
+        validity,
+    }
+}
+
+/// One row of the E4 sweep: for a given `(n, t)`, whether OM(t) with the
+/// worst adversary we implement preserved agreement and validity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundarySweepRow {
+    /// Number of processes.
+    pub n: usize,
+    /// Number of traitors.
+    pub t: usize,
+    /// Whether `n > 3t` (the theoretical feasibility condition).
+    pub theoretically_possible: bool,
+    /// Whether agreement held in the simulated execution.
+    pub agreement: bool,
+    /// Whether validity held (general honest case).
+    pub validity: bool,
+    /// Messages used by OM(t).
+    pub messages: usize,
+}
+
+/// Runs the OM(t) boundary sweep used by experiment E4: for each `(n, t)`,
+/// places the traitors adversarially (commander first when `commander_faulty`
+/// is set) and uses the parity-splitting lie.
+pub fn om_boundary_sweep(
+    max_n: usize,
+    max_t: usize,
+    commander_faulty: bool,
+) -> Vec<BoundarySweepRow> {
+    let mut rows = Vec::new();
+    for n in 2..=max_n {
+        for t in 0..=max_t.min(n - 1) {
+            let traitors: BTreeSet<usize> = if commander_faulty {
+                (0..t).collect()
+            } else {
+                (1..=t).collect()
+            };
+            let config = OmConfig {
+                n,
+                m: t,
+                commander_value: 1,
+                traitors: traitors.clone(),
+                strategy: TraitorStrategy::SplitByParity,
+                default_value: 0,
+            };
+            let outcome = om_byzantine_generals(&config);
+            let values: Vec<Value> = outcome.decisions.values().copied().collect();
+            let agreement = values.windows(2).all(|w| w[0] == w[1]);
+            let validity = if traitors.contains(&0) {
+                true
+            } else {
+                values.iter().all(|&v| v == 1)
+            };
+            rows.push(BoundarySweepRow {
+                n,
+                t,
+                theoretically_possible: n > 3 * t,
+                agreement,
+                validity,
+                messages: outcome.messages,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_and_validity_helpers() {
+        let decisions = vec![Some(1), Some(1), None, Some(1)];
+        let honest = vec![true, true, false, true];
+        assert!(check_agreement(&decisions, &honest));
+        assert!(check_validity(&decisions, &honest, 1));
+        assert!(!check_validity(&decisions, &honest, 0));
+
+        let decisions = vec![Some(1), Some(0), Some(1)];
+        let honest = vec![true, true, true];
+        assert!(!check_agreement(&decisions, &honest));
+    }
+
+    #[test]
+    fn faulty_entries_are_ignored() {
+        let decisions = vec![Some(1), Some(0)];
+        let honest = vec![true, false];
+        assert!(check_agreement(&decisions, &honest));
+        let r = report(&decisions, &honest, true, 1);
+        assert!(r.correct());
+    }
+
+    #[test]
+    fn report_flags_missing_decisions() {
+        let decisions = vec![Some(1), None];
+        let honest = vec![true, true];
+        let r = report(&decisions, &honest, true, 1);
+        assert!(!r.all_decided);
+        assert!(!r.correct());
+    }
+
+    #[test]
+    fn boundary_sweep_matches_theory_when_feasible() {
+        // whenever n > 3t the simulated OM(t) run must be correct
+        for row in om_boundary_sweep(8, 2, false) {
+            if row.theoretically_possible {
+                assert!(
+                    row.agreement && row.validity,
+                    "n = {}, t = {} should succeed",
+                    row.n,
+                    row.t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_sweep_shows_failures_below_the_bound() {
+        // the classic n = 3, t = 1 case with an honest commander and one
+        // traitorous lieutenant must violate validity
+        let rows = om_boundary_sweep(4, 1, false);
+        let bad = rows
+            .iter()
+            .find(|r| r.n == 3 && r.t == 1)
+            .expect("row exists");
+        assert!(!bad.theoretically_possible);
+        assert!(
+            !(bad.agreement && bad.validity),
+            "correctness should fail when n ≤ 3t"
+        );
+    }
+}

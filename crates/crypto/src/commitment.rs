@@ -1,0 +1,118 @@
+//! Hash-based commit/reveal.
+//!
+//! The cheap-talk protocols need players to commit to values (their types,
+//! random coins) before learning anything about the others', and reveal them
+//! later. The commitment here is `H(value ‖ nonce)` for a simple 64-bit
+//! mixing hash — binding and hiding only against the simulated parties in
+//! this workspace, not against a real adversary (see the crate-level
+//! disclaimer).
+
+use crate::CryptoError;
+use rand::{Rng, RngExt};
+
+/// A 64-bit mixing hash (SplitMix64-style finalizer over the input words).
+/// Deterministic and stable across platforms; **not** cryptographic.
+pub fn mix_hash(words: &[u64]) -> u64 {
+    let mut acc: u64 = 0x9E37_79B9_7F4A_7C15;
+    for &w in words {
+        let mut z = acc ^ w.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        acc = z ^ (z >> 31);
+        acc = acc.rotate_left(17).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    }
+    acc
+}
+
+/// A commitment to a 64-bit value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Commitment {
+    digest: u64,
+}
+
+/// The opening of a commitment: the committed value and the nonce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Opening {
+    /// The committed value.
+    pub value: u64,
+    /// The blinding nonce chosen at commit time.
+    pub nonce: u64,
+}
+
+impl Commitment {
+    /// Commits to `value`, returning the commitment and its opening.
+    pub fn commit<R: Rng + ?Sized>(value: u64, rng: &mut R) -> (Commitment, Opening) {
+        let nonce: u64 = rng.random();
+        (
+            Commitment {
+                digest: mix_hash(&[value, nonce]),
+            },
+            Opening { value, nonce },
+        )
+    }
+
+    /// Verifies an opening against this commitment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadOpening`] if the opening does not match.
+    pub fn verify(&self, opening: &Opening) -> Result<u64, CryptoError> {
+        if mix_hash(&[opening.value, opening.nonce]) == self.digest {
+            Ok(opening.value)
+        } else {
+            Err(CryptoError::BadOpening)
+        }
+    }
+
+    /// The raw digest (exposed so protocol messages can carry it).
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn commit_verify_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for value in [0u64, 1, 42, u64::MAX] {
+            let (c, o) = Commitment::commit(value, &mut rng);
+            assert_eq!(c.verify(&o).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn tampered_opening_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let (c, o) = Commitment::commit(7, &mut rng);
+        let bad_value = Opening {
+            value: 8,
+            nonce: o.nonce,
+        };
+        assert_eq!(c.verify(&bad_value), Err(CryptoError::BadOpening));
+        let bad_nonce = Opening {
+            value: 7,
+            nonce: o.nonce.wrapping_add(1),
+        };
+        assert_eq!(c.verify(&bad_nonce), Err(CryptoError::BadOpening));
+    }
+
+    #[test]
+    fn commitments_to_same_value_differ_by_nonce() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let (c1, _) = Commitment::commit(99, &mut rng);
+        let (c2, _) = Commitment::commit(99, &mut rng);
+        assert_ne!(c1.digest(), c2.digest());
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_sensitive() {
+        assert_eq!(mix_hash(&[1, 2, 3]), mix_hash(&[1, 2, 3]));
+        assert_ne!(mix_hash(&[1, 2, 3]), mix_hash(&[1, 2, 4]));
+        assert_ne!(mix_hash(&[1, 2, 3]), mix_hash(&[3, 2, 1]));
+        assert_ne!(mix_hash(&[]), mix_hash(&[0]));
+    }
+}

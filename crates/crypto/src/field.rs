@@ -1,0 +1,233 @@
+//! Arithmetic in the prime field GF(p) with p = 2^61 − 1 (a Mersenne
+//! prime). All secret sharing and multiparty computation in this workspace
+//! works over this field.
+
+use rand::{Rng, RngExt};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The field modulus: the Mersenne prime 2^61 − 1.
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// An element of GF(2^61 − 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Fp(u64);
+
+impl fmt::Debug for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp({})", self.0)
+    }
+}
+
+impl fmt::Display for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Fp {
+    /// The additive identity.
+    pub const ZERO: Fp = Fp(0);
+    /// The multiplicative identity.
+    pub const ONE: Fp = Fp(1);
+
+    /// Creates a field element, reducing modulo p.
+    pub fn new(value: u64) -> Self {
+        Fp(value % MODULUS)
+    }
+
+    /// The canonical representative in `[0, p)`.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// A uniformly random field element.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Fp(rng.random_range(0..MODULUS))
+    }
+
+    /// Raises the element to the given power by square-and-multiply.
+    pub fn pow(self, mut exp: u64) -> Self {
+        let mut base = self;
+        let mut acc = Fp::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// The multiplicative inverse. Returns `None` for zero.
+    pub fn inverse(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            // Fermat: a^(p-2) mod p
+            Some(self.pow(MODULUS - 2))
+        }
+    }
+
+    fn mul_internal(a: u64, b: u64) -> u64 {
+        ((a as u128 * b as u128) % MODULUS as u128) as u64
+    }
+}
+
+impl From<u64> for Fp {
+    fn from(v: u64) -> Self {
+        Fp::new(v)
+    }
+}
+
+impl From<usize> for Fp {
+    fn from(v: usize) -> Self {
+        Fp::new(v as u64)
+    }
+}
+
+impl Add for Fp {
+    type Output = Fp;
+    fn add(self, rhs: Fp) -> Fp {
+        let s = self.0 + rhs.0; // both < 2^61, no overflow in u64
+        Fp(if s >= MODULUS { s - MODULUS } else { s })
+    }
+}
+
+impl AddAssign for Fp {
+    fn add_assign(&mut self, rhs: Fp) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Fp {
+    type Output = Fp;
+    fn sub(self, rhs: Fp) -> Fp {
+        Fp(if self.0 >= rhs.0 {
+            self.0 - rhs.0
+        } else {
+            self.0 + MODULUS - rhs.0
+        })
+    }
+}
+
+impl SubAssign for Fp {
+    fn sub_assign(&mut self, rhs: Fp) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Fp {
+    type Output = Fp;
+    fn mul(self, rhs: Fp) -> Fp {
+        Fp(Fp::mul_internal(self.0, rhs.0))
+    }
+}
+
+impl MulAssign for Fp {
+    fn mul_assign(&mut self, rhs: Fp) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Fp {
+    type Output = Fp;
+    fn neg(self) -> Fp {
+        Fp::ZERO - self
+    }
+}
+
+impl Div for Fp {
+    type Output = Fp;
+    /// Field division.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, rhs: Fp) -> Fp {
+        self * rhs.inverse().expect("division by zero in GF(p)")
+    }
+}
+
+/// Evaluates the polynomial with the given coefficients (constant term
+/// first) at `x`, by Horner's rule.
+pub fn eval_polynomial(coefficients: &[Fp], x: Fp) -> Fp {
+    let mut acc = Fp::ZERO;
+    for &c in coefficients.iter().rev() {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Fp::new(7);
+        let b = Fp::new(5);
+        assert_eq!((a + b).value(), 12);
+        assert_eq!((a - b).value(), 2);
+        assert_eq!((b - a).value(), MODULUS - 2);
+        assert_eq!((a * b).value(), 35);
+        assert_eq!((-Fp::new(1)).value(), MODULUS - 1);
+    }
+
+    #[test]
+    fn reduction_on_construction() {
+        assert_eq!(Fp::new(MODULUS).value(), 0);
+        assert_eq!(Fp::new(MODULUS + 5).value(), 5);
+    }
+
+    #[test]
+    fn inverse_and_division() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let a = Fp::random(&mut rng);
+            if a == Fp::ZERO {
+                continue;
+            }
+            let inv = a.inverse().unwrap();
+            assert_eq!(a * inv, Fp::ONE);
+            assert_eq!((a / a), Fp::ONE);
+        }
+        assert!(Fp::ZERO.inverse().is_none());
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let a = Fp::new(3);
+        let mut acc = Fp::ONE;
+        for e in 0..20u64 {
+            assert_eq!(a.pow(e), acc);
+            acc *= a;
+        }
+    }
+
+    #[test]
+    fn horner_evaluation() {
+        // f(x) = 2 + 3x + x^2 at x = 5 → 2 + 15 + 25 = 42
+        let coeffs = vec![Fp::new(2), Fp::new(3), Fp::new(1)];
+        assert_eq!(eval_polynomial(&coeffs, Fp::new(5)).value(), 42);
+        assert_eq!(eval_polynomial(&[], Fp::new(5)), Fp::ZERO);
+    }
+
+    #[test]
+    fn multiplication_near_modulus_does_not_overflow() {
+        let a = Fp::new(MODULUS - 1);
+        let b = Fp::new(MODULUS - 2);
+        // (p-1)(p-2) mod p = 2 mod p
+        assert_eq!((a * b).value(), 2);
+    }
+
+    #[test]
+    fn random_is_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(Fp::random(&mut rng).value() < MODULUS);
+        }
+    }
+}

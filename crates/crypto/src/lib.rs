@@ -1,0 +1,108 @@
+//! # bne-crypto
+//!
+//! The cryptographic substrate needed by the cheap-talk mediator
+//! implementations of Section 2 of the paper (secure multiparty computation
+//! in the style of BGW/GMW, secret sharing à la Shamir, commitments, and a
+//! public-key infrastructure for the `n > k + t` regime).
+//!
+//! **Security disclaimer.** Everything in this crate is a *functional
+//! simulation*: the commitments use a non-cryptographic hash and the
+//! "signatures" are MAC-like tags derived from shared secrets. The protocols
+//! built on top exercise exactly the same message patterns, threshold
+//! arithmetic and reconstruction logic as their real counterparts — which is
+//! what the paper's results are about — but none of this is secure against a
+//! real adversary. This substitution is recorded in `DESIGN.md`.
+//!
+//! Modules:
+//!
+//! * [`field`] — arithmetic in GF(p) for a fixed 61-bit Mersenne prime;
+//! * [`shamir`] — Shamir secret sharing and Lagrange reconstruction,
+//!   including error detection for Byzantine-corrupted shares;
+//! * [`commitment`] — hash-based commit/reveal;
+//! * [`pki`] — simulated signing keys and signature verification;
+//! * [`smc`] — arithmetic-circuit secure multiparty computation over shares
+//!   (addition, scalar multiplication, multiplication with degree
+//!   reduction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commitment;
+pub mod field;
+pub mod pki;
+pub mod shamir;
+pub mod smc;
+
+pub use commitment::{Commitment, Opening};
+pub use field::Fp;
+pub use pki::{KeyPair, PublicKeyInfrastructure, Signature};
+pub use shamir::{reconstruct, reconstruct_with_errors, share, Share};
+pub use smc::{ArithmeticCircuit, CircuitError, Gate, SmcEngine, WireId};
+
+/// Errors produced by the cryptographic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// Not enough shares were supplied to reconstruct the secret.
+    NotEnoughShares {
+        /// Shares needed (threshold + 1).
+        needed: usize,
+        /// Shares supplied.
+        got: usize,
+    },
+    /// Two shares carry the same evaluation point.
+    DuplicateShareIndex {
+        /// The duplicated x-coordinate.
+        index: u64,
+    },
+    /// The shares are inconsistent with any polynomial of the stated degree
+    /// (more corrupted shares than the error-detection capability allows).
+    InconsistentShares,
+    /// A commitment opening did not verify.
+    BadOpening,
+    /// A signature did not verify.
+    BadSignature,
+    /// Parameters are invalid (e.g. threshold ≥ number of parties).
+    InvalidParameters {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoError::NotEnoughShares { needed, got } => {
+                write!(f, "not enough shares: need {needed}, got {got}")
+            }
+            CryptoError::DuplicateShareIndex { index } => {
+                write!(f, "duplicate share index {index}")
+            }
+            CryptoError::InconsistentShares => {
+                write!(f, "shares are inconsistent with the stated threshold")
+            }
+            CryptoError::BadOpening => write!(f, "commitment opening failed to verify"),
+            CryptoError::BadSignature => write!(f, "signature failed to verify"),
+            CryptoError::InvalidParameters { reason } => {
+                write!(f, "invalid parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        let e = CryptoError::NotEnoughShares { needed: 3, got: 1 };
+        assert!(e.to_string().contains("need 3"));
+        let e = CryptoError::InvalidParameters {
+            reason: "threshold too large".into(),
+        };
+        assert!(e.to_string().contains("threshold"));
+    }
+}

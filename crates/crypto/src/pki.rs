@@ -1,0 +1,147 @@
+//! A simulated public-key infrastructure.
+//!
+//! The strongest positive result quoted in Section 2 of the paper
+//! (`n > k + t` suffices to ε-implement a mediator) assumes cryptography,
+//! polynomially bounded players **and a PKI**. This module provides the
+//! interface such protocols need — per-player signing keys, unforgeable (in
+//! the simulation) signatures, and a registry mapping players to
+//! verification keys — implemented with the non-cryptographic
+//! [`mix_hash`](crate::commitment::mix_hash). Honest protocol code cannot
+//! forge signatures because it never learns other players' signing keys;
+//! that is the property the protocol logic exercises.
+
+use crate::commitment::mix_hash;
+use crate::CryptoError;
+use rand::{Rng, RngExt};
+
+/// A signature over a message, bound to a specific signer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    tag: u64,
+    signer: usize,
+}
+
+impl Signature {
+    /// The index of the claimed signer.
+    pub fn signer(&self) -> usize {
+        self.signer
+    }
+}
+
+/// A player's key pair. The secret half stays with the player; the public
+/// half is registered in the [`PublicKeyInfrastructure`].
+#[derive(Debug, Clone, Copy)]
+pub struct KeyPair {
+    signing_key: u64,
+    /// Index of the owning player.
+    pub owner: usize,
+}
+
+impl KeyPair {
+    /// Signs a message (a sequence of 64-bit words).
+    pub fn sign(&self, message: &[u64]) -> Signature {
+        let mut words = vec![self.signing_key, self.owner as u64];
+        words.extend_from_slice(message);
+        Signature {
+            tag: mix_hash(&words),
+            signer: self.owner,
+        }
+    }
+}
+
+/// The registry of verification keys, held by every player.
+///
+/// In this simulation the "verification key" is the signing key itself kept
+/// inside the registry; verification recomputes the tag. Protocol code only
+/// ever interacts through [`KeyPair::sign`] and
+/// [`PublicKeyInfrastructure::verify`], so swapping in a real signature
+/// scheme would not change any caller.
+#[derive(Debug, Clone)]
+pub struct PublicKeyInfrastructure {
+    keys: Vec<u64>,
+}
+
+impl PublicKeyInfrastructure {
+    /// Generates a PKI for `n` players, returning the infrastructure and
+    /// each player's key pair.
+    pub fn setup<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (Self, Vec<KeyPair>) {
+        let keys: Vec<u64> = (0..n).map(|_| rng.random()).collect();
+        let pairs = keys
+            .iter()
+            .enumerate()
+            .map(|(owner, &signing_key)| KeyPair { signing_key, owner })
+            .collect();
+        (PublicKeyInfrastructure { keys }, pairs)
+    }
+
+    /// Number of registered players.
+    pub fn num_players(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Verifies that `signature` is a valid signature by `claimed_signer`
+    /// over `message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadSignature`] if verification fails or the
+    /// signer index is unknown.
+    pub fn verify(
+        &self,
+        claimed_signer: usize,
+        message: &[u64],
+        signature: &Signature,
+    ) -> Result<(), CryptoError> {
+        let key = self
+            .keys
+            .get(claimed_signer)
+            .ok_or(CryptoError::BadSignature)?;
+        if signature.signer != claimed_signer {
+            return Err(CryptoError::BadSignature);
+        }
+        let mut words = vec![*key, claimed_signer as u64];
+        words.extend_from_slice(message);
+        if mix_hash(&words) == signature.tag {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let (pki, pairs) = PublicKeyInfrastructure::setup(4, &mut rng);
+        assert_eq!(pki.num_players(), 4);
+        for (i, kp) in pairs.iter().enumerate() {
+            let sig = kp.sign(&[1, 2, 3]);
+            assert_eq!(sig.signer(), i);
+            assert!(pki.verify(i, &[1, 2, 3], &sig).is_ok());
+        }
+    }
+
+    #[test]
+    fn wrong_message_or_signer_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let (pki, pairs) = PublicKeyInfrastructure::setup(3, &mut rng);
+        let sig = pairs[0].sign(&[10, 20]);
+        assert!(pki.verify(0, &[10, 21], &sig).is_err());
+        assert!(pki.verify(1, &[10, 20], &sig).is_err());
+        assert!(pki.verify(7, &[10, 20], &sig).is_err());
+    }
+
+    #[test]
+    fn forgery_by_another_player_fails() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let (pki, pairs) = PublicKeyInfrastructure::setup(2, &mut rng);
+        // player 1 tries to pass off her own signature as player 0's
+        let forged = pairs[1].sign(&[5]);
+        assert!(pki.verify(0, &[5], &forged).is_err());
+    }
+}

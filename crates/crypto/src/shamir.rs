@@ -1,0 +1,331 @@
+//! Shamir secret sharing over GF(2^61 − 1).
+//!
+//! A secret is embedded as the constant term of a random degree-`t`
+//! polynomial; party `i` receives the evaluation at `x = i + 1`. Any `t + 1`
+//! shares reconstruct the secret by Lagrange interpolation; `t` or fewer
+//! shares reveal nothing (information-theoretically). The mediator
+//! implementations in `bne-mediator` use this both directly (rational secret
+//! sharing) and inside the BGW-style multiparty computation of [`crate::smc`].
+
+use crate::field::{eval_polynomial, Fp};
+use crate::CryptoError;
+use rand::Rng;
+
+/// One party's share: the evaluation point `x` and the value of the
+/// polynomial there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Share {
+    /// Evaluation point (never zero; party `i` conventionally holds
+    /// `x = i + 1`).
+    pub x: Fp,
+    /// Polynomial value at `x`.
+    pub y: Fp,
+}
+
+/// Splits `secret` into `n` shares with reconstruction threshold `t + 1`
+/// (i.e. the sharing polynomial has degree `t`).
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidParameters`] if `n == 0` or `t >= n`.
+pub fn share<R: Rng + ?Sized>(
+    secret: Fp,
+    n: usize,
+    t: usize,
+    rng: &mut R,
+) -> Result<Vec<Share>, CryptoError> {
+    if n == 0 {
+        return Err(CryptoError::InvalidParameters {
+            reason: "cannot share among zero parties".to_string(),
+        });
+    }
+    if t >= n {
+        return Err(CryptoError::InvalidParameters {
+            reason: format!("threshold degree {t} must be smaller than the number of parties {n}"),
+        });
+    }
+    let mut coefficients = Vec::with_capacity(t + 1);
+    coefficients.push(secret);
+    for _ in 0..t {
+        coefficients.push(Fp::random(rng));
+    }
+    Ok((0..n)
+        .map(|i| {
+            let x = Fp::from(i as u64 + 1);
+            Share {
+                x,
+                y: eval_polynomial(&coefficients, x),
+            }
+        })
+        .collect())
+}
+
+/// Reconstructs the secret from at least `t + 1` shares by Lagrange
+/// interpolation at zero. The caller states the sharing degree `t`; extra
+/// shares beyond `t + 1` are ignored.
+///
+/// # Errors
+///
+/// Returns an error if too few shares are supplied or two shares use the
+/// same evaluation point.
+pub fn reconstruct(shares: &[Share], t: usize) -> Result<Fp, CryptoError> {
+    if shares.len() < t + 1 {
+        return Err(CryptoError::NotEnoughShares {
+            needed: t + 1,
+            got: shares.len(),
+        });
+    }
+    let subset = &shares[..t + 1];
+    check_distinct(subset)?;
+    Ok(lagrange_at_zero(subset))
+}
+
+/// Reconstructs the secret in the presence of possibly corrupted shares.
+///
+/// Tries to find a degree-`t` polynomial consistent with at least
+/// `shares.len() - max_errors` of the supplied shares, by exhaustively
+/// checking candidate interpolation subsets. This is a simple (non-decoding
+/// theoretic) stand-in for Reed–Solomon error correction: it is exponential
+/// in the worst case but perfectly adequate for the protocol sizes in this
+/// workspace, and it exercises the same "honest majority overwhelms the
+/// traitors" logic the Abraham et al. constructions rely on.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InconsistentShares`] if no such polynomial exists.
+pub fn reconstruct_with_errors(
+    shares: &[Share],
+    t: usize,
+    max_errors: usize,
+) -> Result<Fp, CryptoError> {
+    if shares.len() < t + 1 {
+        return Err(CryptoError::NotEnoughShares {
+            needed: t + 1,
+            got: shares.len(),
+        });
+    }
+    check_distinct(shares)?;
+    let needed_agreement = shares.len().saturating_sub(max_errors);
+    // Iterate over candidate (t+1)-subsets as interpolation bases. To keep
+    // the combinatorics tame we use a sliding selection: for the sizes used
+    // in this workspace (n ≤ ~25, t ≤ ~8) this is fast.
+    let n = shares.len();
+    let mut combo: Vec<usize> = (0..t + 1).collect();
+    loop {
+        let subset: Vec<Share> = combo.iter().map(|&i| shares[i]).collect();
+        let candidate_poly = lagrange_coefficients(&subset);
+        let agree = shares
+            .iter()
+            .filter(|s| eval_polynomial(&candidate_poly, s.x) == s.y)
+            .count();
+        if agree >= needed_agreement.max(t + 1) {
+            return Ok(candidate_poly.first().copied().unwrap_or(Fp::ZERO));
+        }
+        // next combination
+        let mut i = t + 1;
+        loop {
+            if i == 0 {
+                return Err(CryptoError::InconsistentShares);
+            }
+            i -= 1;
+            if combo[i] < n - (t + 1 - i) {
+                combo[i] += 1;
+                for j in i + 1..t + 1 {
+                    combo[j] = combo[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn check_distinct(shares: &[Share]) -> Result<(), CryptoError> {
+    for (i, a) in shares.iter().enumerate() {
+        for b in &shares[i + 1..] {
+            if a.x == b.x {
+                return Err(CryptoError::DuplicateShareIndex { index: a.x.value() });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lagrange interpolation of the polynomial value at zero.
+fn lagrange_at_zero(shares: &[Share]) -> Fp {
+    let mut acc = Fp::ZERO;
+    for (i, si) in shares.iter().enumerate() {
+        let mut num = Fp::ONE;
+        let mut den = Fp::ONE;
+        for (j, sj) in shares.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num *= Fp::ZERO - sj.x;
+            den *= si.x - sj.x;
+        }
+        acc += si.y * (num / den);
+    }
+    acc
+}
+
+/// Full Lagrange interpolation: returns the coefficients (constant term
+/// first) of the unique polynomial of degree `< shares.len()` through the
+/// points.
+fn lagrange_coefficients(shares: &[Share]) -> Vec<Fp> {
+    let k = shares.len();
+    let mut result = vec![Fp::ZERO; k];
+    for (i, si) in shares.iter().enumerate() {
+        // numerator polynomial: product over j != i of (x - x_j)
+        let mut num = vec![Fp::ONE];
+        let mut den = Fp::ONE;
+        for (j, sj) in shares.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            // multiply num by (x - x_j)
+            let mut next = vec![Fp::ZERO; num.len() + 1];
+            for (d, &c) in num.iter().enumerate() {
+                next[d] -= c * sj.x;
+                next[d + 1] += c;
+            }
+            num = next;
+            den *= si.x - sj.x;
+        }
+        let scale = si.y / den;
+        for (d, &c) in num.iter().enumerate() {
+            result[d] += c * scale;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn share_and_reconstruct_round_trip() {
+        let mut rng = rng();
+        for t in 0..5 {
+            let secret = Fp::new(123_456_789 + t as u64);
+            let shares = share(secret, 10, t, &mut rng).unwrap();
+            assert_eq!(shares.len(), 10);
+            assert_eq!(reconstruct(&shares, t).unwrap(), secret);
+            // any t+1 shares suffice — try the last t+1
+            let tail = &shares[10 - (t + 1)..];
+            assert_eq!(reconstruct(tail, t).unwrap(), secret);
+        }
+    }
+
+    #[test]
+    fn too_few_shares_rejected() {
+        let mut rng = rng();
+        let shares = share(Fp::new(42), 5, 3, &mut rng).unwrap();
+        assert!(matches!(
+            reconstruct(&shares[..3], 3),
+            Err(CryptoError::NotEnoughShares { needed: 4, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let mut rng = rng();
+        assert!(share(Fp::new(1), 0, 0, &mut rng).is_err());
+        assert!(share(Fp::new(1), 3, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn duplicate_indices_rejected() {
+        let s = Share {
+            x: Fp::new(1),
+            y: Fp::new(5),
+        };
+        assert!(matches!(
+            reconstruct(&[s, s], 1),
+            Err(CryptoError::DuplicateShareIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn fewer_than_threshold_shares_are_consistent_with_any_secret() {
+        // statistical check of the hiding property: with degree-2 sharing,
+        // two shares plus ANY candidate secret at x = 0 interpolate to a
+        // valid polynomial, so two shares cannot pin down the secret.
+        let mut rng = rng();
+        let shares = share(Fp::new(999), 5, 2, &mut rng).unwrap();
+        let two = [shares[0], shares[1]];
+        // build a polynomial through (0, fake_secret) and the two shares
+        for fake in [0u64, 1, 17, 123_456] {
+            let points = vec![
+                Share {
+                    x: Fp::ZERO,
+                    y: Fp::new(fake),
+                },
+                two[0],
+                two[1],
+            ];
+            let poly = lagrange_coefficients(&points);
+            // the polynomial exists and has degree ≤ 2, so the two real
+            // shares are consistent with secret `fake`
+            assert_eq!(eval_polynomial(&poly, two[0].x), two[0].y);
+            assert_eq!(eval_polynomial(&poly, two[1].x), two[1].y);
+            assert_eq!(eval_polynomial(&poly, Fp::ZERO).value(), fake);
+        }
+    }
+
+    #[test]
+    fn error_correction_recovers_from_corrupted_shares() {
+        let mut rng = rng();
+        let secret = Fp::new(31337);
+        let n = 10;
+        let t = 2;
+        let mut shares = share(secret, n, t, &mut rng).unwrap();
+        // corrupt two shares (Byzantine parties)
+        shares[1].y += Fp::new(5);
+        shares[7].y = Fp::new(0);
+        let recovered = reconstruct_with_errors(&shares, t, 2).unwrap();
+        assert_eq!(recovered, secret);
+    }
+
+    #[test]
+    fn error_correction_fails_when_too_many_corruptions() {
+        let mut rng = rng();
+        let secret = Fp::new(5);
+        let n = 4;
+        let t = 1;
+        let mut shares = share(secret, n, t, &mut rng).unwrap();
+        // corrupt 3 of 4 shares consistently with a DIFFERENT polynomial:
+        // the honest minority can no longer force the right answer
+        let fake = share(Fp::new(9999), n, t, &mut rng).unwrap();
+        shares[0] = fake[0];
+        shares[1] = fake[1];
+        shares[2] = fake[2];
+        let out = reconstruct_with_errors(&shares, t, 3).unwrap();
+        assert_ne!(out, secret, "with 3/4 corrupted the adversary wins");
+    }
+
+    #[test]
+    fn linearity_of_shares() {
+        // share-wise addition of two sharings reconstructs the sum — the
+        // property the SMC engine relies on.
+        let mut rng = rng();
+        let a = Fp::new(100);
+        let b = Fp::new(23);
+        let sa = share(a, 7, 2, &mut rng).unwrap();
+        let sb = share(b, 7, 2, &mut rng).unwrap();
+        let sum: Vec<Share> = sa
+            .iter()
+            .zip(sb.iter())
+            .map(|(x, y)| Share {
+                x: x.x,
+                y: x.y + y.y,
+            })
+            .collect();
+        assert_eq!(reconstruct(&sum, 2).unwrap(), a + b);
+    }
+}

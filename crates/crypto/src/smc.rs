@@ -1,0 +1,532 @@
+//! Secure multiparty computation over arithmetic circuits (BGW style).
+//!
+//! The positive results quoted in Section 2 of the paper ("all the
+//! possibility results showing that mediators can be implemented use
+//! techniques from secure multiparty computation") evaluate a function
+//! `f(x_1, …, x_n)` on secret-shared inputs so that no coalition of at most
+//! `t` parties learns anything beyond the output. This module provides:
+//!
+//! * [`ArithmeticCircuit`] — a small circuit language over GF(p) with
+//!   addition, subtraction, scalar-multiplication and multiplication gates;
+//! * [`SmcEngine`] — a round-structured simulation of the BGW protocol:
+//!   inputs are Shamir-shared with degree `t`, linear gates are evaluated
+//!   share-wise, and multiplication gates re-share the local products and
+//!   recombine with Lagrange coefficients (degree reduction), which requires
+//!   an honest majority `n ≥ 2t + 1`.
+//!
+//! The engine executes all parties inside one process (there is no real
+//! network here — the message-passing incarnation lives in
+//! `bne-byzantine` / `bne-mediator`), but the data flow is exactly the
+//! protocol's: party `i` only ever combines values that the real protocol
+//! would have placed in her hands.
+
+use crate::field::Fp;
+use crate::shamir::{reconstruct, share, Share};
+use crate::CryptoError;
+use rand::Rng;
+
+/// Identifier of a wire in an [`ArithmeticCircuit`].
+pub type WireId = usize;
+
+/// A gate of the circuit. Gate inputs refer to previously defined wires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// A constant value.
+    Constant(u64),
+    /// Addition of two wires.
+    Add(WireId, WireId),
+    /// Subtraction `a - b`.
+    Sub(WireId, WireId),
+    /// Multiplication of a wire by a public constant.
+    ScalarMul(u64, WireId),
+    /// Multiplication of two wires (requires a degree-reduction round in the
+    /// shared evaluation).
+    Mul(WireId, WireId),
+}
+
+/// Errors specific to circuit construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate referenced a wire that does not exist yet.
+    UnknownWire {
+        /// The offending wire id.
+        wire: WireId,
+    },
+    /// The number of provided inputs does not match the circuit.
+    WrongInputCount {
+        /// Inputs the circuit expects.
+        expected: usize,
+        /// Inputs supplied.
+        found: usize,
+    },
+    /// The honest-majority requirement `n ≥ 2t + 1` for multiplication was
+    /// violated.
+    NoHonestMajority {
+        /// Number of parties.
+        n: usize,
+        /// Sharing degree.
+        t: usize,
+    },
+}
+
+impl std::fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitError::UnknownWire { wire } => write!(f, "unknown wire {wire}"),
+            CircuitError::WrongInputCount { expected, found } => {
+                write!(f, "expected {expected} inputs, found {found}")
+            }
+            CircuitError::NoHonestMajority { n, t } => write!(
+                f,
+                "multiplication needs an honest majority: n = {n} but 2t + 1 = {}",
+                2 * t + 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// An arithmetic circuit over GF(p) with named input wires, internal gates
+/// and designated output wires.
+#[derive(Debug, Clone, Default)]
+pub struct ArithmeticCircuit {
+    num_inputs: usize,
+    gates: Vec<Gate>,
+    outputs: Vec<WireId>,
+}
+
+impl ArithmeticCircuit {
+    /// Creates a circuit with `num_inputs` input wires (wires `0 ..
+    /// num_inputs`).
+    pub fn new(num_inputs: usize) -> Self {
+        ArithmeticCircuit {
+            num_inputs,
+            gates: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Number of input wires.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of multiplication gates (each costs one interaction round in
+    /// the shared evaluation).
+    pub fn num_mul_gates(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Mul(_, _)))
+            .count()
+    }
+
+    /// Total number of wires (inputs plus gates).
+    pub fn num_wires(&self) -> usize {
+        self.num_inputs + self.gates.len()
+    }
+
+    /// Appends a gate and returns the id of its output wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownWire`] if the gate references a wire
+    /// that does not exist yet.
+    pub fn add_gate(&mut self, gate: Gate) -> Result<WireId, CircuitError> {
+        let limit = self.num_wires();
+        let check = |w: WireId| {
+            if w < limit {
+                Ok(())
+            } else {
+                Err(CircuitError::UnknownWire { wire: w })
+            }
+        };
+        match gate {
+            Gate::Constant(_) => {}
+            Gate::Add(a, b) | Gate::Sub(a, b) | Gate::Mul(a, b) => {
+                check(a)?;
+                check(b)?;
+            }
+            Gate::ScalarMul(_, a) => check(a)?,
+        }
+        self.gates.push(gate);
+        Ok(limit)
+    }
+
+    /// Marks a wire as an output of the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownWire`] if the wire does not exist.
+    pub fn mark_output(&mut self, wire: WireId) -> Result<(), CircuitError> {
+        if wire >= self.num_wires() {
+            return Err(CircuitError::UnknownWire { wire });
+        }
+        self.outputs.push(wire);
+        Ok(())
+    }
+
+    /// The designated output wires.
+    pub fn outputs(&self) -> &[WireId] {
+        &self.outputs
+    }
+
+    /// Evaluates the circuit in the clear. Returns the values of the output
+    /// wires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WrongInputCount`] if the inputs do not match.
+    pub fn evaluate(&self, inputs: &[Fp]) -> Result<Vec<Fp>, CircuitError> {
+        if inputs.len() != self.num_inputs {
+            return Err(CircuitError::WrongInputCount {
+                expected: self.num_inputs,
+                found: inputs.len(),
+            });
+        }
+        let mut wires: Vec<Fp> = inputs.to_vec();
+        for gate in &self.gates {
+            let value = match *gate {
+                Gate::Constant(c) => Fp::new(c),
+                Gate::Add(a, b) => wires[a] + wires[b],
+                Gate::Sub(a, b) => wires[a] - wires[b],
+                Gate::ScalarMul(c, a) => Fp::new(c) * wires[a],
+                Gate::Mul(a, b) => wires[a] * wires[b],
+            };
+            wires.push(value);
+        }
+        Ok(self.outputs.iter().map(|&w| wires[w]).collect())
+    }
+
+    /// Builds the circuit computing the sum of all inputs (used by the
+    /// "compute f with a mediator" examples, e.g. voting / preference
+    /// aggregation).
+    pub fn sum_of_inputs(num_inputs: usize) -> Self {
+        let mut c = ArithmeticCircuit::new(num_inputs);
+        if num_inputs == 0 {
+            return c;
+        }
+        let mut acc = 0;
+        for i in 1..num_inputs {
+            acc = c
+                .add_gate(Gate::Add(acc, i))
+                .expect("wires exist by construction");
+        }
+        c.mark_output(acc).expect("wire exists");
+        c
+    }
+
+    /// Builds the circuit computing the product of all inputs.
+    pub fn product_of_inputs(num_inputs: usize) -> Self {
+        let mut c = ArithmeticCircuit::new(num_inputs);
+        if num_inputs == 0 {
+            return c;
+        }
+        let mut acc = 0;
+        for i in 1..num_inputs {
+            acc = c
+                .add_gate(Gate::Mul(acc, i))
+                .expect("wires exist by construction");
+        }
+        c.mark_output(acc).expect("wire exists");
+        c
+    }
+}
+
+/// Statistics about one shared evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmcStats {
+    /// Number of interaction rounds (one per multiplication gate, plus the
+    /// input-sharing and output-reconstruction rounds).
+    pub rounds: usize,
+    /// Total number of point-to-point share messages that the real protocol
+    /// would have sent.
+    pub messages: usize,
+}
+
+/// The BGW-style shared evaluator.
+#[derive(Debug, Clone)]
+pub struct SmcEngine {
+    n: usize,
+    t: usize,
+}
+
+impl SmcEngine {
+    /// Creates an engine for `n` parties with privacy threshold `t` (degree
+    /// of the sharing polynomials).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidParameters`] if `t ≥ n`.
+    pub fn new(n: usize, t: usize) -> Result<Self, CryptoError> {
+        if n == 0 || t >= n {
+            return Err(CryptoError::InvalidParameters {
+                reason: format!("need 0 ≤ t < n, got n = {n}, t = {t}"),
+            });
+        }
+        Ok(SmcEngine { n, t })
+    }
+
+    /// Number of parties.
+    pub fn num_parties(&self) -> usize {
+        self.n
+    }
+
+    /// Privacy threshold.
+    pub fn threshold(&self) -> usize {
+        self.t
+    }
+
+    /// Evaluates the circuit on secret inputs (one per input wire, owned by
+    /// arbitrary parties) and returns the reconstructed outputs together
+    /// with protocol statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CircuitError`] if the inputs mismatch or a multiplication
+    /// is attempted without an honest majority.
+    pub fn evaluate<R: Rng + ?Sized>(
+        &self,
+        circuit: &ArithmeticCircuit,
+        inputs: &[Fp],
+        rng: &mut R,
+    ) -> Result<(Vec<Fp>, SmcStats), CircuitError> {
+        if inputs.len() != circuit.num_inputs() {
+            return Err(CircuitError::WrongInputCount {
+                expected: circuit.num_inputs(),
+                found: inputs.len(),
+            });
+        }
+        if circuit.num_mul_gates() > 0 && self.n < 2 * self.t + 1 {
+            return Err(CircuitError::NoHonestMajority {
+                n: self.n,
+                t: self.t,
+            });
+        }
+        let mut rounds = 1; // input sharing round
+        let mut messages = 0usize;
+
+        // wire_shares[w][party] = party's share of wire w
+        let mut wire_shares: Vec<Vec<Share>> = Vec::with_capacity(circuit.num_wires());
+        for &input in inputs {
+            let shares = share(input, self.n, self.t, rng).expect("parameters validated");
+            messages += self.n; // dealer sends one share to each party
+            wire_shares.push(shares);
+        }
+
+        for gate in &circuit.gates {
+            let new_shares: Vec<Share> = match *gate {
+                Gate::Constant(c) => (0..self.n)
+                    .map(|i| Share {
+                        x: Fp::from(i as u64 + 1),
+                        y: Fp::new(c),
+                    })
+                    .collect(),
+                Gate::Add(a, b) => wire_shares[a]
+                    .iter()
+                    .zip(wire_shares[b].iter())
+                    .map(|(sa, sb)| Share {
+                        x: sa.x,
+                        y: sa.y + sb.y,
+                    })
+                    .collect(),
+                Gate::Sub(a, b) => wire_shares[a]
+                    .iter()
+                    .zip(wire_shares[b].iter())
+                    .map(|(sa, sb)| Share {
+                        x: sa.x,
+                        y: sa.y - sb.y,
+                    })
+                    .collect(),
+                Gate::ScalarMul(c, a) => wire_shares[a]
+                    .iter()
+                    .map(|sa| Share {
+                        x: sa.x,
+                        y: Fp::new(c) * sa.y,
+                    })
+                    .collect(),
+                Gate::Mul(a, b) => {
+                    // local product has degree 2t; re-share and recombine
+                    rounds += 1;
+                    let local_products: Vec<Fp> = wire_shares[a]
+                        .iter()
+                        .zip(wire_shares[b].iter())
+                        .map(|(sa, sb)| sa.y * sb.y)
+                        .collect();
+                    // each party shares its product with degree t
+                    let resharings: Vec<Vec<Share>> = local_products
+                        .iter()
+                        .map(|&p| {
+                            messages += self.n;
+                            share(p, self.n, self.t, rng).expect("parameters validated")
+                        })
+                        .collect();
+                    // Lagrange coefficients for interpolating at 0 from the
+                    // 2t+1 (we use all n) evaluation points 1..n of the
+                    // degree-2t product polynomial.
+                    let lambdas = lagrange_weights(self.n);
+                    (0..self.n)
+                        .map(|j| {
+                            let x = Fp::from(j as u64 + 1);
+                            let mut y = Fp::ZERO;
+                            for (i, resh) in resharings.iter().enumerate() {
+                                y += lambdas[i] * resh[j].y;
+                            }
+                            Share { x, y }
+                        })
+                        .collect()
+                }
+            };
+            wire_shares.push(new_shares);
+        }
+
+        rounds += 1; // output reconstruction round
+        let mut outputs = Vec::with_capacity(circuit.outputs().len());
+        for &w in circuit.outputs() {
+            messages += self.n * (self.n - 1); // everyone sends their share to everyone
+            let value = reconstruct(&wire_shares[w], self.t)
+                .expect("n > t shares are available by construction");
+            outputs.push(value);
+        }
+        Ok((outputs, SmcStats { rounds, messages }))
+    }
+}
+
+/// Lagrange weights λ_i such that f(0) = Σ λ_i f(i+1) for any polynomial of
+/// degree < n evaluated at the points 1..=n.
+fn lagrange_weights(n: usize) -> Vec<Fp> {
+    let xs: Vec<Fp> = (0..n).map(|i| Fp::from(i as u64 + 1)).collect();
+    (0..n)
+        .map(|i| {
+            let mut num = Fp::ONE;
+            let mut den = Fp::ONE;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                num *= Fp::ZERO - xs[j];
+                den *= xs[i] - xs[j];
+            }
+            num / den
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn clear_evaluation_of_sum_and_product() {
+        let sum = ArithmeticCircuit::sum_of_inputs(4);
+        let inputs: Vec<Fp> = [3u64, 5, 7, 11].iter().map(|&v| Fp::new(v)).collect();
+        assert_eq!(sum.evaluate(&inputs).unwrap(), vec![Fp::new(26)]);
+
+        let prod = ArithmeticCircuit::product_of_inputs(4);
+        assert_eq!(prod.evaluate(&inputs).unwrap(), vec![Fp::new(1155)]);
+        assert_eq!(prod.num_mul_gates(), 3);
+    }
+
+    #[test]
+    fn shared_evaluation_matches_clear_evaluation() {
+        let mut rng = rng();
+        let engine = SmcEngine::new(7, 2).unwrap();
+        let inputs: Vec<Fp> = [17u64, 23, 4, 900, 1].iter().map(|&v| Fp::new(v)).collect();
+
+        let sum = ArithmeticCircuit::sum_of_inputs(5);
+        let (out, stats) = engine.evaluate(&sum, &inputs, &mut rng).unwrap();
+        assert_eq!(out, sum.evaluate(&inputs).unwrap());
+        assert!(stats.rounds >= 2);
+        assert!(stats.messages > 0);
+
+        let prod = ArithmeticCircuit::product_of_inputs(5);
+        let (out, stats) = engine.evaluate(&prod, &inputs, &mut rng).unwrap();
+        assert_eq!(out, prod.evaluate(&inputs).unwrap());
+        // one extra round per multiplication gate
+        assert_eq!(stats.rounds, 2 + prod.num_mul_gates());
+    }
+
+    #[test]
+    fn mixed_circuit_with_constants_and_scalars() {
+        // f(x, y) = 3x + (y - 2) * x
+        let mut c = ArithmeticCircuit::new(2);
+        let three_x = c.add_gate(Gate::ScalarMul(3, 0)).unwrap();
+        let two = c.add_gate(Gate::Constant(2)).unwrap();
+        let y_minus_2 = c.add_gate(Gate::Sub(1, two)).unwrap();
+        let prod = c.add_gate(Gate::Mul(y_minus_2, 0)).unwrap();
+        let out = c.add_gate(Gate::Add(three_x, prod)).unwrap();
+        c.mark_output(out).unwrap();
+
+        let inputs = vec![Fp::new(10), Fp::new(7)];
+        let expected = Fp::new(3 * 10 + (7 - 2) * 10);
+        assert_eq!(c.evaluate(&inputs).unwrap(), vec![expected]);
+
+        let mut rng = rng();
+        let engine = SmcEngine::new(5, 2).unwrap();
+        let (out, _) = engine.evaluate(&c, &inputs, &mut rng).unwrap();
+        assert_eq!(out, vec![expected]);
+    }
+
+    #[test]
+    fn multiplication_requires_honest_majority() {
+        let mut rng = rng();
+        let engine = SmcEngine::new(4, 2).unwrap(); // 2t+1 = 5 > 4
+        let prod = ArithmeticCircuit::product_of_inputs(2);
+        let inputs = vec![Fp::new(2), Fp::new(3)];
+        assert!(matches!(
+            engine.evaluate(&prod, &inputs, &mut rng),
+            Err(CircuitError::NoHonestMajority { .. })
+        ));
+        // linear circuits are fine even without honest majority
+        let sum = ArithmeticCircuit::sum_of_inputs(2);
+        assert!(engine.evaluate(&sum, &inputs, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn bad_wire_references_rejected() {
+        let mut c = ArithmeticCircuit::new(1);
+        assert!(matches!(
+            c.add_gate(Gate::Add(0, 5)),
+            Err(CircuitError::UnknownWire { wire: 5 })
+        ));
+        assert!(c.mark_output(3).is_err());
+    }
+
+    #[test]
+    fn wrong_input_count_rejected() {
+        let c = ArithmeticCircuit::sum_of_inputs(3);
+        assert!(matches!(
+            c.evaluate(&[Fp::new(1)]),
+            Err(CircuitError::WrongInputCount { expected: 3, found: 1 })
+        ));
+        let engine = SmcEngine::new(5, 1).unwrap();
+        let mut rng = rng();
+        assert!(engine.evaluate(&c, &[Fp::new(1)], &mut rng).is_err());
+    }
+
+    #[test]
+    fn engine_parameter_validation() {
+        assert!(SmcEngine::new(0, 0).is_err());
+        assert!(SmcEngine::new(3, 3).is_err());
+        assert!(SmcEngine::new(3, 1).is_ok());
+    }
+
+    #[test]
+    fn deep_multiplication_chain_is_exact() {
+        // product of 8 inputs through 7 multiplication gates; exercises
+        // repeated degree reduction
+        let mut rng = rng();
+        let engine = SmcEngine::new(9, 3).unwrap();
+        let prod = ArithmeticCircuit::product_of_inputs(8);
+        let inputs: Vec<Fp> = (2..10u64).map(Fp::new).collect();
+        let (out, stats) = engine.evaluate(&prod, &inputs, &mut rng).unwrap();
+        assert_eq!(out, prod.evaluate(&inputs).unwrap());
+        assert_eq!(stats.rounds, 2 + 7);
+    }
+}

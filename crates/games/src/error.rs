@@ -1,0 +1,144 @@
+//! Error type shared by the game-representation crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or querying games.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GameError {
+    /// A player index was out of range.
+    PlayerOutOfRange {
+        /// The offending player index.
+        player: usize,
+        /// Number of players in the game.
+        num_players: usize,
+    },
+    /// An action index was out of range for the given player.
+    ActionOutOfRange {
+        /// The player whose action set was indexed.
+        player: usize,
+        /// The offending action index.
+        action: usize,
+        /// Number of actions available to that player.
+        num_actions: usize,
+    },
+    /// A type index was out of range for the given player.
+    TypeOutOfRange {
+        /// The player whose type space was indexed.
+        player: usize,
+        /// The offending type index.
+        ty: usize,
+        /// Number of types available to that player.
+        num_types: usize,
+    },
+    /// A payoff tensor (or other per-profile table) had the wrong length.
+    DimensionMismatch {
+        /// Expected number of entries.
+        expected: usize,
+        /// Number of entries supplied.
+        found: usize,
+    },
+    /// A probability distribution did not sum to one (within tolerance) or
+    /// contained negative entries.
+    InvalidDistribution {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// A game must have at least one player and every player at least one
+    /// action / type.
+    EmptyGame {
+        /// Human-readable description of what was empty.
+        reason: String,
+    },
+    /// The requested operation is only defined for games with a specific
+    /// structure (for example two-player, or perfect information).
+    UnsupportedStructure {
+        /// Human-readable description of the requirement.
+        reason: String,
+    },
+    /// A node identifier in an extensive-form game was invalid.
+    InvalidNode {
+        /// The offending node id.
+        node: usize,
+    },
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::PlayerOutOfRange {
+                player,
+                num_players,
+            } => write!(
+                f,
+                "player index {player} out of range (game has {num_players} players)"
+            ),
+            GameError::ActionOutOfRange {
+                player,
+                action,
+                num_actions,
+            } => write!(
+                f,
+                "action index {action} out of range for player {player} \
+                 (player has {num_actions} actions)"
+            ),
+            GameError::TypeOutOfRange {
+                player,
+                ty,
+                num_types,
+            } => write!(
+                f,
+                "type index {ty} out of range for player {player} \
+                 (player has {num_types} types)"
+            ),
+            GameError::DimensionMismatch { expected, found } => write!(
+                f,
+                "dimension mismatch: expected {expected} entries, found {found}"
+            ),
+            GameError::InvalidDistribution { reason } => {
+                write!(f, "invalid probability distribution: {reason}")
+            }
+            GameError::EmptyGame { reason } => write!(f, "empty game: {reason}"),
+            GameError::UnsupportedStructure { reason } => {
+                write!(f, "unsupported game structure: {reason}")
+            }
+            GameError::InvalidNode { node } => write!(f, "invalid node id {node}"),
+        }
+    }
+}
+
+impl std::error::Error for GameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_indices() {
+        let e = GameError::PlayerOutOfRange {
+            player: 7,
+            num_players: 3,
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+
+        let e = GameError::ActionOutOfRange {
+            player: 1,
+            action: 9,
+            num_actions: 2,
+        };
+        assert!(e.to_string().contains('9'));
+
+        let e = GameError::DimensionMismatch {
+            expected: 4,
+            found: 5,
+        };
+        assert!(e.to_string().contains("expected 4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<GameError>();
+    }
+}

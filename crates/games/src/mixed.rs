@@ -1,0 +1,389 @@
+//! Mixed (randomized) strategies and expected utilities over them.
+
+use crate::error::GameError;
+use crate::normal_form::NormalFormGame;
+use crate::{ActionId, PlayerId, Utility, EPSILON};
+use rand::{Rng, RngExt};
+
+/// A mixed strategy: a probability distribution over one player's actions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedStrategy {
+    probs: Vec<f64>,
+}
+
+impl MixedStrategy {
+    /// Creates a mixed strategy from raw probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidDistribution`] if the vector is empty,
+    /// contains negative or non-finite entries, or does not sum to 1 within
+    /// `1e-6`.
+    pub fn new(probs: Vec<f64>) -> Result<Self, GameError> {
+        if probs.is_empty() {
+            return Err(GameError::InvalidDistribution {
+                reason: "empty probability vector".to_string(),
+            });
+        }
+        if probs.iter().any(|p| !p.is_finite() || *p < -1e-12) {
+            return Err(GameError::InvalidDistribution {
+                reason: "negative or non-finite probability".to_string(),
+            });
+        }
+        let sum: f64 = probs.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(GameError::InvalidDistribution {
+                reason: format!("probabilities sum to {sum}, expected 1"),
+            });
+        }
+        Ok(MixedStrategy { probs })
+    }
+
+    /// The pure strategy that plays `action` with probability one, in a game
+    /// where the player has `num_actions` actions.
+    pub fn pure(action: ActionId, num_actions: usize) -> Self {
+        let mut probs = vec![0.0; num_actions];
+        probs[action] = 1.0;
+        MixedStrategy { probs }
+    }
+
+    /// The uniform distribution over `num_actions` actions.
+    pub fn uniform(num_actions: usize) -> Self {
+        MixedStrategy {
+            probs: vec![1.0 / num_actions as f64; num_actions],
+        }
+    }
+
+    /// Probability assigned to `action` (0 if out of range).
+    pub fn prob(&self, action: ActionId) -> f64 {
+        self.probs.get(action).copied().unwrap_or(0.0)
+    }
+
+    /// The underlying probability vector.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Number of actions this strategy is defined over.
+    pub fn num_actions(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Actions played with probability greater than [`EPSILON`].
+    pub fn support(&self) -> Vec<ActionId> {
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p > EPSILON)
+            .map(|(a, _)| a)
+            .collect()
+    }
+
+    /// Whether this strategy is (numerically) pure.
+    pub fn is_pure(&self) -> bool {
+        self.support().len() == 1
+    }
+
+    /// If pure, the action played with probability ~1.
+    pub fn as_pure(&self) -> Option<ActionId> {
+        let s = self.support();
+        if s.len() == 1 && self.probs[s[0]] > 1.0 - 1e-6 {
+            Some(s[0])
+        } else {
+            None
+        }
+    }
+
+    /// Samples an action according to this distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ActionId {
+        let x: f64 = rng.random::<f64>();
+        let mut acc = 0.0;
+        for (a, p) in self.probs.iter().enumerate() {
+            acc += p;
+            if x < acc {
+                return a;
+            }
+        }
+        self.probs.len() - 1
+    }
+
+    /// L1 distance between two mixed strategies (0 if lengths differ is not
+    /// meaningful, so the longer tail counts fully).
+    pub fn l1_distance(&self, other: &MixedStrategy) -> f64 {
+        let n = self.probs.len().max(other.probs.len());
+        (0..n)
+            .map(|a| (self.prob(a) - other.prob(a)).abs())
+            .sum()
+    }
+}
+
+/// A mixed strategy profile: one [`MixedStrategy`] per player.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedProfile {
+    strategies: Vec<MixedStrategy>,
+}
+
+impl MixedProfile {
+    /// Creates a profile from per-player strategies.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of strategies or any strategy's length
+    /// does not match the game.
+    pub fn new(game: &NormalFormGame, strategies: Vec<MixedStrategy>) -> Result<Self, GameError> {
+        if strategies.len() != game.num_players() {
+            return Err(GameError::DimensionMismatch {
+                expected: game.num_players(),
+                found: strategies.len(),
+            });
+        }
+        for (p, s) in strategies.iter().enumerate() {
+            if s.num_actions() != game.num_actions(p) {
+                return Err(GameError::DimensionMismatch {
+                    expected: game.num_actions(p),
+                    found: s.num_actions(),
+                });
+            }
+        }
+        Ok(MixedProfile { strategies })
+    }
+
+    /// The profile in which every player plays the pure action from
+    /// `profile`.
+    pub fn from_pure(game: &NormalFormGame, profile: &[ActionId]) -> Self {
+        let strategies = profile
+            .iter()
+            .enumerate()
+            .map(|(p, &a)| MixedStrategy::pure(a, game.num_actions(p)))
+            .collect();
+        MixedProfile { strategies }
+    }
+
+    /// The profile in which every player randomizes uniformly.
+    pub fn uniform(game: &NormalFormGame) -> Self {
+        let strategies = (0..game.num_players())
+            .map(|p| MixedStrategy::uniform(game.num_actions(p)))
+            .collect();
+        MixedProfile { strategies }
+    }
+
+    /// The strategy of `player`.
+    pub fn strategy(&self, player: PlayerId) -> &MixedStrategy {
+        &self.strategies[player]
+    }
+
+    /// All per-player strategies.
+    pub fn strategies(&self) -> &[MixedStrategy] {
+        &self.strategies
+    }
+
+    /// Replaces `player`'s strategy, returning the new profile.
+    pub fn with_strategy(&self, player: PlayerId, strategy: MixedStrategy) -> Self {
+        let mut s = self.strategies.clone();
+        s[player] = strategy;
+        MixedProfile { strategies: s }
+    }
+
+    /// Probability that the pure profile `profile` is realized.
+    pub fn profile_probability(&self, profile: &[ActionId]) -> f64 {
+        profile
+            .iter()
+            .enumerate()
+            .map(|(p, &a)| self.strategies[p].prob(a))
+            .product()
+    }
+
+    /// Expected utility of `player` under this profile in `game`.
+    pub fn expected_payoff(&self, game: &NormalFormGame, player: PlayerId) -> Utility {
+        let mut total = 0.0;
+        for profile in game.profiles() {
+            let pr = self.profile_probability(&profile);
+            if pr > 0.0 {
+                total += pr * game.payoff(player, &profile);
+            }
+        }
+        total
+    }
+
+    /// Expected utility for every player.
+    pub fn expected_payoffs(&self, game: &NormalFormGame) -> Vec<Utility> {
+        (0..game.num_players())
+            .map(|p| self.expected_payoff(game, p))
+            .collect()
+    }
+
+    /// Expected utility to `player` of deviating to the pure action
+    /// `action` while everyone else follows this profile.
+    pub fn deviation_payoff(
+        &self,
+        game: &NormalFormGame,
+        player: PlayerId,
+        action: ActionId,
+    ) -> Utility {
+        let deviated = self.with_strategy(player, MixedStrategy::pure(action, game.num_actions(player)));
+        deviated.expected_payoff(game, player)
+    }
+
+    /// The value of `player`'s best pure response against the others'
+    /// strategies, together with one action achieving it.
+    pub fn best_response_value(
+        &self,
+        game: &NormalFormGame,
+        player: PlayerId,
+    ) -> (ActionId, Utility) {
+        let mut best = Utility::NEG_INFINITY;
+        let mut best_action = 0;
+        for a in 0..game.num_actions(player) {
+            let u = self.deviation_payoff(game, player, a);
+            if u > best {
+                best = u;
+                best_action = a;
+            }
+        }
+        (best_action, best)
+    }
+
+    /// Maximum gain any player can obtain by a unilateral (pure) deviation.
+    /// A profile is an ε-Nash equilibrium exactly when this is at most ε.
+    pub fn max_regret(&self, game: &NormalFormGame) -> f64 {
+        (0..game.num_players())
+            .map(|p| {
+                let current = self.expected_payoff(game, p);
+                let (_, best) = self.best_response_value(game, p);
+                (best - current).max(0.0)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether the profile is an ε-Nash equilibrium.
+    pub fn is_epsilon_nash(&self, game: &NormalFormGame, epsilon: f64) -> bool {
+        self.max_regret(game) <= epsilon
+    }
+
+    /// Whether the profile is a (numerical) Nash equilibrium, i.e. an
+    /// ε-Nash equilibrium for a small fixed tolerance.
+    pub fn is_nash(&self, game: &NormalFormGame) -> bool {
+        self.is_epsilon_nash(game, 1e-6)
+    }
+
+    /// Samples a pure action profile from this mixed profile.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<ActionId> {
+        self.strategies.iter().map(|s| s.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mixed_strategy_validation() {
+        assert!(MixedStrategy::new(vec![]).is_err());
+        assert!(MixedStrategy::new(vec![0.5, 0.6]).is_err());
+        assert!(MixedStrategy::new(vec![-0.1, 1.1]).is_err());
+        assert!(MixedStrategy::new(vec![0.25, 0.75]).is_ok());
+    }
+
+    #[test]
+    fn pure_and_uniform_constructors() {
+        let p = MixedStrategy::pure(2, 4);
+        assert_eq!(p.as_pure(), Some(2));
+        assert!(p.is_pure());
+        let u = MixedStrategy::uniform(4);
+        assert_eq!(u.support(), vec![0, 1, 2, 3]);
+        assert!(u.as_pure().is_none());
+    }
+
+    #[test]
+    fn uniform_profile_in_matching_pennies_is_nash() {
+        let g = classic::matching_pennies();
+        let profile = MixedProfile::uniform(&g);
+        assert!(profile.is_nash(&g));
+        assert!((profile.expected_payoff(&g, 0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_roshambo_is_nash_with_value_zero() {
+        let g = classic::roshambo();
+        let profile = MixedProfile::uniform(&g);
+        assert!(profile.is_nash(&g));
+        assert!(profile.expected_payoff(&g, 0).abs() < 1e-9);
+        assert!(profile.expected_payoff(&g, 1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_cooperate_profile_is_not_nash_in_pd() {
+        let g = classic::prisoners_dilemma();
+        let profile = MixedProfile::from_pure(&g, &[0, 0]);
+        assert!(!profile.is_nash(&g));
+        // regret is the gain from defecting: 5 - 3 = 2
+        assert!((profile.max_regret(&g) - 2.0).abs() < 1e-9);
+        let dd = MixedProfile::from_pure(&g, &[1, 1]);
+        assert!(dd.is_nash(&g));
+    }
+
+    #[test]
+    fn profile_probability_multiplies() {
+        let g = classic::prisoners_dilemma();
+        let p = MixedProfile::new(
+            &g,
+            vec![
+                MixedStrategy::new(vec![0.25, 0.75]).unwrap(),
+                MixedStrategy::new(vec![0.5, 0.5]).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert!((p.profile_probability(&[0, 0]) - 0.125).abs() < 1e-12);
+        assert!((p.profile_probability(&[1, 1]) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_payoff_matches_hand_computation() {
+        let g = classic::prisoners_dilemma();
+        // row mixes 50/50, column defects.
+        let p = MixedProfile::new(
+            &g,
+            vec![
+                MixedStrategy::uniform(2),
+                MixedStrategy::pure(1, 2),
+            ],
+        )
+        .unwrap();
+        // row: 0.5*(-5) + 0.5*(-3) = -4
+        assert!((p.expected_payoff(&g, 0) + 4.0).abs() < 1e-9);
+        // column: 0.5*5 + 0.5*(-3) = 1
+        assert!((p.expected_payoff(&g, 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let s = MixedStrategy::new(vec![0.2, 0.8]).unwrap();
+        let n = 20_000;
+        let ones = (0..n).filter(|_| s.sample(&mut rng) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn mixed_profile_rejects_wrong_shapes() {
+        let g = classic::prisoners_dilemma();
+        assert!(MixedProfile::new(&g, vec![MixedStrategy::uniform(2)]).is_err());
+        assert!(MixedProfile::new(
+            &g,
+            vec![MixedStrategy::uniform(3), MixedStrategy::uniform(2)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn l1_distance_symmetric() {
+        let a = MixedStrategy::new(vec![0.2, 0.8]).unwrap();
+        let b = MixedStrategy::new(vec![0.5, 0.5]).unwrap();
+        assert!((a.l1_distance(&b) - 0.6).abs() < 1e-12);
+        assert!((b.l1_distance(&a) - 0.6).abs() < 1e-12);
+        assert_eq!(a.l1_distance(&a), 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Action profiles and utilities for iterating over them.
+//!
+//! A profile assigns one action to each player. Profiles are stored as
+//! `Vec<ActionId>` (the [`ActionProfile`] alias) and iterated in
+//! "odometer" (mixed-radix) order by [`ProfileIter`], which many solvers
+//! and robustness checkers rely on.
+
+use crate::ActionId;
+
+/// A pure action profile: `profile[i]` is the action chosen by player `i`.
+pub type ActionProfile = Vec<ActionId>;
+
+/// Iterator over every pure action profile of a game with the given
+/// per-player action counts, in lexicographic (odometer) order.
+///
+/// # Examples
+///
+/// ```
+/// use bne_games::profile::ProfileIter;
+/// let profiles: Vec<_> = ProfileIter::new(&[2, 3]).collect();
+/// assert_eq!(profiles.len(), 6);
+/// assert_eq!(profiles[0], vec![0, 0]);
+/// assert_eq!(profiles[5], vec![1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProfileIter {
+    radices: Vec<usize>,
+    current: Vec<usize>,
+    exhausted: bool,
+}
+
+impl ProfileIter {
+    /// Creates an iterator over all profiles with `radices[i]` actions for
+    /// player `i`. If any radix is zero the iterator is immediately empty.
+    pub fn new(radices: &[usize]) -> Self {
+        let exhausted = radices.is_empty() || radices.iter().any(|&r| r == 0);
+        ProfileIter {
+            radices: radices.to_vec(),
+            current: vec![0; radices.len()],
+            exhausted,
+        }
+    }
+
+    /// Total number of profiles this iterator will yield.
+    pub fn count_profiles(radices: &[usize]) -> usize {
+        if radices.is_empty() {
+            return 0;
+        }
+        radices.iter().product()
+    }
+}
+
+impl Iterator for ProfileIter {
+    type Item = ActionProfile;
+
+    fn next(&mut self) -> Option<ActionProfile> {
+        if self.exhausted {
+            return None;
+        }
+        let out = self.current.clone();
+        // Advance the odometer (last player varies fastest... actually first
+        // varies slowest): increment from the last digit.
+        let mut i = self.current.len();
+        loop {
+            if i == 0 {
+                self.exhausted = true;
+                break;
+            }
+            i -= 1;
+            self.current[i] += 1;
+            if self.current[i] < self.radices[i] {
+                break;
+            }
+            self.current[i] = 0;
+        }
+        Some(out)
+    }
+}
+
+/// Converts a profile to a flat index into a dense payoff tensor laid out in
+/// the same odometer order as [`ProfileIter`].
+///
+/// # Panics
+///
+/// Panics if the profile length does not match `radices` or any entry is out
+/// of range (this is an internal indexing helper; public APIs validate
+/// beforehand).
+pub fn profile_to_index(profile: &[ActionId], radices: &[usize]) -> usize {
+    assert_eq!(profile.len(), radices.len(), "profile length mismatch");
+    let mut idx = 0usize;
+    for (a, r) in profile.iter().zip(radices.iter()) {
+        assert!(a < r, "action {a} out of range {r}");
+        idx = idx * r + a;
+    }
+    idx
+}
+
+/// Inverse of [`profile_to_index`].
+pub fn index_to_profile(mut index: usize, radices: &[usize]) -> ActionProfile {
+    let mut profile = vec![0; radices.len()];
+    for i in (0..radices.len()).rev() {
+        profile[i] = index % radices[i];
+        index /= radices[i];
+    }
+    profile
+}
+
+/// Iterates over all subsets of `{0, .., n-1}` of size exactly `size`,
+/// invoking `f` on each. Used for coalition enumeration in `bne-robust`.
+pub fn for_each_subset_of_size<F: FnMut(&[usize])>(n: usize, size: usize, mut f: F) {
+    if size > n {
+        return;
+    }
+    let mut combo: Vec<usize> = (0..size).collect();
+    if size == 0 {
+        f(&combo);
+        return;
+    }
+    loop {
+        f(&combo);
+        // advance combination
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if combo[i] < n - (size - i) {
+                combo[i] += 1;
+                for j in i + 1..size {
+                    combo[j] = combo[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Collects all subsets of `{0, .., n-1}` whose size is between 1 and
+/// `max_size` inclusive.
+pub fn subsets_up_to_size(n: usize, max_size: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    for size in 1..=max_size.min(n) {
+        for_each_subset_of_size(n, size, |s| out.push(s.to_vec()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_iter_covers_all_profiles_once() {
+        let all: Vec<_> = ProfileIter::new(&[2, 3, 2]).collect();
+        assert_eq!(all.len(), 12);
+        let mut seen = std::collections::HashSet::new();
+        for p in &all {
+            assert!(seen.insert(p.clone()), "duplicate profile {p:?}");
+            assert!(p[0] < 2 && p[1] < 3 && p[2] < 2);
+        }
+    }
+
+    #[test]
+    fn profile_iter_empty_radix_yields_nothing() {
+        assert_eq!(ProfileIter::new(&[2, 0, 3]).count(), 0);
+        assert_eq!(ProfileIter::new(&[]).count(), 0);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let radices = [3, 4, 2, 5];
+        for (i, p) in ProfileIter::new(&radices).enumerate() {
+            assert_eq!(profile_to_index(&p, &radices), i);
+            assert_eq!(index_to_profile(i, &radices), p);
+        }
+    }
+
+    #[test]
+    fn count_profiles_matches_iterator() {
+        let radices = [2, 3, 4];
+        assert_eq!(
+            ProfileIter::count_profiles(&radices),
+            ProfileIter::new(&radices).count()
+        );
+        assert_eq!(ProfileIter::count_profiles(&[]), 0);
+    }
+
+    #[test]
+    fn subsets_of_size_two_from_four() {
+        let mut got = Vec::new();
+        for_each_subset_of_size(4, 2, |s| got.push(s.to_vec()));
+        assert_eq!(got.len(), 6);
+        assert_eq!(got[0], vec![0, 1]);
+        assert_eq!(got[5], vec![2, 3]);
+    }
+
+    #[test]
+    fn subsets_of_size_zero_is_single_empty_set() {
+        let mut got = Vec::new();
+        for_each_subset_of_size(5, 0, |s| got.push(s.to_vec()));
+        assert_eq!(got, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn subsets_up_to_size_counts() {
+        // C(5,1) + C(5,2) + C(5,3) = 5 + 10 + 10 = 25
+        assert_eq!(subsets_up_to_size(5, 3).len(), 25);
+        // larger than n caps at n
+        assert_eq!(subsets_up_to_size(3, 10).len(), 7);
+    }
+}

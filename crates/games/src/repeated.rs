@@ -1,0 +1,308 @@
+//! Finitely repeated two-player games with discounting.
+//!
+//! Used for finitely repeated prisoner's dilemma (FRPD, Example 3.2 of the
+//! paper): the stage game is played `N` times and the round-`m` reward is
+//! discounted by `δ^m`. Strategies observe the full history of past action
+//! profiles; `bne-machine` layers machine/automaton strategies with explicit
+//! complexity costs on top of this module.
+
+use crate::error::GameError;
+use crate::normal_form::NormalFormGame;
+use crate::{ActionId, PlayerId, Utility};
+
+/// One round of play in a two-player repeated game: the actions taken by
+/// both players.
+pub type Round = [ActionId; 2];
+
+/// The history visible to strategies: every completed round so far, in
+/// order.
+pub type History = [Round];
+
+/// A strategy for a two-player repeated game.
+///
+/// Implementors decide the next action from the player's index and the full
+/// history of play. Strategies are fallible only through panics; the
+/// engine validates actions against the stage game.
+pub trait RepeatedStrategy {
+    /// A short human-readable name (used in tournament tables).
+    fn name(&self) -> String;
+
+    /// Chooses the action for round `history.len()` given the history of all
+    /// previous rounds. `me` is the index (0 or 1) of the player this
+    /// strategy is playing as.
+    fn decide(&mut self, me: PlayerId, history: &History) -> ActionId;
+
+    /// Called when a match starts, allowing stateful strategies to reset.
+    fn reset(&mut self) {}
+}
+
+/// Configuration of a finitely repeated two-player game.
+#[derive(Debug, Clone)]
+pub struct RepeatedGame {
+    stage: NormalFormGame,
+    rounds: usize,
+    discount: f64,
+}
+
+/// The result of playing out a repeated game.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchResult {
+    /// The sequence of action profiles played.
+    pub rounds: Vec<Round>,
+    /// Total (discounted) payoff of each player.
+    pub payoffs: [Utility; 2],
+    /// Undiscounted per-round payoffs, for diagnostics.
+    pub per_round: Vec<[Utility; 2]>,
+}
+
+impl RepeatedGame {
+    /// Creates a repeated game from a two-player stage game.
+    ///
+    /// The round-`m` reward (1-based, as in the paper) is weighted by
+    /// `discount^m`. Use `discount = 1.0` for no discounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::UnsupportedStructure`] if the stage game does
+    /// not have exactly two players, and [`GameError::InvalidDistribution`]
+    /// if the discount factor is not in `(0, 1]` or `rounds` is zero.
+    pub fn new(stage: NormalFormGame, rounds: usize, discount: f64) -> Result<Self, GameError> {
+        if stage.num_players() != 2 {
+            return Err(GameError::UnsupportedStructure {
+                reason: "repeated games are implemented for two players".to_string(),
+            });
+        }
+        if rounds == 0 {
+            return Err(GameError::EmptyGame {
+                reason: "repeated game must have at least one round".to_string(),
+            });
+        }
+        if !(discount > 0.0 && discount <= 1.0) {
+            return Err(GameError::InvalidDistribution {
+                reason: format!("discount factor {discount} outside (0, 1]"),
+            });
+        }
+        Ok(RepeatedGame {
+            stage,
+            rounds,
+            discount,
+        })
+    }
+
+    /// The stage game.
+    pub fn stage(&self) -> &NormalFormGame {
+        &self.stage
+    }
+
+    /// Number of rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Discount factor.
+    pub fn discount(&self) -> f64 {
+        self.discount
+    }
+
+    /// Discount weight applied to round `m` (0-based round index; the paper
+    /// indexes rounds from 1, so the weight is `discount^(m+1)`).
+    pub fn weight(&self, round: usize) -> f64 {
+        self.discount.powi(round as i32 + 1)
+    }
+
+    /// Plays the two strategies against each other and returns the full
+    /// match result.
+    pub fn play(
+        &self,
+        a: &mut dyn RepeatedStrategy,
+        b: &mut dyn RepeatedStrategy,
+    ) -> MatchResult {
+        a.reset();
+        b.reset();
+        let mut history: Vec<Round> = Vec::with_capacity(self.rounds);
+        let mut payoffs = [0.0, 0.0];
+        let mut per_round = Vec::with_capacity(self.rounds);
+        for m in 0..self.rounds {
+            let act_a = a.decide(0, &history).min(self.stage.num_actions(0) - 1);
+            let act_b = b.decide(1, &history).min(self.stage.num_actions(1) - 1);
+            let profile = [act_a, act_b];
+            let u0 = self.stage.payoff(0, &profile);
+            let u1 = self.stage.payoff(1, &profile);
+            per_round.push([u0, u1]);
+            let w = self.weight(m);
+            payoffs[0] += w * u0;
+            payoffs[1] += w * u1;
+            history.push(profile);
+        }
+        MatchResult {
+            rounds: history,
+            payoffs,
+            per_round,
+        }
+    }
+
+    /// Total discounted payoff of the constant action-profile sequence in
+    /// which the same stage profile is played every round. Handy for
+    /// analytic comparisons (e.g. the value of mutual cooperation in FRPD).
+    pub fn constant_profile_value(&self, profile: &[ActionId; 2], player: PlayerId) -> Utility {
+        let u = self.stage.payoff(player, profile);
+        (0..self.rounds).map(|m| self.weight(m) * u).sum()
+    }
+}
+
+/// Strategy that always plays a fixed action.
+#[derive(Debug, Clone)]
+pub struct ConstantStrategy {
+    /// The action played every round.
+    pub action: ActionId,
+    /// Display name.
+    pub label: String,
+}
+
+impl ConstantStrategy {
+    /// Creates a constant strategy.
+    pub fn new(action: ActionId, label: impl Into<String>) -> Self {
+        ConstantStrategy {
+            action,
+            label: label.into(),
+        }
+    }
+}
+
+impl RepeatedStrategy for ConstantStrategy {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn decide(&mut self, _me: PlayerId, _history: &History) -> ActionId {
+        self.action
+    }
+}
+
+/// The tit-for-tat strategy of Example 3.2: cooperate (action 0) first, then
+/// copy the opponent's previous action.
+#[derive(Debug, Clone, Default)]
+pub struct TitForTat;
+
+impl RepeatedStrategy for TitForTat {
+    fn name(&self) -> String {
+        "TitForTat".to_string()
+    }
+
+    fn decide(&mut self, me: PlayerId, history: &History) -> ActionId {
+        match history.last() {
+            None => 0,
+            Some(round) => round[1 - me],
+        }
+    }
+}
+
+/// Tit-for-tat that defects in the final `defect_last` rounds — the "best
+/// response to tit-for-tat" the paper discusses, which requires keeping
+/// track of the round number (and hence extra memory in the machine-game
+/// model).
+#[derive(Debug, Clone)]
+pub struct TitForTatDefectLast {
+    /// Total number of rounds in the game (needed to know when the end is
+    /// near — this is exactly the extra bookkeeping the paper charges for).
+    pub total_rounds: usize,
+    /// Number of final rounds in which to defect.
+    pub defect_last: usize,
+}
+
+impl RepeatedStrategy for TitForTatDefectLast {
+    fn name(&self) -> String {
+        format!("TitForTatDefectLast{}", self.defect_last)
+    }
+
+    fn decide(&mut self, me: PlayerId, history: &History) -> ActionId {
+        let round = history.len();
+        if round + self.defect_last >= self.total_rounds {
+            return 1;
+        }
+        match history.last() {
+            None => 0,
+            Some(r) => r[1 - me],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic;
+
+    fn frpd(rounds: usize, discount: f64) -> RepeatedGame {
+        RepeatedGame::new(classic::prisoners_dilemma(), rounds, discount).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        let pd = classic::prisoners_dilemma();
+        assert!(RepeatedGame::new(pd.clone(), 0, 0.9).is_err());
+        assert!(RepeatedGame::new(pd.clone(), 5, 0.0).is_err());
+        assert!(RepeatedGame::new(pd.clone(), 5, 1.5).is_err());
+        assert!(RepeatedGame::new(classic::coordination_game(3), 5, 0.9).is_err());
+        assert!(RepeatedGame::new(pd, 5, 1.0).is_ok());
+    }
+
+    #[test]
+    fn mutual_tit_for_tat_cooperates_throughout() {
+        let g = frpd(10, 0.9);
+        let result = g.play(&mut TitForTat, &mut TitForTat);
+        assert!(result.rounds.iter().all(|r| *r == [0, 0]));
+        // both get the value of constant cooperation
+        let expected = g.constant_profile_value(&[0, 0], 0);
+        assert!((result.payoffs[0] - expected).abs() < 1e-9);
+        assert!((result.payoffs[1] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tit_for_tat_punishes_defection() {
+        let g = frpd(4, 1.0);
+        let mut alld = ConstantStrategy::new(1, "AllD");
+        let result = g.play(&mut TitForTat, &mut alld);
+        // round 0: (C, D); rounds 1..: (D, D)
+        assert_eq!(result.rounds[0], [0, 1]);
+        assert!(result.rounds[1..].iter().all(|r| *r == [1, 1]));
+    }
+
+    #[test]
+    fn defect_last_round_beats_tit_for_tat_without_discounting() {
+        let n = 10;
+        let g = frpd(n, 1.0);
+        let mut tft = TitForTat;
+        let mut sneaky = TitForTatDefectLast {
+            total_rounds: n,
+            defect_last: 1,
+        };
+        let honest = g.play(&mut TitForTat, &mut tft).payoffs[1];
+        let mut tft2 = TitForTat;
+        let tricky = g.play(&mut tft2, &mut sneaky).payoffs[1];
+        // Defecting at the last round gains 5 - 3 = 2 with no future
+        // punishment, so without discounting it strictly beats honesty.
+        assert!(tricky > honest);
+        assert!((tricky - honest - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discounting_weights_early_rounds_more() {
+        let g = frpd(3, 0.5);
+        // weights are 0.5, 0.25, 0.125 (paper indexes rounds from 1)
+        assert!((g.weight(0) - 0.5).abs() < 1e-12);
+        assert!((g.weight(2) - 0.125).abs() < 1e-12);
+        let v = g.constant_profile_value(&[0, 0], 0);
+        assert!((v - 3.0 * (0.5 + 0.25 + 0.125)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_round_payoffs_recorded() {
+        let g = frpd(3, 1.0);
+        let r = g.play(
+            &mut ConstantStrategy::new(0, "AllC"),
+            &mut ConstantStrategy::new(1, "AllD"),
+        );
+        assert_eq!(r.per_round.len(), 3);
+        assert_eq!(r.per_round[0], [-5.0, 5.0]);
+    }
+}

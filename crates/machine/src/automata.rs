@@ -1,0 +1,295 @@
+//! Finite-state automata for repeated games.
+//!
+//! Rubinstein (1986) and the bounded-rationality literature the paper cites
+//! model repeated-game strategies as Moore machines: a finite set of states,
+//! an action played in each state, and a transition function driven by the
+//! opponent's last action. The number of states is the machine-size
+//! complexity. This module supplies the standard strategy zoo used in both
+//! the FRPD analysis (Example 3.2) and the Axelrod tournament (E12).
+
+use crate::complexity::Complexity;
+use bne_games::repeated::{History, RepeatedStrategy};
+use bne_games::{ActionId, PlayerId};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// A Moore machine playing a two-action repeated game (0 = cooperate,
+/// 1 = defect in the prisoner's dilemma convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Automaton {
+    name: String,
+    /// Action played in each state.
+    actions: Vec<ActionId>,
+    /// `transitions[state][opponent_action]` = next state.
+    transitions: Vec<[usize; 2]>,
+    /// Initial state.
+    initial: usize,
+    /// Current state (reset before each match).
+    current: usize,
+}
+
+impl Automaton {
+    /// Creates an automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables are inconsistent or the initial state is out of
+    /// range.
+    pub fn new(
+        name: impl Into<String>,
+        actions: Vec<ActionId>,
+        transitions: Vec<[usize; 2]>,
+        initial: usize,
+    ) -> Self {
+        assert_eq!(actions.len(), transitions.len(), "one transition row per state");
+        assert!(!actions.is_empty(), "need at least one state");
+        assert!(initial < actions.len(), "initial state out of range");
+        for row in &transitions {
+            for &next in row {
+                assert!(next < actions.len(), "transition target out of range");
+            }
+        }
+        Automaton {
+            name: name.into(),
+            actions,
+            transitions,
+            initial,
+            current: initial,
+        }
+    }
+
+    /// Number of states — the machine-size complexity of this strategy.
+    pub fn num_states(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// The complexity charged for using this automaton (per match).
+    pub fn complexity(&self) -> Complexity {
+        Complexity {
+            time: 0,
+            space: self.num_states() as u64,
+            machine_size: self.num_states() as u64,
+            randomized: false,
+        }
+    }
+
+    /// Always cooperate: one state.
+    pub fn all_cooperate() -> Self {
+        Automaton::new("AllC", vec![0], vec![[0, 0]], 0)
+    }
+
+    /// Always defect: one state.
+    pub fn all_defect() -> Self {
+        Automaton::new("AllD", vec![1], vec![[0, 0]], 0)
+    }
+
+    /// Tit-for-tat: two states (cooperating / defecting), moves to whichever
+    /// state matches the opponent's last action.
+    pub fn tit_for_tat() -> Self {
+        Automaton::new("TitForTat", vec![0, 1], vec![[0, 1], [0, 1]], 0)
+    }
+
+    /// Grim trigger: cooperate until the opponent defects once, then defect
+    /// forever.
+    pub fn grim_trigger() -> Self {
+        Automaton::new("GrimTrigger", vec![0, 1], vec![[0, 1], [1, 1]], 0)
+    }
+
+    /// Win-stay lose-shift (Pavlov): cooperate after (C,C) or (D,D)
+    /// outcomes, defect otherwise. Encoded on the opponent's action given
+    /// own state.
+    pub fn pavlov() -> Self {
+        // state 0 plays C: stay if opponent played C, else switch to 1
+        // state 1 plays D: stay if opponent played C (we exploited), switch
+        // back to 0 if opponent played D (both punished → reset)
+        Automaton::new("Pavlov", vec![0, 1], vec![[0, 1], [1, 0]], 0)
+    }
+
+    /// Tit-for-two-tats: defect only after two consecutive opponent
+    /// defections (three states).
+    pub fn tit_for_two_tats() -> Self {
+        Automaton::new(
+            "TitForTwoTats",
+            vec![0, 0, 1],
+            vec![[0, 1], [0, 2], [0, 2]],
+            0,
+        )
+    }
+
+    /// The standard deterministic zoo used by the tournament experiment.
+    pub fn standard_zoo() -> Vec<Automaton> {
+        vec![
+            Automaton::all_cooperate(),
+            Automaton::all_defect(),
+            Automaton::tit_for_tat(),
+            Automaton::grim_trigger(),
+            Automaton::pavlov(),
+            Automaton::tit_for_two_tats(),
+        ]
+    }
+}
+
+impl RepeatedStrategy for Automaton {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn decide(&mut self, me: PlayerId, history: &History) -> ActionId {
+        if let Some(last) = history.last() {
+            let opponent_action = last[1 - me].min(1);
+            self.current = self.transitions[self.current][opponent_action];
+        }
+        self.actions[self.current]
+    }
+
+    fn reset(&mut self) {
+        self.current = self.initial;
+    }
+}
+
+/// A strategy that plays randomly with the given cooperation probability —
+/// included in tournaments as the noise baseline. It is *not* an automaton
+/// (it consumes randomness), and is flagged as randomized accordingly.
+///
+/// Each round's coin is derived deterministically from the seed and the
+/// round counter, so matches are reproducible and `reset` restores the exact
+/// same sequence.
+#[derive(Debug, Clone)]
+pub struct RandomStrategy {
+    /// Probability of cooperating each round.
+    pub cooperate_prob: f64,
+    seed: u64,
+    counter: u64,
+}
+
+impl RandomStrategy {
+    /// Creates the random strategy with a seed for reproducibility.
+    pub fn new(cooperate_prob: f64, seed: u64) -> Self {
+        RandomStrategy {
+            cooperate_prob,
+            seed,
+            counter: 0,
+        }
+    }
+
+    /// The complexity of the random strategy (flagged as randomized).
+    pub fn complexity(&self) -> Complexity {
+        Complexity {
+            time: 0,
+            space: 1,
+            machine_size: 1,
+            randomized: true,
+        }
+    }
+}
+
+impl RepeatedStrategy for RandomStrategy {
+    fn name(&self) -> String {
+        format!("Random({:.2})", self.cooperate_prob)
+    }
+
+    fn decide(&mut self, _me: PlayerId, _history: &History) -> ActionId {
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ self.counter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.counter += 1;
+        if rng.random::<f64>() < self.cooperate_prob {
+            0
+        } else {
+            1
+        }
+    }
+
+    fn reset(&mut self) {
+        self.counter = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bne_games::classic;
+    use bne_games::repeated::RepeatedGame;
+
+    fn play(a: &mut dyn RepeatedStrategy, b: &mut dyn RepeatedStrategy, rounds: usize) -> Vec<[usize; 2]> {
+        let g = RepeatedGame::new(classic::prisoners_dilemma_axelrod(), rounds, 1.0).unwrap();
+        g.play(a, b).rounds
+    }
+
+    #[test]
+    fn tit_for_tat_mirrors_the_opponent_with_one_round_lag() {
+        let rounds = play(&mut Automaton::tit_for_tat(), &mut Automaton::all_defect(), 4);
+        assert_eq!(rounds[0], [0, 1]);
+        assert!(rounds[1..].iter().all(|r| *r == [1, 1]));
+    }
+
+    #[test]
+    fn grim_trigger_never_forgives() {
+        // opponent defects once (Pavlov vs Grim never has a defection, so use
+        // AllD for 1 round then... simpler: play Grim vs TitForTat after a
+        // defection can't happen; use AllD): grim defects forever after round 0
+        let rounds = play(&mut Automaton::grim_trigger(), &mut Automaton::all_defect(), 5);
+        assert_eq!(rounds[0], [0, 1]);
+        assert!(rounds[1..].iter().all(|r| r[0] == 1));
+    }
+
+    #[test]
+    fn pavlov_recovers_mutual_cooperation_after_double_defection() {
+        // Pavlov vs Pavlov always cooperates; Pavlov vs AllD alternates
+        let rounds = play(&mut Automaton::pavlov(), &mut Automaton::pavlov(), 5);
+        assert!(rounds.iter().all(|r| *r == [0, 0]));
+        let rounds = play(&mut Automaton::pavlov(), &mut Automaton::all_defect(), 4);
+        assert_eq!(rounds[0], [0, 1]);
+        assert_eq!(rounds[1], [1, 1]);
+        assert_eq!(rounds[2], [0, 1]); // both punished → Pavlov resets to C
+    }
+
+    #[test]
+    fn tit_for_two_tats_tolerates_single_defections() {
+        // against an opponent that defects only once, TF2T keeps cooperating
+        struct DefectOnce;
+        impl RepeatedStrategy for DefectOnce {
+            fn name(&self) -> String {
+                "DefectOnce".into()
+            }
+            fn decide(&mut self, _me: PlayerId, history: &History) -> ActionId {
+                usize::from(history.is_empty())
+            }
+        }
+        let rounds = play(&mut Automaton::tit_for_two_tats(), &mut DefectOnce, 4);
+        assert!(rounds.iter().all(|r| r[0] == 0), "{rounds:?}");
+    }
+
+    #[test]
+    fn state_counts_match_the_classics() {
+        assert_eq!(Automaton::all_defect().num_states(), 1);
+        assert_eq!(Automaton::tit_for_tat().num_states(), 2);
+        assert_eq!(Automaton::tit_for_two_tats().num_states(), 3);
+        assert!(!Automaton::tit_for_tat().complexity().randomized);
+        assert!(RandomStrategy::new(0.5, 1).complexity().randomized);
+    }
+
+    #[test]
+    fn reset_restores_the_initial_state() {
+        let g = RepeatedGame::new(classic::prisoners_dilemma_axelrod(), 3, 1.0).unwrap();
+        let mut tft = Automaton::tit_for_tat();
+        let mut alld = Automaton::all_defect();
+        let first = g.play(&mut tft, &mut alld).rounds;
+        let second = g.play(&mut tft, &mut alld).rounds;
+        assert_eq!(first, second, "matches are independent after reset");
+    }
+
+    #[test]
+    fn random_strategy_is_reproducible_across_resets() {
+        let g = RepeatedGame::new(classic::prisoners_dilemma_axelrod(), 10, 1.0).unwrap();
+        let mut r1 = RandomStrategy::new(0.5, 42);
+        let mut opp = Automaton::all_cooperate();
+        let a = g.play(&mut r1, &mut opp).rounds;
+        let b = g.play(&mut r1, &mut opp).rounds;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "transition target out of range")]
+    fn invalid_transitions_rejected() {
+        let _ = Automaton::new("bad", vec![0], vec![[0, 5]], 0);
+    }
+}

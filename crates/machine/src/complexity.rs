@@ -1,0 +1,183 @@
+//! Complexity measures and the utility adjusters that charge for them.
+//!
+//! The paper associates a complexity not just with a machine but with a
+//! machine *and its input*; the complexity can represent running time, space
+//! used, the size of the machine itself, or the cost of searching for a new
+//! strategy. Utilities then depend on the whole complexity profile, "as
+//! opposed to just i's complexity", because a player may care how her costs
+//! compare to the others'.
+
+/// The complexity of running a machine on a particular input.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complexity {
+    /// Steps executed (running time).
+    pub time: u64,
+    /// Memory cells / tape squares used (space).
+    pub space: u64,
+    /// Size of the machine itself (number of states or instructions) — the
+    /// Rubinstein-style measure.
+    pub machine_size: u64,
+    /// Whether the machine consumed randomness on this input (Example 3.3
+    /// charges extra for randomized strategies).
+    pub randomized: bool,
+}
+
+impl Complexity {
+    /// A zero-cost complexity (the idealized classical player).
+    pub const FREE: Complexity = Complexity {
+        time: 0,
+        space: 0,
+        machine_size: 0,
+        randomized: false,
+    };
+
+    /// Sum of two complexities (used when a machine is run several times,
+    /// e.g. once per round of a repeated game).
+    pub fn combine(self, other: Complexity) -> Complexity {
+        Complexity {
+            time: self.time + other.time,
+            space: self.space.max(other.space),
+            machine_size: self.machine_size.max(other.machine_size),
+            randomized: self.randomized || other.randomized,
+        }
+    }
+}
+
+/// How a complexity profile is folded into a player's utility.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ComplexityCharge {
+    /// Computation is free: the machine game collapses back to the standard
+    /// Bayesian game (useful as a baseline and in tests).
+    Free,
+    /// Charge `weight ×` the player's own running time.
+    TimeLinear {
+        /// Cost per execution step.
+        weight: f64,
+    },
+    /// Charge `weight ×` the player's own space usage (the memory cost of
+    /// Example 3.2).
+    SpaceLinear {
+        /// Cost per memory cell.
+        weight: f64,
+    },
+    /// Charge `weight ×` the machine size (Rubinstein's automaton-size
+    /// cost).
+    SizeLinear {
+        /// Cost per state/instruction.
+        weight: f64,
+    },
+    /// Charge a flat fee when the machine uses randomness, plus a base fee
+    /// for deterministic machines — exactly the cost structure of
+    /// Example 3.3 (deterministic = 1, randomized = 2).
+    RandomizationFee {
+        /// Cost of a deterministic machine.
+        deterministic: f64,
+        /// Cost of a randomized machine.
+        randomized: f64,
+    },
+    /// Charge only for being slower than the fastest other player — an
+    /// example of a charge that depends on the whole profile ("i might be
+    /// happy as long as his machine takes fewer steps than j's").
+    RelativeTimePenalty {
+        /// Penalty applied when strictly slower than the fastest player.
+        penalty: f64,
+    },
+}
+
+impl ComplexityCharge {
+    /// The utility deduction for `player` given the whole complexity
+    /// profile.
+    pub fn charge(&self, player: usize, profile: &[Complexity]) -> f64 {
+        let own = profile[player];
+        match *self {
+            ComplexityCharge::Free => 0.0,
+            ComplexityCharge::TimeLinear { weight } => weight * own.time as f64,
+            ComplexityCharge::SpaceLinear { weight } => weight * own.space as f64,
+            ComplexityCharge::SizeLinear { weight } => weight * own.machine_size as f64,
+            ComplexityCharge::RandomizationFee {
+                deterministic,
+                randomized,
+            } => {
+                if own.randomized {
+                    randomized
+                } else {
+                    deterministic
+                }
+            }
+            ComplexityCharge::RelativeTimePenalty { penalty } => {
+                let fastest = profile.iter().map(|c| c.time).min().unwrap_or(0);
+                if own.time > fastest {
+                    penalty
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_takes_sum_of_time_and_max_of_space() {
+        let a = Complexity {
+            time: 5,
+            space: 3,
+            machine_size: 2,
+            randomized: false,
+        };
+        let b = Complexity {
+            time: 7,
+            space: 1,
+            machine_size: 4,
+            randomized: true,
+        };
+        let c = a.combine(b);
+        assert_eq!(c.time, 12);
+        assert_eq!(c.space, 3);
+        assert_eq!(c.machine_size, 4);
+        assert!(c.randomized);
+    }
+
+    #[test]
+    fn charges_match_their_definitions() {
+        let profile = vec![
+            Complexity {
+                time: 10,
+                space: 4,
+                machine_size: 3,
+                randomized: false,
+            },
+            Complexity {
+                time: 2,
+                space: 8,
+                machine_size: 1,
+                randomized: true,
+            },
+        ];
+        assert_eq!(ComplexityCharge::Free.charge(0, &profile), 0.0);
+        assert_eq!(
+            ComplexityCharge::TimeLinear { weight: 0.5 }.charge(0, &profile),
+            5.0
+        );
+        assert_eq!(
+            ComplexityCharge::SpaceLinear { weight: 2.0 }.charge(1, &profile),
+            16.0
+        );
+        assert_eq!(
+            ComplexityCharge::SizeLinear { weight: 1.0 }.charge(0, &profile),
+            3.0
+        );
+        let fee = ComplexityCharge::RandomizationFee {
+            deterministic: 1.0,
+            randomized: 2.0,
+        };
+        assert_eq!(fee.charge(0, &profile), 1.0);
+        assert_eq!(fee.charge(1, &profile), 2.0);
+        let rel = ComplexityCharge::RelativeTimePenalty { penalty: 3.0 };
+        assert_eq!(rel.charge(0, &profile), 3.0);
+        assert_eq!(rel.charge(1, &profile), 0.0);
+    }
+}

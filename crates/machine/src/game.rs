@@ -1,0 +1,284 @@
+//! Bayesian machine games and computational Nash equilibrium.
+//!
+//! In a machine game each player `i` chooses a machine `M_i` from a finite
+//! set; her type `t_i` is the input to `M_i`, the output is her action, and
+//! her utility is the underlying Bayesian utility adjusted by a
+//! [`ComplexityCharge`] applied to the complexity profile. A machine profile
+//! is a **computational Nash equilibrium** when no player can strictly gain
+//! (in expectation over types) by switching to another machine in her set.
+
+use crate::complexity::{Complexity, ComplexityCharge};
+use crate::machine::StrategyMachine;
+use bne_games::{BayesianGame, PlayerId, Utility};
+
+/// A Bayesian machine game: an underlying Bayesian game, a finite set of
+/// candidate machines per player, and a complexity charge.
+pub struct MachineGame<'a> {
+    game: &'a BayesianGame,
+    machines: Vec<Vec<Box<dyn StrategyMachine>>>,
+    charge: ComplexityCharge,
+}
+
+/// The outcome of evaluating one machine profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineGameOutcome {
+    /// Expected adjusted utility of every player.
+    pub utilities: Vec<Utility>,
+    /// Expected raw (unadjusted) utility of every player.
+    pub raw_utilities: Vec<Utility>,
+    /// Expected complexity charge paid by every player.
+    pub charges: Vec<f64>,
+}
+
+/// A computational Nash equilibrium: the machine indices and the associated
+/// outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputationalEquilibrium {
+    /// Index (into each player's machine set) of the equilibrium machine.
+    pub machine_indices: Vec<usize>,
+    /// Names of the equilibrium machines.
+    pub machine_names: Vec<String>,
+    /// The evaluated outcome.
+    pub outcome: MachineGameOutcome,
+}
+
+impl<'a> MachineGame<'a> {
+    /// Creates a machine game.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of machine sets does not match the number of
+    /// players or any set is empty.
+    pub fn new(
+        game: &'a BayesianGame,
+        machines: Vec<Vec<Box<dyn StrategyMachine>>>,
+        charge: ComplexityCharge,
+    ) -> Self {
+        assert_eq!(
+            machines.len(),
+            game.num_players(),
+            "one machine set per player"
+        );
+        assert!(
+            machines.iter().all(|m| !m.is_empty()),
+            "every player needs at least one machine"
+        );
+        MachineGame {
+            game,
+            machines,
+            charge,
+        }
+    }
+
+    /// The underlying Bayesian game.
+    pub fn game(&self) -> &BayesianGame {
+        self.game
+    }
+
+    /// Number of machines available to `player`.
+    pub fn num_machines(&self, player: PlayerId) -> usize {
+        self.machines[player].len()
+    }
+
+    /// Name of machine `index` of `player`.
+    pub fn machine_name(&self, player: PlayerId, index: usize) -> String {
+        self.machines[player][index].name()
+    }
+
+    /// Evaluates a machine profile: expected utilities over the type prior
+    /// **and** over the machines' internal randomization, with the
+    /// complexity charge applied.
+    pub fn evaluate(&self, machine_indices: &[usize]) -> MachineGameOutcome {
+        let n = self.game.num_players();
+        let mut utilities = vec![0.0; n];
+        let mut raw_utilities = vec![0.0; n];
+        let mut charges = vec![0.0; n];
+        for (types, pr) in self.game.prior().support() {
+            let distributions: Vec<Vec<(usize, f64)>> = (0..n)
+                .map(|p| self.machines[p][machine_indices[p]].action_distribution(types[p]))
+                .collect();
+            let complexities: Vec<Complexity> = (0..n)
+                .map(|p| self.machines[p][machine_indices[p]].complexity(types[p]))
+                .collect();
+            // expectation over the product of the per-player action
+            // distributions
+            let radices: Vec<usize> = distributions.iter().map(|d| d.len()).collect();
+            for combo in bne_games::profile::ProfileIter::new(&radices) {
+                let mut weight = pr;
+                let mut actions = Vec::with_capacity(n);
+                for (p, &c) in combo.iter().enumerate() {
+                    let (a, q) = distributions[p][c];
+                    weight *= q;
+                    actions.push(a);
+                }
+                if weight <= 0.0 {
+                    continue;
+                }
+                for p in 0..n {
+                    raw_utilities[p] += weight * self.game.utility(p, &types, &actions);
+                }
+            }
+            for p in 0..n {
+                let charge = self.charge.charge(p, &complexities);
+                charges[p] += pr * charge;
+            }
+        }
+        for p in 0..n {
+            utilities[p] = raw_utilities[p] - charges[p];
+        }
+        MachineGameOutcome {
+            utilities,
+            raw_utilities,
+            charges,
+        }
+    }
+
+    /// The best response value and machine index of `player` against the
+    /// other players' machines.
+    pub fn best_response(&self, player: PlayerId, machine_indices: &[usize]) -> (usize, Utility) {
+        let mut best = (machine_indices[player], f64::NEG_INFINITY);
+        let mut work = machine_indices.to_vec();
+        for m in 0..self.num_machines(player) {
+            work[player] = m;
+            let u = self.evaluate(&work).utilities[player];
+            if u > best.1 {
+                best = (m, u);
+            }
+        }
+        best
+    }
+
+    /// Whether the machine profile is a computational Nash equilibrium.
+    pub fn is_equilibrium(&self, machine_indices: &[usize]) -> bool {
+        let base = self.evaluate(machine_indices);
+        (0..self.game.num_players()).all(|p| {
+            let (_, best) = self.best_response(p, machine_indices);
+            best <= base.utilities[p] + 1e-9
+        })
+    }
+
+    /// Exhaustively enumerates all pure computational Nash equilibria over
+    /// the machine sets.
+    pub fn find_equilibria(&self) -> Vec<ComputationalEquilibrium> {
+        let radices: Vec<usize> = (0..self.game.num_players())
+            .map(|p| self.num_machines(p))
+            .collect();
+        bne_games::profile::ProfileIter::new(&radices)
+            .filter(|profile| self.is_equilibrium(profile))
+            .map(|profile| ComputationalEquilibrium {
+                machine_names: profile
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &m)| self.machine_name(p, m))
+                    .collect(),
+                outcome: self.evaluate(&profile),
+                machine_indices: profile,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::TableMachine;
+    use bne_games::bayesian::TypeDistribution;
+
+    /// A 2-player matching-pennies-like Bayesian game with trivial types.
+    fn pennies() -> BayesianGame {
+        BayesianGame::new(
+            "pennies",
+            vec![2, 2],
+            TypeDistribution::trivial(2),
+            |p, _t, a| {
+                let matched = a[0] == a[1];
+                if (p == 0) == matched {
+                    1.0
+                } else {
+                    -1.0
+                }
+            },
+        )
+        .unwrap()
+    }
+
+    fn deterministic_machines() -> Vec<Box<dyn StrategyMachine>> {
+        vec![
+            Box::new(TableMachine::constant("play-0", 0)),
+            Box::new(TableMachine::constant("play-1", 1)),
+        ]
+    }
+
+    #[test]
+    fn free_computation_reproduces_classical_analysis() {
+        let g = pennies();
+        let mg = MachineGame::new(
+            &g,
+            vec![deterministic_machines(), deterministic_machines()],
+            ComplexityCharge::Free,
+        );
+        // matching pennies has no pure equilibrium, so no deterministic
+        // machine profile is an equilibrium either
+        assert!(mg.find_equilibria().is_empty());
+    }
+
+    #[test]
+    fn evaluation_reports_charges_separately() {
+        let g = pennies();
+        let mg = MachineGame::new(
+            &g,
+            vec![deterministic_machines(), deterministic_machines()],
+            ComplexityCharge::SizeLinear { weight: 0.25 },
+        );
+        let out = mg.evaluate(&[0, 0]);
+        assert_eq!(out.raw_utilities, vec![1.0, -1.0]);
+        assert_eq!(out.charges, vec![0.25, 0.25]);
+        assert_eq!(out.utilities, vec![0.75, -1.25]);
+    }
+
+    #[test]
+    fn best_response_picks_the_better_machine() {
+        let g = pennies();
+        let mg = MachineGame::new(
+            &g,
+            vec![deterministic_machines(), deterministic_machines()],
+            ComplexityCharge::Free,
+        );
+        // against player 1 playing 0, player 0's best response is to match
+        let (idx, value) = mg.best_response(0, &[1, 0]);
+        assert_eq!(idx, 0);
+        assert!((value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_complexity_charge_changes_the_equilibrium_set() {
+        // a coordination game where both (0,0) and (1,1) are classical
+        // equilibria, but machine "play-1" is made artificially expensive by
+        // its table size, so only (0,0) survives a size charge.
+        let g = BayesianGame::new(
+            "coord",
+            vec![2, 2],
+            TypeDistribution::trivial(2),
+            |_p, _t, a| if a[0] == a[1] { 1.0 } else { 0.0 },
+        )
+        .unwrap();
+        let machines = || -> Vec<Box<dyn StrategyMachine>> {
+            vec![
+                Box::new(TableMachine::constant("cheap-0", 0)),
+                Box::new(TableMachine::new("bloated-1", vec![1; 10])),
+            ]
+        };
+        let free = MachineGame::new(&g, vec![machines(), machines()], ComplexityCharge::Free);
+        assert_eq!(free.find_equilibria().len(), 2);
+
+        let charged = MachineGame::new(
+            &g,
+            vec![machines(), machines()],
+            ComplexityCharge::SizeLinear { weight: 0.2 },
+        );
+        let eqs = charged.find_equilibria();
+        assert_eq!(eqs.len(), 1);
+        assert_eq!(eqs[0].machine_indices, vec![0, 0]);
+        assert_eq!(eqs[0].machine_names[0], "cheap-0");
+    }
+}

@@ -1,0 +1,45 @@
+//! # bne-machine
+//!
+//! Section 3 of the paper: *taking computation into account*. Following
+//! Halpern and Pass, players choose **machines** rather than strategies; a
+//! machine has a complexity on each input, and utilities depend on the
+//! action profile *and* the complexity profile. This crate provides:
+//!
+//! * [`complexity`] — complexity measures (time, space, machine size,
+//!   randomness use) and the utility adjusters that fold them into payoffs;
+//! * [`vm`] — a small step-counted register VM, so "running time on this
+//!   input" is a real, measured quantity rather than an assumed constant
+//!   (the primality machine of Example 3.1 is a VM program);
+//! * [`machine`] — the [`machine::StrategyMachine`] abstraction: table
+//!   machines, VM-backed machines, randomized machines;
+//! * [`game`] — Bayesian machine games and computational Nash equilibrium
+//!   over finite machine sets;
+//! * [`automata`] — finite-state automata for repeated games (the
+//!   Rubinstein/Neyman tradition) with an explicit state count;
+//! * [`frpd`] — Example 3.2: finitely repeated prisoner's dilemma where
+//!   memory is costly, making tit-for-tat a computational Nash equilibrium;
+//! * [`roshambo`] — Example 3.3: computational rock-paper-scissors, where
+//!   charging for randomization destroys Nash equilibrium existence;
+//! * [`primality`] — Example 3.1: the primality-guessing game where playing
+//!   safe becomes the equilibrium once computation is charged for;
+//! * [`tournament`] — the Axelrod-style round-robin tournament backing the
+//!   paper's remark that tit-for-tat "does exceedingly well in FRPD
+//!   tournaments".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automata;
+pub mod complexity;
+pub mod frpd;
+pub mod game;
+pub mod machine;
+pub mod primality;
+pub mod roshambo;
+pub mod tournament;
+pub mod vm;
+
+pub use complexity::{Complexity, ComplexityCharge};
+pub use game::{ComputationalEquilibrium, MachineGame, MachineGameOutcome};
+pub use machine::{RandomizedMachine, StrategyMachine, TableMachine, VmMachine};
+pub use vm::{Instruction, Program, VmError, VmResult, VirtualMachine};

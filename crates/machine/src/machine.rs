@@ -1,0 +1,294 @@
+//! Strategy machines: the objects players choose in a machine game.
+//!
+//! A [`StrategyMachine`] maps the player's type (its input) to an action and
+//! reports the [`Complexity`] of doing so. Three implementations cover the
+//! paper's examples:
+//!
+//! * [`TableMachine`] — a hard-coded type → action table (constant time;
+//!   machine size = table length);
+//! * [`VmMachine`] — runs a [`Program`](crate::vm::Program) on the type and
+//!   post-processes the output into an action; its time/space complexity is
+//!   whatever the VM measures (Example 3.1);
+//! * [`RandomizedMachine`] — mixes over actions using a seeded RNG and is
+//!   flagged as randomized, which the roshambo example charges extra for.
+
+use crate::complexity::Complexity;
+use crate::vm::{Program, VirtualMachine};
+use bne_games::{ActionId, TypeId};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// A machine a player can choose in a machine game.
+pub trait StrategyMachine {
+    /// Human-readable name used in experiment tables.
+    fn name(&self) -> String;
+
+    /// The action the machine outputs on the given type/input.
+    fn run(&self, input: TypeId) -> ActionId;
+
+    /// The complexity of producing that output on that input.
+    fn complexity(&self, input: TypeId) -> Complexity;
+
+    /// The distribution over actions the machine induces on this input.
+    ///
+    /// Deterministic machines (the default) return a point mass on
+    /// [`Self::run`]; randomized machines override this so that machine
+    /// games can compute exact expected utilities rather than sampling.
+    fn action_distribution(&self, input: TypeId) -> Vec<(ActionId, f64)> {
+        vec![(self.run(input), 1.0)]
+    }
+}
+
+/// A machine defined by an explicit type → action table.
+#[derive(Debug, Clone)]
+pub struct TableMachine {
+    name: String,
+    table: Vec<ActionId>,
+}
+
+impl TableMachine {
+    /// Creates a table machine. Inputs beyond the table length map to the
+    /// last entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    pub fn new(name: impl Into<String>, table: Vec<ActionId>) -> Self {
+        assert!(!table.is_empty(), "table machine needs at least one entry");
+        TableMachine {
+            name: name.into(),
+            table,
+        }
+    }
+
+    /// A machine that plays the same action for every type.
+    pub fn constant(name: impl Into<String>, action: ActionId) -> Self {
+        TableMachine::new(name, vec![action])
+    }
+}
+
+impl StrategyMachine for TableMachine {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run(&self, input: TypeId) -> ActionId {
+        self.table[input.min(self.table.len() - 1)]
+    }
+
+    fn complexity(&self, _input: TypeId) -> Complexity {
+        Complexity {
+            time: 1,
+            space: 1,
+            machine_size: self.table.len() as u64,
+            randomized: false,
+        }
+    }
+}
+
+/// A machine backed by a VM program. The program receives the type as its
+/// input; its integer output is translated into an action by a
+/// post-processing closure (e.g. "output 1 → say prime, output 0 → say
+/// composite").
+pub struct VmMachine {
+    name: String,
+    program: Program,
+    vm: VirtualMachine,
+    /// Maps the program output to an action.
+    decode: Box<dyn Fn(i64) -> ActionId + Send + Sync>,
+    /// Action to play if the program errors (step limit, etc.).
+    fallback: ActionId,
+    /// Optional transformation of the type before it is fed to the program
+    /// (e.g. "the type is an index, the actual number is table[index]").
+    encode: Box<dyn Fn(TypeId) -> i64 + Send + Sync>,
+}
+
+impl std::fmt::Debug for VmMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VmMachine")
+            .field("name", &self.name)
+            .field("program_len", &self.program.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl VmMachine {
+    /// Creates a VM-backed machine.
+    pub fn new(
+        name: impl Into<String>,
+        program: Program,
+        vm: VirtualMachine,
+        encode: impl Fn(TypeId) -> i64 + Send + Sync + 'static,
+        decode: impl Fn(i64) -> ActionId + Send + Sync + 'static,
+        fallback: ActionId,
+    ) -> Self {
+        VmMachine {
+            name: name.into(),
+            program,
+            vm,
+            decode: Box::new(decode),
+            fallback,
+            encode: Box::new(encode),
+        }
+    }
+}
+
+impl StrategyMachine for VmMachine {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run(&self, input: TypeId) -> ActionId {
+        match self.vm.run(&self.program, (self.encode)(input)) {
+            Ok(result) => (self.decode)(result.output),
+            Err(_) => self.fallback,
+        }
+    }
+
+    fn complexity(&self, input: TypeId) -> Complexity {
+        match self.vm.run(&self.program, (self.encode)(input)) {
+            Ok(result) => Complexity {
+                time: result.steps,
+                space: result.registers_used,
+                machine_size: self.program.len() as u64,
+                randomized: false,
+            },
+            Err(_) => Complexity {
+                time: u64::MAX / 4,
+                space: 0,
+                machine_size: self.program.len() as u64,
+                randomized: false,
+            },
+        }
+    }
+}
+
+/// A machine that randomizes over actions (used by computational roshambo,
+/// where randomization carries an extra charge).
+#[derive(Debug, Clone)]
+pub struct RandomizedMachine {
+    name: String,
+    probs: Vec<f64>,
+    seed: u64,
+}
+
+impl RandomizedMachine {
+    /// Creates a randomized machine mixing over actions `0..probs.len()`
+    /// with the given probabilities (they are normalized internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is empty or sums to zero.
+    pub fn new(name: impl Into<String>, probs: Vec<f64>, seed: u64) -> Self {
+        assert!(!probs.is_empty(), "need at least one action");
+        let total: f64 = probs.iter().sum();
+        assert!(total > 0.0, "probabilities must not all be zero");
+        RandomizedMachine {
+            name: name.into(),
+            probs: probs.iter().map(|p| p / total).collect(),
+            seed,
+        }
+    }
+
+    /// The uniform randomizer over `num_actions` actions.
+    pub fn uniform(name: impl Into<String>, num_actions: usize, seed: u64) -> Self {
+        RandomizedMachine::new(name, vec![1.0; num_actions], seed)
+    }
+
+    /// The mixing probabilities.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+}
+
+impl StrategyMachine for RandomizedMachine {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run(&self, input: TypeId) -> ActionId {
+        // derive the coin from the seed and the input so repeated calls are
+        // reproducible but differ across inputs
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (input as u64).wrapping_mul(0x9E37_79B9));
+        let x: f64 = rng.random();
+        let mut acc = 0.0;
+        for (a, p) in self.probs.iter().enumerate() {
+            acc += p;
+            if x < acc {
+                return a;
+            }
+        }
+        self.probs.len() - 1
+    }
+
+    fn complexity(&self, _input: TypeId) -> Complexity {
+        Complexity {
+            time: 1,
+            space: 1,
+            machine_size: self.probs.len() as u64,
+            randomized: true,
+        }
+    }
+
+    fn action_distribution(&self, _input: TypeId) -> Vec<(ActionId, f64)> {
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p > 0.0)
+            .map(|(a, &p)| (a, p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_machine_maps_types_to_actions() {
+        let m = TableMachine::new("truthful", vec![0, 1]);
+        assert_eq!(m.run(0), 0);
+        assert_eq!(m.run(1), 1);
+        assert_eq!(m.run(7), 1); // clamps
+        assert!(!m.complexity(0).randomized);
+        assert_eq!(m.complexity(0).machine_size, 2);
+        let c = TableMachine::constant("always-0", 0);
+        assert_eq!(c.run(3), 0);
+    }
+
+    #[test]
+    fn vm_machine_reports_measured_complexity() {
+        let m = VmMachine::new(
+            "trial-division",
+            Program::trial_division_primality(),
+            VirtualMachine::default(),
+            |ty| ty as i64,
+            |out| if out == 1 { 0 } else { 1 },
+            2,
+        );
+        // 97 is prime → action 0; 98 is composite → action 1
+        assert_eq!(m.run(97), 0);
+        assert_eq!(m.run(98), 1);
+        assert!(m.complexity(10_007).time > m.complexity(7).time);
+    }
+
+    #[test]
+    fn randomized_machine_is_flagged_and_reproducible() {
+        let m = RandomizedMachine::uniform("uniform", 3, 99);
+        assert!(m.complexity(0).randomized);
+        assert_eq!(m.run(5), m.run(5));
+        // frequencies roughly uniform across inputs
+        let mut counts = [0usize; 3];
+        for input in 0..3000 {
+            counts[m.run(input)] += 1;
+        }
+        for c in counts {
+            assert!(c > 800, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn randomized_machine_normalizes_probabilities() {
+        let m = RandomizedMachine::new("biased", vec![2.0, 2.0], 1);
+        assert!((m.probabilities()[0] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Example 3.3: computational rock-paper-scissors.
+//!
+//! Classically roshambo has a unique Nash equilibrium: both players
+//! randomize uniformly. Charge 1 for a deterministic strategy and 2 for a
+//! randomized one, and no Nash equilibrium exists at all: against any
+//! randomized opponent a deterministic best response saves the
+//! randomization fee, and deterministic play admits a deterministic
+//! counter — the best-response correspondence cycles forever.
+//!
+//! The machine space here mirrors the example: the three deterministic
+//! machines plus the uniform randomizer (and optionally arbitrary mixers).
+
+use crate::complexity::ComplexityCharge;
+use crate::game::MachineGame;
+use crate::machine::{RandomizedMachine, StrategyMachine, TableMachine};
+use bne_games::bayesian::TypeDistribution;
+use bne_games::BayesianGame;
+
+/// The roshambo payoff from Example 3.3: player 1 wins when `i = j ⊕ 1`
+/// (addition mod 3); the game is zero-sum.
+pub fn roshambo_payoff(player: usize, actions: &[usize]) -> f64 {
+    let (i, j) = (actions[0] % 3, actions[1] % 3);
+    let u1 = if i == (j + 1) % 3 {
+        1.0
+    } else if j == (i + 1) % 3 {
+        -1.0
+    } else {
+        0.0
+    };
+    if player == 0 {
+        u1
+    } else {
+        -u1
+    }
+}
+
+/// Builds the roshambo Bayesian game (trivial types, three actions each).
+pub fn roshambo_bayesian() -> BayesianGame {
+    BayesianGame::new(
+        "computational roshambo",
+        vec![3, 3],
+        TypeDistribution::trivial(2),
+        |p, _t, a| roshambo_payoff(p, a),
+    )
+    .expect("static game construction cannot fail")
+}
+
+/// The machine set of Example 3.3 for one player: Rock, Paper, Scissors and
+/// the uniform randomizer.
+pub fn example_machine_set(seed: u64) -> Vec<Box<dyn StrategyMachine>> {
+    vec![
+        Box::new(TableMachine::constant("Rock", 0)),
+        Box::new(TableMachine::constant("Paper", 1)),
+        Box::new(TableMachine::constant("Scissors", 2)),
+        Box::new(RandomizedMachine::uniform("UniformRandom", 3, seed)),
+    ]
+}
+
+/// The computational roshambo machine game with the paper's cost structure
+/// (deterministic = 1, randomized = 2).
+pub fn computational_roshambo(game: &BayesianGame) -> MachineGame<'_> {
+    MachineGame::new(
+        game,
+        vec![example_machine_set(11), example_machine_set(29)],
+        ComplexityCharge::RandomizationFee {
+            deterministic: 1.0,
+            randomized: 2.0,
+        },
+    )
+}
+
+/// The same machine game with free computation — recovering the classical
+/// analysis for comparison.
+pub fn classical_roshambo(game: &BayesianGame) -> MachineGame<'_> {
+    MachineGame::new(
+        game,
+        vec![example_machine_set(11), example_machine_set(29)],
+        ComplexityCharge::Free,
+    )
+}
+
+/// Follows the pure best-response dynamics over the machine sets starting
+/// from `start` and returns the sequence of visited profiles until a cycle
+/// or fixed point is reached. A fixed point would be a computational Nash
+/// equilibrium; for the paper's cost structure the dynamics provably cycle.
+pub fn best_response_cycle(game: &MachineGame<'_>, start: [usize; 2]) -> Vec<[usize; 2]> {
+    let mut visited = Vec::new();
+    let mut current = start;
+    loop {
+        if visited.contains(&current) {
+            visited.push(current);
+            return visited;
+        }
+        visited.push(current);
+        // alternate best responses: player 0 then player 1
+        let (b0, _) = game.best_response(0, &current);
+        current = [b0, current[1]];
+        let (b1, _) = game.best_response(1, &current);
+        current = [current[0], b1];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classical_roshambo_has_no_pure_machine_equilibrium_but_uniform_mix_is_fine() {
+        let g = roshambo_bayesian();
+        let classical = classical_roshambo(&g);
+        // deterministic-only profiles cycle, but (UniformRandom,
+        // UniformRandom) is an equilibrium when computation is free
+        assert!(classical.is_equilibrium(&[3, 3]));
+    }
+
+    #[test]
+    fn computational_roshambo_has_no_equilibrium_at_all() {
+        // the headline claim of Example 3.3
+        let g = roshambo_bayesian();
+        let computational = computational_roshambo(&g);
+        assert!(computational.find_equilibria().is_empty());
+    }
+
+    #[test]
+    fn uniform_randomizer_is_undermined_by_deterministic_deviation() {
+        let g = roshambo_bayesian();
+        let computational = computational_roshambo(&g);
+        let both_random = computational.evaluate(&[3, 3]);
+        // deviating to any deterministic machine keeps the expected raw
+        // payoff at 0 but saves 1 in randomization fees
+        let deviate_rock = computational.evaluate(&[0, 3]);
+        assert!(deviate_rock.utilities[0] > both_random.utilities[0] + 0.5);
+    }
+
+    #[test]
+    fn best_response_dynamics_cycle_under_the_fee() {
+        let g = roshambo_bayesian();
+        let computational = computational_roshambo(&g);
+        let path = best_response_cycle(&computational, [0, 0]);
+        // the path revisits a profile (a genuine cycle), and no profile on
+        // it is an equilibrium
+        let last = *path.last().expect("non-empty path");
+        assert!(path[..path.len() - 1].contains(&last));
+        for profile in &path {
+            assert!(!computational.is_equilibrium(&[profile[0], profile[1]]));
+        }
+    }
+
+    #[test]
+    fn payoff_table_matches_the_paper() {
+        // paper beats rock, scissors beat paper, rock beats scissors
+        assert_eq!(roshambo_payoff(0, &[1, 0]), 1.0);
+        assert_eq!(roshambo_payoff(0, &[2, 1]), 1.0);
+        assert_eq!(roshambo_payoff(0, &[0, 2]), 1.0);
+        assert_eq!(roshambo_payoff(1, &[0, 2]), -1.0);
+        assert_eq!(roshambo_payoff(0, &[1, 1]), 0.0);
+    }
+}

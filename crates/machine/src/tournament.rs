@@ -1,0 +1,196 @@
+//! Axelrod-style round-robin tournaments for finitely repeated prisoner's
+//! dilemma.
+//!
+//! The paper notes that "tit-for-tat does exceedingly well in FRPD
+//! tournaments, where computer programs play each other" (Axelrod 1984).
+//! Experiment E12 reproduces that finding: every strategy plays every other
+//! strategy (and optionally itself) for a fixed number of rounds, and
+//! strategies are ranked by total score. Complexity-adjusted rankings are
+//! also reported, connecting the tournament back to the machine-game story
+//! (tit-for-tat is not just strong, it is strong *and tiny*).
+
+use crate::automata::{Automaton, RandomStrategy};
+use crate::complexity::Complexity;
+use bne_games::classic;
+use bne_games::repeated::{RepeatedGame, RepeatedStrategy};
+
+/// One competitor: a strategy factory plus its complexity, so that the same
+/// strategy can be re-instantiated fresh for every pairing.
+pub struct Competitor {
+    /// Display name.
+    pub name: String,
+    /// Creates a fresh instance of the strategy for one match.
+    pub factory: Box<dyn Fn() -> Box<dyn RepeatedStrategy>>,
+    /// The complexity charged against the competitor in adjusted rankings.
+    pub complexity: Complexity,
+}
+
+impl Competitor {
+    /// Wraps an automaton as a competitor.
+    pub fn from_automaton(automaton: Automaton) -> Self {
+        let name = RepeatedStrategy::name(&automaton);
+        let complexity = automaton.complexity();
+        Competitor {
+            name,
+            factory: Box::new(move || Box::new(automaton.clone())),
+            complexity,
+        }
+    }
+
+    /// Wraps a random strategy as a competitor.
+    pub fn from_random(strategy: RandomStrategy) -> Self {
+        let name = RepeatedStrategy::name(&strategy);
+        let complexity = strategy.complexity();
+        Competitor {
+            name,
+            factory: Box::new(move || Box::new(strategy.clone())),
+            complexity,
+        }
+    }
+
+    /// The standard field: the deterministic zoo plus a 50/50 randomizer.
+    pub fn standard_field(seed: u64) -> Vec<Competitor> {
+        let mut field: Vec<Competitor> = Automaton::standard_zoo()
+            .into_iter()
+            .map(Competitor::from_automaton)
+            .collect();
+        field.push(Competitor::from_random(RandomStrategy::new(0.5, seed)));
+        field
+    }
+}
+
+/// One competitor's final standing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standing {
+    /// Competitor name.
+    pub name: String,
+    /// Total (undiscounted) score across all matches.
+    pub total_score: f64,
+    /// Average score per match.
+    pub average_score: f64,
+    /// Number of matches played.
+    pub matches: usize,
+    /// Machine-size complexity of the competitor.
+    pub machine_size: u64,
+}
+
+/// Tournament configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TournamentConfig {
+    /// Number of rounds per match.
+    pub rounds: usize,
+    /// Whether each strategy also plays a copy of itself.
+    pub include_self_play: bool,
+}
+
+impl Default for TournamentConfig {
+    fn default() -> Self {
+        TournamentConfig {
+            rounds: 200,
+            include_self_play: true,
+        }
+    }
+}
+
+/// Runs the round-robin tournament on the conventional Axelrod payoffs
+/// (T=5, R=3, P=1, S=0) and returns standings sorted by total score
+/// (descending).
+pub fn run_tournament(competitors: &[Competitor], config: TournamentConfig) -> Vec<Standing> {
+    let game = RepeatedGame::new(classic::prisoners_dilemma_axelrod(), config.rounds, 1.0)
+        .expect("valid repeated game parameters");
+    let n = competitors.len();
+    let mut totals = vec![0.0; n];
+    let mut matches = vec![0usize; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i > j {
+                continue;
+            }
+            if i == j && !config.include_self_play {
+                continue;
+            }
+            let mut a = (competitors[i].factory)();
+            let mut b = (competitors[j].factory)();
+            let result = game.play(a.as_mut(), b.as_mut());
+            totals[i] += result.payoffs[0];
+            matches[i] += 1;
+            if i != j {
+                totals[j] += result.payoffs[1];
+                matches[j] += 1;
+            }
+        }
+    }
+    let mut standings: Vec<Standing> = competitors
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Standing {
+            name: c.name.clone(),
+            total_score: totals[i],
+            average_score: if matches[i] > 0 {
+                totals[i] / matches[i] as f64
+            } else {
+                0.0
+            },
+            matches: matches[i],
+            machine_size: c.complexity.machine_size,
+        })
+        .collect();
+    standings.sort_by(|a, b| b.total_score.partial_cmp(&a.total_score).unwrap());
+    standings
+}
+
+/// The rank (1-based) of a named strategy in the standings, if present.
+pub fn rank_of(standings: &[Standing], name: &str) -> Option<usize> {
+    standings.iter().position(|s| s.name == name).map(|i| i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tit_for_tat_finishes_near_the_top_of_the_standard_field() {
+        let field = Competitor::standard_field(17);
+        let standings = run_tournament(&field, TournamentConfig::default());
+        assert_eq!(standings.len(), field.len());
+        let rank = rank_of(&standings, "TitForTat").expect("TFT competes");
+        // Axelrod's headline finding: TFT is at or near the top (allow the
+        // top third of the field).
+        assert!(rank <= field.len().div_ceil(3), "TFT rank {rank}");
+    }
+
+    #[test]
+    fn all_defect_beats_all_cooperate_head_to_head_but_not_overall() {
+        // head-to-head AllD exploits AllC, but in a field of reciprocators
+        // AllD finishes below TFT
+        let field = Competitor::standard_field(3);
+        let standings = run_tournament(&field, TournamentConfig::default());
+        let tft = rank_of(&standings, "TitForTat").unwrap();
+        let alld = rank_of(&standings, "AllD").unwrap();
+        assert!(tft < alld, "TFT {tft} vs AllD {alld}");
+    }
+
+    #[test]
+    fn scores_are_consistent_with_match_counts() {
+        let field = Competitor::standard_field(5);
+        let config = TournamentConfig {
+            rounds: 50,
+            include_self_play: false,
+        };
+        let standings = run_tournament(&field, config);
+        for s in &standings {
+            assert_eq!(s.matches, field.len() - 1);
+            assert!((s.average_score - s.total_score / s.matches as f64).abs() < 1e-9);
+            // per-match score bounded by the tournament payoffs
+            assert!(s.average_score >= 0.0 && s.average_score <= 5.0 * 50.0);
+        }
+    }
+
+    #[test]
+    fn tft_is_small_as_well_as_strong() {
+        let field = Competitor::standard_field(9);
+        let standings = run_tournament(&field, TournamentConfig::default());
+        let tft = standings.iter().find(|s| s.name == "TitForTat").unwrap();
+        assert_eq!(tft.machine_size, 2);
+    }
+}

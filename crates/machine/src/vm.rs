@@ -1,0 +1,434 @@
+//! A small step-counted register virtual machine.
+//!
+//! Halpern and Pass model players as choosing Turing machines; what matters
+//! for the solution concept is that a machine's complexity on an input is a
+//! measured quantity. This VM is the workspace's stand-in for "Turing
+//! machine": programs are sequences of simple register instructions, the
+//! interpreter counts executed steps and touched registers, and those counts
+//! feed the [`crate::complexity::Complexity`] of VM-backed strategy
+//! machines.
+
+use std::fmt;
+
+/// A VM instruction. Registers are indexed by small integers; `r0` holds the
+/// program input at start and the program's result at halt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// `regs[dst] = value`
+    LoadImm {
+        /// Destination register.
+        dst: usize,
+        /// Immediate value.
+        value: i64,
+    },
+    /// `regs[dst] = regs[src]`
+    Copy {
+        /// Destination register.
+        dst: usize,
+        /// Source register.
+        src: usize,
+    },
+    /// `regs[dst] = regs[a] + regs[b]`
+    Add {
+        /// Destination register.
+        dst: usize,
+        /// First operand register.
+        a: usize,
+        /// Second operand register.
+        b: usize,
+    },
+    /// `regs[dst] = regs[a] - regs[b]`
+    Sub {
+        /// Destination register.
+        dst: usize,
+        /// First operand register.
+        a: usize,
+        /// Second operand register.
+        b: usize,
+    },
+    /// `regs[dst] = regs[a] * regs[b]`
+    Mul {
+        /// Destination register.
+        dst: usize,
+        /// First operand register.
+        a: usize,
+        /// Second operand register.
+        b: usize,
+    },
+    /// `regs[dst] = regs[a] % regs[b]` (0 if `regs[b]` is 0)
+    Rem {
+        /// Destination register.
+        dst: usize,
+        /// First operand register.
+        a: usize,
+        /// Second operand register.
+        b: usize,
+    },
+    /// `regs[dst] = if regs[a] < regs[b] { 1 } else { 0 }`
+    Lt {
+        /// Destination register.
+        dst: usize,
+        /// First operand register.
+        a: usize,
+        /// Second operand register.
+        b: usize,
+    },
+    /// `regs[dst] = if regs[a] == regs[b] { 1 } else { 0 }`
+    Eq {
+        /// Destination register.
+        dst: usize,
+        /// First operand register.
+        a: usize,
+        /// Second operand register.
+        b: usize,
+    },
+    /// Jump to `target` unconditionally.
+    Jump {
+        /// Instruction index to jump to.
+        target: usize,
+    },
+    /// Jump to `target` if `regs[cond] == 0`.
+    JumpIfZero {
+        /// Condition register.
+        cond: usize,
+        /// Instruction index to jump to.
+        target: usize,
+    },
+    /// Jump to `target` if `regs[cond] != 0`.
+    JumpIfNonZero {
+        /// Condition register.
+        cond: usize,
+        /// Instruction index to jump to.
+        target: usize,
+    },
+    /// Stop; the value of `r0` is the program's output.
+    Halt,
+}
+
+/// A VM program: a list of instructions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// The instruction sequence.
+    pub instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Creates a program from instructions.
+    pub fn new(instructions: Vec<Instruction>) -> Self {
+        Program { instructions }
+    }
+
+    /// Number of instructions — used as the machine-size complexity.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// A program that immediately halts, returning its input unchanged
+    /// (complexity ~1 step).
+    pub fn identity() -> Self {
+        Program::new(vec![Instruction::Halt])
+    }
+
+    /// A program that ignores its input and returns `value`.
+    pub fn constant(value: i64) -> Self {
+        Program::new(vec![
+            Instruction::LoadImm { dst: 0, value },
+            Instruction::Halt,
+        ])
+    }
+
+    /// A trial-division primality test: returns 1 if the input (in `r0`) is
+    /// a prime greater than 1, 0 otherwise. Runs in O(√n) VM steps, so the
+    /// measured complexity grows with the input — exactly the dependence
+    /// Example 3.1 needs.
+    pub fn trial_division_primality() -> Self {
+        use Instruction::*;
+        // r0: input n (later: answer)   r1: divisor d   r2: scratch
+        // r3: constant 1                r4: constant 2  r5: d*d
+        Program::new(vec![
+            /* 0 */ Copy { dst: 6, src: 0 }, // r6 = n
+            /* 1 */ LoadImm { dst: 3, value: 1 },
+            /* 2 */ LoadImm { dst: 4, value: 2 },
+            // if n < 2 => not prime
+            /* 3 */ Lt { dst: 2, a: 6, b: 4 },
+            /* 4 */ JumpIfNonZero { cond: 2, target: 19 },
+            /* 5 */ Copy { dst: 1, src: 4 }, // d = 2
+            // loop: if d*d > n => prime
+            /* 6 */ Mul { dst: 5, a: 1, b: 1 },
+            /* 7 */ Lt { dst: 2, a: 6, b: 5 }, // n < d*d ?
+            /* 8 */ JumpIfNonZero { cond: 2, target: 17 },
+            // if n % d == 0 => not prime
+            /* 9 */ Rem { dst: 2, a: 6, b: 1 },
+            /* 10 */ JumpIfZero { cond: 2, target: 19 },
+            // d += 1
+            /* 11 */ Add { dst: 1, a: 1, b: 3 },
+            /* 12 */ Jump { target: 6 },
+            /* 13 */ Halt, // (unreachable padding, keeps targets stable)
+            /* 14 */ Halt,
+            /* 15 */ Halt,
+            /* 16 */ Halt,
+            // prime: r0 = 1
+            /* 17 */ LoadImm { dst: 0, value: 1 },
+            /* 18 */ Halt,
+            // not prime: r0 = 0
+            /* 19 */ LoadImm { dst: 0, value: 0 },
+            /* 20 */ Halt,
+        ])
+    }
+}
+
+/// Why a VM run failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// The program executed more than the allowed number of steps.
+    StepLimitExceeded {
+        /// The limit that was exceeded.
+        limit: u64,
+    },
+    /// The program counter left the program without hitting `Halt`.
+    FellOffProgram,
+    /// A register index larger than the register file was used.
+    RegisterOutOfRange {
+        /// The offending register index.
+        register: usize,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::StepLimitExceeded { limit } => write!(f, "exceeded step limit {limit}"),
+            VmError::FellOffProgram => write!(f, "program counter left the program"),
+            VmError::RegisterOutOfRange { register } => {
+                write!(f, "register {register} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// The result of a successful VM run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmResult {
+    /// Value of `r0` at halt.
+    pub output: i64,
+    /// Number of instructions executed.
+    pub steps: u64,
+    /// Number of distinct registers written.
+    pub registers_used: u64,
+}
+
+/// The interpreter.
+#[derive(Debug, Clone)]
+pub struct VirtualMachine {
+    num_registers: usize,
+    step_limit: u64,
+}
+
+impl Default for VirtualMachine {
+    fn default() -> Self {
+        VirtualMachine {
+            num_registers: 16,
+            step_limit: 1_000_000,
+        }
+    }
+}
+
+impl VirtualMachine {
+    /// Creates a VM with the given register-file size and step limit.
+    pub fn new(num_registers: usize, step_limit: u64) -> Self {
+        VirtualMachine {
+            num_registers,
+            step_limit,
+        }
+    }
+
+    /// Runs a program on an input (placed in `r0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on step-limit exhaustion, running off the end
+    /// of the program, or an out-of-range register.
+    pub fn run(&self, program: &Program, input: i64) -> Result<VmResult, VmError> {
+        let mut regs = vec![0i64; self.num_registers];
+        let mut written = vec![false; self.num_registers];
+        if self.num_registers == 0 {
+            return Err(VmError::RegisterOutOfRange { register: 0 });
+        }
+        regs[0] = input;
+        written[0] = true;
+        let mut pc = 0usize;
+        let mut steps = 0u64;
+        loop {
+            if steps >= self.step_limit {
+                return Err(VmError::StepLimitExceeded {
+                    limit: self.step_limit,
+                });
+            }
+            let Some(instr) = program.instructions.get(pc) else {
+                return Err(VmError::FellOffProgram);
+            };
+            steps += 1;
+            let check = |r: usize| -> Result<(), VmError> {
+                if r >= self.num_registers {
+                    Err(VmError::RegisterOutOfRange { register: r })
+                } else {
+                    Ok(())
+                }
+            };
+            match *instr {
+                Instruction::LoadImm { dst, value } => {
+                    check(dst)?;
+                    regs[dst] = value;
+                    written[dst] = true;
+                    pc += 1;
+                }
+                Instruction::Copy { dst, src } => {
+                    check(dst)?;
+                    check(src)?;
+                    regs[dst] = regs[src];
+                    written[dst] = true;
+                    pc += 1;
+                }
+                Instruction::Add { dst, a, b }
+                | Instruction::Sub { dst, a, b }
+                | Instruction::Mul { dst, a, b }
+                | Instruction::Rem { dst, a, b }
+                | Instruction::Lt { dst, a, b }
+                | Instruction::Eq { dst, a, b } => {
+                    check(dst)?;
+                    check(a)?;
+                    check(b)?;
+                    let (x, y) = (regs[a], regs[b]);
+                    regs[dst] = match *instr {
+                        Instruction::Add { .. } => x.wrapping_add(y),
+                        Instruction::Sub { .. } => x.wrapping_sub(y),
+                        Instruction::Mul { .. } => x.wrapping_mul(y),
+                        Instruction::Rem { .. } => {
+                            if y == 0 {
+                                0
+                            } else {
+                                x.wrapping_rem(y)
+                            }
+                        }
+                        Instruction::Lt { .. } => i64::from(x < y),
+                        Instruction::Eq { .. } => i64::from(x == y),
+                        _ => unreachable!(),
+                    };
+                    written[dst] = true;
+                    pc += 1;
+                }
+                Instruction::Jump { target } => pc = target,
+                Instruction::JumpIfZero { cond, target } => {
+                    check(cond)?;
+                    pc = if regs[cond] == 0 { target } else { pc + 1 };
+                }
+                Instruction::JumpIfNonZero { cond, target } => {
+                    check(cond)?;
+                    pc = if regs[cond] != 0 { target } else { pc + 1 };
+                }
+                Instruction::Halt => {
+                    return Ok(VmResult {
+                        output: regs[0],
+                        steps,
+                        registers_used: written.iter().filter(|w| **w).count() as u64,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Reference primality test used to validate the VM program in tests and by
+/// the primality experiment as the ground truth.
+pub fn is_prime_reference(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2u64;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_constant_programs() {
+        let vm = VirtualMachine::default();
+        assert_eq!(vm.run(&Program::identity(), 42).unwrap().output, 42);
+        assert_eq!(vm.run(&Program::constant(7), 42).unwrap().output, 7);
+        assert_eq!(vm.run(&Program::identity(), 5).unwrap().steps, 1);
+    }
+
+    #[test]
+    fn primality_program_is_correct_up_to_500() {
+        let vm = VirtualMachine::default();
+        let program = Program::trial_division_primality();
+        for n in 0..500i64 {
+            let out = vm.run(&program, n).unwrap().output;
+            assert_eq!(
+                out == 1,
+                is_prime_reference(n as u64),
+                "disagreement at {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn primality_cost_grows_with_input() {
+        let vm = VirtualMachine::default();
+        let program = Program::trial_division_primality();
+        // cost of large primes dwarfs cost of small ones
+        let small = vm.run(&program, 13).unwrap().steps;
+        let large = vm.run(&program, 99_991).unwrap().steps; // a prime
+        assert!(large > 10 * small, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let vm = VirtualMachine::new(4, 10);
+        let infinite = Program::new(vec![Instruction::Jump { target: 0 }]);
+        assert!(matches!(
+            vm.run(&infinite, 0),
+            Err(VmError::StepLimitExceeded { limit: 10 })
+        ));
+    }
+
+    #[test]
+    fn falling_off_and_bad_registers_are_errors() {
+        let vm = VirtualMachine::new(2, 100);
+        let off = Program::new(vec![Instruction::LoadImm { dst: 0, value: 1 }]);
+        assert_eq!(vm.run(&off, 0), Err(VmError::FellOffProgram));
+        let bad = Program::new(vec![Instruction::LoadImm { dst: 9, value: 1 }]);
+        assert!(matches!(
+            vm.run(&bad, 0),
+            Err(VmError::RegisterOutOfRange { register: 9 })
+        ));
+    }
+
+    #[test]
+    fn registers_used_counts_distinct_writes() {
+        let vm = VirtualMachine::default();
+        let p = Program::new(vec![
+            Instruction::LoadImm { dst: 1, value: 3 },
+            Instruction::LoadImm { dst: 1, value: 4 },
+            Instruction::LoadImm { dst: 2, value: 5 },
+            Instruction::Halt,
+        ]);
+        // r0 (input) + r1 + r2
+        assert_eq!(vm.run(&p, 0).unwrap().registers_used, 3);
+    }
+}

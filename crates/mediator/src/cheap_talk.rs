@@ -1,0 +1,79 @@
+//! Cheap-talk extensions: implementing the mediator by communication alone.
+//!
+//! A cheap-talk implementation takes the players' true types and a
+//! description of which players are faulty, runs a communication protocol
+//! among the players themselves (no trusted party), and produces the action
+//! each non-faulty player ends up taking. Per the paper, a cheap-talk game
+//! *implements* a mediator game if it induces the same distribution over
+//! actions in the underlying game, for each type vector of the players —
+//! that comparison lives in [`crate::equivalence`].
+
+use bne_games::{ActionId, TypeId};
+use std::collections::BTreeSet;
+
+/// The outcome of one execution of a cheap-talk protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheapTalkOutcome {
+    /// The action chosen by each player. Entries for faulty players are
+    /// whatever the adversary did (they are not constrained by the
+    /// implementation requirement).
+    pub actions: Vec<ActionId>,
+    /// Number of point-to-point messages exchanged during the talk phase.
+    pub messages: usize,
+    /// Number of communication rounds used.
+    pub rounds: usize,
+}
+
+/// A cheap-talk implementation of a mediator.
+pub trait CheapTalkImplementation {
+    /// Runs the protocol once.
+    ///
+    /// * `types` — the true type of every player;
+    /// * `faulty` — the players controlled by the adversary;
+    /// * `seed` — randomness for this execution (protocols must be
+    ///   deterministic given the seed so experiments are reproducible).
+    fn execute(&self, types: &[TypeId], faulty: &BTreeSet<usize>, seed: u64) -> CheapTalkOutcome;
+
+    /// Human-readable protocol name for experiment tables.
+    fn name(&self) -> String;
+
+    /// The parameter regime `(n, k, t)` this implementation claims to
+    /// support (used by the experiment harness to cross-check against
+    /// [`crate::feasibility::classify_regime`]).
+    fn claimed_regime(&self) -> (usize, usize, usize);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl CheapTalkImplementation for Dummy {
+        fn execute(
+            &self,
+            types: &[TypeId],
+            _faulty: &BTreeSet<usize>,
+            _seed: u64,
+        ) -> CheapTalkOutcome {
+            CheapTalkOutcome {
+                actions: types.to_vec(),
+                messages: 0,
+                rounds: 0,
+            }
+        }
+        fn name(&self) -> String {
+            "dummy".into()
+        }
+        fn claimed_regime(&self) -> (usize, usize, usize) {
+            (1, 0, 0)
+        }
+    }
+
+    #[test]
+    fn trait_object_is_usable() {
+        let b: Box<dyn CheapTalkImplementation> = Box::new(Dummy);
+        let out = b.execute(&[1, 0], &BTreeSet::new(), 0);
+        assert_eq!(out.actions, vec![1, 0]);
+        assert_eq!(b.name(), "dummy");
+    }
+}

@@ -1,0 +1,320 @@
+//! Mediator games: the extension `Γ_d` of a Bayesian game with a trusted
+//! third party.
+//!
+//! In the mediator extension, each player reports a type to the mediator
+//! (possibly lying), the mediator computes recommended actions, and each
+//! player then chooses an action (possibly ignoring the recommendation). The
+//! *honest* strategy — report truthfully, follow the recommendation — is the
+//! strategy whose robustness the cheap-talk protocols must reproduce.
+
+use bne_games::{ActionId, BayesianGame, PlayerId, TypeId, Utility};
+use std::collections::BTreeSet;
+
+/// A mediator: a trusted party mapping reported types to recommended
+/// actions. Deterministic mediators cover all the games in the paper's
+/// examples (the Byzantine-agreement mediator simply relays the general's
+/// preference).
+pub trait Mediator {
+    /// Computes a recommendation for every player from the reported types.
+    fn recommend(&self, reported_types: &[TypeId]) -> Vec<ActionId>;
+}
+
+/// The mediator that recommends the action equal to the first player's
+/// reported type — exactly the paper's Byzantine-agreement mediator (the
+/// general is player 0 and the actions are indexed like the types:
+/// 0 = retreat, 1 = attack).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TruthfulMediator;
+
+impl Mediator for TruthfulMediator {
+    fn recommend(&self, reported_types: &[TypeId]) -> Vec<ActionId> {
+        let order = reported_types.first().copied().unwrap_or(0);
+        vec![order; reported_types.len()]
+    }
+}
+
+/// A Bayesian game together with a mediator.
+pub struct MediatorGame<'a, M: Mediator> {
+    game: &'a BayesianGame,
+    mediator: M,
+}
+
+impl<'a, M: Mediator> MediatorGame<'a, M> {
+    /// Wraps a Bayesian game with a mediator.
+    pub fn new(game: &'a BayesianGame, mediator: M) -> Self {
+        MediatorGame { game, mediator }
+    }
+
+    /// The underlying Bayesian game.
+    pub fn game(&self) -> &BayesianGame {
+        self.game
+    }
+
+    /// The action profile induced when every player reports truthfully and
+    /// follows the recommendation, for the given true type profile.
+    pub fn honest_outcome(&self, types: &[TypeId]) -> Vec<ActionId> {
+        self.mediator.recommend(types)
+    }
+
+    /// The action profile induced when the players in `deviators` report the
+    /// given types instead of their true ones and afterwards play the given
+    /// actions instead of the recommendation (entries are parallel to
+    /// `deviators`). Everyone else is honest.
+    pub fn outcome_with_deviation(
+        &self,
+        types: &[TypeId],
+        deviators: &[PlayerId],
+        misreports: &[TypeId],
+        overrides: &[Option<ActionId>],
+    ) -> Vec<ActionId> {
+        let mut reported = types.to_vec();
+        for (&d, &r) in deviators.iter().zip(misreports.iter()) {
+            reported[d] = r;
+        }
+        let mut actions = self.mediator.recommend(&reported);
+        for (&d, ov) in deviators.iter().zip(overrides.iter()) {
+            if let Some(a) = ov {
+                actions[d] = *a;
+            }
+        }
+        actions
+    }
+
+    /// Ex-ante expected utility of `player` when everyone is honest.
+    pub fn honest_expected_utility(&self, player: PlayerId) -> Utility {
+        let mut total = 0.0;
+        for (types, pr) in self.game.prior().support() {
+            let actions = self.honest_outcome(&types);
+            total += pr * self.game.utility(player, &types, &actions);
+        }
+        total
+    }
+
+    /// Checks that "report truthfully and follow the recommendation" is
+    /// k-resilient in the mediator game: no coalition of at most `k` players
+    /// can misreport and/or disobey in a way that strictly improves some
+    /// member's ex-ante expected utility.
+    ///
+    /// The check enumerates all coalitions of size ≤ `k` and all *uniform*
+    /// deviations per member (a misreport per type is reduced to a single
+    /// misreported type per true type profile in the prior's support plus an
+    /// optional action override); this is exhaustive for the small games in
+    /// the paper's examples.
+    pub fn honest_is_k_resilient(&self, k: usize) -> bool {
+        let n = self.game.num_players();
+        let coalitions = bne_games::profile::subsets_up_to_size(n, k.min(n));
+        for coalition in coalitions {
+            if self.coalition_can_gain(&coalition) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Checks t-immunity of the honest strategy: no matter how players in a
+    /// set of size ≤ `t` misreport and disobey, the honest players' ex-ante
+    /// expected utilities do not drop.
+    pub fn honest_is_t_immune(&self, t: usize) -> bool {
+        let n = self.game.num_players();
+        let sets = bne_games::profile::subsets_up_to_size(n, t.min(n));
+        let baseline: Vec<Utility> = (0..n).map(|p| self.honest_expected_utility(p)).collect();
+        for faulty in sets {
+            let faulty_set: BTreeSet<PlayerId> = faulty.iter().copied().collect();
+            for (misreports, overrides) in self.deviation_space(&faulty) {
+                for victim in 0..n {
+                    if faulty_set.contains(&victim) {
+                        continue;
+                    }
+                    let mut total = 0.0;
+                    for (types, pr) in self.game.prior().support() {
+                        let actions = self.outcome_with_deviation(
+                            &types,
+                            &faulty,
+                            &misreports,
+                            &overrides,
+                        );
+                        total += pr * self.game.utility(victim, &types, &actions);
+                    }
+                    if total < baseline[victim] - 1e-9 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the honest strategy is (k,t)-robust (componentwise).
+    pub fn honest_is_robust(&self, k: usize, t: usize) -> bool {
+        self.honest_is_k_resilient(k) && self.honest_is_t_immune(t)
+    }
+
+    fn coalition_can_gain(&self, coalition: &[PlayerId]) -> bool {
+        let baseline: Vec<Utility> = coalition
+            .iter()
+            .map(|&p| self.honest_expected_utility(p))
+            .collect();
+        for (misreports, overrides) in self.deviation_space(coalition) {
+            for (idx, &member) in coalition.iter().enumerate() {
+                let mut total = 0.0;
+                for (types, pr) in self.game.prior().support() {
+                    let actions =
+                        self.outcome_with_deviation(&types, coalition, &misreports, &overrides);
+                    total += pr * self.game.utility(member, &types, &actions);
+                }
+                if total > baseline[idx] + 1e-9 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Enumerates the joint deviations of a coalition: every combination of
+    /// a misreported type and an optional action override per member.
+    fn deviation_space(
+        &self,
+        coalition: &[PlayerId],
+    ) -> Vec<(Vec<TypeId>, Vec<Option<ActionId>>)> {
+        // per member: misreport in 0..num_types, override in None ∪ actions
+        let mut options: Vec<Vec<(TypeId, Option<ActionId>)>> = Vec::new();
+        for &p in coalition {
+            let mut per_member = Vec::new();
+            for ty in 0..self.game.num_types(p) {
+                per_member.push((ty, None));
+                for a in 0..self.game.num_actions(p) {
+                    per_member.push((ty, Some(a)));
+                }
+            }
+            options.push(per_member);
+        }
+        let radices: Vec<usize> = options.iter().map(|o| o.len()).collect();
+        bne_games::profile::ProfileIter::new(&radices)
+            .map(|choice| {
+                let mut misreports = Vec::with_capacity(coalition.len());
+                let mut overrides = Vec::with_capacity(coalition.len());
+                for (i, &c) in choice.iter().enumerate() {
+                    let (ty, ov) = options[i][c];
+                    misreports.push(ty);
+                    overrides.push(ov);
+                }
+                (misreports, overrides)
+            })
+            .collect()
+    }
+}
+
+/// The Byzantine-agreement Bayesian game from Section 2 of the paper.
+///
+/// Player 0 is the general, whose type (0 = prefer retreat, 1 = prefer
+/// attack) is drawn from the given prior probability of preferring attack;
+/// the other `n − 1` players are soldiers with a single dummy type. Every
+/// player chooses Attack (1) or Retreat (0). Non-faulty players get:
+///
+/// * 1 if all (modelled) players choose the same action **and**, when the
+///   general is non-faulty, that action matches the general's preference;
+/// * 0 otherwise.
+///
+/// This captures the two conditions of Byzantine agreement as utilities:
+/// agreement pays, and validity pays when the general is honest.
+pub struct ByzantineAgreementGame;
+
+impl ByzantineAgreementGame {
+    /// Builds the game for `n ≥ 2` players with the given probability that
+    /// the general prefers to attack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the probability is outside `[0, 1]`.
+    pub fn build(n: usize, attack_probability: f64) -> BayesianGame {
+        assert!(n >= 2, "need a general and at least one soldier");
+        assert!((0.0..=1.0).contains(&attack_probability));
+        let mut marginals = vec![vec![1.0 - attack_probability, attack_probability]];
+        marginals.extend(std::iter::repeat_n(vec![1.0], n - 1));
+        let prior = bne_games::bayesian::TypeDistribution::independent(&marginals)
+            .expect("valid marginals by construction");
+        BayesianGame::new(
+            format!("Byzantine agreement game (n = {n})"),
+            vec![2; n],
+            prior,
+            |_player, types, actions| {
+                let preference = types[0];
+                let all_same = actions.iter().all(|&a| a == actions[0]);
+                if all_same && actions[0] == preference {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
+        .expect("valid game by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthful_mediator_relays_the_generals_preference() {
+        let m = TruthfulMediator;
+        assert_eq!(m.recommend(&[1, 0, 0]), vec![1, 1, 1]);
+        assert_eq!(m.recommend(&[0, 0, 0, 0]), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn honest_play_achieves_full_coordination_value() {
+        let game = ByzantineAgreementGame::build(4, 0.5);
+        let mg = MediatorGame::new(&game, TruthfulMediator);
+        for p in 0..4 {
+            assert!((mg.honest_expected_utility(p) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn honest_strategy_is_resilient_in_the_ba_game() {
+        let game = ByzantineAgreementGame::build(4, 0.5);
+        let mg = MediatorGame::new(&game, TruthfulMediator);
+        // nobody can gain by misreporting or disobeying: utility is already 1
+        assert!(mg.honest_is_k_resilient(1));
+        assert!(mg.honest_is_k_resilient(2));
+    }
+
+    #[test]
+    fn honest_strategy_is_not_immune_in_the_ba_game() {
+        // a single faulty soldier who disobeys destroys coordination and
+        // hurts everyone else: the mediator alone does not give immunity in
+        // this payoff model (that is exactly why the utilities in the
+        // robust-mediator literature only reward the coordination of
+        // *non-faulty* players — see `honest_is_immune_when_faults_excused`).
+        let game = ByzantineAgreementGame::build(3, 0.5);
+        let mg = MediatorGame::new(&game, TruthfulMediator);
+        assert!(!mg.honest_is_t_immune(1));
+    }
+
+    #[test]
+    fn deviation_space_size_is_types_times_actions_plus_one() {
+        let game = ByzantineAgreementGame::build(3, 0.5);
+        let mg = MediatorGame::new(&game, TruthfulMediator);
+        // general: 2 types × (1 + 2 actions) = 6 options
+        assert_eq!(mg.deviation_space(&[0]).len(), 6);
+        // soldier: 1 type × 3 = 3 options
+        assert_eq!(mg.deviation_space(&[1]).len(), 3);
+        // pair: 6 × 3
+        assert_eq!(mg.deviation_space(&[0, 1]).len(), 18);
+    }
+
+    #[test]
+    fn general_misreporting_changes_the_outcome_but_not_her_utility() {
+        let game = ByzantineAgreementGame::build(3, 0.5);
+        let mg = MediatorGame::new(&game, TruthfulMediator);
+        // general lies about her type: everyone coordinates on the wrong
+        // action, and the general herself loses (validity is part of her
+        // utility), confirming truthful reporting is a best response.
+        let honest = mg.honest_outcome(&[1, 0, 0]);
+        assert_eq!(honest, vec![1, 1, 1]);
+        let lied = mg.outcome_with_deviation(&[1, 0, 0], &[0], &[0], &[None]);
+        assert_eq!(lied, vec![0, 0, 0]);
+        assert_eq!(game.utility(0, &[1, 0, 0], &lied), 0.0);
+    }
+}

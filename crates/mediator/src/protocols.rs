@@ -1,0 +1,276 @@
+//! Concrete cheap-talk implementations of the Byzantine-agreement mediator.
+//!
+//! The mediator to be implemented is [`crate::mediator_game::TruthfulMediator`]:
+//! relay the general's preference to everyone. Two cheap-talk protocols are
+//! provided, matching two of the regimes in the paper's summary:
+//!
+//! * [`OralMessagesCheapTalk`] — the general's preference is disseminated by
+//!   the Lamport–Shostak–Pease oral-messages protocol OM(m). With
+//!   `m = k + t` this is a correct implementation whenever
+//!   `n > 3(k + t)`, mirroring the paper's first bullet (the strong regime
+//!   needs no cryptography, no punishment and no knowledge of utilities);
+//! * [`SignedBroadcastCheapTalk`] — the general signs its preference and the
+//!   players run Dolev–Strong authenticated broadcast over the simulated
+//!   PKI. This works for any number of faulty relays (`n > k + t`), matching
+//!   the paper's last bullet (cryptography + PKI push the bound down to
+//!   `k + t`) at the price of the ε/computational caveats discussed there.
+
+use crate::cheap_talk::{CheapTalkImplementation, CheapTalkOutcome};
+use bne_byzantine::broadcast::{DolevStrongProcess, EquivocatingSender, SignedMessage};
+use bne_byzantine::network::{Process, SyncNetwork};
+use bne_byzantine::om::{om_byzantine_generals, OmConfig, TraitorStrategy};
+use bne_crypto::pki::PublicKeyInfrastructure;
+use bne_games::TypeId;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Cheap talk via the oral-messages protocol OM(k + t).
+#[derive(Debug, Clone)]
+pub struct OralMessagesCheapTalk {
+    /// Number of players.
+    pub n: usize,
+    /// Coalition bound the implementation is asked to support.
+    pub k: usize,
+    /// Fault bound the implementation is asked to support.
+    pub t: usize,
+    /// How the faulty players lie during dissemination.
+    pub traitor_strategy: TraitorStrategy,
+}
+
+impl OralMessagesCheapTalk {
+    /// Creates the protocol with the parity-splitting adversary (the worst
+    /// of the canned lies).
+    pub fn new(n: usize, k: usize, t: usize) -> Self {
+        OralMessagesCheapTalk {
+            n,
+            k,
+            t,
+            traitor_strategy: TraitorStrategy::SplitByParity,
+        }
+    }
+}
+
+impl CheapTalkImplementation for OralMessagesCheapTalk {
+    fn execute(&self, types: &[TypeId], faulty: &BTreeSet<usize>, _seed: u64) -> CheapTalkOutcome {
+        let config = OmConfig {
+            n: self.n,
+            m: self.k + self.t,
+            commander_value: types[0] as u64,
+            traitors: faulty.clone(),
+            strategy: self.traitor_strategy,
+            default_value: 0,
+        };
+        let outcome = om_byzantine_generals(&config);
+        let mut actions = vec![0usize; self.n];
+        // the general acts on its own preference (it knows it)
+        actions[0] = types[0];
+        for (player, value) in &outcome.decisions {
+            actions[*player] = *value as usize;
+        }
+        // faulty players' actions are unconstrained; mark them as the
+        // opposite of the general's preference so tests can see they don't
+        // disturb the honest outcome accounting
+        for &f in faulty {
+            actions[f] = 1 - types[0].min(1);
+        }
+        CheapTalkOutcome {
+            actions,
+            messages: outcome.messages,
+            rounds: self.k + self.t + 1,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("OM({}) cheap talk", self.k + self.t)
+    }
+
+    fn claimed_regime(&self) -> (usize, usize, usize) {
+        (self.n, self.k, self.t)
+    }
+}
+
+/// Cheap talk via Dolev–Strong signed broadcast over the simulated PKI.
+#[derive(Debug, Clone)]
+pub struct SignedBroadcastCheapTalk {
+    /// Number of players.
+    pub n: usize,
+    /// Coalition bound.
+    pub k: usize,
+    /// Fault bound.
+    pub t: usize,
+    /// Whether a faulty general equivocates (sends conflicting signed
+    /// values) instead of broadcasting honestly.
+    pub general_equivocates: bool,
+}
+
+impl SignedBroadcastCheapTalk {
+    /// Creates the protocol.
+    pub fn new(n: usize, k: usize, t: usize) -> Self {
+        SignedBroadcastCheapTalk {
+            n,
+            k,
+            t,
+            general_equivocates: true,
+        }
+    }
+}
+
+impl CheapTalkImplementation for SignedBroadcastCheapTalk {
+    fn execute(&self, types: &[TypeId], faulty: &BTreeSet<usize>, seed: u64) -> CheapTalkOutcome {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let fault_budget = self.k + self.t;
+        let (pki, keys) = PublicKeyInfrastructure::setup(self.n, &mut rng);
+        let mut processes: Vec<Box<dyn Process<Msg = SignedMessage>>> = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            if i == 0 && faulty.contains(&0) && self.general_equivocates {
+                processes.push(Box::new(EquivocatingSender::new(keys[0])));
+            } else if faulty.contains(&i) {
+                // faulty relays simply stay silent (they cannot forge other
+                // players' signatures, so silence is their strongest option
+                // against Dolev–Strong besides equivocation by the sender)
+                processes.push(Box::new(SilentProcess));
+            } else {
+                processes.push(Box::new(DolevStrongProcess::new(
+                    0,
+                    types[0] as u64,
+                    fault_budget,
+                    pki.clone(),
+                    keys[i],
+                    0,
+                )));
+            }
+        }
+        let mut net = SyncNetwork::new(processes);
+        net.run(DolevStrongProcess::rounds_needed(fault_budget));
+        let decisions = net.decisions();
+        let stats = net.stats();
+        let mut actions = vec![0usize; self.n];
+        actions[0] = types[0];
+        for (i, d) in decisions.iter().enumerate() {
+            if let Some(v) = d {
+                actions[i] = *v as usize;
+            }
+        }
+        for &f in faulty {
+            actions[f] = 1 - types[0].min(1);
+        }
+        CheapTalkOutcome {
+            actions,
+            messages: stats.messages_sent,
+            rounds: stats.rounds,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("Dolev–Strong cheap talk (t + k = {})", self.k + self.t)
+    }
+
+    fn claimed_regime(&self) -> (usize, usize, usize) {
+        (self.n, self.k, self.t)
+    }
+}
+
+/// A faulty relay that never sends anything.
+struct SilentProcess;
+
+impl Process for SilentProcess {
+    type Msg = SignedMessage;
+    fn init(&mut self, _id: usize, _n: usize) {}
+    fn round(
+        &mut self,
+        _round: usize,
+        _inbox: &[(usize, SignedMessage)],
+    ) -> Vec<(usize, SignedMessage)> {
+        Vec::new()
+    }
+    fn decision(&self) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn faulty(ids: &[usize]) -> BTreeSet<usize> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn om_cheap_talk_matches_mediator_with_honest_general() {
+        // n = 7 > 3(k + t) = 6 with k = 1, t = 1
+        let ct = OralMessagesCheapTalk::new(7, 1, 1);
+        for pref in [0usize, 1] {
+            let types = {
+                let mut t = vec![0usize; 7];
+                t[0] = pref;
+                t
+            };
+            let out = ct.execute(&types, &faulty(&[4, 6]), 0);
+            for p in 0..7 {
+                if [4usize, 6].contains(&p) {
+                    continue;
+                }
+                assert_eq!(out.actions[p], pref, "player {p} pref {pref}");
+            }
+            assert!(out.messages > 0);
+        }
+    }
+
+    #[test]
+    fn om_cheap_talk_keeps_agreement_with_faulty_general() {
+        let ct = OralMessagesCheapTalk::new(7, 1, 1);
+        let types = vec![1usize, 0, 0, 0, 0, 0, 0];
+        let out = ct.execute(&types, &faulty(&[0, 3]), 0);
+        // honest players (1,2,4,5,6) must all take the same action
+        let honest_actions: Vec<usize> = [1usize, 2, 4, 5, 6]
+            .iter()
+            .map(|&p| out.actions[p])
+            .collect();
+        assert!(honest_actions.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn om_cheap_talk_fails_below_the_threshold() {
+        // n = 3 with k + t = 1 violates n > 3(k+t): validity breaks
+        let ct = OralMessagesCheapTalk {
+            n: 3,
+            k: 0,
+            t: 1,
+            traitor_strategy: TraitorStrategy::Flip,
+        };
+        let types = vec![1usize, 0, 0];
+        let out = ct.execute(&types, &faulty(&[2]), 0);
+        // player 1 is honest but ends up not following the general
+        assert_ne!(out.actions[1], 1);
+    }
+
+    #[test]
+    fn signed_broadcast_matches_mediator_even_with_many_faults() {
+        // n = 5, k + t = 3: far beyond n/3, but the PKI protocol handles it
+        let ct = SignedBroadcastCheapTalk::new(5, 1, 2);
+        let types = vec![1usize, 0, 0, 0, 0];
+        let out = ct.execute(&types, &faulty(&[2, 3, 4]), 7);
+        assert_eq!(out.actions[0], 1);
+        assert_eq!(out.actions[1], 1, "the lone honest soldier follows the general");
+    }
+
+    #[test]
+    fn signed_broadcast_equivocating_general_still_gives_agreement() {
+        let ct = SignedBroadcastCheapTalk::new(6, 1, 1);
+        let types = vec![1usize, 0, 0, 0, 0, 0];
+        let out = ct.execute(&types, &faulty(&[0]), 11);
+        let honest: Vec<usize> = (1..6).map(|p| out.actions[p]).collect();
+        assert!(honest.windows(2).all(|w| w[0] == w[1]), "agreement");
+    }
+
+    #[test]
+    fn protocol_names_and_regimes() {
+        let om = OralMessagesCheapTalk::new(10, 2, 1);
+        assert!(om.name().contains("OM(3)"));
+        assert_eq!(om.claimed_regime(), (10, 2, 1));
+        let ds = SignedBroadcastCheapTalk::new(5, 1, 2);
+        assert!(ds.name().contains("Dolev"));
+        assert_eq!(ds.claimed_regime(), (5, 1, 2));
+    }
+}

@@ -1,0 +1,272 @@
+//! # bne-p2p
+//!
+//! A peer-to-peer file-sharing game and network simulator, substituting for
+//! the Gnutella measurements of Adar and Huberman (2000) that the paper uses
+//! to motivate immunity: *"almost 70 percent of users share no files and
+//! nearly 50 percent of responses are from the top 1 percent of sharing
+//! hosts"*. We obviously cannot re-measure the 2000 Gnutella network; this
+//! crate reproduces the *shape* of those statistics from first principles:
+//!
+//! * **the sharing game** — sharing costs `sharing_cost` (bandwidth, legal
+//!   risk) and yields no material benefit, since whether you can download
+//!   depends only on what *others* share; agents whose private "kick out of
+//!   sharing" (an altruism term drawn from a heavy-tailed distribution)
+//!   exceeds the cost share anyway. Free riding is the dominant strategy for
+//!   everyone else, so the equilibrium sharing rate is just the tail
+//!   probability of the altruism distribution — tune the cost and the
+//!   distribution and the ≈30 % sharing rate falls out;
+//! * **the query/response process** — sharers hold libraries with
+//!   Pareto-distributed sizes; queries flood a random overlay with a TTL and
+//!   are answered by reachable sharers in proportion to their library sizes,
+//!   concentrating responses on the biggest sharers exactly as in the
+//!   measurement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{rngs::StdRng, Rng, RngExt, SeedableRng};
+
+/// Configuration of a file-sharing simulation.
+#[derive(Debug, Clone)]
+pub struct P2pConfig {
+    /// Number of peers.
+    pub peers: usize,
+    /// Cost of sharing (bandwidth, lawsuit risk, ...).
+    pub sharing_cost: f64,
+    /// Scale of the exponentially distributed "kick out of sharing" term.
+    /// Larger means more intrinsically generous peers.
+    pub altruism_scale: f64,
+    /// Pareto shape parameter for library sizes of sharers (smaller = more
+    /// skewed).
+    pub library_shape: f64,
+    /// Average out-degree of the random overlay graph.
+    pub degree: usize,
+    /// Flood TTL for queries.
+    pub ttl: usize,
+    /// Number of queries to simulate.
+    pub queries: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for P2pConfig {
+    fn default() -> Self {
+        P2pConfig {
+            peers: 2_000,
+            sharing_cost: 1.0,
+            altruism_scale: 0.85,
+            library_shape: 1.1,
+            degree: 6,
+            ttl: 4,
+            queries: 20_000,
+            seed: 42,
+        }
+    }
+}
+
+/// The measured outcome of a simulation — the quantities the paper quotes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2pOutcome {
+    /// Fraction of peers sharing no files (the free riders).
+    pub free_rider_fraction: f64,
+    /// Fraction of all query responses served by the top 1 % of peers
+    /// (ranked by responses served).
+    pub top1_percent_response_share: f64,
+    /// Fraction of responses served by the top 10 % of peers.
+    pub top10_percent_response_share: f64,
+    /// Fraction of queries that received at least one response.
+    pub query_success_rate: f64,
+    /// Number of sharers.
+    pub sharers: usize,
+}
+
+/// A peer's equilibrium decision in the sharing game: share exactly when the
+/// private benefit (altruism) covers the cost. Because downloads do not
+/// depend on one's own sharing, this *is* the dominant strategy — the game
+/// needs no fixed-point computation.
+pub fn shares_in_equilibrium(altruism: f64, sharing_cost: f64) -> bool {
+    altruism >= sharing_cost
+}
+
+/// Runs the full simulation: equilibrium sharing decisions, overlay
+/// construction, query flooding, response accounting.
+///
+/// # Panics
+///
+/// Panics if there are fewer than 10 peers.
+pub fn simulate(config: &P2pConfig) -> P2pOutcome {
+    assert!(config.peers >= 10, "need at least 10 peers");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.peers;
+
+    // 1. equilibrium sharing decisions
+    let altruism: Vec<f64> = (0..n)
+        .map(|_| sample_exponential(&mut rng, config.altruism_scale))
+        .collect();
+    let shares: Vec<bool> = altruism
+        .iter()
+        .map(|&a| shares_in_equilibrium(a, config.sharing_cost))
+        .collect();
+    let sharers = shares.iter().filter(|s| **s).count();
+
+    // 2. library sizes for sharers (Pareto-distributed)
+    let libraries: Vec<f64> = (0..n)
+        .map(|i| {
+            if shares[i] {
+                sample_pareto(&mut rng, config.library_shape)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    // 3. random overlay graph (undirected, approximately `degree` edges per
+    //    peer)
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let edges = n * config.degree / 2;
+    for _ in 0..edges {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if a != b {
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+    }
+
+    // 4. query flooding: each query starts at a random peer, reaches
+    //    everyone within `ttl` hops, and is answered by reachable sharers
+    //    with probability proportional to library size (normalized by the
+    //    largest library so big sharers answer almost always).
+    let max_library = libraries.iter().cloned().fold(0.0_f64, f64::max).max(1.0);
+    let mut responses_by_peer = vec![0usize; n];
+    let mut answered_queries = 0usize;
+    let mut visited = vec![usize::MAX; n];
+    for query in 0..config.queries {
+        let origin = rng.random_range(0..n);
+        // BFS up to ttl
+        let mut frontier = vec![origin];
+        visited[origin] = query;
+        let mut any = false;
+        for _hop in 0..config.ttl {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in &adjacency[u] {
+                    if visited[v] != query {
+                        visited[v] = query;
+                        next.push(v);
+                        if shares[v] {
+                            let p = libraries[v] / max_library;
+                            if rng.random::<f64>() < p {
+                                responses_by_peer[v] += 1;
+                                any = true;
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        if any {
+            answered_queries += 1;
+        }
+    }
+
+    // 5. concentration statistics
+    let total_responses: usize = responses_by_peer.iter().sum();
+    let mut sorted = responses_by_peer.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let share_of_top = |fraction: f64| -> f64 {
+        if total_responses == 0 {
+            return 0.0;
+        }
+        let k = ((n as f64 * fraction).ceil() as usize).max(1);
+        sorted.iter().take(k).sum::<usize>() as f64 / total_responses as f64
+    };
+
+    P2pOutcome {
+        free_rider_fraction: 1.0 - sharers as f64 / n as f64,
+        top1_percent_response_share: share_of_top(0.01),
+        top10_percent_response_share: share_of_top(0.10),
+        query_success_rate: answered_queries as f64 / config.queries as f64,
+        sharers,
+    }
+}
+
+fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    -scale * u.ln()
+}
+
+fn sample_pareto<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    u.powf(-1.0 / shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_riding_is_dominant_below_the_cost() {
+        assert!(!shares_in_equilibrium(0.5, 1.0));
+        assert!(shares_in_equilibrium(1.5, 1.0));
+    }
+
+    #[test]
+    fn default_configuration_reproduces_the_gnutella_shape() {
+        let outcome = simulate(&P2pConfig::default());
+        // ≈70 % free riders (Adar–Huberman report "almost 70 percent")
+        assert!(
+            (outcome.free_rider_fraction - 0.70).abs() < 0.06,
+            "free riders {}",
+            outcome.free_rider_fraction
+        );
+        // the top 1 % of hosts serve a large chunk of responses (the paper
+        // quotes ~50 %; accept the 30–70 % band for the synthetic network)
+        assert!(
+            outcome.top1_percent_response_share > 0.30
+                && outcome.top1_percent_response_share < 0.70,
+            "top 1% share {}",
+            outcome.top1_percent_response_share
+        );
+        assert!(outcome.top10_percent_response_share > outcome.top1_percent_response_share);
+        assert!(outcome.query_success_rate > 0.5);
+    }
+
+    #[test]
+    fn raising_the_sharing_cost_increases_free_riding() {
+        let cheap = simulate(&P2pConfig {
+            sharing_cost: 0.3,
+            ..P2pConfig::default()
+        });
+        let expensive = simulate(&P2pConfig {
+            sharing_cost: 2.5,
+            ..P2pConfig::default()
+        });
+        assert!(expensive.free_rider_fraction > cheap.free_rider_fraction + 0.1);
+        assert!(expensive.sharers < cheap.sharers);
+    }
+
+    #[test]
+    fn more_skewed_libraries_concentrate_responses() {
+        let skewed = simulate(&P2pConfig {
+            library_shape: 0.8,
+            ..P2pConfig::default()
+        });
+        let flat = simulate(&P2pConfig {
+            library_shape: 3.0,
+            ..P2pConfig::default()
+        });
+        assert!(skewed.top1_percent_response_share > flat.top1_percent_response_share);
+    }
+
+    #[test]
+    fn simulation_is_reproducible_for_a_fixed_seed() {
+        let a = simulate(&P2pConfig::default());
+        let b = simulate(&P2pConfig::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,98 @@
+//! One-stop profile classification: Nash, Pareto, resilience, immunity and
+//! robustness in a single report. Used by the experiment binaries that
+//! regenerate the paper's Section 2 examples (E1 and E2 in DESIGN.md).
+
+use crate::immunity::max_immunity;
+use crate::resilience::{max_resilience, ResilienceVariant};
+use bne_games::{ActionId, NormalFormGame};
+
+/// A summary of everything Section 2 of the paper asks about a profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileClassification {
+    /// The profile analysed.
+    pub profile: Vec<ActionId>,
+    /// Payoffs of the profile.
+    pub payoffs: Vec<f64>,
+    /// Whether the profile is a pure Nash equilibrium.
+    pub is_nash: bool,
+    /// Whether the profile is Pareto optimal among pure profiles.
+    pub is_pareto_optimal: bool,
+    /// The largest k (up to the number of players) for which the profile is
+    /// k-resilient under the strong (some-member-gains) variant.
+    pub max_resilience: usize,
+    /// The largest t (up to the number of players) for which the profile is
+    /// t-immune.
+    pub max_immunity: usize,
+}
+
+impl ProfileClassification {
+    /// Whether the profile is (k, t)-robust for the given parameters
+    /// according to this classification (componentwise definition).
+    pub fn is_robust(&self, k: usize, t: usize) -> bool {
+        self.max_resilience >= k && self.max_immunity >= t
+    }
+}
+
+/// Computes the full classification for one profile. The resilience and
+/// immunity searches are exhaustive up to coalitions of all `n` players, so
+/// this is intended for the small-to-medium games of the paper's examples.
+pub fn classify_profile(game: &NormalFormGame, profile: &[ActionId]) -> ProfileClassification {
+    let n = game.num_players();
+    ProfileClassification {
+        profile: profile.to_vec(),
+        payoffs: game.payoff_vector(profile),
+        is_nash: game.is_pure_nash(profile),
+        is_pareto_optimal: game.is_pareto_optimal(profile),
+        max_resilience: max_resilience(game, profile, n, ResilienceVariant::SomeMemberGains),
+        max_immunity: max_immunity(game, profile, n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bne_games::classic;
+
+    #[test]
+    fn classification_of_bargaining_matches_paper() {
+        let n = 5;
+        let g = classic::bargaining_game(n);
+        let c = classify_profile(&g, &vec![0; n]);
+        assert!(c.is_nash);
+        assert!(c.is_pareto_optimal);
+        assert_eq!(c.max_resilience, n);
+        assert_eq!(c.max_immunity, 0);
+        assert!(c.is_robust(n, 0));
+        assert!(!c.is_robust(1, 1));
+        assert_eq!(c.payoffs, vec![2.0; n]);
+    }
+
+    #[test]
+    fn classification_of_coordination_matches_paper() {
+        let g = classic::coordination_game(4);
+        let c = classify_profile(&g, &[0; 4]);
+        assert!(c.is_nash);
+        assert_eq!(c.max_resilience, 1);
+        assert!(c.is_robust(1, 0));
+        assert!(!c.is_robust(2, 0));
+    }
+
+    #[test]
+    fn non_equilibrium_profile_has_zero_resilience() {
+        let pd = classic::prisoners_dilemma();
+        let c = classify_profile(&pd, &[0, 0]);
+        assert!(!c.is_nash);
+        assert_eq!(c.max_resilience, 0);
+        assert!(!c.is_robust(1, 0));
+    }
+
+    #[test]
+    fn pd_defection_classification() {
+        let pd = classic::prisoners_dilemma();
+        let c = classify_profile(&pd, &[1, 1]);
+        assert!(c.is_nash);
+        assert!(!c.is_pareto_optimal);
+        assert_eq!(c.max_resilience, 1);
+        assert_eq!(c.max_immunity, 2);
+    }
+}

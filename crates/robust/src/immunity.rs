@@ -1,0 +1,185 @@
+//! t-immunity: protecting non-deviators from arbitrary ("faulty") behavior.
+//!
+//! A strategy profile is *t-immune* if no player who does **not** deviate is
+//! made worse off when up to `t` other players deviate in an arbitrary way.
+//! Where resilience is about deviators not *gaining*, immunity is about
+//! bystanders not being *hurt* — this is the fault-tolerance dimension the
+//! paper imports from distributed computing (Byzantine players, crashed
+//! machines, users with unexpected utilities such as Gnutella's sharing
+//! hosts).
+
+use bne_games::profile::{subsets_up_to_size, ProfileIter};
+use bne_games::{ActionId, NormalFormGame, PlayerId, EPSILON};
+
+/// A witness that a profile is not t-immune: a set of deviators and a joint
+/// deviation that hurts some non-deviator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImmunityViolation {
+    /// The deviating ("faulty") players.
+    pub deviators: Vec<PlayerId>,
+    /// The actions the deviators switch to, in the same order as
+    /// `deviators`.
+    pub deviation: Vec<ActionId>,
+    /// A non-deviating player who is hurt.
+    pub victim: PlayerId,
+    /// The victim's utility before the deviation.
+    pub before: f64,
+    /// The victim's utility after the deviation.
+    pub after: f64,
+}
+
+impl ImmunityViolation {
+    /// How much the victim loses.
+    pub fn loss(&self) -> f64 {
+        self.before - self.after
+    }
+}
+
+/// Searches for a violation of t-immunity. Returns the first witness found,
+/// or `None` if the profile is t-immune.
+///
+/// # Panics
+///
+/// Panics if `profile` is not a valid pure profile of `game`.
+pub fn immunity_counterexample(
+    game: &NormalFormGame,
+    profile: &[ActionId],
+    t: usize,
+) -> Option<ImmunityViolation> {
+    game.validate_profile(profile)
+        .expect("profile must be valid for the game");
+    if t == 0 {
+        return None;
+    }
+    let n = game.num_players();
+    for deviators in subsets_up_to_size(n, t.min(n)) {
+        let radices: Vec<usize> = deviators.iter().map(|&p| game.num_actions(p)).collect();
+        for deviation in ProfileIter::new(&radices) {
+            if deviators
+                .iter()
+                .zip(deviation.iter())
+                .all(|(&p, &a)| profile[p] == a)
+            {
+                continue;
+            }
+            let mut new_profile = profile.to_vec();
+            for (&p, &a) in deviators.iter().zip(deviation.iter()) {
+                new_profile[p] = a;
+            }
+            for victim in 0..n {
+                if deviators.contains(&victim) {
+                    continue;
+                }
+                let before = game.payoff(victim, profile);
+                let after = game.payoff(victim, &new_profile);
+                if after < before - EPSILON {
+                    return Some(ImmunityViolation {
+                        deviators: deviators.clone(),
+                        deviation,
+                        victim,
+                        before,
+                        after,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether `profile` is t-immune. Every profile is trivially 0-immune.
+pub fn is_t_immune(game: &NormalFormGame, profile: &[ActionId], t: usize) -> bool {
+    immunity_counterexample(game, profile, t).is_none()
+}
+
+/// The largest `t ≤ max_t` for which `profile` is t-immune.
+pub fn max_immunity(game: &NormalFormGame, profile: &[ActionId], max_t: usize) -> usize {
+    let mut best = 0;
+    for t in 1..=max_t.min(game.num_players()) {
+        if is_t_immune(game, profile, t) {
+            best = t;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bne_games::classic;
+
+    #[test]
+    fn bargaining_all_stay_is_not_1_immune() {
+        // The paper's bargaining example: a single deviator (leaving the
+        // table) drops every stayer from 2 to 0.
+        let n = 5;
+        let g = classic::bargaining_game(n);
+        let all_stay = vec![0; n];
+        let violation = immunity_counterexample(&g, &all_stay, 1).expect("violation exists");
+        assert_eq!(violation.deviators.len(), 1);
+        assert_eq!(violation.before, 2.0);
+        assert_eq!(violation.after, 0.0);
+        assert_eq!(violation.loss(), 2.0);
+        assert!(!is_t_immune(&g, &all_stay, 1));
+        assert_eq!(max_immunity(&g, &all_stay, n), 0);
+    }
+
+    #[test]
+    fn coordination_all_zero_is_1_immune_but_not_2_immune() {
+        // In the 0/1 coordination game, one deviator playing 1 leaves the
+        // others at 0... wait: with exactly one 1, everyone gets 0, so the
+        // non-deviators drop from 1 to 0 — not even 1-immune.
+        let g = classic::coordination_game(4);
+        let all_zero = vec![0; 4];
+        assert!(!is_t_immune(&g, &all_zero, 1));
+    }
+
+    #[test]
+    fn constant_payoff_game_is_immune_to_everything() {
+        // a game where payoffs don't depend on actions at all is t-immune
+        // for every t
+        let g = bne_games::NormalFormBuilder::new("constant")
+            .player("A", &["x", "y"])
+            .player("B", &["x", "y"])
+            .player("C", &["x", "y"])
+            .default_payoff(1.0)
+            .build()
+            .unwrap();
+        for profile in g.profiles() {
+            for t in 0..=3 {
+                assert!(is_t_immune(&g, &profile, t));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_immunity_is_trivial() {
+        let g = classic::bargaining_game(3);
+        assert!(is_t_immune(&g, &[0, 0, 0], 0));
+    }
+
+    #[test]
+    fn pd_defection_is_1_immune() {
+        // in PD, if your opponent deviates from (D,D) to C you *gain*
+        // (from -3 to 5), so (D,D) is 1-immune.
+        let pd = classic::prisoners_dilemma();
+        assert!(is_t_immune(&pd, &[1, 1], 1));
+        // but (C,C) is not: the opponent defecting drops you from 3 to -5.
+        assert!(!is_t_immune(&pd, &[0, 0], 1));
+    }
+
+    #[test]
+    fn violation_report_is_consistent() {
+        let g = classic::bargaining_game(4);
+        let v = immunity_counterexample(&g, &[0; 4], 2).expect("violation exists");
+        let mut deviated = vec![0; 4];
+        for (&p, &a) in v.deviators.iter().zip(v.deviation.iter()) {
+            deviated[p] = a;
+        }
+        assert!(!v.deviators.contains(&v.victim));
+        assert_eq!(v.after, g.payoff(v.victim, &deviated));
+        assert_eq!(v.before, g.payoff(v.victim, &[0; 4]));
+    }
+}

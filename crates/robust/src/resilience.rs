@@ -1,0 +1,285 @@
+//! k-resilience: tolerating coordinated deviations by coalitions.
+//!
+//! A strategy profile is *k-resilient* if no coalition of at most `k`
+//! players can jointly deviate in a way that benefits its members. The
+//! notion goes back to Aumann (1959); the paper uses the strong form of
+//! Abraham et al. in which a deviation counts as an objection when **any**
+//! coalition member strictly gains. A weaker variant (all members must
+//! strictly gain) is also provided for comparison, since both appear in the
+//! coalition-proofness literature the paper cites (Bernheim–Peleg–Whinston,
+//! Moreno–Wooders).
+
+use bne_games::profile::{subsets_up_to_size, ProfileIter};
+use bne_games::{ActionId, NormalFormGame, PlayerId, EPSILON};
+
+/// Which players must benefit for a coalition deviation to count as a
+/// successful objection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResilienceVariant {
+    /// The deviation succeeds if **some** member of the coalition strictly
+    /// gains (and, implicitly, the others in the coalition follow along).
+    /// This is the strong notion used by Abraham et al. and the paper.
+    #[default]
+    SomeMemberGains,
+    /// The deviation succeeds only if **every** member of the coalition
+    /// strictly gains. This is the weaker, coalition-proof-style notion.
+    AllMembersGain,
+}
+
+/// A successful coalition deviation: a witness that a profile is not
+/// k-resilient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoalitionDeviation {
+    /// The deviating coalition (player indices, increasing).
+    pub coalition: Vec<PlayerId>,
+    /// The actions the coalition members switch to, in the same order as
+    /// `coalition`.
+    pub deviation: Vec<ActionId>,
+    /// Utility of each coalition member before the deviation.
+    pub before: Vec<f64>,
+    /// Utility of each coalition member after the deviation.
+    pub after: Vec<f64>,
+}
+
+impl CoalitionDeviation {
+    /// The largest per-member gain achieved by this deviation.
+    pub fn max_gain(&self) -> f64 {
+        self.before
+            .iter()
+            .zip(self.after.iter())
+            .map(|(b, a)| a - b)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Searches for a coalition of size at most `k` whose members can profitably
+/// deviate from `profile` (under the given variant). Returns the first
+/// witness found, or `None` if the profile is k-resilient.
+///
+/// # Panics
+///
+/// Panics if `profile` is not a valid pure profile of `game`.
+pub fn resilience_counterexample(
+    game: &NormalFormGame,
+    profile: &[ActionId],
+    k: usize,
+    variant: ResilienceVariant,
+) -> Option<CoalitionDeviation> {
+    game.validate_profile(profile)
+        .expect("profile must be valid for the game");
+    if k == 0 {
+        return None;
+    }
+    let n = game.num_players();
+    for coalition in subsets_up_to_size(n, k.min(n)) {
+        let before: Vec<f64> = coalition.iter().map(|&p| game.payoff(p, profile)).collect();
+        let radices: Vec<usize> = coalition.iter().map(|&p| game.num_actions(p)).collect();
+        for deviation in ProfileIter::new(&radices) {
+            // skip the non-deviation
+            if coalition
+                .iter()
+                .zip(deviation.iter())
+                .all(|(&p, &a)| profile[p] == a)
+            {
+                continue;
+            }
+            let mut new_profile = profile.to_vec();
+            for (&p, &a) in coalition.iter().zip(deviation.iter()) {
+                new_profile[p] = a;
+            }
+            let after: Vec<f64> = coalition
+                .iter()
+                .map(|&p| game.payoff(p, &new_profile))
+                .collect();
+            let success = match variant {
+                ResilienceVariant::SomeMemberGains => before
+                    .iter()
+                    .zip(after.iter())
+                    .any(|(b, a)| *a > *b + EPSILON),
+                ResilienceVariant::AllMembersGain => before
+                    .iter()
+                    .zip(after.iter())
+                    .all(|(b, a)| *a > *b + EPSILON),
+            };
+            if success {
+                return Some(CoalitionDeviation {
+                    coalition: coalition.clone(),
+                    deviation,
+                    before,
+                    after,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Whether `profile` is k-resilient under the given variant.
+///
+/// A 1-resilient profile (under either variant) is exactly a pure Nash
+/// equilibrium.
+pub fn is_k_resilient(
+    game: &NormalFormGame,
+    profile: &[ActionId],
+    k: usize,
+    variant: ResilienceVariant,
+) -> bool {
+    resilience_counterexample(game, profile, k, variant).is_none()
+}
+
+/// The largest `k ≤ max_k` for which `profile` is k-resilient (0 means not
+/// even 1-resilient, i.e. not a Nash equilibrium).
+pub fn max_resilience(
+    game: &NormalFormGame,
+    profile: &[ActionId],
+    max_k: usize,
+    variant: ResilienceVariant,
+) -> usize {
+    let mut best = 0;
+    for k in 1..=max_k.min(game.num_players()) {
+        if is_k_resilient(game, profile, k, variant) {
+            best = k;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bne_games::classic;
+
+    #[test]
+    fn one_resilience_equals_nash() {
+        let pd = classic::prisoners_dilemma();
+        for profile in pd.profiles() {
+            assert_eq!(
+                is_k_resilient(&pd, &profile, 1, ResilienceVariant::SomeMemberGains),
+                pd.is_pure_nash(&profile),
+                "profile {profile:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn coordination_all_zero_is_nash_but_not_2_resilient() {
+        // The paper's Section 2 example: everyone playing 0 is a Nash
+        // equilibrium, but any pair can deviate to 1 and jump from 1 to 2.
+        let g = classic::coordination_game(5);
+        let all_zero = vec![0; 5];
+        assert!(is_k_resilient(
+            &g,
+            &all_zero,
+            1,
+            ResilienceVariant::SomeMemberGains
+        ));
+        let witness =
+            resilience_counterexample(&g, &all_zero, 2, ResilienceVariant::SomeMemberGains)
+                .expect("a pair deviation exists");
+        assert_eq!(witness.coalition.len(), 2);
+        assert!(witness.after.iter().all(|&u| u == 2.0));
+        assert!(witness.before.iter().all(|&u| u == 1.0));
+        assert!((witness.max_gain() - 1.0).abs() < 1e-12);
+        assert_eq!(
+            max_resilience(&g, &all_zero, 5, ResilienceVariant::SomeMemberGains),
+            1
+        );
+    }
+
+    #[test]
+    fn coordination_not_2_resilient_even_under_weak_variant() {
+        let g = classic::coordination_game(4);
+        let all_zero = vec![0; 4];
+        // both deviators strictly gain, so even the all-members-gain variant
+        // rejects 2-resilience
+        assert!(!is_k_resilient(
+            &g,
+            &all_zero,
+            2,
+            ResilienceVariant::AllMembersGain
+        ));
+    }
+
+    #[test]
+    fn bargaining_all_stay_is_resilient_for_every_k() {
+        // The paper: everyone staying is k-resilient for all k (a deviating
+        // coalition drops from 2 to 1), yet fragile in the immunity sense.
+        let n = 6;
+        let g = classic::bargaining_game(n);
+        let all_stay = vec![0; n];
+        for k in 1..=n {
+            assert!(
+                is_k_resilient(&g, &all_stay, k, ResilienceVariant::SomeMemberGains),
+                "failed at k = {k}"
+            );
+        }
+        assert_eq!(
+            max_resilience(&g, &all_stay, n, ResilienceVariant::SomeMemberGains),
+            n
+        );
+    }
+
+    #[test]
+    fn pd_defection_is_2_resilient_under_strong_variant_only_if_no_gain() {
+        let pd = classic::prisoners_dilemma();
+        // (D, D): the grand coalition deviating to (C, C) moves both from -3
+        // to 3, so it is NOT 2-resilient.
+        assert!(!is_k_resilient(
+            &pd,
+            &[1, 1],
+            2,
+            ResilienceVariant::SomeMemberGains
+        ));
+        // but it is 1-resilient (it is the Nash equilibrium)
+        assert!(is_k_resilient(
+            &pd,
+            &[1, 1],
+            1,
+            ResilienceVariant::SomeMemberGains
+        ));
+    }
+
+    #[test]
+    fn weak_variant_is_weaker_than_strong() {
+        // any profile rejected by the weak variant must be rejected by the
+        // strong variant too
+        let g = classic::coordination_game(4);
+        for profile in g.profiles() {
+            for k in 1..=3 {
+                let strong = is_k_resilient(&g, &profile, k, ResilienceVariant::SomeMemberGains);
+                let weak = is_k_resilient(&g, &profile, k, ResilienceVariant::AllMembersGain);
+                if strong {
+                    assert!(weak, "strong resilience must imply weak resilience");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_resilience_is_trivially_true() {
+        let pd = classic::prisoners_dilemma();
+        assert!(is_k_resilient(
+            &pd,
+            &[0, 0],
+            0,
+            ResilienceVariant::SomeMemberGains
+        ));
+    }
+
+    #[test]
+    fn counterexample_reports_consistent_payoffs() {
+        let g = classic::coordination_game(4);
+        let w = resilience_counterexample(&g, &[0; 4], 3, ResilienceVariant::SomeMemberGains)
+            .expect("witness exists");
+        let mut deviated = vec![0; 4];
+        for (&p, &a) in w.coalition.iter().zip(w.deviation.iter()) {
+            deviated[p] = a;
+        }
+        for (i, &p) in w.coalition.iter().enumerate() {
+            assert_eq!(w.after[i], g.payoff(p, &deviated));
+            assert_eq!(w.before[i], g.payoff(p, &[0; 4]));
+        }
+    }
+}

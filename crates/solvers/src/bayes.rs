@@ -1,0 +1,173 @@
+//! Pure Bayes–Nash equilibrium search for finite Bayesian games.
+//!
+//! Two procedures are provided:
+//!
+//! * [`find_pure_bayes_nash`] — exhaustive search over all pure Bayesian
+//!   strategy profiles (exponential; fine for the small games in the
+//!   paper's examples);
+//! * [`best_response_dynamics`] — iterated best response in the agent-form
+//!   game, which is fast and finds an equilibrium whenever the dynamics
+//!   happen to converge (it may cycle in games without pure equilibria).
+
+use bne_games::profile::ProfileIter;
+use bne_games::{BayesianGame, BayesianStrategy};
+
+/// Exhaustively searches for pure Bayes–Nash equilibria. Returns all of
+/// them, as one strategy per player.
+///
+/// The search space is the product over players of
+/// `num_actions ^ num_types`, so this is only suitable for small games.
+pub fn find_pure_bayes_nash(game: &BayesianGame) -> Vec<Vec<BayesianStrategy>> {
+    let per_player: Vec<Vec<BayesianStrategy>> = (0..game.num_players())
+        .map(|p| BayesianStrategy::enumerate_all(game.num_types(p), game.num_actions(p)))
+        .collect();
+    let radices: Vec<usize> = per_player.iter().map(|s| s.len()).collect();
+    let mut out = Vec::new();
+    for combo in ProfileIter::new(&radices) {
+        let profile: Vec<BayesianStrategy> = combo
+            .iter()
+            .enumerate()
+            .map(|(p, &i)| per_player[p][i].clone())
+            .collect();
+        if game.is_bayes_nash(&profile) {
+            out.push(profile);
+        }
+    }
+    out
+}
+
+/// Iterated best-response dynamics on pure Bayesian strategies.
+///
+/// Starting from everyone playing action 0 for every type, repeatedly lets
+/// each player in turn switch every type to its interim best response.
+/// Returns `Some(profile)` if a fixed point (a pure Bayes–Nash equilibrium)
+/// is reached within `max_sweeps` sweeps, `None` otherwise.
+pub fn best_response_dynamics(
+    game: &BayesianGame,
+    max_sweeps: usize,
+) -> Option<Vec<BayesianStrategy>> {
+    let mut profile: Vec<BayesianStrategy> = (0..game.num_players())
+        .map(|p| BayesianStrategy::constant(0, game.num_types(p)))
+        .collect();
+    for _ in 0..max_sweeps {
+        let mut changed = false;
+        for p in 0..game.num_players() {
+            for ty in 0..game.num_types(p) {
+                let mut best_action = profile[p].action(ty);
+                let mut best_value = {
+                    let mut s = profile[p].clone();
+                    s.set_action(ty, best_action);
+                    game.interim_utility(p, ty, &s, &profile)
+                };
+                for a in 0..game.num_actions(p) {
+                    let mut s = profile[p].clone();
+                    s.set_action(ty, a);
+                    let u = game.interim_utility(p, ty, &s, &profile);
+                    if u > best_value + 1e-9 {
+                        best_value = u;
+                        best_action = a;
+                    }
+                }
+                if best_action != profile[p].action(ty) {
+                    profile[p].set_action(ty, best_action);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return if game.is_bayes_nash(&profile) {
+                Some(profile)
+            } else {
+                None
+            };
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bne_games::bayesian::TypeDistribution;
+    use bne_games::BayesianGame;
+
+    /// The Byzantine-agreement-flavoured Bayesian game: player 0 is the
+    /// general with two equally likely types (prefer attack / prefer
+    /// retreat); everyone (including the general) picks attack (0) or
+    /// retreat (1). All players get 1 if everyone matches the general's
+    /// preference, otherwise 0.
+    fn general_game(n: usize) -> BayesianGame {
+        let mut marginals = vec![vec![0.5, 0.5]];
+        marginals.extend(std::iter::repeat_n(vec![1.0], n - 1));
+        let prior = TypeDistribution::independent(&marginals).unwrap();
+        BayesianGame::new(
+            format!("general coordination (n = {n})"),
+            vec![2; n],
+            prior,
+            |_p, types, actions| {
+                let pref = types[0];
+                if actions.iter().all(|&a| a == pref) {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exhaustive_search_finds_follow_the_general_profile() {
+        let g = general_game(2);
+        let eqs = find_pure_bayes_nash(&g);
+        assert!(!eqs.is_empty());
+        // the "general plays her preference, the other matches expectation"
+        // profile can't exist without communication (the other player can't
+        // see the type), but "general plays constant 0, other plays 0" is an
+        // equilibrium; check that every returned profile verifies.
+        for eq in &eqs {
+            assert!(g.is_bayes_nash(eq));
+        }
+        // truthful general + other playing 0 is also an equilibrium
+        // (the other player cannot do better without information).
+        let truthful = vec![
+            BayesianStrategy::new(vec![0, 1]),
+            BayesianStrategy::constant(0, 1),
+        ];
+        assert!(eqs.contains(&truthful));
+    }
+
+    #[test]
+    fn best_response_dynamics_converges_on_general_game() {
+        let g = general_game(3);
+        let eq = best_response_dynamics(&g, 100).expect("dynamics converge");
+        assert!(g.is_bayes_nash(&eq));
+    }
+
+    #[test]
+    fn dynamics_may_fail_on_cyclic_games() {
+        // matching pennies as a trivial Bayesian game has no pure
+        // equilibrium, so the dynamics cannot converge to one.
+        let prior = TypeDistribution::trivial(2);
+        let g = BayesianGame::new("pennies", vec![2, 2], prior, |p, _t, a| {
+            let matched = a[0] == a[1];
+            if (p == 0) == matched {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+        .unwrap();
+        assert!(best_response_dynamics(&g, 50).is_none());
+        assert!(find_pure_bayes_nash(&g).is_empty());
+    }
+
+    #[test]
+    fn exhaustive_and_dynamics_agree_when_both_succeed() {
+        let g = general_game(2);
+        let all = find_pure_bayes_nash(&g);
+        if let Some(found) = best_response_dynamics(&g, 100) {
+            assert!(all.contains(&found));
+        }
+    }
+}

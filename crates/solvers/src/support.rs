@@ -1,0 +1,256 @@
+//! Support enumeration for two-player games.
+//!
+//! For every pair of equal-sized supports, solve the indifference conditions
+//! (a small linear system) and keep solutions that are valid probability
+//! distributions and best responses. For nondegenerate games this finds all
+//! mixed Nash equilibria; the paper's roshambo game yields its unique
+//! uniform equilibrium this way.
+
+use crate::linalg::solve_linear_system;
+use bne_games::profile::for_each_subset_of_size;
+use bne_games::{MixedProfile, MixedStrategy, NormalFormGame};
+
+/// Finds mixed Nash equilibria of a two-player game by support enumeration.
+///
+/// Returns every equilibrium found (one per support pair that admits a valid
+/// solution); duplicates arising from degenerate games are filtered by L1
+/// distance.
+///
+/// # Panics
+///
+/// Panics if the game does not have exactly two players.
+pub fn support_enumeration(game: &NormalFormGame) -> Vec<MixedProfile> {
+    assert_eq!(
+        game.num_players(),
+        2,
+        "support enumeration is implemented for two-player games"
+    );
+    let m = game.num_actions(0);
+    let n = game.num_actions(1);
+    let mut equilibria: Vec<MixedProfile> = Vec::new();
+
+    for size in 1..=m.min(n) {
+        let mut row_supports = Vec::new();
+        for_each_subset_of_size(m, size, |s| row_supports.push(s.to_vec()));
+        let mut col_supports = Vec::new();
+        for_each_subset_of_size(n, size, |s| col_supports.push(s.to_vec()));
+
+        for s1 in &row_supports {
+            for s2 in &col_supports {
+                if let Some(profile) = solve_support_pair(game, s1, s2) {
+                    if profile.is_epsilon_nash(game, 1e-6)
+                        && !equilibria.iter().any(|e| close(e, &profile))
+                    {
+                        equilibria.push(profile);
+                    }
+                }
+            }
+        }
+    }
+    equilibria
+}
+
+fn close(a: &MixedProfile, b: &MixedProfile) -> bool {
+    a.strategy(0).l1_distance(b.strategy(0)) < 1e-6
+        && a.strategy(1).l1_distance(b.strategy(1)) < 1e-6
+}
+
+/// Solves the indifference conditions for a specific support pair. Returns
+/// `None` if the system is singular, the solution is not a distribution, or
+/// an unsupported action would be strictly better.
+fn solve_support_pair(
+    game: &NormalFormGame,
+    s1: &[usize],
+    s2: &[usize],
+) -> Option<MixedProfile> {
+    let k = s1.len();
+    debug_assert_eq!(k, s2.len());
+    let m = game.num_actions(0);
+    let n = game.num_actions(1);
+
+    // Solve for player 2's mixture y over s2 making player 1 indifferent on
+    // s1: for all i in s1, sum_j y_j A[i][j] - v1 = 0 ; sum_j y_j = 1.
+    let mut a = Vec::with_capacity(k + 1);
+    let mut b = vec![0.0; k + 1];
+    for &i in s1 {
+        let mut row = Vec::with_capacity(k + 1);
+        for &j in s2 {
+            row.push(game.payoff(0, &[i, j]));
+        }
+        row.push(-1.0); // -v1
+        a.push(row);
+    }
+    let mut last = vec![1.0; k];
+    last.push(0.0);
+    a.push(last);
+    b[k] = 1.0;
+    let sol_y = solve_linear_system(&a, &b)?;
+    let y = &sol_y[..k];
+    let v1 = sol_y[k];
+    if y.iter().any(|p| *p < -1e-9) {
+        return None;
+    }
+
+    // Solve for player 1's mixture x over s1 making player 2 indifferent on
+    // s2.
+    let mut a = Vec::with_capacity(k + 1);
+    let mut b = vec![0.0; k + 1];
+    for &j in s2 {
+        let mut row = Vec::with_capacity(k + 1);
+        for &i in s1 {
+            row.push(game.payoff(1, &[i, j]));
+        }
+        row.push(-1.0); // -v2
+        a.push(row);
+    }
+    let mut last = vec![1.0; k];
+    last.push(0.0);
+    a.push(last);
+    b[k] = 1.0;
+    let sol_x = solve_linear_system(&a, &b)?;
+    let x = &sol_x[..k];
+    let v2 = sol_x[k];
+    if x.iter().any(|p| *p < -1e-9) {
+        return None;
+    }
+
+    // Assemble full-length strategies.
+    let mut full_x = vec![0.0; m];
+    for (idx, &i) in s1.iter().enumerate() {
+        full_x[i] = x[idx].max(0.0);
+    }
+    let mut full_y = vec![0.0; n];
+    for (idx, &j) in s2.iter().enumerate() {
+        full_y[j] = y[idx].max(0.0);
+    }
+    // renormalize tiny numerical drift
+    let sx: f64 = full_x.iter().sum();
+    let sy: f64 = full_y.iter().sum();
+    if sx <= 0.0 || sy <= 0.0 {
+        return None;
+    }
+    for p in &mut full_x {
+        *p /= sx;
+    }
+    for p in &mut full_y {
+        *p /= sy;
+    }
+
+    // Check that actions outside the supports are not profitable.
+    for i in 0..m {
+        if s1.contains(&i) {
+            continue;
+        }
+        let u: f64 = s2
+            .iter()
+            .enumerate()
+            .map(|(idx, &j)| y[idx] * game.payoff(0, &[i, j]))
+            .sum();
+        if u > v1 + 1e-9 {
+            return None;
+        }
+    }
+    for j in 0..n {
+        if s2.contains(&j) {
+            continue;
+        }
+        let u: f64 = s1
+            .iter()
+            .enumerate()
+            .map(|(idx, &i)| x[idx] * game.payoff(1, &[i, j]))
+            .sum();
+        if u > v2 + 1e-9 {
+            return None;
+        }
+    }
+
+    let sx = MixedStrategy::new(full_x).ok()?;
+    let sy = MixedStrategy::new(full_y).ok()?;
+    MixedProfile::new(game, vec![sx, sy]).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bne_games::classic;
+
+    #[test]
+    fn finds_uniform_equilibrium_of_roshambo() {
+        let g = classic::roshambo();
+        let eqs = support_enumeration(&g);
+        assert!(!eqs.is_empty());
+        let full_support: Vec<_> = eqs
+            .iter()
+            .filter(|e| e.strategy(0).support().len() == 3)
+            .collect();
+        assert_eq!(full_support.len(), 1);
+        for a in 0..3 {
+            assert!((full_support[0].strategy(0).prob(a) - 1.0 / 3.0).abs() < 1e-6);
+            assert!((full_support[0].strategy(1).prob(a) - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn finds_mixed_equilibrium_of_matching_pennies() {
+        let g = classic::matching_pennies();
+        let eqs = support_enumeration(&g);
+        assert_eq!(eqs.len(), 1);
+        assert!((eqs[0].strategy(0).prob(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finds_pure_and_mixed_equilibria_of_battle_of_sexes() {
+        let g = classic::battle_of_the_sexes();
+        let eqs = support_enumeration(&g);
+        // two pure + one mixed
+        assert_eq!(eqs.len(), 3);
+        let pure_count = eqs
+            .iter()
+            .filter(|e| e.strategy(0).is_pure() && e.strategy(1).is_pure())
+            .count();
+        assert_eq!(pure_count, 2);
+        let mixed = eqs
+            .iter()
+            .find(|e| !e.strategy(0).is_pure())
+            .expect("mixed equilibrium exists");
+        // mixed equilibrium: P1 plays Ballet with prob 2/3, P2 with 1/3
+        assert!((mixed.strategy(0).prob(0) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((mixed.strategy(1).prob(0) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pd_yields_only_mutual_defection() {
+        let g = classic::prisoners_dilemma();
+        let eqs = support_enumeration(&g);
+        assert_eq!(eqs.len(), 1);
+        assert_eq!(eqs[0].strategy(0).as_pure(), Some(1));
+        assert_eq!(eqs[0].strategy(1).as_pure(), Some(1));
+    }
+
+    #[test]
+    fn all_returned_profiles_are_nash() {
+        for game in [
+            classic::prisoners_dilemma(),
+            classic::matching_pennies(),
+            classic::battle_of_the_sexes(),
+            classic::roshambo(),
+            classic::weighted_roshambo(),
+        ] {
+            for eq in support_enumeration(&game) {
+                assert!(eq.is_epsilon_nash(&game, 1e-6), "game {}", game.name());
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_roshambo_equilibrium_shifts_away_from_uniform() {
+        let g = classic::weighted_roshambo();
+        let eqs = support_enumeration(&g);
+        let full = eqs
+            .iter()
+            .find(|e| e.strategy(0).support().len() == 3)
+            .expect("full-support equilibrium exists");
+        // with rock wins worth double, the equilibrium is no longer uniform
+        assert!((full.strategy(0).prob(0) - 1.0 / 3.0).abs() > 0.01);
+    }
+}

@@ -1,0 +1,98 @@
+//! Two-player zero-sum analysis: pure maximin/minimax and the mixed game
+//! value (computed via fictitious play, which converges for zero-sum games).
+
+use crate::fictitious::fictitious_play;
+use bne_games::{ActionId, NormalFormGame, Utility};
+
+/// The pure maximin action and value for `player` (the action maximizing the
+/// worst-case payoff over the opponents' pure responses).
+pub fn maximin_pure(game: &NormalFormGame, player: usize) -> (ActionId, Utility) {
+    assert!(player < game.num_players());
+    let mut best: Option<(ActionId, Utility)> = None;
+    for a in 0..game.num_actions(player) {
+        let mut worst = f64::INFINITY;
+        for profile in game.profiles() {
+            if profile[player] != a {
+                continue;
+            }
+            worst = worst.min(game.payoff(player, &profile));
+        }
+        if best.map(|(_, v)| worst > v).unwrap_or(true) {
+            best = Some((a, worst));
+        }
+    }
+    best.expect("player has at least one action")
+}
+
+/// Result of the zero-sum value computation.
+#[derive(Debug, Clone, Copy)]
+pub struct ZeroSumValue {
+    /// Approximate value of the game to player 0.
+    pub value: Utility,
+    /// Quality of the approximation: the empirical profile used to estimate
+    /// the value is an `epsilon`-equilibrium.
+    pub epsilon: f64,
+    /// Lower bound from player 0's pure maximin.
+    pub pure_maximin: Utility,
+    /// Upper bound from player 1's pure maximin (negated).
+    pub pure_minimax: Utility,
+}
+
+/// Approximates the mixed value of a two-player zero-sum game using
+/// fictitious play.
+///
+/// # Panics
+///
+/// Panics if the game has a different number of players than two or is not
+/// zero-sum.
+pub fn zero_sum_value(game: &NormalFormGame, iterations: usize) -> ZeroSumValue {
+    assert_eq!(game.num_players(), 2, "zero-sum value needs two players");
+    assert!(game.is_zero_sum(), "game is not zero-sum");
+    let result = fictitious_play(game, iterations);
+    let value = result.empirical.expected_payoff(game, 0);
+    let (_, pure_maximin) = maximin_pure(game, 0);
+    let (_, opp) = maximin_pure(game, 1);
+    ZeroSumValue {
+        value,
+        epsilon: result.epsilon,
+        pure_maximin,
+        pure_minimax: -opp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bne_games::classic;
+
+    #[test]
+    fn roshambo_value_is_zero() {
+        let v = zero_sum_value(&classic::roshambo(), 4_000);
+        assert!(v.value.abs() < 0.02, "value = {}", v.value);
+        assert!(v.epsilon < 0.05);
+        // pure maximin of roshambo is -1 (any pure action can lose)
+        assert_eq!(v.pure_maximin, -1.0);
+        assert_eq!(v.pure_minimax, 1.0);
+        // mixed value sits between the pure bounds
+        assert!(v.pure_maximin <= v.value && v.value <= v.pure_minimax);
+    }
+
+    #[test]
+    fn matching_pennies_value_is_zero() {
+        let v = zero_sum_value(&classic::matching_pennies(), 4_000);
+        assert!(v.value.abs() < 0.02);
+    }
+
+    #[test]
+    fn maximin_of_pd_is_defection() {
+        let (a, value) = maximin_pure(&classic::prisoners_dilemma(), 0);
+        assert_eq!(a, 1);
+        assert_eq!(value, -3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not zero-sum")]
+    fn non_zero_sum_rejected() {
+        let _ = zero_sum_value(&classic::prisoners_dilemma(), 10);
+    }
+}

@@ -1,0 +1,61 @@
+//! Costly computation: the three machine-game examples of Section 3.
+//!
+//! ```text
+//! cargo run --release -p bne-examples --bin costly_computation
+//! ```
+
+use bne_core::machine::frpd::{analyze_tit_for_tat, equilibrium_threshold, MemoryCostModel};
+use bne_core::machine::primality::{primality_bayesian, primality_machine_game, ChallengePool};
+use bne_core::machine::roshambo;
+
+fn main() {
+    // Example 3.1 — the primality game: once VM steps cost money, playing
+    // safe beats computing for long inputs.
+    println!("-- Example 3.1: primality guessing --");
+    for bits in [8u32, 16, 26] {
+        let pool = ChallengePool::new(bits, 8);
+        let game = primality_bayesian(&pool);
+        let machine_game = primality_machine_game(&game, &pool, 0.002);
+        let equilibria: Vec<String> = machine_game
+            .find_equilibria()
+            .into_iter()
+            .flat_map(|e| e.machine_names)
+            .collect();
+        println!(
+            "  {bits:>2}-bit challenges: compute pays {:>7.3}, safe pays {:>6.3}, equilibrium = {equilibria:?}",
+            machine_game.evaluate(&[0]).utilities[0],
+            machine_game.evaluate(&[3]).utilities[0],
+        );
+    }
+
+    // Example 3.2 — finitely repeated prisoner's dilemma with a memory
+    // charge: tit-for-tat becomes an equilibrium for long enough games.
+    println!("\n-- Example 3.2: FRPD with costly memory --");
+    let cost = MemoryCostModel::default();
+    let threshold = equilibrium_threshold(0.9, cost, 500).expect("threshold exists");
+    println!("  δ = 0.9, memory cost 0.1/cell → (TFT, TFT) is an equilibrium once N ≥ {threshold}");
+    for n in [threshold - 5, threshold + 5] {
+        let a = analyze_tit_for_tat(n, 0.9, cost);
+        println!(
+            "  N = {n:>3}: TFT value {:>7.3}, best deviation {:>7.3}, equilibrium = {}",
+            a.tft_value, a.best_deviation_value, a.tft_is_equilibrium
+        );
+    }
+
+    // Example 3.3 — computational roshambo: charging for randomization
+    // destroys equilibrium existence.
+    println!("\n-- Example 3.3: computational roshambo --");
+    let game = roshambo::roshambo_bayesian();
+    let classical = roshambo::classical_roshambo(&game);
+    let computational = roshambo::computational_roshambo(&game);
+    println!(
+        "  free computation: uniform randomization is an equilibrium: {}",
+        classical.is_equilibrium(&[3, 3])
+    );
+    println!(
+        "  deterministic costs 1, randomized costs 2: equilibria found = {}",
+        computational.find_equilibria().len()
+    );
+    let cycle = roshambo::best_response_cycle(&computational, [0, 0]);
+    println!("  best-response dynamics visit {} profiles before repeating", cycle.len());
+}

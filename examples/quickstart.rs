@@ -1,0 +1,55 @@
+//! Quickstart: build a game, find its Nash equilibria, and see why the paper
+//! says Nash equilibrium is not enough.
+//!
+//! ```text
+//! cargo run -p bne-examples --bin quickstart
+//! ```
+
+use bne_core::games::classic;
+use bne_core::games::MixedProfile;
+use bne_core::robust::classify_profile;
+use bne_core::solvers::{pure_nash_equilibria, support_enumeration};
+
+fn main() {
+    // 1. Classical analysis of the paper's prisoner's dilemma table.
+    let pd = classic::prisoners_dilemma();
+    println!("game: {}", pd.name());
+    for eq in pure_nash_equilibria(&pd) {
+        println!(
+            "  pure Nash equilibrium: ({}, {}) with payoffs {:?}",
+            pd.action_label(0, eq[0]),
+            pd.action_label(1, eq[1]),
+            pd.payoff_vector(&eq)
+        );
+    }
+    let cc = MixedProfile::from_pure(&pd, &[0, 0]);
+    println!(
+        "  mutual cooperation pays {:?} but is not an equilibrium (regret {:.1})",
+        pd.payoff_vector(&[0, 0]),
+        cc.max_regret(&pd)
+    );
+
+    // 2. Mixed equilibria via support enumeration: roshambo randomizes
+    //    uniformly.
+    let rps = classic::roshambo();
+    let mixed = support_enumeration(&rps);
+    println!("\ngame: {} — {} mixed equilibria", rps.name(), mixed.len());
+    for eq in &mixed {
+        println!("  P1 mixes {:?}", eq.strategy(0).probs());
+    }
+
+    // 3. Where Nash equilibrium stops being informative: the paper's
+    //    bargaining example is a Nash equilibrium (and Pareto optimal, and
+    //    resilient to coalitions of any size) yet a single unexpected
+    //    deviation wipes out everyone else — the motivation for
+    //    (k,t)-robustness.
+    let bargaining = classic::bargaining_game(6);
+    let all_stay = vec![0; 6];
+    let report = classify_profile(&bargaining, &all_stay);
+    println!("\ngame: {}", bargaining.name());
+    println!(
+        "  everyone stays: Nash = {}, Pareto = {}, k-resilient up to k = {}, t-immune up to t = {}",
+        report.is_nash, report.is_pareto_optimal, report.max_resilience, report.max_immunity
+    );
+    println!("  → resilient to coalitions of every size, yet not even 1-immune.");
+}

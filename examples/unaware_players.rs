@@ -1,0 +1,64 @@
+//! Unaware players: the Figure 1–3 example of Section 4.
+//!
+//! ```text
+//! cargo run -p bne-examples --bin unaware_players
+//! ```
+
+use bne_core::awareness::figures::{figure1_awareness_game, virtual_move_game};
+use bne_core::awareness::generalized::find_generalized_equilibria;
+use bne_core::awareness::analyze_figure1;
+use bne_core::games::classic;
+
+fn main() {
+    // The objective game and its classical equilibrium.
+    let objective = classic::figure1_game();
+    let (strategy, values) = objective.backward_induction().expect("perfect information");
+    println!(
+        "objective game backward induction: A plays {}, B plays {}, payoffs {:?}",
+        if strategy.get(0) == Some(1) { "acrossA" } else { "downA" },
+        if strategy.get(1) == Some(0) { "downB" } else { "acrossB" },
+        values
+    );
+
+    // Now let A believe that with probability p, B is unaware of downB.
+    println!("\np (B unaware of downB) → behaviour of A in the generalized Nash equilibrium");
+    for p in [0.0, 0.25, 0.49, 0.51, 0.75, 1.0] {
+        let analysis = analyze_figure1(p);
+        let behaviour = match (
+            analysis.across_equilibrium_exists,
+            analysis.down_equilibrium_exists,
+        ) {
+            (true, true) => "acrossA or downA (both survive)",
+            (true, false) => "acrossA",
+            (false, true) => "downA only",
+            (false, false) => "no pure equilibrium",
+        };
+        println!("  p = {p:>4}: {behaviour}   ({} generalized equilibria)", analysis.num_equilibria);
+    }
+
+    // The underlying structure: three augmented games and the F mapping.
+    let gwa = figure1_awareness_game(0.6);
+    println!(
+        "\nawareness structure: {} augmented games, {} (player, believed game) strategy slots",
+        gwa.games().len(),
+        gwa.strategy_domain().len()
+    );
+    println!(
+        "generalized equilibria at p = 0.6: {}",
+        find_generalized_equilibria(&gwa).len()
+    );
+
+    // Awareness of unawareness: A knows B has a move she cannot conceive of
+    // and reasons with an estimated payoff, like a chess program evaluating
+    // a truncated tree.
+    println!("\nawareness of unawareness (virtual move):");
+    for estimate in [0.2, 1.5] {
+        let subjective = virtual_move_game(estimate);
+        let (strategy, values) = subjective.backward_induction().expect("perfect information");
+        println!(
+            "  A's estimate of the unknown move's payoff = {estimate}: A plays {}, expects {:?}",
+            if strategy.get(0) == Some(1) { "acrossA" } else { "downA" },
+            values[0]
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Cross-crate integration and property tests live in `tests/tests/`; this
+//! library target only hosts small shared helpers.
+
+#![forbid(unsafe_code)]
+
+use bne_core::games::{NormalFormBuilder, NormalFormGame};
+
+/// Builds a random n-player binary-action game with payoffs taken from the
+/// given flat list (cycled), used by the property tests to generate
+/// structured-but-arbitrary games without pulling `proptest` into the
+/// library target.
+pub fn game_from_payoff_seed(num_players: usize, payoffs: &[i8]) -> NormalFormGame {
+    assert!(num_players >= 2 && !payoffs.is_empty());
+    let mut builder = NormalFormBuilder::new("seeded game");
+    for p in 0..num_players {
+        builder = builder.player(format!("P{p}"), &["a", "b"]);
+    }
+    let profiles = 1usize << num_players;
+    let mut idx = 0usize;
+    let mut profile = vec![0usize; num_players];
+    for flat in 0..profiles {
+        for (bit, entry) in profile.iter_mut().enumerate() {
+            *entry = (flat >> bit) & 1;
+        }
+        let row: Vec<f64> = (0..num_players)
+            .map(|_| {
+                let v = payoffs[idx % payoffs.len()] as f64;
+                idx += 1;
+                v
+            })
+            .collect();
+        builder = builder.payoff(&profile, &row);
+    }
+    builder.build().expect("seeded game is well formed")
+}

@@ -1,0 +1,130 @@
+//! Property-based tests on the core invariants, across crates.
+
+use bne_core::crypto::field::Fp;
+use bne_core::crypto::{reconstruct, share};
+use bne_core::games::{MixedProfile, MixedStrategy};
+use bne_core::robust::{is_k_resilient, is_t_immune, ResilienceVariant};
+use bne_core::solvers::{iterated_elimination, pure_nash_equilibria, DominanceKind};
+use bne_integration_tests::game_from_payoff_seed;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// 1-resilience (under either variant) coincides with pure Nash
+    /// equilibrium on arbitrary binary-action games.
+    #[test]
+    fn one_resilience_is_nash(
+        num_players in 2usize..5,
+        payoffs in prop::collection::vec(-5i8..=5, 8..64),
+    ) {
+        let game = game_from_payoff_seed(num_players, &payoffs);
+        for profile in game.profiles() {
+            let nash = game.is_pure_nash(&profile);
+            prop_assert_eq!(
+                is_k_resilient(&game, &profile, 1, ResilienceVariant::SomeMemberGains),
+                nash
+            );
+        }
+    }
+
+    /// Resilience and immunity are monotone: failing at a smaller parameter
+    /// implies failing at every larger one.
+    #[test]
+    fn resilience_and_immunity_are_monotone(
+        num_players in 2usize..4,
+        payoffs in prop::collection::vec(-3i8..=3, 8..32),
+    ) {
+        let game = game_from_payoff_seed(num_players, &payoffs);
+        let profile = vec![0usize; num_players];
+        let mut resilient_so_far = true;
+        let mut immune_so_far = true;
+        for k in 1..=num_players {
+            let r = is_k_resilient(&game, &profile, k, ResilienceVariant::SomeMemberGains);
+            prop_assert!(resilient_so_far || !r, "resilience not monotone at k = {}", k);
+            resilient_so_far = r;
+            let t = is_t_immune(&game, &profile, k);
+            prop_assert!(immune_so_far || !t, "immunity not monotone at t = {}", k);
+            immune_so_far = t;
+        }
+    }
+
+    /// Strictly dominated strategies never appear in a pure Nash
+    /// equilibrium, so eliminating them preserves the equilibrium set.
+    #[test]
+    fn strict_elimination_preserves_pure_equilibria(
+        num_players in 2usize..4,
+        payoffs in prop::collection::vec(-4i8..=4, 8..48),
+    ) {
+        let game = game_from_payoff_seed(num_players, &payoffs);
+        let original = pure_nash_equilibria(&game);
+        let reduction = iterated_elimination(&game, DominanceKind::Strict);
+        let reduced_equilibria = pure_nash_equilibria(&reduction.reduced);
+        // map the reduced equilibria back and check they are equilibria of
+        // the original game
+        for eq in &reduced_equilibria {
+            let lifted: Vec<usize> = eq
+                .iter()
+                .enumerate()
+                .map(|(p, &a)| reduction.surviving[p][a])
+                .collect();
+            prop_assert!(game.is_pure_nash(&lifted));
+        }
+        // every original equilibrium survives strict elimination
+        for eq in &original {
+            let survives = eq.iter().enumerate().all(|(p, a)| reduction.surviving[p].contains(a));
+            prop_assert!(survives, "equilibrium {:?} was eliminated", eq);
+        }
+    }
+
+    /// Expected payoffs of a mixed profile are convex combinations of pure
+    /// payoffs: they always lie between the min and max pure payoff.
+    #[test]
+    fn mixed_payoffs_are_bounded_by_pure_payoffs(
+        num_players in 2usize..4,
+        payoffs in prop::collection::vec(-5i8..=5, 8..48),
+        weights in prop::collection::vec(1u8..=10, 2..8),
+    ) {
+        let game = game_from_payoff_seed(num_players, &payoffs);
+        let strategies: Vec<MixedStrategy> = (0..num_players)
+            .map(|p| {
+                let w0 = weights[p % weights.len()] as f64;
+                let w1 = weights[(p + 1) % weights.len()] as f64;
+                MixedStrategy::new(vec![w0 / (w0 + w1), w1 / (w0 + w1)]).unwrap()
+            })
+            .collect();
+        let profile = MixedProfile::new(&game, strategies).unwrap();
+        for player in 0..num_players {
+            let expected = profile.expected_payoff(&game, player);
+            let pure: Vec<f64> = game
+                .profiles()
+                .map(|pr| game.payoff(player, &pr))
+                .collect();
+            let min = pure.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = pure.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(expected >= min - 1e-9 && expected <= max + 1e-9);
+        }
+    }
+
+    /// Shamir sharing reconstructs exactly for every threshold and any
+    /// qualifying subset size.
+    #[test]
+    fn shamir_round_trips(secret in 0u64..1_000_000_000, n in 2usize..10, seed in 0u64..1000) {
+        let t = (n - 1).min(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let shares = share(Fp::new(secret), n, t, &mut rng).unwrap();
+        let recovered = reconstruct(&shares[..t + 1], t).unwrap();
+        prop_assert_eq!(recovered.value(), secret % bne_core::crypto::field::MODULUS);
+    }
+
+    /// The VM's primality program agrees with the reference implementation
+    /// on arbitrary inputs.
+    #[test]
+    fn vm_primality_matches_reference(n in 0i64..5_000) {
+        use bne_core::machine::vm::{is_prime_reference, Program, VirtualMachine};
+        let vm = VirtualMachine::default();
+        let out = vm.run(&Program::trial_division_primality(), n).unwrap();
+        prop_assert_eq!(out.output == 1, is_prime_reference(n as u64));
+    }
+}
