@@ -40,7 +40,9 @@ pub fn canonical_representation(game: ExtensiveGame) -> GameWithAwareness {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generalized::{find_generalized_equilibria, is_generalized_nash, GeneralizedProfile};
+    use crate::generalized::{
+        find_generalized_equilibria, is_generalized_nash, GeneralizedProfile,
+    };
     use bne_games::classic;
     use bne_games::extensive::PureBehaviorStrategy;
 

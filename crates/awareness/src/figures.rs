@@ -184,11 +184,7 @@ pub struct Figure1Analysis {
 fn a_plays_across(profile: &GeneralizedProfile) -> bool {
     // A's action at the modeler's root is pulled from her strategy in Γ_A
     // (information set 0); action 1 is acrossA.
-    profile
-        .get((0, GAME_A))
-        .and_then(|s| s.get(0))
-        .unwrap_or(0)
-        == 1
+    profile.get((0, GAME_A)).and_then(|s| s.get(0)).unwrap_or(0) == 1
 }
 
 /// Runs the full Figure 1 analysis at unawareness probability `p`
@@ -230,10 +226,7 @@ pub fn virtual_move_game(estimated_payoff: f64) -> ExtensiveGame {
         Node::Decision {
             player: 1,
             info_set: 1,
-            actions: vec![
-                ("acrossB".to_string(), 3),
-                ("virtual".to_string(), 4),
-            ],
+            actions: vec![("acrossB".to_string(), 3), ("virtual".to_string(), 4)],
         },
         Node::Terminal {
             payoffs: vec![0.0, 2.0],

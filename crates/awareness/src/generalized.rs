@@ -182,7 +182,7 @@ pub fn find_generalized_equilibria(gwa: &GameWithAwareness) -> Vec<GeneralizedPr
         .collect();
     let radices: Vec<usize> = per_key.iter().map(|s| s.len()).collect();
     let mut out = Vec::new();
-    for combo in ProfileIter::new(&radices) {
+    bne_games::profile::visit_mixed_radix(&radices, |combo, _| {
         let mut profile = GeneralizedProfile::new();
         for (idx, &choice) in combo.iter().enumerate() {
             profile.set(domain[idx], per_key[idx][choice].clone());
@@ -190,7 +190,7 @@ pub fn find_generalized_equilibria(gwa: &GameWithAwareness) -> Vec<GeneralizedPr
         if is_generalized_nash(gwa, &profile) {
             out.push(profile);
         }
-    }
+    });
     out
 }
 
@@ -241,7 +241,7 @@ mod tests {
         let domain = gwa.strategy_domain();
         for (player, game) in domain {
             let count = local_strategies(&gwa, player, game).len();
-            assert!(count >= 1 && count <= 2, "unexpected count {count}");
+            assert!((1..=2).contains(&count), "unexpected count {count}");
         }
     }
 }

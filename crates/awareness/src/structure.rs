@@ -67,7 +67,10 @@ impl fmt::Display for AwarenessError {
                 write!(f, "belief target game {target} is out of range")
             }
             AwarenessError::InconsistentBelief { game, node, reason } => {
-                write!(f, "belief of node {node} in game {game} is inconsistent: {reason}")
+                write!(
+                    f,
+                    "belief of node {node} in game {game} is inconsistent: {reason}"
+                )
             }
         }
     }
@@ -314,17 +317,35 @@ mod tests {
         let aug = AugmentedGame::new("Γ_m", classic::figure1_game());
         // missing belief for node 2 (B's decision node)
         let mut beliefs = BTreeMap::new();
-        beliefs.insert((0, 0), BeliefTarget { game: 0, info_set: 0 });
+        beliefs.insert(
+            (0, 0),
+            BeliefTarget {
+                game: 0,
+                info_set: 0,
+            },
+        );
         let err = GameWithAwareness::new(vec![aug.clone()], 0, beliefs.clone()).unwrap_err();
         assert!(matches!(err, AwarenessError::MissingBelief { node: 2, .. }));
 
         // belief pointing at the wrong player's information set
-        beliefs.insert((0, 2), BeliefTarget { game: 0, info_set: 0 });
+        beliefs.insert(
+            (0, 2),
+            BeliefTarget {
+                game: 0,
+                info_set: 0,
+            },
+        );
         let err = GameWithAwareness::new(vec![aug.clone()], 0, beliefs.clone()).unwrap_err();
         assert!(matches!(err, AwarenessError::InconsistentBelief { .. }));
 
         // belief pointing outside the collection
-        beliefs.insert((0, 2), BeliefTarget { game: 5, info_set: 1 });
+        beliefs.insert(
+            (0, 2),
+            BeliefTarget {
+                game: 5,
+                info_set: 1,
+            },
+        );
         let err = GameWithAwareness::new(vec![aug], 0, beliefs).unwrap_err();
         assert!(matches!(err, AwarenessError::BadBeliefGame { target: 5 }));
     }

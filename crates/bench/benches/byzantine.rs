@@ -37,9 +37,7 @@ fn bench_byzantine(c: &mut Criterion) {
         let (pki, keys) = PublicKeyInfrastructure::setup(7, &mut rng);
         b.iter(|| {
             let procs: Vec<Box<dyn Process<Msg = SignedMessage>>> = (0..7)
-                .map(|i| {
-                    Box::new(DolevStrongProcess::new(0, 1, 2, pki.clone(), keys[i], 0)) as _
-                })
+                .map(|i| Box::new(DolevStrongProcess::new(0, 1, 2, pki.clone(), keys[i], 0)) as _)
                 .collect();
             black_box(run_dolev_strong(procs, 2))
         })

@@ -2,9 +2,7 @@
 //! complexity measures — E6/E7/E8/E12 backing).
 
 use bne_core::machine::frpd::{analyze_tit_for_tat, MemoryCostModel};
-use bne_core::machine::primality::{
-    primality_bayesian, primality_machine_game, ChallengePool,
-};
+use bne_core::machine::primality::{primality_bayesian, primality_machine_game, ChallengePool};
 use bne_core::machine::roshambo;
 use bne_core::machine::tournament::{run_tournament, Competitor, TournamentConfig};
 use bne_core::machine::vm::{Program, VirtualMachine};

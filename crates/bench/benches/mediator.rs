@@ -1,8 +1,8 @@
 //! Benchmarks for mediator games, SMC and cheap-talk implementations (E3
 //! backing).
 
-use bne_core::crypto::{ArithmeticCircuit, SmcEngine};
 use bne_core::crypto::field::Fp;
+use bne_core::crypto::{ArithmeticCircuit, SmcEngine};
 use bne_core::mediator::feasibility::{regime_table, Assumptions};
 use bne_core::mediator::{
     ByzantineAgreementGame, CheapTalkImplementation, MediatorGame, OralMessagesCheapTalk,

@@ -1,0 +1,245 @@
+//! Flat-index profile engine benches: the allocating baseline (the old
+//! clone-profile-and-re-encode pattern) vs. the stride-arithmetic engine,
+//! sequentially and (with the `parallel` feature) across threads.
+//!
+//! Run and record to `BENCH_1.json`:
+//!
+//! ```text
+//! BNE_BENCH_JSON=BENCH_1.json cargo bench -p bne-bench \
+//!     --features parallel --bench profile_engine
+//! ```
+//!
+//! Every search is checked for bit-identical results against the baseline
+//! before anything is timed, so the speedups are apples-to-apples.
+
+use bne_core::games::profile::{subsets_up_to_size, ProfileIter};
+use bne_core::games::random::random_game;
+use bne_core::games::NormalFormGame;
+use bne_core::robust::find_robust_profiles;
+use bne_core::solvers::pure_nash_equilibria;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const EPSILON: f64 = 1e-9;
+
+// ---------------------------------------------------------------------------
+// Allocating baseline: the pre-flat-index implementations, kept verbatim so
+// later PRs retain a fixed reference point for the perf trajectory.
+// ---------------------------------------------------------------------------
+
+fn alloc_is_pure_nash(game: &NormalFormGame, profile: &[usize]) -> bool {
+    (0..game.num_players()).all(|p| {
+        let current = game.payoff(p, profile);
+        let mut work = profile.to_vec();
+        let mut best = f64::NEG_INFINITY;
+        for a in 0..game.num_actions(p) {
+            work[p] = a;
+            best = best.max(game.payoff(p, &work));
+        }
+        best <= current + EPSILON
+    })
+}
+
+fn alloc_pure_nash_equilibria(game: &NormalFormGame) -> Vec<Vec<usize>> {
+    game.profiles()
+        .filter(|p| alloc_is_pure_nash(game, p))
+        .collect()
+}
+
+fn alloc_is_k_resilient(game: &NormalFormGame, profile: &[usize], k: usize) -> bool {
+    let n = game.num_players();
+    for coalition in subsets_up_to_size(n, k.min(n)) {
+        let before: Vec<f64> = coalition.iter().map(|&p| game.payoff(p, profile)).collect();
+        let radices: Vec<usize> = coalition.iter().map(|&p| game.num_actions(p)).collect();
+        for deviation in ProfileIter::new(&radices) {
+            if coalition
+                .iter()
+                .zip(deviation.iter())
+                .all(|(&p, &a)| profile[p] == a)
+            {
+                continue;
+            }
+            let mut new_profile = profile.to_vec();
+            for (&p, &a) in coalition.iter().zip(deviation.iter()) {
+                new_profile[p] = a;
+            }
+            let gains = coalition
+                .iter()
+                .zip(before.iter())
+                .any(|(&p, b)| game.payoff(p, &new_profile) > *b + EPSILON);
+            if gains {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn alloc_is_t_immune(game: &NormalFormGame, profile: &[usize], t: usize) -> bool {
+    let n = game.num_players();
+    for deviators in subsets_up_to_size(n, t.min(n)) {
+        let radices: Vec<usize> = deviators.iter().map(|&p| game.num_actions(p)).collect();
+        for deviation in ProfileIter::new(&radices) {
+            if deviators
+                .iter()
+                .zip(deviation.iter())
+                .all(|(&p, &a)| profile[p] == a)
+            {
+                continue;
+            }
+            let mut new_profile = profile.to_vec();
+            for (&p, &a) in deviators.iter().zip(deviation.iter()) {
+                new_profile[p] = a;
+            }
+            for victim in 0..n {
+                if deviators.contains(&victim) {
+                    continue;
+                }
+                if game.payoff(victim, &new_profile) < game.payoff(victim, profile) - EPSILON {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn alloc_find_robust_profiles(game: &NormalFormGame, k: usize, t: usize) -> Vec<Vec<usize>> {
+    game.profiles()
+        .filter(|p| alloc_is_k_resilient(game, p, k) && alloc_is_t_immune(game, p, t))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Benches
+// ---------------------------------------------------------------------------
+
+fn bench_profile_engine(c: &mut Criterion) {
+    // The acceptance game: 4 players x 4 actions, (k,t) = (2,1).
+    let g44 = random_game(4400, &[4, 4, 4, 4]);
+    let (k, t) = (2usize, 1usize);
+
+    // Correctness gate: flat, parallel and baseline searches must agree
+    // bit-for-bit before any timing happens.
+    assert_eq!(
+        alloc_find_robust_profiles(&g44, k, t),
+        find_robust_profiles(&g44, k, t),
+        "flat-index robustness search diverged from the allocating baseline"
+    );
+    assert_eq!(
+        alloc_pure_nash_equilibria(&g44),
+        pure_nash_equilibria(&g44),
+        "flat-index nash search diverged from the allocating baseline"
+    );
+    #[cfg(feature = "parallel")]
+    {
+        assert_eq!(
+            find_robust_profiles(&g44, k, t),
+            bne_core::robust::find_robust_profiles_parallel(&g44, k, t),
+            "parallel robustness search is not bit-identical"
+        );
+        assert_eq!(
+            pure_nash_equilibria(&g44),
+            bne_core::solvers::pure_nash_equilibria_parallel(&g44),
+            "parallel nash search is not bit-identical"
+        );
+    }
+
+    c.bench_function("robust_search_alloc_baseline/4p4a_k2t1", |b| {
+        b.iter(|| black_box(alloc_find_robust_profiles(&g44, k, t)))
+    });
+    c.bench_function("robust_search_flat_seq/4p4a_k2t1", |b| {
+        b.iter(|| black_box(find_robust_profiles(&g44, k, t)))
+    });
+    #[cfg(feature = "parallel")]
+    c.bench_function("robust_search_flat_par/4p4a_k2t1", |b| {
+        b.iter(|| black_box(bne_core::robust::find_robust_profiles_parallel(&g44, k, t)))
+    });
+
+    c.bench_function("nash_enum_alloc_baseline/4p4a", |b| {
+        b.iter(|| black_box(alloc_pure_nash_equilibria(&g44)))
+    });
+    c.bench_function("nash_enum_flat_seq/4p4a", |b| {
+        b.iter(|| black_box(pure_nash_equilibria(&g44)))
+    });
+    #[cfg(feature = "parallel")]
+    c.bench_function("nash_enum_flat_par/4p4a", |b| {
+        b.iter(|| black_box(bne_core::solvers::pure_nash_equilibria_parallel(&g44)))
+    });
+
+    // Sweep over the 3–6 player / 2–5 action grid the roadmap tracks.
+    for (seed, radices, label) in [
+        (3005u64, vec![5usize, 5, 5], "3p5a"),
+        (4004, vec![4, 4, 4, 4], "4p4a"),
+        (5003, vec![3, 3, 3, 3, 3], "5p3a"),
+        (6002, vec![2, 2, 2, 2, 2, 2], "6p2a"),
+    ] {
+        let game = random_game(seed, &radices);
+        assert_eq!(
+            alloc_find_robust_profiles(&game, k, t),
+            find_robust_profiles(&game, k, t),
+        );
+        c.bench_function(&format!("robust_sweep_alloc/{label}_k2t1"), |b| {
+            b.iter(|| black_box(alloc_find_robust_profiles(&game, k, t)))
+        });
+        c.bench_function(&format!("robust_sweep_flat_seq/{label}_k2t1"), |b| {
+            b.iter(|| black_box(find_robust_profiles(&game, k, t)))
+        });
+        #[cfg(feature = "parallel")]
+        c.bench_function(&format!("robust_sweep_flat_par/{label}_k2t1"), |b| {
+            b.iter(|| black_box(bne_core::robust::find_robust_profiles_parallel(&game, k, t)))
+        });
+    }
+
+    // Best-response tables (sequential vs parallel).
+    let g53 = random_game(5300, &[3, 3, 3, 3, 3]);
+    c.bench_function("best_response_table_seq/5p3a", |b| {
+        b.iter(|| {
+            for p in 0..g53.num_players() {
+                black_box(bne_core::solvers::best_response_table(&g53, p));
+            }
+        })
+    });
+    #[cfg(feature = "parallel")]
+    c.bench_function("best_response_table_par/5p3a", |b| {
+        b.iter(|| {
+            for p in 0..g53.num_players() {
+                black_box(bne_core::solvers::best_response_table_parallel(&g53, p));
+            }
+        })
+    });
+
+    // Report the headline ratio so `cargo bench` output shows the
+    // acceptance number directly.
+    let results = criterion::results();
+    let median = |name: &str| results.iter().find(|r| r.name == name).map(|r| r.median_ns);
+    if let (Some(base), Some(flat)) = (
+        median("robust_search_alloc_baseline/4p4a_k2t1"),
+        median("robust_search_flat_seq/4p4a_k2t1"),
+    ) {
+        println!(
+            "speedup flat-seq vs alloc baseline (4p4a k2t1): {:.2}x",
+            base / flat
+        );
+    }
+    #[cfg(feature = "parallel")]
+    if let (Some(base), Some(par)) = (
+        median("robust_search_alloc_baseline/4p4a_k2t1"),
+        median("robust_search_flat_par/4p4a_k2t1"),
+    ) {
+        println!(
+            "speedup flat-par vs alloc baseline (4p4a k2t1): {:.2}x",
+            base / par
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(2500));
+    targets = bench_profile_engine
+}
+criterion_main!(benches);

@@ -81,7 +81,13 @@ fn e1_coordination() {
         "{}",
         render_table(
             "E1  0/1 coordination game: everyone plays 0",
-            &["n", "Nash?", "max k-resilience", "max t-immunity", "(2,0)-robust?"],
+            &[
+                "n",
+                "Nash?",
+                "max k-resilience",
+                "max t-immunity",
+                "(2,0)-robust?"
+            ],
             &rows
         )
     );
@@ -107,7 +113,13 @@ fn e2_bargaining() {
         "{}",
         render_table(
             "E2  bargaining game: everyone stays at the table",
-            &["n", "Nash?", "Pareto?", "max k-resilience", "max t-immunity"],
+            &[
+                "n",
+                "Nash?",
+                "Pareto?",
+                "max k-resilience",
+                "max t-immunity"
+            ],
             &rows
         )
     );
@@ -154,7 +166,14 @@ fn e3_mediator_regimes() {
         "{}",
         render_table(
             "E3  mediator implementation by cheap talk (Abraham et al. regimes)",
-            &["(k,t)", "n", "none", "punish+util", "broadcast", "crypto+pki"],
+            &[
+                "(k,t)",
+                "n",
+                "none",
+                "punish+util",
+                "broadcast",
+                "crypto+pki"
+            ],
             &rows
         )
     );
@@ -202,7 +221,9 @@ fn e4_byzantine() {
             &rows
         )
     );
-    println!("With a mediator the same problem is trivial for any t (see bne-byzantine::mediator_ba).");
+    println!(
+        "With a mediator the same problem is trivial for any t (see bne-byzantine::mediator_ba)."
+    );
 }
 
 /// E5 — Gnutella-style free riding.
@@ -225,7 +246,13 @@ fn e5_freeriding() {
         "{}",
         render_table(
             "E5  file-sharing game: free riding and response concentration",
-            &["sharing cost", "free riders", "top 1% share", "top 10% share", "query success"],
+            &[
+                "sharing cost",
+                "free riders",
+                "top 1% share",
+                "top 10% share",
+                "query success"
+            ],
             &rows
         )
     );
@@ -249,7 +276,12 @@ fn e6_primality() {
         "{}",
         render_table(
             "E6  primality game (Example 3.1): computing vs playing safe (cost 0.002 per VM step)",
-            &["bits", "E[u] compute", "E[u] play safe", "computational equilibrium"],
+            &[
+                "bits",
+                "E[u] compute",
+                "E[u] play safe",
+                "computational equilibrium"
+            ],
             &rows
         )
     );
@@ -284,16 +316,17 @@ fn e7_frpd() {
         pure_nash_equilibria(&pd),
         frpd::classical_tft_is_not_equilibrium(20)
     );
-    let rows: Vec<Vec<String>> = frpd::threshold_sweep(&[0.6, 0.75, 0.9, 0.95], &[0.05, 0.1, 0.5], 600)
-        .into_iter()
-        .map(|r| {
-            vec![
-                fmt_f64(r.discount),
-                fmt_f64(r.memory_cost),
-                r.threshold.map(|t| t.to_string()).unwrap_or("-".into()),
-            ]
-        })
-        .collect();
+    let rows: Vec<Vec<String>> =
+        frpd::threshold_sweep(&[0.6, 0.75, 0.9, 0.95], &[0.05, 0.1, 0.5], 600)
+            .into_iter()
+            .map(|r| {
+                vec![
+                    fmt_f64(r.discount),
+                    fmt_f64(r.memory_cost),
+                    r.threshold.map(|t| t.to_string()).unwrap_or("-".into()),
+                ]
+            })
+            .collect();
     print!(
         "{}",
         render_table(
@@ -348,7 +381,12 @@ fn e9_figure1() {
         "{}",
         render_table(
             "E9  Figure 1 with unawareness probability p",
-            &["p", "#generalized NE", "A plays acrossA in some NE", "A plays downA in some NE"],
+            &[
+                "p",
+                "#generalized NE",
+                "A plays acrossA in some NE",
+                "A plays downA in some NE"
+            ],
             &rows
         )
     );
@@ -373,7 +411,12 @@ fn e10_augmented() {
         "{}",
         render_table(
             "E10  games with awareness (Γ_m, Γ_A, Γ_B): generalized Nash equilibria",
-            &["p", "#augmented games", "#(player, game) strategies", "#generalized NE"],
+            &[
+                "p",
+                "#augmented games",
+                "#(player, game) strategies",
+                "#generalized NE"
+            ],
             &rows
         )
     );
@@ -411,7 +454,12 @@ fn e11_scrip() {
         "{}",
         render_table(
             "E11b  scrip system efficiency vs hoarders and altruists (40 agents)",
-            &["hoarders", "altruists", "efficiency", "avg rational utility"],
+            &[
+                "hoarders",
+                "altruists",
+                "efficiency",
+                "avg rational utility"
+            ],
             &rows
         )
     );

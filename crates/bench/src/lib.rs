@@ -49,7 +49,11 @@ pub fn fmt_f64(x: f64) -> String {
 
 /// Formats a boolean as a check/cross for table cells.
 pub fn fmt_bool(b: bool) -> String {
-    if b { "yes".to_string() } else { "no".to_string() }
+    if b {
+        "yes".to_string()
+    } else {
+        "no".to_string()
+    }
 }
 
 /// The list of experiment identifiers understood by the `experiments`

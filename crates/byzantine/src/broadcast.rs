@@ -262,9 +262,7 @@ mod tests {
         let n = 5;
         let t = 2;
         let (pki, keys) = setup(n);
-        let procs: Vec<_> = (0..n)
-            .map(|i| honest(0, 1, t, &pki, keys[i]))
-            .collect();
+        let procs: Vec<_> = (0..n).map(|i| honest(0, 1, t, &pki, keys[i])).collect();
         let (decisions, stats) = run_dolev_strong(procs, t);
         assert!(decisions.iter().all(|d| *d == Some(1)));
         assert!(stats.messages_sent >= n - 1);
@@ -277,8 +275,8 @@ mod tests {
         let (pki, keys) = setup(n);
         let mut procs: Vec<Box<dyn Process<Msg = SignedMessage>>> =
             vec![Box::new(EquivocatingSender::new(keys[0]))];
-        for i in 1..n {
-            procs.push(honest(0, 7, t, &pki, keys[i]));
+        for &key in &keys[1..] {
+            procs.push(honest(0, 7, t, &pki, key));
         }
         let (decisions, _) = run_dolev_strong(procs, t);
         let honest_decisions: Vec<_> = decisions[1..].iter().map(|d| d.unwrap()).collect();
@@ -311,8 +309,8 @@ mod tests {
         let t = 1;
         let (pki, keys) = setup(n);
         let mut procs: Vec<Box<dyn Process<Msg = SignedMessage>>> = Vec::new();
-        for i in 0..n - 1 {
-            procs.push(honest(0, 3, t, &pki, keys[i]));
+        for &key in &keys[..n - 1] {
+            procs.push(honest(0, 3, t, &pki, key));
         }
         procs.push(Box::new(SilentRelay));
         let (decisions, _) = run_dolev_strong(procs, t);
@@ -361,10 +359,13 @@ mod tests {
         let t = 1;
         let (pki, keys) = setup(n);
         let mut procs: Vec<Box<dyn Process<Msg = SignedMessage>>> = Vec::new();
-        for i in 0..n - 1 {
-            procs.push(honest(0, 4, t, &pki, keys[i]));
+        for &key in &keys[..n - 1] {
+            procs.push(honest(0, 4, t, &pki, key));
         }
-        procs.push(Box::new(Forger { key: keys[n - 1], n }));
+        procs.push(Box::new(Forger {
+            key: keys[n - 1],
+            n,
+        }));
         let (decisions, _) = run_dolev_strong(procs, t);
         assert!(decisions[..n - 1].iter().all(|d| *d == Some(4)));
     }

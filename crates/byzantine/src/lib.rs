@@ -38,7 +38,7 @@ pub mod properties;
 
 pub use adversary::FaultyBehavior;
 pub use mediator_ba::mediator_byzantine_agreement;
-pub use network::{Process, ProcId, RoundStats, SyncNetwork};
+pub use network::{ProcId, Process, RoundStats, SyncNetwork};
 pub use om::{om_byzantine_generals, OmConfig, OmOutcome};
 pub use phase_king::{run_phase_king, PhaseKingProcess};
 pub use properties::{check_agreement, check_validity, AgreementReport};

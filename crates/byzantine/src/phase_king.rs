@@ -62,7 +62,7 @@ impl Process for PhaseKingProcess {
             return Vec::new();
         }
         let phase = round / 2;
-        if round % 2 == 0 {
+        if round.is_multiple_of(2) {
             // Proposal round. First absorb the king's message from the
             // previous king round (if any).
             if round > 0 {

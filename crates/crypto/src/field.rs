@@ -145,6 +145,7 @@ impl Div for Fp {
     /// # Panics
     ///
     /// Panics on division by zero.
+    #[allow(clippy::suspicious_arithmetic_impl)] // division *is* inverse-multiply in GF(p)
     fn div(self, rhs: Fp) -> Fp {
         self * rhs.inverse().expect("division by zero in GF(p)")
     }

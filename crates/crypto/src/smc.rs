@@ -503,7 +503,10 @@ mod tests {
         let c = ArithmeticCircuit::sum_of_inputs(3);
         assert!(matches!(
             c.evaluate(&[Fp::new(1)]),
-            Err(CircuitError::WrongInputCount { expected: 3, found: 1 })
+            Err(CircuitError::WrongInputCount {
+                expected: 3,
+                found: 1
+            })
         ));
         let engine = SmcEngine::new(5, 1).unwrap();
         let mut rng = rng();

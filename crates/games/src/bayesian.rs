@@ -158,6 +158,9 @@ impl TypeDistribution {
     }
 }
 
+/// The boxed utility callback of a [`BayesianGame`].
+type UtilityFn = Box<dyn Fn(PlayerId, &[TypeId], &[ActionId]) -> Utility + Send + Sync>;
+
 /// A finite Bayesian game.
 ///
 /// Each player has a finite type space and a finite action set; utilities
@@ -170,7 +173,7 @@ pub struct BayesianGame {
     type_counts: Vec<usize>,
     action_counts: Vec<usize>,
     prior: TypeDistribution,
-    utility: Box<dyn Fn(PlayerId, &[TypeId], &[ActionId]) -> Utility + Send + Sync>,
+    utility: UtilityFn,
 }
 
 impl std::fmt::Debug for BayesianGame {
@@ -326,8 +329,7 @@ impl BayesianGame {
                 if marginal <= 0.0 {
                     continue;
                 }
-                let current =
-                    self.interim_utility(player, ty, &strategies[player], strategies);
+                let current = self.interim_utility(player, ty, &strategies[player], strategies);
                 for a in 0..self.num_actions(player) {
                     let mut deviant = strategies[player].clone();
                     deviant.set_action(ty, a);

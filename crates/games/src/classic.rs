@@ -160,7 +160,7 @@ pub fn bargaining_game(n: usize) -> NormalFormGame {
     let radices = vec![2usize; n];
     let mut payoffs = vec![Vec::with_capacity(1 << n); n];
     for profile in ProfileIter::new(&radices) {
-        let any_left = profile.iter().any(|&a| a == 1);
+        let any_left = profile.contains(&1);
         for (p, table) in payoffs.iter_mut().enumerate() {
             let u = if !any_left {
                 2.0
@@ -204,7 +204,11 @@ pub fn attack_retreat_game(n: usize) -> NormalFormGame {
 /// correct guess pays 10, a wrong guess −10, playing safe pays 1. (The
 /// computational version with machine costs lives in `bne-machine`.)
 pub fn primality_game(is_prime: bool) -> NormalFormGame {
-    let (u_prime, u_composite) = if is_prime { (10.0, -10.0) } else { (-10.0, 10.0) };
+    let (u_prime, u_composite) = if is_prime {
+        (10.0, -10.0)
+    } else {
+        (-10.0, 10.0)
+    };
     NormalFormBuilder::new("primality guessing")
         .player("Guesser", &["SayPrime", "SayComposite", "PlaySafe"])
         .payoff(&[0], &[u_prime])
@@ -255,8 +259,7 @@ pub fn figure1_game() -> ExtensiveGame {
             payoffs: vec![0.0, 2.0],
         },
     ];
-    ExtensiveGame::new("Figure 1 game", 2, nodes, 0)
-        .expect("static game construction cannot fail")
+    ExtensiveGame::new("Figure 1 game", 2, nodes, 0).expect("static game construction cannot fail")
 }
 
 /// The Figure 1 game as seen by a player who is **unaware** of B's `downB`
@@ -381,8 +384,8 @@ mod tests {
     #[test]
     fn attack_retreat_coordinated_profiles_are_equilibria() {
         let g = attack_retreat_game(4);
-        assert!(g.is_pure_nash(&vec![0; 4]));
-        assert!(g.is_pure_nash(&vec![1; 4]));
+        assert!(g.is_pure_nash(&[0; 4]));
+        assert!(g.is_pure_nash(&[1; 4]));
         // one lone dissenter can switch and restore unanimity, so a
         // 3-vs-1 split is not an equilibrium
         assert!(!g.is_pure_nash(&[0, 0, 0, 1]));

@@ -305,12 +305,7 @@ impl ExtensiveGame {
     /// The history of action / outcome labels from the root to `target`, if
     /// `target` is reachable from the root.
     pub fn history_of(&self, target: NodeId) -> Option<Vec<String>> {
-        fn dfs(
-            game: &ExtensiveGame,
-            node: NodeId,
-            target: NodeId,
-            path: &mut Vec<String>,
-        ) -> bool {
+        fn dfs(game: &ExtensiveGame, node: NodeId, target: NodeId, path: &mut Vec<String>) -> bool {
             if node == target {
                 return true;
             }
@@ -367,8 +362,7 @@ impl ExtensiveGame {
 
     fn outcomes_under(&self, profile: &PureBehaviorStrategy, explore_all: bool) -> Vec<Outcome> {
         let mut out = Vec::new();
-        let mut stack: Vec<(NodeId, Vec<String>, f64)> =
-            vec![(self.root, Vec::new(), 1.0)];
+        let mut stack: Vec<(NodeId, Vec<String>, f64)> = vec![(self.root, Vec::new(), 1.0)];
         while let Some((id, history, prob)) = stack.pop() {
             match self.node(id) {
                 Node::Terminal { payoffs } => out.push(Outcome {
@@ -530,7 +524,7 @@ impl ExtensiveGame {
     /// switching to any of her pure strategies while the others keep theirs.
     pub fn is_nash(&self, profile: &PureBehaviorStrategy) -> bool {
         let base = self.expected_payoffs(profile);
-        for player in 0..self.num_players {
+        for (player, &base_u) in base.iter().enumerate() {
             for alt in self.pure_strategies_of(player) {
                 // overlay alt's choices for this player's info sets only
                 let mut deviated = profile.clone();
@@ -538,7 +532,7 @@ impl ExtensiveGame {
                     deviated.set(set, a);
                 }
                 let u = self.expected_payoffs(&deviated)[player];
-                if u > base[player] + 1e-9 {
+                if u > base_u + 1e-9 {
                     return false;
                 }
             }
@@ -592,10 +586,7 @@ mod tests {
         // for player 0. Expected value 1.0.
         let nodes = vec![
             Node::Chance {
-                outcomes: vec![
-                    ("L".into(), 0.25, 1),
-                    ("R".into(), 0.75, 2),
-                ],
+                outcomes: vec![("L".into(), 0.25, 1), ("R".into(), 0.75, 2)],
             },
             Node::Terminal { payoffs: vec![4.0] },
             Node::Terminal { payoffs: vec![0.0] },
@@ -642,7 +633,9 @@ mod tests {
                 info_set: 0,
                 actions: vec![("a".into(), 2), ("b".into(), 2)],
             },
-            Node::Terminal { payoffs: vec![0.0, 0.0] },
+            Node::Terminal {
+                payoffs: vec![0.0, 0.0],
+            },
         ];
         assert!(ExtensiveGame::new("bad", 2, nodes, 0).is_err());
     }

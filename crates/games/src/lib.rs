@@ -31,14 +31,18 @@ pub mod error;
 pub mod extensive;
 pub mod mixed;
 pub mod normal_form;
+#[cfg(feature = "parallel")]
+pub mod parallel;
 pub mod profile;
+pub mod random;
 pub mod repeated;
+pub mod search;
 
 pub use bayesian::{BayesianGame, BayesianStrategy, TypeDistribution};
 pub use error::GameError;
 pub use extensive::{ExtensiveGame, Node, NodeId, Outcome, PureBehaviorStrategy};
 pub use mixed::{MixedProfile, MixedStrategy};
-pub use normal_form::{NormalFormGame, NormalFormBuilder};
+pub use normal_form::{NormalFormBuilder, NormalFormGame};
 pub use profile::{ActionProfile, ProfileIter};
 
 /// Index of a player in a game (0-based).

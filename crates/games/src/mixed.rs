@@ -111,9 +111,7 @@ impl MixedStrategy {
     /// meaningful, so the longer tail counts fully).
     pub fn l1_distance(&self, other: &MixedStrategy) -> f64 {
         let n = self.probs.len().max(other.probs.len());
-        (0..n)
-            .map(|a| (self.prob(a) - other.prob(a)).abs())
-            .sum()
+        (0..n).map(|a| (self.prob(a) - other.prob(a)).abs()).sum()
     }
 }
 
@@ -220,7 +218,10 @@ impl MixedProfile {
         player: PlayerId,
         action: ActionId,
     ) -> Utility {
-        let deviated = self.with_strategy(player, MixedStrategy::pure(action, game.num_actions(player)));
+        let deviated = self.with_strategy(
+            player,
+            MixedStrategy::pure(action, game.num_actions(player)),
+        );
         deviated.expected_payoff(game, player)
     }
 
@@ -345,10 +346,7 @@ mod tests {
         // row mixes 50/50, column defects.
         let p = MixedProfile::new(
             &g,
-            vec![
-                MixedStrategy::uniform(2),
-                MixedStrategy::pure(1, 2),
-            ],
+            vec![MixedStrategy::uniform(2), MixedStrategy::pure(1, 2)],
         )
         .unwrap();
         // row: 0.5*(-5) + 0.5*(-3) = -4

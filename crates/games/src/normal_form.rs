@@ -6,7 +6,10 @@
 //! searches in `bne-robust`.
 
 use crate::error::GameError;
-use crate::profile::{index_to_profile, profile_to_index, ActionProfile, ProfileIter};
+use crate::profile::{
+    index_to_profile, profile_to_index, strides_for, visit_mixed_radix_range,
+    visit_mixed_radix_while, ActionProfile, ProfileIter,
+};
 use crate::{ActionId, PlayerId, Utility, EPSILON};
 
 /// A finite normal-form game.
@@ -35,6 +38,10 @@ pub struct NormalFormGame {
     payoffs: Vec<Vec<Utility>>,
     /// Cached radices (`actions[p].len()`).
     radices: Vec<usize>,
+    /// Cached per-player strides of the odometer layout
+    /// (`strides[p] = radices[p + 1] * ... * radices[n - 1]`), so flat
+    /// indices can be manipulated without re-encoding profiles.
+    strides: Vec<usize>,
 }
 
 impl NormalFormGame {
@@ -80,12 +87,14 @@ impl NormalFormGame {
             }
         }
         let players = (0..actions.len()).map(|i| format!("P{i}")).collect();
+        let strides = strides_for(&radices);
         Ok(NormalFormGame {
             name: name.into(),
             actions,
             players,
             payoffs,
             radices,
+            strides,
         })
     }
 
@@ -95,10 +104,7 @@ impl NormalFormGame {
     ///
     /// Returns [`GameError::DimensionMismatch`] if the number of names does
     /// not equal the number of players.
-    pub fn with_player_names<S: Into<String>>(
-        mut self,
-        names: Vec<S>,
-    ) -> Result<Self, GameError> {
+    pub fn with_player_names<S: Into<String>>(mut self, names: Vec<S>) -> Result<Self, GameError> {
         if names.len() != self.num_players() {
             return Err(GameError::DimensionMismatch {
                 expected: self.num_players(),
@@ -133,6 +139,12 @@ impl NormalFormGame {
         &self.radices
     }
 
+    /// Per-player strides of the dense payoff layout: a profile's flat
+    /// index is `Σ profile[p] * strides()[p]` (player 0 slowest).
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
     /// Label of `player`'s action `action`.
     pub fn action_label(&self, player: PlayerId, action: ActionId) -> &str {
         &self.actions[player][action]
@@ -153,10 +165,49 @@ impl NormalFormGame {
         self.payoffs[player][profile_to_index(profile, &self.radices)]
     }
 
+    /// Payoff to `player` at a flat profile index — the allocation-free hot
+    /// path used by every exhaustive search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `player` or `flat` is out of range.
+    #[inline]
+    pub fn payoff_by_index(&self, player: PlayerId, flat: usize) -> Utility {
+        self.payoffs[player][flat]
+    }
+
+    /// The full payoff tensor of `player`, indexed by flat profile index.
+    /// Handy for solvers that scan one player's payoffs linearly.
+    pub fn payoff_table(&self, player: PlayerId) -> &[Utility] {
+        &self.payoffs[player]
+    }
+
     /// Payoffs to every player under `profile`.
     pub fn payoff_vector(&self, profile: &[ActionId]) -> Vec<Utility> {
         let idx = profile_to_index(profile, &self.radices);
         self.payoffs.iter().map(|t| t[idx]).collect()
+    }
+
+    /// The action `player` takes in the profile with flat index `flat`,
+    /// recovered in O(1) from the stride layout.
+    #[inline]
+    pub fn action_at(&self, flat: usize, player: PlayerId) -> ActionId {
+        (flat / self.strides[player]) % self.radices[player]
+    }
+
+    /// Flat index of the profile obtained from the profile at `flat` by
+    /// switching `player` to `new_action`: O(1) stride arithmetic, no
+    /// cloning or re-encoding.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `new_action` is in range; an out-of-range action
+    /// silently corrupts the index in release builds, so callers validate.
+    #[inline]
+    pub fn deviate_index(&self, flat: usize, player: PlayerId, new_action: ActionId) -> usize {
+        debug_assert!(new_action < self.radices[player]);
+        let stride = self.strides[player];
+        flat - self.action_at(flat, player) * stride + new_action * stride
     }
 
     /// Checked variant of [`Self::payoff`].
@@ -165,11 +216,7 @@ impl NormalFormGame {
     ///
     /// Returns an error if `player` or any profile entry is out of range, or
     /// the profile has the wrong length.
-    pub fn try_payoff(
-        &self,
-        player: PlayerId,
-        profile: &[ActionId],
-    ) -> Result<Utility, GameError> {
+    pub fn try_payoff(&self, player: PlayerId, profile: &[ActionId]) -> Result<Utility, GameError> {
         self.validate_player(player)?;
         self.validate_profile(profile)?;
         Ok(self.payoff(player, profile))
@@ -225,6 +272,87 @@ impl NormalFormGame {
         ProfileIter::count_profiles(&self.radices)
     }
 
+    /// Calls `f(profile, flat)` for every pure profile, in odometer order,
+    /// reusing a single buffer: no allocation per step.
+    pub fn visit_profiles<F: FnMut(&[ActionId], usize)>(&self, mut f: F) {
+        visit_mixed_radix_while(&self.radices, |p, flat| {
+            f(p, flat);
+            true
+        });
+    }
+
+    /// Early-exit variant of [`Self::visit_profiles`]: stops when `f`
+    /// returns `false`. Returns `true` when the sweep completed.
+    pub fn visit_profiles_while<F: FnMut(&[ActionId], usize) -> bool>(&self, f: F) -> bool {
+        visit_mixed_radix_while(&self.radices, f)
+    }
+
+    /// Visits the contiguous flat-index `range` of the profile space (the
+    /// chunking primitive used by the `parallel` feature). Stops early when
+    /// `f` returns `false`; returns `true` when the chunk completed.
+    pub fn visit_profiles_in<F: FnMut(&[ActionId], usize) -> bool>(
+        &self,
+        range: std::ops::Range<usize>,
+        f: F,
+    ) -> bool {
+        visit_mixed_radix_range(&self.radices, range, f)
+    }
+
+    /// Visits the deviation neighborhood of the profile at `flat` for one
+    /// `coalition` (player indices, increasing): every joint action of the
+    /// coalition members, in odometer order over the coalition's action
+    /// sets, as `f(deviation, new_flat)` where `deviation[i]` is the action
+    /// of `coalition[i]` and `new_flat` is computed incrementally in O(1)
+    /// per step. The identity assignment is visited too (it satisfies
+    /// `new_flat == flat` — callers that need proper deviations skip it).
+    /// Stops early when `f` returns `false`; returns `true` when the whole
+    /// neighborhood was visited.
+    ///
+    /// This replaces the clone-profile-and-re-encode pattern the robustness
+    /// searches used: the payoff tensor is addressed directly at `new_flat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coalition member is out of range.
+    pub fn visit_coalition_deviations<F: FnMut(&[ActionId], usize) -> bool>(
+        &self,
+        flat: usize,
+        coalition: &[PlayerId],
+        mut f: F,
+    ) -> bool {
+        // This visitor runs once per coalition in the robustness searches,
+        // so the odometer lives on the stack (see `with_scratch`).
+        crate::profile::with_scratch::<usize, bool>(coalition.len(), |deviation| {
+            // Start from the coalition playing all-zeros.
+            let mut current = flat;
+            for &p in coalition {
+                current -= self.action_at(flat, p) * self.strides[p];
+            }
+            loop {
+                if !f(deviation, current) {
+                    return false;
+                }
+                // Advance the coalition odometer, updating `current` in
+                // place.
+                let mut i = coalition.len();
+                loop {
+                    if i == 0 {
+                        return true;
+                    }
+                    i -= 1;
+                    let p = coalition[i];
+                    deviation[i] += 1;
+                    if deviation[i] < self.radices[p] {
+                        current += self.strides[p];
+                        break;
+                    }
+                    current -= (self.radices[p] - 1) * self.strides[p];
+                    deviation[i] = 0;
+                }
+            }
+        })
+    }
+
     /// The best payoff `player` can obtain by unilaterally deviating from
     /// `profile` (including not deviating), together with one action
     /// achieving it.
@@ -233,12 +361,23 @@ impl NormalFormGame {
         player: PlayerId,
         profile: &[ActionId],
     ) -> (ActionId, Utility) {
-        let mut work = profile.to_vec();
-        let mut best_action = profile[player];
+        self.best_unilateral_deviation_by_index(player, profile_to_index(profile, &self.radices))
+    }
+
+    /// Index-based form of [`Self::best_unilateral_deviation`]: walks the
+    /// player's stride through the payoff tensor, allocation-free.
+    pub fn best_unilateral_deviation_by_index(
+        &self,
+        player: PlayerId,
+        flat: usize,
+    ) -> (ActionId, Utility) {
+        let stride = self.strides[player];
+        let base = flat - self.action_at(flat, player) * stride;
+        let table = &self.payoffs[player];
+        let mut best_action = 0;
         let mut best = Utility::NEG_INFINITY;
         for a in 0..self.radices[player] {
-            work[player] = a;
-            let u = self.payoff(player, &work);
+            let u = table[base + a * stride];
             if u > best {
                 best = u;
                 best_action = a;
@@ -250,12 +389,19 @@ impl NormalFormGame {
     /// All pure best responses of `player` against the other players'
     /// actions in `profile` (the entry for `player` itself is ignored).
     pub fn pure_best_responses(&self, player: PlayerId, profile: &[ActionId]) -> Vec<ActionId> {
-        let mut work = profile.to_vec();
+        self.pure_best_responses_by_index(player, profile_to_index(profile, &self.radices))
+    }
+
+    /// Index-based form of [`Self::pure_best_responses`] (the entry of
+    /// `player` within `flat` is ignored). Allocates only the result.
+    pub fn pure_best_responses_by_index(&self, player: PlayerId, flat: usize) -> Vec<ActionId> {
+        let stride = self.strides[player];
+        let base = flat - self.action_at(flat, player) * stride;
+        let table = &self.payoffs[player];
         let mut best = Utility::NEG_INFINITY;
         let mut responses = Vec::new();
         for a in 0..self.radices[player] {
-            work[player] = a;
-            let u = self.payoff(player, &work);
+            let u = table[base + a * stride];
             if u > best + EPSILON {
                 best = u;
                 responses.clear();
@@ -270,9 +416,15 @@ impl NormalFormGame {
     /// Whether `profile` is a pure Nash equilibrium: no player can gain more
     /// than [`EPSILON`] by a unilateral deviation.
     pub fn is_pure_nash(&self, profile: &[ActionId]) -> bool {
+        self.is_pure_nash_by_index(profile_to_index(profile, &self.radices))
+    }
+
+    /// Index-based form of [`Self::is_pure_nash`]: zero allocation, pure
+    /// stride arithmetic.
+    pub fn is_pure_nash_by_index(&self, flat: usize) -> bool {
         (0..self.num_players()).all(|p| {
-            let current = self.payoff(p, profile);
-            let (_, best) = self.best_unilateral_deviation(p, profile);
+            let current = self.payoffs[p][flat];
+            let (_, best) = self.best_unilateral_deviation_by_index(p, flat);
             best <= current + EPSILON
         })
     }
@@ -281,17 +433,16 @@ impl NormalFormGame {
     /// other pure profile that makes every player at least as well off and
     /// some player strictly better off.
     pub fn is_pareto_optimal(&self, profile: &[ActionId]) -> bool {
-        let base = self.payoff_vector(profile);
-        for other in self.profiles() {
-            if other == profile {
+        let base_flat = profile_to_index(profile, &self.radices);
+        let n = self.num_players();
+        for other in 0..self.num_profiles() {
+            if other == base_flat {
                 continue;
             }
-            let alt = self.payoff_vector(&other);
-            let none_worse = alt
-                .iter()
-                .zip(base.iter())
-                .all(|(a, b)| *a >= *b - EPSILON);
-            let some_better = alt.iter().zip(base.iter()).any(|(a, b)| *a > *b + EPSILON);
+            let none_worse =
+                (0..n).all(|p| self.payoffs[p][other] >= self.payoffs[p][base_flat] - EPSILON);
+            let some_better =
+                (0..n).any(|p| self.payoffs[p][other] > self.payoffs[p][base_flat] + EPSILON);
             if none_worse && some_better {
                 return false;
             }
@@ -315,19 +466,19 @@ impl NormalFormGame {
         if a == b {
             return false;
         }
+        let stride = self.strides[player];
+        let table = &self.payoffs[player];
         let mut some_strict = false;
-        for mut profile in self.profiles() {
-            if profile[player] != 0 {
-                continue; // only iterate over opponents' profiles once
+        // Walk only the profiles where `player` plays 0 (each opponents'
+        // context exactly once), then address actions a and b by stride.
+        let complete = self.visit_profiles_while(|_, flat| {
+            if self.action_at(flat, player) != 0 {
+                return true;
             }
-            profile[player] = a;
-            let ua = self.payoff(player, &profile);
-            profile[player] = b;
-            let ub = self.payoff(player, &profile);
+            let ua = table[flat + a * stride];
+            let ub = table[flat + b * stride];
             if strict {
-                if ua <= ub + EPSILON {
-                    return false;
-                }
+                ua > ub + EPSILON
             } else {
                 if ua < ub - EPSILON {
                     return false;
@@ -335,23 +486,25 @@ impl NormalFormGame {
                 if ua > ub + EPSILON {
                     some_strict = true;
                 }
+                true
             }
-        }
-        strict || some_strict
+        });
+        complete && (strict || some_strict)
     }
 
     /// Returns the zero-sum "column" payoffs check: true when, for every
     /// profile, the payoffs of all players sum to (approximately) zero.
     pub fn is_zero_sum(&self) -> bool {
-        self.profiles().all(|p| {
-            let s: f64 = self.payoff_vector(&p).iter().sum();
+        (0..self.num_profiles()).all(|flat| {
+            let s: f64 = self.payoffs.iter().map(|t| t[flat]).sum();
             s.abs() <= 1e-6
         })
     }
 
     /// The social welfare (sum of payoffs) of a profile.
     pub fn social_welfare(&self, profile: &[ActionId]) -> Utility {
-        self.payoff_vector(profile).iter().sum()
+        let flat = profile_to_index(profile, &self.radices);
+        self.payoffs.iter().map(|t| t[flat]).sum()
     }
 
     /// Returns a new game that is the restriction of this game to the given
@@ -401,8 +554,8 @@ impl NormalFormGame {
                 .enumerate()
                 .map(|(p, &a)| keep[p][a])
                 .collect();
-            for p in 0..self.num_players() {
-                payoffs[p].push(self.payoff(p, &old_profile));
+            for (p, table) in payoffs.iter_mut().enumerate() {
+                table.push(self.payoff(p, &old_profile));
             }
         }
         NormalFormGame::new(format!("{} (restricted)", self.name), actions, payoffs)
@@ -649,6 +802,103 @@ mod tests {
         assert_eq!(pd.social_welfare(&[0, 0]), 6.0);
         for p in pd.profiles() {
             assert_eq!(pd.profile_at(pd.profile_index(&p)), p);
+        }
+    }
+
+    #[test]
+    fn index_accessors_agree_with_profile_accessors() {
+        let g = crate::random::random_game(11, &[2, 3, 4]);
+        for (flat, profile) in g.profiles().enumerate() {
+            assert_eq!(g.profile_index(&profile), flat);
+            for p in 0..g.num_players() {
+                assert_eq!(g.action_at(flat, p), profile[p]);
+                assert_eq!(g.payoff_by_index(p, flat), g.payoff(p, &profile));
+                assert_eq!(g.payoff_table(p)[flat], g.payoff(p, &profile));
+                assert_eq!(g.is_pure_nash_by_index(flat), g.is_pure_nash(&profile),);
+                for a in 0..g.num_actions(p) {
+                    let mut cloned = profile.clone();
+                    cloned[p] = a;
+                    assert_eq!(g.deviate_index(flat, p, a), g.profile_index(&cloned));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn visit_profiles_matches_iterator() {
+        let g = crate::random::random_game(3, &[3, 2, 2]);
+        let mut visited = Vec::new();
+        g.visit_profiles(|p, flat| visited.push((p.to_vec(), flat)));
+        let expected: Vec<_> = g.profiles().enumerate().map(|(i, p)| (p, i)).collect();
+        assert_eq!(visited, expected);
+
+        let mut halves = Vec::new();
+        let mid = g.num_profiles() / 2;
+        g.visit_profiles_in(0..mid, |p, flat| {
+            halves.push((p.to_vec(), flat));
+            true
+        });
+        g.visit_profiles_in(mid..g.num_profiles(), |p, flat| {
+            halves.push((p.to_vec(), flat));
+            true
+        });
+        assert_eq!(halves, expected);
+    }
+
+    #[test]
+    fn coalition_deviation_visitor_matches_clone_and_reencode() {
+        let g = crate::random::random_game(5, &[2, 3, 2, 2]);
+        let base = vec![1, 2, 0, 1];
+        let flat = g.profile_index(&base);
+        for coalition in [vec![0], vec![1, 3], vec![0, 1, 2], vec![0, 1, 2, 3]] {
+            let mut visited = Vec::new();
+            g.visit_coalition_deviations(flat, &coalition, |dev, new_flat| {
+                visited.push((dev.to_vec(), new_flat));
+                true
+            });
+            // reference: enumerate the coalition's joint actions the old way
+            let radices: Vec<usize> = coalition.iter().map(|&p| g.num_actions(p)).collect();
+            let expected: Vec<_> = ProfileIter::new(&radices)
+                .map(|dev| {
+                    let mut cloned = base.clone();
+                    for (&p, &a) in coalition.iter().zip(dev.iter()) {
+                        cloned[p] = a;
+                    }
+                    (dev, g.profile_index(&cloned))
+                })
+                .collect();
+            assert_eq!(visited, expected);
+            // the identity assignment maps back to the base flat index
+            assert!(visited.iter().any(|(_, f)| *f == flat));
+        }
+    }
+
+    #[test]
+    fn coalition_deviation_visitor_early_exit() {
+        let g = crate::random::random_game(5, &[2, 2]);
+        let mut count = 0;
+        let complete = g.visit_coalition_deviations(0, &[0, 1], |_, _| {
+            count += 1;
+            count < 2
+        });
+        assert!(!complete);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn best_response_index_forms_agree() {
+        let g = crate::random::random_game(17, &[3, 3, 2]);
+        for (flat, profile) in g.profiles().enumerate() {
+            for p in 0..g.num_players() {
+                assert_eq!(
+                    g.best_unilateral_deviation_by_index(p, flat),
+                    g.best_unilateral_deviation(p, &profile)
+                );
+                assert_eq!(
+                    g.pure_best_responses_by_index(p, flat),
+                    g.pure_best_responses(p, &profile)
+                );
+            }
         }
     }
 }

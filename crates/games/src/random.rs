@@ -1,0 +1,60 @@
+//! Random game generation, used by the benches and the property tests
+//! (parallel vs. sequential equivalence on arbitrary games).
+
+use crate::normal_form::NormalFormGame;
+use crate::Utility;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a dense normal-form game with the given per-player action
+/// counts and i.i.d. integer payoffs in `[-5, 5]` (integer payoffs keep the
+/// epsilon comparisons of the solution concepts crisp). Deterministic in
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `radices` is empty or contains a zero.
+pub fn random_game(seed: u64, radices: &[usize]) -> NormalFormGame {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total: usize = radices.iter().product();
+    assert!(
+        !radices.is_empty() && total > 0,
+        "random_game needs at least one player and one action each"
+    );
+    let actions: Vec<Vec<String>> = radices
+        .iter()
+        .map(|&r| (0..r).map(|a| format!("a{a}")).collect())
+        .collect();
+    let payoffs: Vec<Vec<Utility>> = (0..radices.len())
+        .map(|_| {
+            (0..total)
+                .map(|_| rng.random_range(-5i32..=5) as Utility)
+                .collect()
+        })
+        .collect();
+    NormalFormGame::new(format!("random(seed={seed})"), actions, payoffs)
+        .expect("generated tensors are well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_game_is_deterministic_and_well_formed() {
+        let a = random_game(7, &[2, 3, 4]);
+        let b = random_game(7, &[2, 3, 4]);
+        assert_eq!(a, b);
+        assert_eq!(a.num_players(), 3);
+        assert_eq!(a.num_profiles(), 24);
+        let c = random_game(8, &[2, 3, 4]);
+        assert_ne!(a, c);
+        for p in 0..3 {
+            for flat in 0..a.num_profiles() {
+                let u = a.payoff_by_index(p, flat);
+                assert!((-5.0..=5.0).contains(&u));
+                assert_eq!(u, u.round());
+            }
+        }
+    }
+}

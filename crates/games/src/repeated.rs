@@ -112,11 +112,7 @@ impl RepeatedGame {
 
     /// Plays the two strategies against each other and returns the full
     /// match result.
-    pub fn play(
-        &self,
-        a: &mut dyn RepeatedStrategy,
-        b: &mut dyn RepeatedStrategy,
-    ) -> MatchResult {
+    pub fn play(&self, a: &mut dyn RepeatedStrategy, b: &mut dyn RepeatedStrategy) -> MatchResult {
         a.reset();
         b.reset();
         let mut history: Vec<Round> = Vec::with_capacity(self.rounds);

@@ -40,7 +40,11 @@ impl Automaton {
         transitions: Vec<[usize; 2]>,
         initial: usize,
     ) -> Self {
-        assert_eq!(actions.len(), transitions.len(), "one transition row per state");
+        assert_eq!(
+            actions.len(),
+            transitions.len(),
+            "one transition row per state"
+        );
         assert!(!actions.is_empty(), "need at least one state");
         assert!(initial < actions.len(), "initial state out of range");
         for row in &transitions {
@@ -209,14 +213,22 @@ mod tests {
     use bne_games::classic;
     use bne_games::repeated::RepeatedGame;
 
-    fn play(a: &mut dyn RepeatedStrategy, b: &mut dyn RepeatedStrategy, rounds: usize) -> Vec<[usize; 2]> {
+    fn play(
+        a: &mut dyn RepeatedStrategy,
+        b: &mut dyn RepeatedStrategy,
+        rounds: usize,
+    ) -> Vec<[usize; 2]> {
         let g = RepeatedGame::new(classic::prisoners_dilemma_axelrod(), rounds, 1.0).unwrap();
         g.play(a, b).rounds
     }
 
     #[test]
     fn tit_for_tat_mirrors_the_opponent_with_one_round_lag() {
-        let rounds = play(&mut Automaton::tit_for_tat(), &mut Automaton::all_defect(), 4);
+        let rounds = play(
+            &mut Automaton::tit_for_tat(),
+            &mut Automaton::all_defect(),
+            4,
+        );
         assert_eq!(rounds[0], [0, 1]);
         assert!(rounds[1..].iter().all(|r| *r == [1, 1]));
     }
@@ -226,7 +238,11 @@ mod tests {
         // opponent defects once (Pavlov vs Grim never has a defection, so use
         // AllD for 1 round then... simpler: play Grim vs TitForTat after a
         // defection can't happen; use AllD): grim defects forever after round 0
-        let rounds = play(&mut Automaton::grim_trigger(), &mut Automaton::all_defect(), 5);
+        let rounds = play(
+            &mut Automaton::grim_trigger(),
+            &mut Automaton::all_defect(),
+            5,
+        );
         assert_eq!(rounds[0], [0, 1]);
         assert!(rounds[1..].iter().all(|r| r[0] == 1));
     }

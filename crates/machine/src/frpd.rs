@@ -73,11 +73,7 @@ pub struct FrpdAnalysis {
 /// # Panics
 ///
 /// Panics if `rounds == 0` or `discount` is outside `(0, 1]`.
-pub fn analyze_tit_for_tat(
-    rounds: usize,
-    discount: f64,
-    cost: MemoryCostModel,
-) -> FrpdAnalysis {
+pub fn analyze_tit_for_tat(rounds: usize, discount: f64, cost: MemoryCostModel) -> FrpdAnalysis {
     let game = RepeatedGame::new(classic::prisoners_dilemma(), rounds, discount)
         .expect("valid FRPD parameters");
     let mut tft_a = TitForTat;

@@ -101,26 +101,25 @@ impl<'a> MachineGame<'a> {
                 .map(|p| self.machines[p][machine_indices[p]].complexity(types[p]))
                 .collect();
             // expectation over the product of the per-player action
-            // distributions
+            // distributions, swept with the reusable flat-index cursor
             let radices: Vec<usize> = distributions.iter().map(|d| d.len()).collect();
-            for combo in bne_games::profile::ProfileIter::new(&radices) {
+            let mut actions = vec![0usize; n];
+            bne_games::profile::visit_mixed_radix(&radices, |combo, _| {
                 let mut weight = pr;
-                let mut actions = Vec::with_capacity(n);
                 for (p, &c) in combo.iter().enumerate() {
                     let (a, q) = distributions[p][c];
                     weight *= q;
-                    actions.push(a);
+                    actions[p] = a;
                 }
                 if weight <= 0.0 {
-                    continue;
+                    return;
                 }
-                for p in 0..n {
-                    raw_utilities[p] += weight * self.game.utility(p, &types, &actions);
+                for (p, raw) in raw_utilities.iter_mut().enumerate() {
+                    *raw += weight * self.game.utility(p, &types, &actions);
                 }
-            }
-            for p in 0..n {
-                let charge = self.charge.charge(p, &complexities);
-                charges[p] += pr * charge;
+            });
+            for (p, total_charge) in charges.iter_mut().enumerate() {
+                *total_charge += pr * self.charge.charge(p, &complexities);
             }
         }
         for p in 0..n {
@@ -163,18 +162,21 @@ impl<'a> MachineGame<'a> {
         let radices: Vec<usize> = (0..self.game.num_players())
             .map(|p| self.num_machines(p))
             .collect();
-        bne_games::profile::ProfileIter::new(&radices)
-            .filter(|profile| self.is_equilibrium(profile))
-            .map(|profile| ComputationalEquilibrium {
-                machine_names: profile
-                    .iter()
-                    .enumerate()
-                    .map(|(p, &m)| self.machine_name(p, m))
-                    .collect(),
-                outcome: self.evaluate(&profile),
-                machine_indices: profile,
-            })
-            .collect()
+        let mut out = Vec::new();
+        bne_games::profile::visit_mixed_radix(&radices, |profile, _| {
+            if self.is_equilibrium(profile) {
+                out.push(ComputationalEquilibrium {
+                    machine_names: profile
+                        .iter()
+                        .enumerate()
+                        .map(|(p, &m)| self.machine_name(p, m))
+                        .collect(),
+                    outcome: self.evaluate(profile),
+                    machine_indices: profile.to_vec(),
+                });
+            }
+        });
+        out
     }
 }
 

@@ -42,4 +42,4 @@ pub mod vm;
 pub use complexity::{Complexity, ComplexityCharge};
 pub use game::{ComputationalEquilibrium, MachineGame, MachineGameOutcome};
 pub use machine::{RandomizedMachine, StrategyMachine, TableMachine, VmMachine};
-pub use vm::{Instruction, Program, VmError, VmResult, VirtualMachine};
+pub use vm::{Instruction, Program, VirtualMachine, VmError, VmResult};

@@ -93,7 +93,11 @@ impl ChallengePool {
 
     /// Fraction of the pool that is prime (diagnostic for experiments).
     pub fn prime_fraction(&self) -> f64 {
-        let primes = self.numbers.iter().filter(|&&n| is_prime_reference(n)).count();
+        let primes = self
+            .numbers
+            .iter()
+            .filter(|&&n| is_prime_reference(n))
+            .count();
         primes as f64 / self.numbers.len() as f64
     }
 }
@@ -155,7 +159,10 @@ pub fn primality_machine_set(pool: &ChallengePool) -> Vec<Box<dyn StrategyMachin
             actions::PLAY_SAFE,
         )),
         Box::new(TableMachine::constant("SayPrime", actions::SAY_PRIME)),
-        Box::new(TableMachine::constant("SayComposite", actions::SAY_COMPOSITE)),
+        Box::new(TableMachine::constant(
+            "SayComposite",
+            actions::SAY_COMPOSITE,
+        )),
         Box::new(TableMachine::constant("PlaySafe", actions::PLAY_SAFE)),
     ]
 }
@@ -194,7 +201,11 @@ pub struct PrimalityRow {
 /// Sweeps bit lengths for a fixed per-step cost and reports which machine
 /// wins at each size (experiment E6). The paper's prediction: computing wins
 /// for small inputs, playing safe wins once inputs are large enough.
-pub fn primality_sweep(bit_lengths: &[u32], cost_per_step: f64, pool_size: usize) -> Vec<PrimalityRow> {
+pub fn primality_sweep(
+    bit_lengths: &[u32],
+    cost_per_step: f64,
+    pool_size: usize,
+) -> Vec<PrimalityRow> {
     let mut rows = Vec::new();
     for &bits in bit_lengths {
         let pool = ChallengePool::new(bits, pool_size);
@@ -257,7 +268,10 @@ mod tests {
             .into_iter()
             .flat_map(|e| e.machine_names)
             .collect();
-        assert!(eq_small.contains(&"TrialDivision".to_string()), "{eq_small:?}");
+        assert!(
+            eq_small.contains(&"TrialDivision".to_string()),
+            "{eq_small:?}"
+        );
 
         let large = ChallengePool::new(30, 10);
         let game_large = primality_bayesian(&large);

@@ -156,15 +156,27 @@ impl Program {
             /* 2 */ LoadImm { dst: 4, value: 2 },
             // if n < 2 => not prime
             /* 3 */ Lt { dst: 2, a: 6, b: 4 },
-            /* 4 */ JumpIfNonZero { cond: 2, target: 19 },
+            /* 4 */
+            JumpIfNonZero {
+                cond: 2,
+                target: 19,
+            },
             /* 5 */ Copy { dst: 1, src: 4 }, // d = 2
             // loop: if d*d > n => prime
             /* 6 */ Mul { dst: 5, a: 1, b: 1 },
             /* 7 */ Lt { dst: 2, a: 6, b: 5 }, // n < d*d ?
-            /* 8 */ JumpIfNonZero { cond: 2, target: 17 },
+            /* 8 */
+            JumpIfNonZero {
+                cond: 2,
+                target: 17,
+            },
             // if n % d == 0 => not prime
             /* 9 */ Rem { dst: 2, a: 6, b: 1 },
-            /* 10 */ JumpIfZero { cond: 2, target: 19 },
+            /* 10 */
+            JumpIfZero {
+                cond: 2,
+                target: 19,
+            },
             // d += 1
             /* 11 */ Add { dst: 1, a: 1, b: 3 },
             /* 12 */ Jump { target: 6 },
@@ -353,7 +365,7 @@ pub fn is_prime_reference(n: u64) -> bool {
     }
     let mut d = 2u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 1;

@@ -8,7 +8,6 @@
 //! strategy whose robustness the cheap-talk protocols must reproduce.
 
 use bne_games::{ActionId, BayesianGame, PlayerId, TypeId, Utility};
-use std::collections::BTreeSet;
 
 /// A mediator: a trusted party mapping reported types to recommended
 /// actions. Deterministic mediators cover all the games in the paper's
@@ -102,9 +101,11 @@ impl<'a, M: Mediator> MediatorGame<'a, M> {
     /// the paper's examples.
     pub fn honest_is_k_resilient(&self, k: usize) -> bool {
         let n = self.game.num_players();
-        let coalitions = bne_games::profile::subsets_up_to_size(n, k.min(n));
-        for coalition in coalitions {
-            if self.coalition_can_gain(&coalition) {
+        for size in 1..=k.min(n) {
+            let complete = bne_games::profile::try_for_each_subset_of_size(n, size, |coalition| {
+                !self.coalition_can_gain(coalition)
+            });
+            if !complete {
                 return false;
             }
         }
@@ -116,29 +117,29 @@ impl<'a, M: Mediator> MediatorGame<'a, M> {
     /// expected utilities do not drop.
     pub fn honest_is_t_immune(&self, t: usize) -> bool {
         let n = self.game.num_players();
-        let sets = bne_games::profile::subsets_up_to_size(n, t.min(n));
         let baseline: Vec<Utility> = (0..n).map(|p| self.honest_expected_utility(p)).collect();
-        for faulty in sets {
-            let faulty_set: BTreeSet<PlayerId> = faulty.iter().copied().collect();
-            for (misreports, overrides) in self.deviation_space(&faulty) {
-                for victim in 0..n {
-                    if faulty_set.contains(&victim) {
-                        continue;
+        for size in 1..=t.min(n) {
+            let complete = bne_games::profile::try_for_each_subset_of_size(n, size, |faulty| {
+                self.visit_deviation_space(faulty, |misreports, overrides| {
+                    for (victim, &base_u) in baseline.iter().enumerate() {
+                        if faulty.contains(&victim) {
+                            continue;
+                        }
+                        let mut total = 0.0;
+                        for (types, pr) in self.game.prior().support() {
+                            let actions =
+                                self.outcome_with_deviation(&types, faulty, misreports, overrides);
+                            total += pr * self.game.utility(victim, &types, &actions);
+                        }
+                        if total < base_u - 1e-9 {
+                            return false;
+                        }
                     }
-                    let mut total = 0.0;
-                    for (types, pr) in self.game.prior().support() {
-                        let actions = self.outcome_with_deviation(
-                            &types,
-                            &faulty,
-                            &misreports,
-                            &overrides,
-                        );
-                        total += pr * self.game.utility(victim, &types, &actions);
-                    }
-                    if total < baseline[victim] - 1e-9 {
-                        return false;
-                    }
-                }
+                    true
+                })
+            });
+            if !complete {
+                return false;
             }
         }
         true
@@ -154,28 +155,32 @@ impl<'a, M: Mediator> MediatorGame<'a, M> {
             .iter()
             .map(|&p| self.honest_expected_utility(p))
             .collect();
-        for (misreports, overrides) in self.deviation_space(coalition) {
+        !self.visit_deviation_space(coalition, |misreports, overrides| {
             for (idx, &member) in coalition.iter().enumerate() {
                 let mut total = 0.0;
                 for (types, pr) in self.game.prior().support() {
                     let actions =
-                        self.outcome_with_deviation(&types, coalition, &misreports, &overrides);
+                        self.outcome_with_deviation(&types, coalition, misreports, overrides);
                     total += pr * self.game.utility(member, &types, &actions);
                 }
                 if total > baseline[idx] + 1e-9 {
-                    return true;
+                    return false; // gain found — stop the sweep
                 }
             }
-        }
-        false
+            true
+        })
     }
 
-    /// Enumerates the joint deviations of a coalition: every combination of
-    /// a misreported type and an optional action override per member.
-    fn deviation_space(
-        &self,
-        coalition: &[PlayerId],
-    ) -> Vec<(Vec<TypeId>, Vec<Option<ActionId>>)> {
+    /// Visits the joint deviations of a coalition lazily: every combination
+    /// of a misreported type and an optional action override per member, as
+    /// `f(misreports, overrides)`, reusing two buffers across the whole
+    /// sweep (the deviation space is exponential in the coalition size, so
+    /// it is never materialized). Stops early when `f` returns `false`;
+    /// returns `true` when the sweep completed.
+    fn visit_deviation_space<F>(&self, coalition: &[PlayerId], mut f: F) -> bool
+    where
+        F: FnMut(&[TypeId], &[Option<ActionId>]) -> bool,
+    {
         // per member: misreport in 0..num_types, override in None ∪ actions
         let mut options: Vec<Vec<(TypeId, Option<ActionId>)>> = Vec::new();
         for &p in coalition {
@@ -189,18 +194,28 @@ impl<'a, M: Mediator> MediatorGame<'a, M> {
             options.push(per_member);
         }
         let radices: Vec<usize> = options.iter().map(|o| o.len()).collect();
-        bne_games::profile::ProfileIter::new(&radices)
-            .map(|choice| {
-                let mut misreports = Vec::with_capacity(coalition.len());
-                let mut overrides = Vec::with_capacity(coalition.len());
-                for (i, &c) in choice.iter().enumerate() {
-                    let (ty, ov) = options[i][c];
-                    misreports.push(ty);
-                    overrides.push(ov);
-                }
-                (misreports, overrides)
-            })
-            .collect()
+        let mut misreports = vec![0 as TypeId; coalition.len()];
+        let mut overrides: Vec<Option<ActionId>> = vec![None; coalition.len()];
+        bne_games::profile::visit_mixed_radix_while(&radices, |choice, _| {
+            for (i, &c) in choice.iter().enumerate() {
+                let (ty, ov) = options[i][c];
+                misreports[i] = ty;
+                overrides[i] = ov;
+            }
+            f(&misreports, &overrides)
+        })
+    }
+
+    /// Materialized form of [`Self::visit_deviation_space`], kept for
+    /// the unit tests; prefer the visitor in search loops.
+    #[cfg(test)]
+    fn deviation_space(&self, coalition: &[PlayerId]) -> Vec<(Vec<TypeId>, Vec<Option<ActionId>>)> {
+        let mut out = Vec::new();
+        self.visit_deviation_space(coalition, |misreports, overrides| {
+            out.push((misreports.to_vec(), overrides.to_vec()));
+            true
+        });
+        out
     }
 }
 

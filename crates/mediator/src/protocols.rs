@@ -252,7 +252,10 @@ mod tests {
         let types = vec![1usize, 0, 0, 0, 0];
         let out = ct.execute(&types, &faulty(&[2, 3, 4]), 7);
         assert_eq!(out.actions[0], 1);
-        assert_eq!(out.actions[1], 1, "the lone honest soldier follows the general");
+        assert_eq!(
+            out.actions[1], 1,
+            "the lone honest soldier follows the general"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! machines, users with unexpected utilities such as Gnutella's sharing
 //! hosts).
 
-use bne_games::profile::{subsets_up_to_size, ProfileIter};
+use bne_games::profile::{try_for_each_subset_of_size, ActionProfile};
 use bne_games::{ActionId, NormalFormGame, PlayerId, EPSILON};
 
 /// A witness that a profile is not t-immune: a set of deviators and a joint
@@ -48,34 +48,41 @@ pub fn immunity_counterexample(
 ) -> Option<ImmunityViolation> {
     game.validate_profile(profile)
         .expect("profile must be valid for the game");
+    immunity_counterexample_by_index(game, game.profile_index(profile), t)
+}
+
+/// Index-based form of [`immunity_counterexample`]: runs entirely on flat
+/// indices; allocation happens only when a violation is materialized.
+pub fn immunity_counterexample_by_index(
+    game: &NormalFormGame,
+    flat: usize,
+    t: usize,
+) -> Option<ImmunityViolation> {
     if t == 0 {
         return None;
     }
     let n = game.num_players();
-    for deviators in subsets_up_to_size(n, t.min(n)) {
-        let radices: Vec<usize> = deviators.iter().map(|&p| game.num_actions(p)).collect();
-        for deviation in ProfileIter::new(&radices) {
-            if deviators
-                .iter()
-                .zip(deviation.iter())
-                .all(|(&p, &a)| profile[p] == a)
-            {
+    // Size-1 fast path (see `resilience_counterexample_by_index`): one
+    // deviating player is a pure stride walk, in the same enumeration
+    // order as the general machinery, so witnesses are unchanged.
+    for p in 0..n {
+        let stride = game.strides()[p];
+        let base = flat - game.action_at(flat, p) * stride;
+        for a in 0..game.num_actions(p) {
+            let new_flat = base + a * stride;
+            if new_flat == flat {
                 continue;
             }
-            let mut new_profile = profile.to_vec();
-            for (&p, &a) in deviators.iter().zip(deviation.iter()) {
-                new_profile[p] = a;
-            }
             for victim in 0..n {
-                if deviators.contains(&victim) {
+                if victim == p {
                     continue;
                 }
-                let before = game.payoff(victim, profile);
-                let after = game.payoff(victim, &new_profile);
+                let before = game.payoff_by_index(victim, flat);
+                let after = game.payoff_by_index(victim, new_flat);
                 if after < before - EPSILON {
                     return Some(ImmunityViolation {
-                        deviators: deviators.clone(),
-                        deviation,
+                        deviators: vec![p],
+                        deviation: vec![a],
                         victim,
                         before,
                         after,
@@ -84,12 +91,105 @@ pub fn immunity_counterexample(
             }
         }
     }
-    None
+    let mut violation = None;
+    'sizes: for size in 2..=t.min(n) {
+        let complete = try_for_each_subset_of_size(n, size, |deviators| {
+            game.visit_coalition_deviations(flat, deviators, |dev, new_flat| {
+                if new_flat == flat {
+                    return true; // the non-deviation
+                }
+                for victim in 0..n {
+                    if deviators.contains(&victim) {
+                        continue;
+                    }
+                    let before = game.payoff_by_index(victim, flat);
+                    let after = game.payoff_by_index(victim, new_flat);
+                    if after < before - EPSILON {
+                        violation = Some(ImmunityViolation {
+                            deviators: deviators.to_vec(),
+                            deviation: dev.to_vec(),
+                            victim,
+                            before,
+                            after,
+                        });
+                        return false;
+                    }
+                }
+                true
+            })
+        });
+        if !complete {
+            break 'sizes;
+        }
+    }
+    violation
 }
 
 /// Whether `profile` is t-immune. Every profile is trivially 0-immune.
 pub fn is_t_immune(game: &NormalFormGame, profile: &[ActionId], t: usize) -> bool {
     immunity_counterexample(game, profile, t).is_none()
+}
+
+/// Index-based form of [`is_t_immune`].
+pub fn is_t_immune_by_index(game: &NormalFormGame, flat: usize, t: usize) -> bool {
+    immunity_counterexample_by_index(game, flat, t).is_none()
+}
+
+/// Sweeps the whole profile space and collects every t-immune profile, in
+/// flat-index order.
+pub fn find_t_immune_profiles(game: &NormalFormGame, t: usize) -> Vec<ActionProfile> {
+    bne_games::search::find_profiles(game, |flat| is_t_immune_by_index(game, flat, t))
+}
+
+/// The t-immune profile with the lowest flat index, if any.
+pub fn first_t_immune_profile(game: &NormalFormGame, t: usize) -> Option<ActionProfile> {
+    bne_games::search::first_profile(game, |flat| is_t_immune_by_index(game, flat, t))
+}
+
+/// Parallel form of [`find_t_immune_profiles`]; output is bit-identical to
+/// the sequential sweep (chunk-order concatenation).
+#[cfg(feature = "parallel")]
+pub fn find_t_immune_profiles_parallel(game: &NormalFormGame, t: usize) -> Vec<ActionProfile> {
+    find_t_immune_profiles_with_workers(
+        game,
+        t,
+        bne_games::parallel::costly_workers(game.num_profiles()),
+    )
+}
+
+/// [`find_t_immune_profiles_parallel`] with an explicit worker count.
+#[cfg(feature = "parallel")]
+pub fn find_t_immune_profiles_with_workers(
+    game: &NormalFormGame,
+    t: usize,
+    workers: usize,
+) -> Vec<ActionProfile> {
+    bne_games::search::find_profiles_parallel(game, workers, |flat| {
+        is_t_immune_by_index(game, flat, t)
+    })
+}
+
+/// Parallel form of [`first_t_immune_profile`] with deterministic
+/// lowest-flat-index-wins semantics.
+#[cfg(feature = "parallel")]
+pub fn first_t_immune_profile_parallel(game: &NormalFormGame, t: usize) -> Option<ActionProfile> {
+    first_t_immune_profile_with_workers(
+        game,
+        t,
+        bne_games::parallel::costly_workers(game.num_profiles()),
+    )
+}
+
+/// [`first_t_immune_profile_parallel`] with an explicit worker count.
+#[cfg(feature = "parallel")]
+pub fn first_t_immune_profile_with_workers(
+    game: &NormalFormGame,
+    t: usize,
+    workers: usize,
+) -> Option<ActionProfile> {
+    bne_games::search::first_profile_parallel(game, workers, |flat| {
+        is_t_immune_by_index(game, flat, t)
+    })
 }
 
 /// The largest `t ≤ max_t` for which `profile` is t-immune.
@@ -168,6 +268,55 @@ mod tests {
         assert!(is_t_immune(&pd, &[1, 1], 1));
         // but (C,C) is not: the opponent defecting drops you from 3 to -5.
         assert!(!is_t_immune(&pd, &[0, 0], 1));
+    }
+
+    #[test]
+    fn profile_space_search_finds_all_immune_profiles() {
+        let g = classic::prisoners_dilemma();
+        let found = find_t_immune_profiles(&g, 1);
+        let expected: Vec<_> = g.profiles().filter(|p| is_t_immune(&g, p, 1)).collect();
+        assert_eq!(found, expected);
+        assert_eq!(first_t_immune_profile(&g, 1), expected.first().cloned());
+        // in the bargaining game the only fragile profile is all-stay
+        // (stayers drop from 2 to 0 when anyone leaves); the first immune
+        // profile in flat order is therefore [0, 0, 0, 1]
+        let b = classic::bargaining_game(4);
+        assert_eq!(first_t_immune_profile(&b, 1), Some(vec![0, 0, 0, 1]));
+        assert!(!is_t_immune(&b, &[0, 0, 0, 0], 1));
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_immune_search_is_bit_identical() {
+        for seed in 10..14 {
+            let g = bne_games::random::random_game(seed, &[2, 3, 2, 3]);
+            for t in 1..=3 {
+                let seq = find_t_immune_profiles(&g, t);
+                assert_eq!(
+                    seq,
+                    find_t_immune_profiles_parallel(&g, t),
+                    "seed {seed} t {t}"
+                );
+                assert_eq!(
+                    first_t_immune_profile(&g, t),
+                    first_t_immune_profile_parallel(&g, t),
+                    "seed {seed} t {t}"
+                );
+                // force real threads
+                for workers in [2, 4] {
+                    assert_eq!(
+                        seq,
+                        find_t_immune_profiles_with_workers(&g, t, workers),
+                        "seed {seed} t {t} workers {workers}"
+                    );
+                    assert_eq!(
+                        seq.first().cloned(),
+                        first_t_immune_profile_with_workers(&g, t, workers),
+                        "seed {seed} t {t} workers {workers}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

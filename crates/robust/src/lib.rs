@@ -33,9 +33,24 @@ pub mod resilience;
 pub mod robustness;
 
 pub use analysis::{classify_profile, ProfileClassification};
-pub use immunity::{immunity_counterexample, is_t_immune, ImmunityViolation};
+pub use immunity::{
+    find_t_immune_profiles, first_t_immune_profile, immunity_counterexample, is_t_immune,
+    is_t_immune_by_index, ImmunityViolation,
+};
+#[cfg(feature = "parallel")]
+pub use immunity::{find_t_immune_profiles_parallel, first_t_immune_profile_parallel};
+#[cfg(feature = "parallel")]
+pub use punishment::find_punishment_strategies_parallel;
 pub use punishment::{find_punishment_strategies, is_punishment_strategy};
 pub use resilience::{
-    is_k_resilient, resilience_counterexample, CoalitionDeviation, ResilienceVariant,
+    find_k_resilient_profiles, first_k_resilient_profile, is_k_resilient, is_k_resilient_by_index,
+    resilience_counterexample, CoalitionDeviation, ResilienceVariant,
 };
-pub use robustness::{is_robust, max_robustness, RobustnessChecker, RobustnessReport};
+#[cfg(feature = "parallel")]
+pub use resilience::{find_k_resilient_profiles_parallel, first_k_resilient_profile_parallel};
+pub use robustness::{
+    find_robust_profiles, first_robust_profile, is_robust, is_robust_by_index, max_robustness,
+    RobustnessChecker, RobustnessReport,
+};
+#[cfg(feature = "parallel")]
+pub use robustness::{find_robust_profiles_parallel, first_robust_profile_parallel};

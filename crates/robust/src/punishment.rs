@@ -8,7 +8,7 @@
 //! switching to ρ is what keeps deviators in line when there are too few
 //! honest players for information-theoretic enforcement.
 
-use bne_games::profile::{subsets_up_to_size, ProfileIter};
+use bne_games::profile::try_for_each_subset_of_size;
 use bne_games::{ActionId, NormalFormGame, EPSILON};
 
 /// Whether `punishment` is a `p`-punishment strategy relative to the
@@ -30,44 +30,88 @@ pub fn is_punishment_strategy(
         .expect("equilibrium profile must be valid");
     game.validate_profile(punishment)
         .expect("punishment profile must be valid");
-    let n = game.num_players();
-    let base: Vec<f64> = (0..n).map(|i| game.payoff(i, equilibrium)).collect();
+    let base: Vec<f64> = (0..game.num_players())
+        .map(|i| game.payoff(i, equilibrium))
+        .collect();
+    is_punishment_strategy_by_index(game, &base, game.profile_index(punishment), p)
+}
 
+/// Index-based core of [`is_punishment_strategy`]: `base` holds the
+/// equilibrium payoffs and `punishment_flat` the candidate's flat index.
+/// Runs entirely on stride arithmetic.
+pub fn is_punishment_strategy_by_index(
+    game: &NormalFormGame,
+    base: &[f64],
+    punishment_flat: usize,
+    p: usize,
+) -> bool {
+    let n = game.num_players();
+    let everyone_below = |flat: usize| {
+        (0..n).all(|player| game.payoff_by_index(player, flat) < base[player] - EPSILON)
+    };
     // D can be empty: then everyone plays the punishment profile.
-    let mut deviator_sets = vec![vec![]];
-    deviator_sets.extend(subsets_up_to_size(n, p.min(n)));
-    for deviators in &deviator_sets {
-        let deviations: Vec<Vec<ActionId>> = if deviators.is_empty() {
-            vec![Vec::new()]
-        } else {
-            let radices: Vec<usize> = deviators.iter().map(|&d| game.num_actions(d)).collect();
-            ProfileIter::new(&radices).collect()
-        };
-        for deviation in &deviations {
-            let mut profile = punishment.to_vec();
-            for (&d, &a) in deviators.iter().zip(deviation.iter()) {
-                profile[d] = a;
-            }
-            for player in 0..n {
-                if game.payoff(player, &profile) >= base[player] - EPSILON {
-                    return false;
-                }
-            }
+    if !everyone_below(punishment_flat) {
+        return false;
+    }
+    for size in 1..=p.min(n) {
+        let complete = try_for_each_subset_of_size(n, size, |deviators| {
+            game.visit_coalition_deviations(punishment_flat, deviators, |_, flat| {
+                everyone_below(flat)
+            })
+        });
+        if !complete {
+            return false;
         }
     }
     true
 }
 
 /// Exhaustively searches for `p`-punishment strategies relative to
-/// `equilibrium`. Returns all pure profiles that qualify.
+/// `equilibrium`. Returns all pure profiles that qualify, in flat-index
+/// order.
 pub fn find_punishment_strategies(
     game: &NormalFormGame,
     equilibrium: &[ActionId],
     p: usize,
 ) -> Vec<Vec<ActionId>> {
-    game.profiles()
-        .filter(|candidate| is_punishment_strategy(game, equilibrium, candidate, p))
-        .collect()
+    game.validate_profile(equilibrium)
+        .expect("equilibrium profile must be valid");
+    let base: Vec<f64> = (0..game.num_players())
+        .map(|i| game.payoff(i, equilibrium))
+        .collect();
+    let mut out = Vec::new();
+    game.visit_profiles(|candidate, flat| {
+        if is_punishment_strategy_by_index(game, &base, flat, p) {
+            out.push(candidate.to_vec());
+        }
+    });
+    out
+}
+
+/// Parallel form of [`find_punishment_strategies`]; the output is
+/// bit-identical to the sequential sweep (chunk-order concatenation).
+#[cfg(feature = "parallel")]
+pub fn find_punishment_strategies_parallel(
+    game: &NormalFormGame,
+    equilibrium: &[ActionId],
+    p: usize,
+) -> Vec<Vec<ActionId>> {
+    game.validate_profile(equilibrium)
+        .expect("equilibrium profile must be valid");
+    let base: Vec<f64> = (0..game.num_players())
+        .map(|i| game.payoff(i, equilibrium))
+        .collect();
+    let workers = bne_games::parallel::costly_workers(game.num_profiles());
+    bne_games::parallel::collect_chunked_with(game.num_profiles(), workers, |range| {
+        let mut hits = Vec::new();
+        game.visit_profiles_in(range, |candidate, flat| {
+            if is_punishment_strategy_by_index(game, &base, flat, p) {
+                hits.push(candidate.to_vec());
+            }
+            true
+        });
+        hits
+    })
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! coalition-proofness literature the paper cites (Bernheim–Peleg–Whinston,
 //! Moreno–Wooders).
 
-use bne_games::profile::{subsets_up_to_size, ProfileIter};
+use bne_games::profile::{try_for_each_subset_of_size, ActionProfile};
 use bne_games::{ActionId, NormalFormGame, PlayerId, EPSILON};
 
 /// Which players must benefit for a coalition deviation to count as a
@@ -67,51 +67,102 @@ pub fn resilience_counterexample(
 ) -> Option<CoalitionDeviation> {
     game.validate_profile(profile)
         .expect("profile must be valid for the game");
+    resilience_counterexample_by_index(game, game.profile_index(profile), k, variant)
+}
+
+/// Index-based form of [`resilience_counterexample`]: the profile is given
+/// as its flat index and the whole search runs on stride arithmetic —
+/// cloning and re-encoding only happen when a witness is materialized.
+pub fn resilience_counterexample_by_index(
+    game: &NormalFormGame,
+    flat: usize,
+    k: usize,
+    variant: ResilienceVariant,
+) -> Option<CoalitionDeviation> {
     if k == 0 {
         return None;
     }
     let n = game.num_players();
-    for coalition in subsets_up_to_size(n, k.min(n)) {
-        let before: Vec<f64> = coalition.iter().map(|&p| game.payoff(p, profile)).collect();
-        let radices: Vec<usize> = coalition.iter().map(|&p| game.num_actions(p)).collect();
-        for deviation in ProfileIter::new(&radices) {
-            // skip the non-deviation
-            if coalition
-                .iter()
-                .zip(deviation.iter())
-                .all(|(&p, &a)| profile[p] == a)
-            {
-                continue;
-            }
-            let mut new_profile = profile.to_vec();
-            for (&p, &a) in coalition.iter().zip(deviation.iter()) {
-                new_profile[p] = a;
-            }
-            let after: Vec<f64> = coalition
-                .iter()
-                .map(|&p| game.payoff(p, &new_profile))
-                .collect();
-            let success = match variant {
-                ResilienceVariant::SomeMemberGains => before
-                    .iter()
-                    .zip(after.iter())
-                    .any(|(b, a)| *a > *b + EPSILON),
-                ResilienceVariant::AllMembersGain => before
-                    .iter()
-                    .zip(after.iter())
-                    .all(|(b, a)| *a > *b + EPSILON),
-            };
-            if success {
+    // Size-1 fast path: unilateral deviations are pure stride walks, and
+    // they dominate the sweep (most profiles are rejected here). The
+    // enumeration order — player ascending, action ascending — matches the
+    // general subset machinery exactly, so witnesses are unchanged.
+    for p in 0..n {
+        let stride = game.strides()[p];
+        let base = flat - game.action_at(flat, p) * stride;
+        let before_p = game.payoff_by_index(p, flat);
+        for a in 0..game.num_actions(p) {
+            let new_flat = base + a * stride;
+            if new_flat != flat && game.payoff_by_index(p, new_flat) > before_p + EPSILON {
                 return Some(CoalitionDeviation {
-                    coalition: coalition.clone(),
-                    deviation,
-                    before,
-                    after,
+                    coalition: vec![p],
+                    deviation: vec![a],
+                    before: vec![before_p],
+                    after: vec![game.payoff_by_index(p, new_flat)],
                 });
             }
         }
     }
-    None
+    let mut witness = None;
+    // Stack-resident payoff snapshot of the coalition, reused across the
+    // scan (see `with_scratch`: heap fallback only beyond 16 members).
+    bne_games::profile::with_scratch::<f64, ()>(k.min(n), |before| {
+        resilience_sizes_scan(game, flat, k, variant, before, &mut witness);
+    });
+    witness
+}
+
+/// The size ≥ 2 part of the resilience scan, extracted so the scratch
+/// buffer can wrap it.
+fn resilience_sizes_scan(
+    game: &NormalFormGame,
+    flat: usize,
+    k: usize,
+    variant: ResilienceVariant,
+    before: &mut [f64],
+    witness: &mut Option<CoalitionDeviation>,
+) {
+    let n = game.num_players();
+    'sizes: for size in 2..=k.min(n) {
+        let complete = try_for_each_subset_of_size(n, size, |coalition| {
+            let before = &mut before[..size];
+            for (slot, &p) in before.iter_mut().zip(coalition.iter()) {
+                *slot = game.payoff_by_index(p, flat);
+            }
+            let complete = game.visit_coalition_deviations(flat, coalition, |dev, new_flat| {
+                if new_flat == flat {
+                    return true; // the non-deviation
+                }
+                let success = match variant {
+                    ResilienceVariant::SomeMemberGains => coalition
+                        .iter()
+                        .zip(before.iter())
+                        .any(|(&p, b)| game.payoff_by_index(p, new_flat) > *b + EPSILON),
+                    ResilienceVariant::AllMembersGain => coalition
+                        .iter()
+                        .zip(before.iter())
+                        .all(|(&p, b)| game.payoff_by_index(p, new_flat) > *b + EPSILON),
+                };
+                if success {
+                    *witness = Some(CoalitionDeviation {
+                        coalition: coalition.to_vec(),
+                        deviation: dev.to_vec(),
+                        before: before.to_vec(),
+                        after: coalition
+                            .iter()
+                            .map(|&p| game.payoff_by_index(p, new_flat))
+                            .collect(),
+                    });
+                    return false;
+                }
+                true
+            });
+            complete
+        });
+        if !complete {
+            break 'sizes;
+        }
+    }
 }
 
 /// Whether `profile` is k-resilient under the given variant.
@@ -125,6 +176,98 @@ pub fn is_k_resilient(
     variant: ResilienceVariant,
 ) -> bool {
     resilience_counterexample(game, profile, k, variant).is_none()
+}
+
+/// Index-based form of [`is_k_resilient`].
+pub fn is_k_resilient_by_index(
+    game: &NormalFormGame,
+    flat: usize,
+    k: usize,
+    variant: ResilienceVariant,
+) -> bool {
+    resilience_counterexample_by_index(game, flat, k, variant).is_none()
+}
+
+/// Sweeps the whole profile space and collects every k-resilient profile,
+/// in flat-index order.
+pub fn find_k_resilient_profiles(
+    game: &NormalFormGame,
+    k: usize,
+    variant: ResilienceVariant,
+) -> Vec<ActionProfile> {
+    bne_games::search::find_profiles(game, |flat| is_k_resilient_by_index(game, flat, k, variant))
+}
+
+/// The k-resilient profile with the lowest flat index, if any.
+pub fn first_k_resilient_profile(
+    game: &NormalFormGame,
+    k: usize,
+    variant: ResilienceVariant,
+) -> Option<ActionProfile> {
+    bne_games::search::first_profile(game, |flat| is_k_resilient_by_index(game, flat, k, variant))
+}
+
+/// Parallel form of [`find_k_resilient_profiles`]: the flat profile space
+/// is chunked across threads and results are concatenated in chunk order,
+/// so the output is bit-identical to the sequential sweep.
+#[cfg(feature = "parallel")]
+pub fn find_k_resilient_profiles_parallel(
+    game: &NormalFormGame,
+    k: usize,
+    variant: ResilienceVariant,
+) -> Vec<ActionProfile> {
+    // Per-profile cost is an exponential coalition sweep, so skip the
+    // cheap-work heuristic and use every available thread.
+    find_k_resilient_profiles_with_workers(
+        game,
+        k,
+        variant,
+        bne_games::parallel::costly_workers(game.num_profiles()),
+    )
+}
+
+/// [`find_k_resilient_profiles_parallel`] with an explicit worker count
+/// (lets tests force real threads on any machine).
+#[cfg(feature = "parallel")]
+pub fn find_k_resilient_profiles_with_workers(
+    game: &NormalFormGame,
+    k: usize,
+    variant: ResilienceVariant,
+    workers: usize,
+) -> Vec<ActionProfile> {
+    bne_games::search::find_profiles_parallel(game, workers, |flat| {
+        is_k_resilient_by_index(game, flat, k, variant)
+    })
+}
+
+/// Parallel form of [`first_k_resilient_profile`] with deterministic
+/// first-witness semantics: always the lowest flat index, independent of
+/// thread timing.
+#[cfg(feature = "parallel")]
+pub fn first_k_resilient_profile_parallel(
+    game: &NormalFormGame,
+    k: usize,
+    variant: ResilienceVariant,
+) -> Option<ActionProfile> {
+    first_k_resilient_profile_with_workers(
+        game,
+        k,
+        variant,
+        bne_games::parallel::costly_workers(game.num_profiles()),
+    )
+}
+
+/// [`first_k_resilient_profile_parallel`] with an explicit worker count.
+#[cfg(feature = "parallel")]
+pub fn first_k_resilient_profile_with_workers(
+    game: &NormalFormGame,
+    k: usize,
+    variant: ResilienceVariant,
+    workers: usize,
+) -> Option<ActionProfile> {
+    bne_games::search::first_profile_parallel(game, workers, |flat| {
+        is_k_resilient_by_index(game, flat, k, variant)
+    })
 }
 
 /// The largest `k ≤ max_k` for which `profile` is k-resilient (0 means not
@@ -266,6 +409,67 @@ mod tests {
             0,
             ResilienceVariant::SomeMemberGains
         ));
+    }
+
+    #[test]
+    fn profile_space_search_finds_all_resilient_profiles() {
+        let g = classic::coordination_game(4);
+        let found = find_k_resilient_profiles(&g, 1, ResilienceVariant::SomeMemberGains);
+        let expected: Vec<_> = g
+            .profiles()
+            .filter(|p| is_k_resilient(&g, p, 1, ResilienceVariant::SomeMemberGains))
+            .collect();
+        assert_eq!(found, expected);
+        assert_eq!(
+            first_k_resilient_profile(&g, 1, ResilienceVariant::SomeMemberGains),
+            expected.first().cloned()
+        );
+        // no profile of matching pennies is 1-resilient (no pure Nash)
+        let mp = classic::matching_pennies();
+        assert!(first_k_resilient_profile(&mp, 1, ResilienceVariant::SomeMemberGains).is_none());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_resilient_search_is_bit_identical() {
+        for seed in 0..4 {
+            let g = bne_games::random::random_game(seed, &[3, 3, 2, 2]);
+            for k in 1..=3 {
+                let seq = find_k_resilient_profiles(&g, k, ResilienceVariant::SomeMemberGains);
+                let par =
+                    find_k_resilient_profiles_parallel(&g, k, ResilienceVariant::SomeMemberGains);
+                assert_eq!(seq, par, "seed {seed} k {k}");
+                // force real threads (public entry points may fall back to
+                // one worker on small machines)
+                for workers in [2, 4] {
+                    assert_eq!(
+                        seq,
+                        find_k_resilient_profiles_with_workers(
+                            &g,
+                            k,
+                            ResilienceVariant::SomeMemberGains,
+                            workers
+                        ),
+                        "seed {seed} k {k} workers {workers}"
+                    );
+                    assert_eq!(
+                        seq.first().cloned(),
+                        first_k_resilient_profile_with_workers(
+                            &g,
+                            k,
+                            ResilienceVariant::SomeMemberGains,
+                            workers
+                        ),
+                        "seed {seed} k {k} workers {workers}"
+                    );
+                }
+                assert_eq!(
+                    first_k_resilient_profile(&g, k, ResilienceVariant::SomeMemberGains),
+                    first_k_resilient_profile_parallel(&g, k, ResilienceVariant::SomeMemberGains),
+                    "seed {seed} k {k}"
+                );
+            }
+        }
     }
 
     #[test]

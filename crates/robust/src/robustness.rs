@@ -28,9 +28,9 @@
 //! provided for larger games and benchmarked against the exhaustive one in
 //! `bne-bench`.
 
-use crate::immunity::is_t_immune;
-use crate::resilience::{is_k_resilient, ResilienceVariant};
-use bne_games::profile::{subsets_up_to_size, ProfileIter};
+use crate::immunity::{is_t_immune, is_t_immune_by_index};
+use crate::resilience::{is_k_resilient, is_k_resilient_by_index, ResilienceVariant};
+use bne_games::profile::{subsets_up_to_size, ActionProfile};
 use bne_games::{ActionId, NormalFormGame, PlayerId, EPSILON};
 use rand::{RngExt, SeedableRng};
 
@@ -113,6 +113,81 @@ pub fn is_robust(game: &NormalFormGame, profile: &[ActionId], k: usize, t: usize
         && is_t_immune(game, profile, t)
 }
 
+/// Index-based form of [`is_robust`].
+pub fn is_robust_by_index(game: &NormalFormGame, flat: usize, k: usize, t: usize) -> bool {
+    is_k_resilient_by_index(game, flat, k, ResilienceVariant::SomeMemberGains)
+        && is_t_immune_by_index(game, flat, t)
+}
+
+/// Sweeps the whole profile space and collects every (k,t)-robust profile
+/// (componentwise definition), in flat-index order.
+pub fn find_robust_profiles(game: &NormalFormGame, k: usize, t: usize) -> Vec<ActionProfile> {
+    bne_games::search::find_profiles(game, |flat| is_robust_by_index(game, flat, k, t))
+}
+
+/// The (k,t)-robust profile with the lowest flat index, if any.
+pub fn first_robust_profile(game: &NormalFormGame, k: usize, t: usize) -> Option<ActionProfile> {
+    bne_games::search::first_profile(game, |flat| is_robust_by_index(game, flat, k, t))
+}
+
+/// Parallel form of [`find_robust_profiles`]; the output is bit-identical
+/// to the sequential sweep (chunk-order concatenation).
+#[cfg(feature = "parallel")]
+pub fn find_robust_profiles_parallel(
+    game: &NormalFormGame,
+    k: usize,
+    t: usize,
+) -> Vec<ActionProfile> {
+    find_robust_profiles_with_workers(
+        game,
+        k,
+        t,
+        bne_games::parallel::costly_workers(game.num_profiles()),
+    )
+}
+
+/// [`find_robust_profiles_parallel`] with an explicit worker count.
+#[cfg(feature = "parallel")]
+pub fn find_robust_profiles_with_workers(
+    game: &NormalFormGame,
+    k: usize,
+    t: usize,
+    workers: usize,
+) -> Vec<ActionProfile> {
+    bne_games::search::find_profiles_parallel(game, workers, |flat| {
+        is_robust_by_index(game, flat, k, t)
+    })
+}
+
+/// Parallel form of [`first_robust_profile`] with deterministic
+/// lowest-flat-index-wins semantics.
+#[cfg(feature = "parallel")]
+pub fn first_robust_profile_parallel(
+    game: &NormalFormGame,
+    k: usize,
+    t: usize,
+) -> Option<ActionProfile> {
+    first_robust_profile_with_workers(
+        game,
+        k,
+        t,
+        bne_games::parallel::costly_workers(game.num_profiles()),
+    )
+}
+
+/// [`first_robust_profile_parallel`] with an explicit worker count.
+#[cfg(feature = "parallel")]
+pub fn first_robust_profile_with_workers(
+    game: &NormalFormGame,
+    k: usize,
+    t: usize,
+    workers: usize,
+) -> Option<ActionProfile> {
+    bne_games::search::first_profile_parallel(game, workers, |flat| {
+        is_robust_by_index(game, flat, k, t)
+    })
+}
+
 /// The pair `(max resilient k, max immune t)` for the profile (bounded by
 /// `max_k` / `max_t`). Because resilience and immunity are each monotone in
 /// their parameter, this pair describes the whole componentwise robustness
@@ -123,12 +198,8 @@ pub fn max_robustness(
     max_k: usize,
     max_t: usize,
 ) -> (usize, usize) {
-    let k = crate::resilience::max_resilience(
-        game,
-        profile,
-        max_k,
-        ResilienceVariant::SomeMemberGains,
-    );
+    let k =
+        crate::resilience::max_resilience(game, profile, max_k, ResilienceVariant::SomeMemberGains);
     let t = crate::immunity::max_immunity(game, profile, max_t);
     (k, t)
 }
@@ -188,30 +259,28 @@ impl RobustnessChecker {
         }
     }
 
-    /// Evaluates one (coalition, faulty set, faulty deviation) combination.
-    /// Returns a witness if the immunity condition fails or some coalition
-    /// deviation gains.
-    fn evaluate(
+    /// Evaluates one (coalition, faulty set, faulty deviation) combination,
+    /// given the flat index `flat` of the equilibrium profile and the flat
+    /// index `faulty_flat` of the profile with only the faulty players
+    /// deviating. Returns a witness if the immunity condition fails or some
+    /// coalition deviation gains. Runs entirely on stride arithmetic;
+    /// allocation happens only when a witness is materialized.
+    fn evaluate_at(
         game: &NormalFormGame,
-        profile: &[ActionId],
+        flat: usize,
+        faulty_flat: usize,
         coalition: &[PlayerId],
         faulty: &[PlayerId],
         faulty_deviation: &[ActionId],
         combinations: &mut usize,
     ) -> Option<RobustnessWitness> {
-        // profile with only the faulty players deviating
-        let mut faulty_profile = profile.to_vec();
-        for (&p, &a) in faulty.iter().zip(faulty_deviation.iter()) {
-            faulty_profile[p] = a;
-        }
-
         // (1) immunity under faults: bystanders keep their equilibrium payoff
         for p in 0..game.num_players() {
             if coalition.contains(&p) || faulty.contains(&p) {
                 continue;
             }
-            let before = game.payoff(p, profile);
-            let after = game.payoff(p, &faulty_profile);
+            let before = game.payoff_by_index(p, flat);
+            let after = game.payoff_by_index(p, faulty_flat);
             *combinations += 1;
             if after < before - EPSILON {
                 return Some(RobustnessWitness {
@@ -233,39 +302,36 @@ impl RobustnessChecker {
         if coalition.is_empty() {
             return None;
         }
-        let radices: Vec<usize> = coalition.iter().map(|&p| game.num_actions(p)).collect();
-        for coalition_deviation in ProfileIter::new(&radices) {
-            if coalition
-                .iter()
-                .zip(coalition_deviation.iter())
-                .all(|(&p, &a)| profile[p] == a)
-            {
-                continue;
+        let mut witness = None;
+        game.visit_coalition_deviations(faulty_flat, coalition, |dev, new_flat| {
+            // Coalition and faulty set are disjoint, so on `faulty_flat`
+            // the coalition still plays its equilibrium actions: the
+            // non-deviation is exactly `new_flat == faulty_flat`.
+            if new_flat == faulty_flat {
+                return true;
             }
             *combinations += 1;
-            let mut deviated = faulty_profile.clone();
-            for (&p, &a) in coalition.iter().zip(coalition_deviation.iter()) {
-                deviated[p] = a;
-            }
             for &p in coalition {
-                let before = game.payoff(p, &faulty_profile);
-                let after = game.payoff(p, &deviated);
+                let before = game.payoff_by_index(p, faulty_flat);
+                let after = game.payoff_by_index(p, new_flat);
                 if after > before + EPSILON {
-                    return Some(RobustnessWitness {
+                    witness = Some(RobustnessWitness {
                         coalition: coalition.to_vec(),
                         faulty: faulty.to_vec(),
                         faulty_deviation: faulty_deviation.to_vec(),
-                        coalition_deviation,
+                        coalition_deviation: dev.to_vec(),
                         reason: WitnessReason::CoalitionMemberGains {
                             player: p,
                             before,
                             after,
                         },
                     });
+                    return false;
                 }
             }
-        }
-        None
+            true
+        });
+        witness
     }
 
     fn check_exhaustive(
@@ -276,6 +342,7 @@ impl RobustnessChecker {
         t: usize,
     ) -> RobustnessReport {
         let n = game.num_players();
+        let flat = game.profile_index(profile);
         let mut combinations = 0usize;
         let mut coalitions = vec![vec![]];
         coalitions.extend(subsets_up_to_size(n, k.min(n)));
@@ -289,27 +356,32 @@ impl RobustnessChecker {
                 if coalition.is_empty() && faulty.is_empty() {
                     continue;
                 }
-                // enumerate faulty deviations (or the single "no faulty
-                // player" case when T is empty)
-                let faulty_devs: Vec<Vec<ActionId>> = if faulty.is_empty() {
-                    vec![Vec::new()]
-                } else {
-                    let radices: Vec<usize> =
-                        faulty.iter().map(|&p| game.num_actions(p)).collect();
-                    ProfileIter::new(&radices).collect()
-                };
-                for fd in &faulty_devs {
-                    if let Some(witness) =
-                        Self::evaluate(game, profile, coalition, faulty, fd, &mut combinations)
-                    {
-                        return RobustnessReport {
-                            k,
-                            t,
-                            robust: false,
-                            witness: Some(witness),
-                            combinations_checked: combinations,
-                        };
-                    }
+                // Enumerate joint faulty deviations by flat index (for the
+                // empty faulty set this visits the single "nobody faulty"
+                // case). Unlike the coalition case the identity is *not*
+                // skipped: faulty players playing their equilibrium actions
+                // is still a faulty behavior the coalition reacts to.
+                let mut witness = None;
+                game.visit_coalition_deviations(flat, faulty, |fd, faulty_flat| {
+                    witness = Self::evaluate_at(
+                        game,
+                        flat,
+                        faulty_flat,
+                        coalition,
+                        faulty,
+                        fd,
+                        &mut combinations,
+                    );
+                    witness.is_none()
+                });
+                if let Some(witness) = witness {
+                    return RobustnessReport {
+                        k,
+                        t,
+                        robust: false,
+                        witness: Some(witness),
+                        combinations_checked: combinations,
+                    };
                 }
             }
         }
@@ -332,6 +404,7 @@ impl RobustnessChecker {
         seed: u64,
     ) -> RobustnessReport {
         let n = game.num_players();
+        let flat = game.profile_index(profile);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut combinations = 0usize;
         for _ in 0..samples {
@@ -349,13 +422,19 @@ impl RobustnessChecker {
             let mut faulty: Vec<PlayerId> = players[ksize..ksize + tsize].to_vec();
             coalition.sort_unstable();
             faulty.sort_unstable();
+            let mut faulty_flat = flat;
             let faulty_deviation: Vec<ActionId> = faulty
                 .iter()
-                .map(|&p| rng.random_range(0..game.num_actions(p)))
+                .map(|&p| {
+                    let a = rng.random_range(0..game.num_actions(p));
+                    faulty_flat = game.deviate_index(faulty_flat, p, a);
+                    a
+                })
                 .collect();
-            if let Some(witness) = Self::evaluate(
+            if let Some(witness) = Self::evaluate_at(
                 game,
-                profile,
+                flat,
+                faulty_flat,
                 &coalition,
                 &faulty,
                 &faulty_deviation,
@@ -502,6 +581,55 @@ mod tests {
         let report = checker.check(&g, &[0, 0, 0], 3, 3);
         assert!(report.robust);
         assert!(report.combinations_checked > 0);
+    }
+
+    #[test]
+    fn robust_profile_search_matches_filtering() {
+        let g = classic::coordination_game(4);
+        for (k, t) in [(1, 0), (2, 0), (1, 1)] {
+            let found = find_robust_profiles(&g, k, t);
+            let expected: Vec<_> = g.profiles().filter(|p| is_robust(&g, p, k, t)).collect();
+            assert_eq!(found, expected, "k={k} t={t}");
+            assert_eq!(
+                first_robust_profile(&g, k, t),
+                expected.first().cloned(),
+                "k={k} t={t}"
+            );
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_robust_search_is_bit_identical() {
+        for seed in 20..24 {
+            let g = bne_games::random::random_game(seed, &[2, 2, 3, 3]);
+            for (k, t) in [(1, 0), (2, 1), (1, 2)] {
+                let seq = find_robust_profiles(&g, k, t);
+                assert_eq!(
+                    seq,
+                    find_robust_profiles_parallel(&g, k, t),
+                    "seed {seed} k={k} t={t}"
+                );
+                assert_eq!(
+                    first_robust_profile(&g, k, t),
+                    first_robust_profile_parallel(&g, k, t),
+                    "seed {seed} k={k} t={t}"
+                );
+                // force real threads
+                for workers in [2, 4] {
+                    assert_eq!(
+                        seq,
+                        find_robust_profiles_with_workers(&g, k, t, workers),
+                        "seed {seed} k={k} t={t} workers {workers}"
+                    );
+                    assert_eq!(
+                        seq.first().cloned(),
+                        first_robust_profile_with_workers(&g, k, t, workers),
+                        "seed {seed} k={k} t={t} workers {workers}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -235,8 +235,7 @@ pub fn mix_sweep(
                 seed,
             };
             let outcome = simulate(&config);
-            let rational_utility =
-                outcome.average_utility(|i| i >= hoarders + altruists);
+            let rational_utility = outcome.average_utility(|i| i >= hoarders + altruists);
             rows.push(MixRow {
                 hoarders,
                 altruists,
@@ -256,7 +255,11 @@ mod tests {
     fn homogeneous_threshold_population_is_efficient() {
         let config = ScripConfig::homogeneous(50, 10, 20_000, 7);
         let outcome = simulate(&config);
-        assert!(outcome.efficiency > 0.9, "efficiency {}", outcome.efficiency);
+        assert!(
+            outcome.efficiency > 0.9,
+            "efficiency {}",
+            outcome.efficiency
+        );
         // scrip is conserved (no altruists in the mix)
         let total: u64 = outcome.holdings.iter().sum();
         assert_eq!(total, 50 * config.initial_scrip);
@@ -276,10 +279,7 @@ mod tests {
         let rounds = 30_000;
         let baseline = simulate(&ScripConfig::homogeneous(40, 5, rounds, 11));
         let rows = mix_sweep(40, 5, &[0, 15], &[0], rounds, 11);
-        let with_hoarders = rows
-            .iter()
-            .find(|r| r.hoarders == 15)
-            .expect("row exists");
+        let with_hoarders = rows.iter().find(|r| r.hoarders == 15).expect("row exists");
         // hoarders soak up scrip, so rational agents increasingly cannot pay
         assert!(
             with_hoarders.efficiency < baseline.efficiency,

@@ -9,30 +9,33 @@
 //!   game, which is fast and finds an equilibrium whenever the dynamics
 //!   happen to converge (it may cycle in games without pure equilibria).
 
-use bne_games::profile::ProfileIter;
+use bne_games::profile::visit_mixed_radix;
 use bne_games::{BayesianGame, BayesianStrategy};
 
 /// Exhaustively searches for pure Bayes–Nash equilibria. Returns all of
 /// them, as one strategy per player.
 ///
 /// The search space is the product over players of
-/// `num_actions ^ num_types`, so this is only suitable for small games.
+/// `num_actions ^ num_types`, so this is only suitable for small games. The
+/// sweep walks the strategy-combination space with the same flat-index
+/// cursor the normal-form searches use, rebuilding a single working
+/// profile in place (`clone_from` reuses its allocations) instead of
+/// materializing a fresh profile per combination.
 pub fn find_pure_bayes_nash(game: &BayesianGame) -> Vec<Vec<BayesianStrategy>> {
     let per_player: Vec<Vec<BayesianStrategy>> = (0..game.num_players())
         .map(|p| BayesianStrategy::enumerate_all(game.num_types(p), game.num_actions(p)))
         .collect();
     let radices: Vec<usize> = per_player.iter().map(|s| s.len()).collect();
+    let mut work: Vec<BayesianStrategy> = per_player.iter().map(|s| s[0].clone()).collect();
     let mut out = Vec::new();
-    for combo in ProfileIter::new(&radices) {
-        let profile: Vec<BayesianStrategy> = combo
-            .iter()
-            .enumerate()
-            .map(|(p, &i)| per_player[p][i].clone())
-            .collect();
-        if game.is_bayes_nash(&profile) {
-            out.push(profile);
+    visit_mixed_radix(&radices, |combo, _flat| {
+        for (p, &i) in combo.iter().enumerate() {
+            work[p].clone_from(&per_player[p][i]);
         }
-    }
+        if game.is_bayes_nash(&work) {
+            out.push(work.clone());
+        }
+    });
     out
 }
 

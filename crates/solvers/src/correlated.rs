@@ -175,10 +175,7 @@ mod tests {
         assert!(is_correlated_equilibrium(&game, &light, 0.0));
         // the three-outcome distribution (both stop with prob 1/3 too) is
         // the famous CE with welfare above any Nash payoff pair's average
-        let better = JointDistribution::uniform_over(
-            &game,
-            &[vec![0, 0], vec![0, 1], vec![1, 0]],
-        );
+        let better = JointDistribution::uniform_over(&game, &[vec![0, 0], vec![0, 1], vec![1, 0]]);
         assert!(is_correlated_equilibrium(&game, &better, 0.0));
         assert!(better.expected_payoff(&game, 0) > 3.0);
     }
@@ -188,20 +185,24 @@ mod tests {
         let game = chicken();
         let light = JointDistribution::uniform_over(&game, &[vec![0, 1], vec![1, 0]]);
         assert!(is_coarse_correlated_equilibrium(&game, &light, 0.0));
-        // a distribution mixing a non-equilibrium profile in can still be
-        // coarse correlated for some epsilon while failing the (stricter)
-        // correlated condition at epsilon = 0
+        // In 2x2 games the CE and CCE constraint sets coincide, so chicken
+        // cannot separate the two concepts; the four-cell uniform mixture is
+        // in fact both (all conditional deviation gains are exactly zero).
         let mixed = JointDistribution::uniform_over(
             &game,
             &[vec![0, 0], vec![1, 1], vec![0, 1], vec![1, 0]],
         );
-        let ce = is_correlated_equilibrium(&game, &mixed, 0.0);
-        let cce = is_coarse_correlated_equilibrium(&game, &mixed, 0.0);
-        assert!(!ce);
-        // the implication direction must never be violated
-        if ce {
-            assert!(cce);
-        }
+        assert!(is_correlated_equilibrium(&game, &mixed, 0.0));
+        assert!(is_coarse_correlated_equilibrium(&game, &mixed, 0.0));
+        // The classical separation witness needs three actions: in
+        // rock-paper-scissors the uniform distribution over the three ties
+        // is coarse correlated (committing to any fixed action still earns
+        // 0 against the uniform marginal) but not correlated (conditional
+        // on a tie recommendation, playing the beating action gains 1).
+        let rps = classic::roshambo();
+        let ties = JointDistribution::uniform_over(&rps, &[vec![0, 0], vec![1, 1], vec![2, 2]]);
+        assert!(is_coarse_correlated_equilibrium(&rps, &ties, 0.0));
+        assert!(!is_correlated_equilibrium(&rps, &ties, 0.0));
     }
 
     #[test]

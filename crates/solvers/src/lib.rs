@@ -37,10 +37,17 @@ pub mod support;
 pub mod zero_sum;
 
 pub use bayes::find_pure_bayes_nash;
-pub use correlated::{is_coarse_correlated_equilibrium, is_correlated_equilibrium, JointDistribution};
+pub use correlated::{
+    is_coarse_correlated_equilibrium, is_correlated_equilibrium, JointDistribution,
+};
 pub use fictitious::{FictitiousPlay, FictitiousPlayResult};
 pub use pure::{
-    iterated_elimination, pure_nash_equilibria, strictly_dominant_profile, DominanceKind,
+    best_response_table, first_pure_nash, iterated_elimination, pure_nash_equilibria,
+    strictly_dominant_profile, DominanceKind,
+};
+#[cfg(feature = "parallel")]
+pub use pure::{
+    best_response_table_parallel, first_pure_nash_parallel, pure_nash_equilibria_parallel,
 };
 pub use regret::RegretMatching;
 pub use replicator::ReplicatorDynamics;

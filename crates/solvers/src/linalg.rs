@@ -49,6 +49,9 @@ pub fn solve_linear_system(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
         // eliminate below
         for row in col + 1..n {
             let factor = m[row][col] / m[col][col];
+            // indexing two rows of the same matrix — iterator form would
+            // need split_at_mut gymnastics for no clarity gain
+            #[allow(clippy::needless_range_loop)]
             for k in col..=n {
                 m[row][k] -= factor * m[col][k];
             }

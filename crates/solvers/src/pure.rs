@@ -19,9 +19,72 @@ pub enum DominanceKind {
 
 /// Enumerates every pure Nash equilibrium of the game (exhaustively, so the
 /// cost is the number of profiles times the number of unilateral
-/// deviations).
+/// deviations). Runs on the flat-index engine: the sweep allocates only for
+/// the equilibria it returns.
 pub fn pure_nash_equilibria(game: &NormalFormGame) -> Vec<ActionProfile> {
-    game.profiles().filter(|p| game.is_pure_nash(p)).collect()
+    bne_games::search::find_profiles(game, |flat| game.is_pure_nash_by_index(flat))
+}
+
+/// Parallel form of [`pure_nash_equilibria`]: the flat profile space is
+/// chunked across threads; results are concatenated in chunk order, so the
+/// output is bit-identical to the sequential sweep.
+#[cfg(feature = "parallel")]
+pub fn pure_nash_equilibria_parallel(game: &NormalFormGame) -> Vec<ActionProfile> {
+    // The per-profile Nash check is cheap, so apply the spawn heuristic.
+    pure_nash_equilibria_with_workers(
+        game,
+        bne_games::parallel::cheap_workers(game.num_profiles()),
+    )
+}
+
+/// [`pure_nash_equilibria_parallel`] with an explicit worker count (lets
+/// tests force real threads regardless of machine or space size).
+#[cfg(feature = "parallel")]
+pub fn pure_nash_equilibria_with_workers(
+    game: &NormalFormGame,
+    workers: usize,
+) -> Vec<ActionProfile> {
+    bne_games::search::find_profiles_parallel(game, workers, |flat| {
+        game.is_pure_nash_by_index(flat)
+    })
+}
+
+/// The pure Nash equilibrium with the lowest flat index, if any — the
+/// deterministic witness used when only existence matters.
+pub fn first_pure_nash(game: &NormalFormGame) -> Option<ActionProfile> {
+    bne_games::search::first_profile(game, |flat| game.is_pure_nash_by_index(flat))
+}
+
+/// Parallel form of [`first_pure_nash`] with deterministic
+/// lowest-flat-index-wins semantics.
+#[cfg(feature = "parallel")]
+pub fn first_pure_nash_parallel(game: &NormalFormGame) -> Option<ActionProfile> {
+    bne_games::search::first_profile_parallel(
+        game,
+        bne_games::parallel::cheap_workers(game.num_profiles()),
+        |flat| game.is_pure_nash_by_index(flat),
+    )
+}
+
+/// The best-response table of one player: entry `flat` is the
+/// lowest-indexed action maximizing the player's payoff against the
+/// opponents' actions in the profile with flat index `flat` (the player's
+/// own entry is ignored). Entries are therefore constant along the
+/// player's own stride.
+pub fn best_response_table(game: &NormalFormGame, player: PlayerId) -> Vec<ActionId> {
+    (0..game.num_profiles())
+        .map(|flat| game.best_unilateral_deviation_by_index(player, flat).0)
+        .collect()
+}
+
+/// Parallel form of [`best_response_table`]; bit-identical output.
+#[cfg(feature = "parallel")]
+pub fn best_response_table_parallel(game: &NormalFormGame, player: PlayerId) -> Vec<ActionId> {
+    bne_games::parallel::collect_chunked(game.num_profiles(), |range| {
+        range
+            .map(|flat| game.best_unilateral_deviation_by_index(player, flat).0)
+            .collect()
+    })
 }
 
 /// If every player has a strictly dominant action, returns that profile.
@@ -45,7 +108,11 @@ pub fn strictly_dominant_profile(game: &NormalFormGame) -> Option<ActionProfile>
 
 /// Actions of `player` that are dominated (by some other surviving action)
 /// under the given dominance notion.
-fn dominated_actions(game: &NormalFormGame, player: PlayerId, kind: DominanceKind) -> Vec<ActionId> {
+fn dominated_actions(
+    game: &NormalFormGame,
+    player: PlayerId,
+    kind: DominanceKind,
+) -> Vec<ActionId> {
     let mut out = Vec::new();
     for b in 0..game.num_actions(player) {
         let dominated = (0..game.num_actions(player)).any(|a| match kind {
@@ -97,11 +164,7 @@ pub fn iterated_elimination(game: &NormalFormGame, kind: DominanceKind) -> Elimi
                 .filter(|a| !to_remove.contains(a))
                 .collect();
             // never eliminate a player's last action
-            let kept = if kept.is_empty() {
-                vec![0]
-            } else {
-                kept
-            };
+            let kept = if kept.is_empty() { vec![0] } else { kept };
             if kept.len() != current.num_actions(p) {
                 changed = true;
             }
@@ -137,6 +200,43 @@ mod tests {
         let eq = pure_nash_equilibria(&pd);
         assert_eq!(eq, vec![vec![1, 1]]);
         assert_eq!(strictly_dominant_profile(&pd), Some(vec![1, 1]));
+        assert_eq!(first_pure_nash(&pd), Some(vec![1, 1]));
+    }
+
+    #[test]
+    fn best_response_table_is_consistent() {
+        let g = bne_games::random::random_game(31, &[3, 2, 4]);
+        for player in 0..g.num_players() {
+            let table = best_response_table(&g, player);
+            assert_eq!(table.len(), g.num_profiles());
+            for (flat, profile) in g.profiles().enumerate() {
+                assert_eq!(table[flat], g.best_unilateral_deviation(player, &profile).0);
+            }
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_solvers_are_bit_identical() {
+        for seed in 40..44 {
+            let g = bne_games::random::random_game(seed, &[3, 3, 2, 2]);
+            assert_eq!(pure_nash_equilibria(&g), pure_nash_equilibria_parallel(&g));
+            assert_eq!(first_pure_nash(&g), first_pure_nash_parallel(&g));
+            // force real threads: the public entry points fall back to one
+            // worker on small spaces / small machines
+            for workers in [2, 5] {
+                assert_eq!(
+                    pure_nash_equilibria(&g),
+                    pure_nash_equilibria_with_workers(&g, workers)
+                );
+            }
+            for player in 0..g.num_players() {
+                assert_eq!(
+                    best_response_table(&g, player),
+                    best_response_table_parallel(&g, player)
+                );
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,10 @@ impl ReplicatorDynamics {
     /// Panics if the game is not a two-player game in which both players
     /// have the same number of actions (the symmetric-game requirement).
     pub fn new(game: &NormalFormGame) -> Self {
-        Self::with_state(game, vec![1.0 / game.num_actions(0) as f64; game.num_actions(0)])
+        Self::with_state(
+            game,
+            vec![1.0 / game.num_actions(0) as f64; game.num_actions(0)],
+        )
     }
 
     /// Starts the dynamics at a specific population state.
@@ -127,10 +130,7 @@ impl ReplicatorDynamics {
 
 /// Runs replicator dynamics from the uniform state and reports whether the
 /// rest point it reaches is (approximately) a symmetric Nash equilibrium.
-pub fn replicator_equilibrium(
-    game: &NormalFormGame,
-    max_steps: usize,
-) -> (MixedStrategy, bool) {
+pub fn replicator_equilibrium(game: &NormalFormGame, max_steps: usize) -> (MixedStrategy, bool) {
     let strategy = ReplicatorDynamics::new(game).run(game, 0.5, 1e-12, max_steps);
     let profile = MixedProfile::new(game, vec![strategy.clone(), strategy.clone()])
         .expect("symmetric profile");

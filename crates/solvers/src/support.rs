@@ -58,11 +58,7 @@ fn close(a: &MixedProfile, b: &MixedProfile) -> bool {
 /// Solves the indifference conditions for a specific support pair. Returns
 /// `None` if the system is singular, the solution is not a distribution, or
 /// an unsupported action would be strictly better.
-fn solve_support_pair(
-    game: &NormalFormGame,
-    s1: &[usize],
-    s2: &[usize],
-) -> Option<MixedProfile> {
+fn solve_support_pair(game: &NormalFormGame, s1: &[usize], s2: &[usize]) -> Option<MixedProfile> {
     let k = s1.len();
     debug_assert_eq!(k, s2.len());
     let m = game.num_actions(0);

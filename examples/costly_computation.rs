@@ -57,5 +57,8 @@ fn main() {
         computational.find_equilibria().len()
     );
     let cycle = roshambo::best_response_cycle(&computational, [0, 0]);
-    println!("  best-response dynamics visit {} profiles before repeating", cycle.len());
+    println!(
+        "  best-response dynamics visit {} profiles before repeating",
+        cycle.len()
+    );
 }

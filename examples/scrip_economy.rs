@@ -36,5 +36,7 @@ fn main() {
         100.0 * p2p.free_rider_fraction,
         100.0 * p2p.top1_percent_response_share
     );
-    println!("paper quotes Adar–Huberman (2000): ~70% free riders, ~50% of responses from the top 1%.");
+    println!(
+        "paper quotes Adar–Huberman (2000): ~70% free riders, ~50% of responses from the top 1%."
+    );
 }

@@ -4,9 +4,9 @@
 //! cargo run -p bne-examples --bin unaware_players
 //! ```
 
+use bne_core::awareness::analyze_figure1;
 use bne_core::awareness::figures::{figure1_awareness_game, virtual_move_game};
 use bne_core::awareness::generalized::find_generalized_equilibria;
-use bne_core::awareness::analyze_figure1;
 use bne_core::games::classic;
 
 fn main() {
@@ -15,8 +15,16 @@ fn main() {
     let (strategy, values) = objective.backward_induction().expect("perfect information");
     println!(
         "objective game backward induction: A plays {}, B plays {}, payoffs {:?}",
-        if strategy.get(0) == Some(1) { "acrossA" } else { "downA" },
-        if strategy.get(1) == Some(0) { "downB" } else { "acrossB" },
+        if strategy.get(0) == Some(1) {
+            "acrossA"
+        } else {
+            "downA"
+        },
+        if strategy.get(1) == Some(0) {
+            "downB"
+        } else {
+            "acrossB"
+        },
         values
     );
 
@@ -33,7 +41,10 @@ fn main() {
             (false, true) => "downA only",
             (false, false) => "no pure equilibrium",
         };
-        println!("  p = {p:>4}: {behaviour}   ({} generalized equilibria)", analysis.num_equilibria);
+        println!(
+            "  p = {p:>4}: {behaviour}   ({} generalized equilibria)",
+            analysis.num_equilibria
+        );
     }
 
     // The underlying structure: three augmented games and the F mapping.
@@ -54,10 +65,16 @@ fn main() {
     println!("\nawareness of unawareness (virtual move):");
     for estimate in [0.2, 1.5] {
         let subjective = virtual_move_game(estimate);
-        let (strategy, values) = subjective.backward_induction().expect("perfect information");
+        let (strategy, values) = subjective
+            .backward_induction()
+            .expect("perfect information");
         println!(
             "  A's estimate of the unknown move's payoff = {estimate}: A plays {}, expects {:?}",
-            if strategy.get(0) == Some(1) { "acrossA" } else { "downA" },
+            if strategy.get(0) == Some(1) {
+                "acrossA"
+            } else {
+                "downA"
+            },
             values[0]
         );
     }

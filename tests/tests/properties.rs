@@ -127,4 +127,131 @@ proptest! {
         let out = vm.run(&Program::trial_division_primality(), n).unwrap();
         prop_assert_eq!(out.output == 1, is_prime_reference(n as u64));
     }
+
+    /// Flat-index engine: `profile_to_index`/`index_to_profile` round-trip,
+    /// and the cached strides reproduce the encoding as a dot product.
+    #[test]
+    fn flat_index_round_trips(seed in 0u64..500, num_players in 2usize..5) {
+        use bne_core::games::profile::{index_to_profile, profile_to_index};
+        use bne_core::games::random::random_game;
+        let radices: Vec<usize> = (0..num_players).map(|p| 2 + (seed as usize + p) % 3).collect();
+        let game = random_game(seed, &radices);
+        for flat in 0..game.num_profiles() {
+            let profile = index_to_profile(flat, game.action_counts());
+            prop_assert_eq!(profile_to_index(&profile, game.action_counts()), flat);
+            let dot: usize = profile
+                .iter()
+                .zip(game.strides().iter())
+                .map(|(a, s)| a * s)
+                .sum();
+            prop_assert_eq!(dot, flat);
+        }
+    }
+
+    /// `deviate_index` agrees with the clone-mutate-reencode pattern it
+    /// replaced, for every profile, player, and action.
+    #[test]
+    fn deviate_index_matches_clone_mutate_reencode(seed in 0u64..300) {
+        use bne_core::games::random::random_game;
+        let game = random_game(seed, &[3, 2, 4]);
+        for (flat, profile) in game.profiles().enumerate() {
+            for p in 0..game.num_players() {
+                prop_assert_eq!(game.action_at(flat, p), profile[p]);
+                for a in 0..game.num_actions(p) {
+                    let mut cloned = profile.clone();
+                    cloned[p] = a;
+                    prop_assert_eq!(
+                        game.deviate_index(flat, p, a),
+                        game.profile_index(&cloned)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Index-based solution-concept checks agree with the profile-based
+    /// ones on arbitrary games.
+    #[test]
+    fn index_checks_agree_with_profile_checks(
+        num_players in 2usize..4,
+        payoffs in prop::collection::vec(-4i8..=4, 8..48),
+    ) {
+        use bne_core::robust::{is_k_resilient_by_index, is_robust_by_index, is_t_immune_by_index};
+        let game = game_from_payoff_seed(num_players, &payoffs);
+        for (flat, profile) in game.profiles().enumerate() {
+            prop_assert_eq!(game.is_pure_nash_by_index(flat), game.is_pure_nash(&profile));
+            for param in 1..=num_players {
+                prop_assert_eq!(
+                    is_k_resilient_by_index(&game, flat, param, ResilienceVariant::SomeMemberGains),
+                    is_k_resilient(&game, &profile, param, ResilienceVariant::SomeMemberGains)
+                );
+                prop_assert_eq!(
+                    is_t_immune_by_index(&game, flat, param),
+                    is_t_immune(&game, &profile, param)
+                );
+                prop_assert_eq!(
+                    is_robust_by_index(&game, flat, param, 1),
+                    bne_core::robust::is_robust(&game, &profile, param, 1)
+                );
+            }
+        }
+    }
+
+}
+
+#[cfg(feature = "parallel")]
+mod parallel_properties {
+    use super::*;
+
+    proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Parallel and sequential searches return bit-identical results on
+        /// random games (the parallel worker count is forced above 1 via the
+        /// explicit `_with` primitives inside the `*_parallel` functions, but
+        /// here we also compare through the public API on this machine).
+        #[test]
+        fn parallel_searches_match_sequential(seed in 0u64..200, num_players in 3usize..6) {
+            use bne_core::games::random::random_game;
+            use bne_core::robust::{
+                find_robust_profiles, find_robust_profiles_parallel, first_robust_profile,
+                first_robust_profile_parallel,
+            };
+            use bne_core::solvers::{pure_nash_equilibria_parallel, best_response_table, best_response_table_parallel};
+            let radices: Vec<usize> = (0..num_players).map(|p| 2 + (seed as usize + p) % 2).collect();
+            let game = random_game(seed, &radices);
+            prop_assert_eq!(pure_nash_equilibria(&game), pure_nash_equilibria_parallel(&game));
+            prop_assert_eq!(
+                find_robust_profiles(&game, 2, 1),
+                find_robust_profiles_parallel(&game, 2, 1)
+            );
+            prop_assert_eq!(
+                first_robust_profile(&game, 1, 1),
+                first_robust_profile_parallel(&game, 1, 1)
+            );
+            for p in 0..game.num_players() {
+                prop_assert_eq!(
+                    best_response_table(&game, p),
+                    best_response_table_parallel(&game, p)
+                );
+            }
+        }
+
+        /// The chunked primitives themselves are order-preserving and
+        /// deterministic for any worker count, including worker counts that
+        /// force real threads on this machine.
+        #[test]
+        fn chunked_primitives_are_deterministic(total in 1usize..4_000, workers in 1usize..9) {
+            use bne_core::games::parallel::{collect_chunked_with, find_first_with};
+            let hits = collect_chunked_with(total, workers, |range| {
+                range.filter(|i| i % 13 == 5).collect::<Vec<_>>()
+            });
+            let expected: Vec<usize> = (0..total).filter(|i| i % 13 == 5).collect();
+            prop_assert_eq!(hits, expected);
+            prop_assert_eq!(
+                find_first_with(total, workers, |i| i % 17 == 11),
+                (0..total).find(|i| i % 17 == 11)
+            );
+        }
+    }
 }

@@ -20,7 +20,9 @@ use std::collections::BTreeSet;
 fn prisoners_dilemma_classical_vs_computational() {
     let pd = classic::prisoners_dilemma();
     assert_eq!(pure_nash_equilibria(&pd), vec![vec![1, 1]]);
-    assert!(bne_core::machine::frpd::classical_tft_is_not_equilibrium(30));
+    assert!(bne_core::machine::frpd::classical_tft_is_not_equilibrium(
+        30
+    ));
     let threshold = equilibrium_threshold(0.9, MemoryCostModel::default(), 300)
         .expect("memory costs make TFT an equilibrium eventually");
     assert!(threshold > 1 && threshold < 300);
@@ -51,7 +53,10 @@ fn feasibility_catalogue_matches_constructive_protocols() {
     // strong regime: n = 7 > 3(k + t) = 6 — exact implementation, and the
     // OM-based cheap talk protocol actually reproduces the mediator.
     let regime = classify_regime(7, 1, 1, Assumptions::none());
-    assert!(matches!(regime.implementability, Implementability::Exact(_)));
+    assert!(matches!(
+        regime.implementability,
+        Implementability::Exact(_)
+    ));
     let game = ByzantineAgreementGame::build(7, 0.5);
     let mediator_game = MediatorGame::new(&game, TruthfulMediator);
     let faulty: BTreeSet<usize> = [5, 6].into_iter().collect();
@@ -126,8 +131,7 @@ fn simulators_reproduce_the_quoted_shapes() {
     assert!(p2p.free_rider_fraction > 0.6 && p2p.free_rider_fraction < 0.8);
     assert!(p2p.top1_percent_response_share > 0.3);
 
-    let scrip = bne_core::scrip::simulate(&bne_core::scrip::ScripConfig::homogeneous(
-        40, 8, 20_000, 5,
-    ));
+    let scrip =
+        bne_core::scrip::simulate(&bne_core::scrip::ScripConfig::homogeneous(40, 8, 20_000, 5));
     assert!(scrip.efficiency > 0.9);
 }
