@@ -236,10 +236,20 @@ fn bench_profile_engine(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default()
-        .sample_size(15)
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .measurement_time(std::time::Duration::from_millis(2500));
+    config = {
+        // BNE_BENCH_SMOKE=1 (the CI bench-smoke job): few fast samples —
+        // the point of that run is the bit-identity assertions above, not
+        // the timings.
+        let (samples, warm_ms, measure_ms) = if bne_bench::bench_smoke_mode() {
+            (3, 100, 400)
+        } else {
+            (15, 400, 2_500)
+        };
+        Criterion::default()
+            .sample_size(samples)
+            .warm_up_time(std::time::Duration::from_millis(warm_ms))
+            .measurement_time(std::time::Duration::from_millis(measure_ms))
+    };
     targets = bench_profile_engine
 }
 criterion_main!(benches);

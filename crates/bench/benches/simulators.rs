@@ -8,12 +8,12 @@ use std::hint::black_box;
 
 fn bench_simulators(c: &mut Criterion) {
     c.bench_function("scrip/50_agents_20k_rounds", |b| {
-        let config = ScripConfig::homogeneous(50, 10, 20_000, 7);
-        b.iter(|| black_box(scrip_simulate(&config)))
+        let config = ScripConfig::homogeneous(50, 10, 20_000);
+        b.iter(|| black_box(scrip_simulate(&config, 7)))
     });
     c.bench_function("p2p/2000_peers_20k_queries", |b| {
         let config = P2pConfig::default();
-        b.iter(|| black_box(p2p_simulate(&config)))
+        b.iter(|| black_box(p2p_simulate(&config, 42)))
     });
 }
 

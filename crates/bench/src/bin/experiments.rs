@@ -10,24 +10,34 @@
 //! The experiment ids (e1..e12) are documented in `DESIGN.md` and
 //! `EXPERIMENTS.md`.
 
-use bne_bench::{fmt_bool, fmt_f64, render_table, EXPERIMENT_IDS};
+use bne_bench::{
+    emit_table, fmt_bool, fmt_f64, render_table, write_experiments_json_if_requested,
+    EXPERIMENT_IDS,
+};
 use bne_core::awareness::analyze_figure1;
 use bne_core::awareness::figures::figure1_awareness_game;
 use bne_core::awareness::generalized::find_generalized_equilibria;
+use bne_core::byzantine::adversary::FaultyBehavior;
+use bne_core::byzantine::om::TraitorStrategy;
 use bne_core::byzantine::properties::om_boundary_sweep;
+use bne_core::byzantine::scenario::{om_grid, phase_king_grid, OmScenario, PhaseKingScenario};
 use bne_core::games::classic;
 use bne_core::machine::frpd;
 use bne_core::machine::primality::primality_sweep;
 use bne_core::machine::roshambo;
+use bne_core::machine::scenario::{rounds_grid, TournamentScenario};
 use bne_core::machine::tournament::{run_tournament, Competitor, TournamentConfig};
 use bne_core::mediator::feasibility::{classify_regime, Assumptions, Implementability};
 use bne_core::mediator::{
     distributions_match, ByzantineAgreementGame, MediatorGame, OralMessagesCheapTalk,
     SignedBroadcastCheapTalk, TruthfulMediator,
 };
+use bne_core::p2p::scenario::{sharing_cost_grid, P2pScenario};
 use bne_core::p2p::{simulate as p2p_simulate, P2pConfig};
 use bne_core::robust::classify_profile;
+use bne_core::scrip::scenario::{money_supply_grid, population_grid, ScripScenario};
 use bne_core::scrip::{mix_sweep, threshold_best_response};
+use bne_core::sim::SimRunner;
 use bne_core::solvers::pure_nash_equilibria;
 use std::collections::BTreeSet;
 
@@ -56,10 +66,15 @@ fn main() {
             "e10" => e10_augmented(),
             "e11" => e11_scrip(),
             "e12" => e12_tournament(),
+            "e13" => e13_scrip_grid(),
+            "e14" => e14_byzantine_grid(),
+            "e15" => e15_p2p_grid(),
+            "e16" => e16_tournament_grid(),
             _ => unreachable!(),
         }
         println!();
     }
+    write_experiments_json_if_requested();
 }
 
 /// E1 — the 0/1 coordination example of Section 2: all-0 is Nash but not
@@ -230,10 +245,13 @@ fn e4_byzantine() {
 fn e5_freeriding() {
     let mut rows = Vec::new();
     for cost in [0.3, 0.6, 1.0, 1.5] {
-        let outcome = p2p_simulate(&P2pConfig {
-            sharing_cost: cost,
-            ..P2pConfig::default()
-        });
+        let outcome = p2p_simulate(
+            &P2pConfig {
+                sharing_cost: cost,
+                ..P2pConfig::default()
+            },
+            42,
+        );
         rows.push(vec![
             fmt_f64(cost),
             fmt_f64(outcome.free_rider_fraction),
@@ -425,7 +443,7 @@ fn e10_augmented() {
 
 /// E11 — scrip systems: thresholds, hoarders, altruists.
 fn e11_scrip() {
-    let (best, responses) = threshold_best_response(30, 8, &[0, 4, 16], 10_000, 3);
+    let (best, responses) = threshold_best_response(30, 8, &[0, 4, 16], 10_000, 3, 1_000);
     let rows: Vec<Vec<String>> = responses
         .iter()
         .map(|(t, u)| vec![t.to_string(), fmt_f64(*u)])
@@ -491,4 +509,229 @@ fn e12_tournament() {
         )
     );
     println!("Paper (after Axelrod): tit-for-tat 'does exceedingly well' despite needing only two states.");
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-engine grid sweeps (e13..e16): replicated Monte Carlo through
+// bne-sim instead of single-seed runs. Build with
+// `--features bne-bench/parallel` to fan replicas across threads; results
+// are bit-identical either way. `BNE_EXPERIMENTS_JSON=path` exports every
+// table below as JSON.
+// ---------------------------------------------------------------------------
+
+/// Formats a streaming statistic as `mean ± std`.
+fn fmt_stat(s: &bne_core::sim::StreamingStats) -> String {
+    format!("{} ± {}", fmt_f64(s.mean()), fmt_f64(s.std_dev()))
+}
+
+/// E13 — scrip economies through the engine: money-supply curve and
+/// population scaling, replica-averaged.
+fn e13_scrip_grid() {
+    let runner = SimRunner::new(32, 1_300);
+    let supplies = [1u64, 2, 4, 8, 16, 32];
+    let grid = money_supply_grid(100, 8, &supplies, 10_000);
+    let rows: Vec<Vec<String>> = runner
+        .run(&ScripScenario, &grid)
+        .into_iter()
+        .map(|r| {
+            vec![
+                supplies[r.cell].to_string(),
+                fmt_stat(&r.outcome.efficiency),
+                format!(
+                    "[{}, {}]",
+                    fmt_f64(r.outcome.efficiency.min()),
+                    fmt_f64(r.outcome.efficiency.max())
+                ),
+                fmt_stat(&r.outcome.rational_utility),
+            ]
+        })
+        .collect();
+    emit_table(
+        "e13",
+        "E13a  scrip money-supply curve (100 agents, threshold 8, 32 replicas/cell)",
+        &[
+            "scrip/agent",
+            "efficiency",
+            "efficiency range",
+            "rational utility",
+        ],
+        &rows,
+    );
+    println!("Kash–Friedman–Halpern: efficiency peaks at a moderate money supply and crashes when everyone saturates their threshold.");
+
+    let runner = SimRunner::new(16, 1_301);
+    let ns = [100usize, 250, 500, 1_000];
+    let grid = population_grid(&ns, 8, 10_000);
+    let rows: Vec<Vec<String>> = runner
+        .run(&ScripScenario, &grid)
+        .into_iter()
+        .map(|r| {
+            vec![
+                ns[r.cell].to_string(),
+                fmt_stat(&r.outcome.efficiency),
+                fmt_stat(&r.outcome.unserved),
+            ]
+        })
+        .collect();
+    emit_table(
+        "e13",
+        "E13b  scrip population scaling (threshold 8, 10k rounds, 16 replicas/cell)",
+        &["agents", "efficiency", "unserved requests"],
+        &rows,
+    );
+}
+
+/// E14 — Byzantine agreement rates over adversary strategies × fault
+/// ratios, replica-averaged through the engine.
+fn e14_byzantine_grid() {
+    let runner = SimRunner::new(48, 1_400);
+    let behaviors = [
+        ("equivocate", FaultyBehavior::Equivocate),
+        ("random", FaultyBehavior::RandomNoise { seed: 14 }),
+        ("silent", FaultyBehavior::Silent),
+        ("fixed(0)", FaultyBehavior::FixedValue(0)),
+    ];
+    let cells = [(5usize, 1usize), (6, 1), (9, 2), (13, 3)];
+    let grid = phase_king_grid(
+        &cells,
+        &behaviors.iter().map(|(_, b)| b.clone()).collect::<Vec<_>>(),
+        true,
+    );
+    let rows: Vec<Vec<String>> = runner
+        .run(&PhaseKingScenario, &grid)
+        .into_iter()
+        .map(|r| {
+            let (behavior, _) = &behaviors[r.cell / cells.len()];
+            let (n, t) = cells[r.cell % cells.len()];
+            vec![
+                behavior.to_string(),
+                format!("n={n}, t={t}"),
+                fmt_bool(n > 4 * t),
+                fmt_f64(r.outcome.agreement.mean()),
+                fmt_f64(r.outcome.validity.mean()),
+                fmt_f64(r.outcome.messages.mean()),
+            ]
+        })
+        .collect();
+    emit_table(
+        "e14",
+        "E14a  phase-king agreement rate over adversary × f/n (48 replicas/cell, unanimous start)",
+        &[
+            "adversary",
+            "(n, t)",
+            "n > 4t?",
+            "P[agreement]",
+            "P[validity]",
+            "E[messages]",
+        ],
+        &rows,
+    );
+
+    let runner = SimRunner::new(32, 1_401);
+    let om_cells = [(3usize, 1usize), (4, 1), (6, 2), (7, 2)];
+    let strategies = [TraitorStrategy::SplitByParity, TraitorStrategy::Flip];
+    let grid = om_grid(&om_cells, &strategies, false);
+    let rows: Vec<Vec<String>> = runner
+        .run(&OmScenario, &grid)
+        .into_iter()
+        .map(|r| {
+            let strategy = ["split-parity", "flip"][r.cell / om_cells.len()];
+            let (n, t) = om_cells[r.cell % om_cells.len()];
+            vec![
+                strategy.to_string(),
+                format!("n={n}, t={t}"),
+                fmt_bool(n > 3 * t),
+                fmt_f64(r.outcome.agreement.mean()),
+                fmt_f64(r.outcome.validity.mean()),
+                fmt_f64(r.outcome.messages.mean()),
+            ]
+        })
+        .collect();
+    emit_table(
+        "e14",
+        "E14b  OM(t) correctness rate at the n > 3t boundary (32 replicas/cell, random orders)",
+        &[
+            "lie strategy",
+            "(n, t)",
+            "n > 3t?",
+            "P[agreement]",
+            "P[validity]",
+            "E[messages]",
+        ],
+        &rows,
+    );
+    println!("Below the bound the failure is probabilistic in the order drawn — a single run cannot show a rate.");
+}
+
+/// E15 — the free-riding cost sweep, replica-averaged through the engine
+/// (e5 runs the same sweep on a single seed).
+fn e15_p2p_grid() {
+    let runner = SimRunner::new(8, 1_500);
+    let costs = [0.3, 0.6, 1.0, 1.5, 2.5];
+    let base = P2pConfig {
+        peers: 1_000,
+        queries: 8_000,
+        ..P2pConfig::default()
+    };
+    let grid = sharing_cost_grid(&base, &costs);
+    let rows: Vec<Vec<String>> = runner
+        .run(&P2pScenario, &grid)
+        .into_iter()
+        .map(|r| {
+            vec![
+                fmt_f64(costs[r.cell]),
+                fmt_stat(&r.outcome.free_riders),
+                fmt_stat(&r.outcome.top1_share),
+                fmt_stat(&r.outcome.top10_share),
+                fmt_stat(&r.outcome.query_success),
+            ]
+        })
+        .collect();
+    emit_table(
+        "e15",
+        "E15  file-sharing cost sweep (1000 peers, 8 replicas/cell)",
+        &[
+            "sharing cost",
+            "free riders",
+            "top 1% share",
+            "top 10% share",
+            "query success",
+        ],
+        &rows,
+    );
+    println!("The top-1% concentration swings wildly between seeds (Pareto tail) — the ± column is the point of replicating.");
+}
+
+/// E16 — tournament replica sweep: how robust is Axelrod's finding to the
+/// randomizer's seed?
+fn e16_tournament_grid() {
+    let runner = SimRunner::new(32, 1_600);
+    let rounds = [100usize, 200, 400];
+    let grid = rounds_grid(&rounds, true);
+    let rows: Vec<Vec<String>> = runner
+        .run(&TournamentScenario, &grid)
+        .into_iter()
+        .map(|r| {
+            vec![
+                rounds[r.cell].to_string(),
+                fmt_stat(&r.outcome.tft_rank),
+                fmt_stat(&r.outcome.alld_rank),
+                fmt_stat(&r.outcome.tft_avg_score),
+                fmt_stat(&r.outcome.winner_score),
+            ]
+        })
+        .collect();
+    emit_table(
+        "e16",
+        "E16  FRPD tournament over 32 seeded fields per match length",
+        &[
+            "rounds/match",
+            "TFT rank",
+            "AllD rank",
+            "TFT avg/match",
+            "winner total",
+        ],
+        &rows,
+    );
+    println!("Axelrod's headline survives averaging over randomizer seeds: TFT's mean rank stays ahead of AllD's.");
 }

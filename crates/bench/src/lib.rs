@@ -1,9 +1,12 @@
 //! Shared helpers for the experiment runner and the Criterion benches:
-//! plain-text table rendering and the experiment registry (one entry per
-//! table/figure of the paper; see `EXPERIMENTS.md`).
+//! plain-text table rendering, the experiment registry (one entry per
+//! table/figure of the paper; see `EXPERIMENTS.md`), and the JSON export
+//! used by the scenario-engine experiments (`BNE_EXPERIMENTS_JSON`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::sync::Mutex;
 
 /// Renders a simple aligned text table.
 pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -57,10 +60,108 @@ pub fn fmt_bool(b: bool) -> String {
 }
 
 /// The list of experiment identifiers understood by the `experiments`
-/// binary.
+/// binary. `e1..e12` regenerate the paper's tables; `e13..e16` are the
+/// scenario-engine grid sweeps (replicated Monte Carlo with streaming
+/// aggregation).
 pub const EXPERIMENT_IDS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
+
+/// Whether the benches should run in bounded smoke mode (the CI
+/// `bench-smoke` job): `BNE_BENCH_SMOKE` set to anything non-empty other
+/// than `0`. Smoke runs shrink grids/replicas/samples — their purpose is
+/// the bit-identity assertions, not the timings.
+pub fn bench_smoke_mode() -> bool {
+    std::env::var("BNE_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// One experiment table recorded for the JSON export.
+#[derive(Debug, Clone)]
+pub struct RecordedTable {
+    /// Experiment id (`e13`, ...).
+    pub id: String,
+    /// Human-readable table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells, stringified.
+    pub rows: Vec<Vec<String>>,
+}
+
+static TABLES: Mutex<Vec<RecordedTable>> = Mutex::new(Vec::new());
+
+/// Prints a table (like [`render_table`]) *and* records it for the JSON
+/// export of [`write_experiments_json_if_requested`].
+pub fn emit_table(id: &str, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", render_table(title, headers, rows));
+    TABLES.lock().unwrap().push(RecordedTable {
+        id: id.to_string(),
+        title: title.to_string(),
+        headers: headers.iter().map(|h| h.to_string()).collect(),
+        rows: rows.to_vec(),
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+/// Serializes recorded tables as JSON (hand-rolled; no serde offline).
+pub fn tables_to_json(tables: &[RecordedTable]) -> String {
+    let mut out = String::from("{\n  \"experiments\": [\n");
+    for (i, t) in tables.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"title\": \"{}\", \"headers\": {}, \"rows\": [\n",
+            json_escape(&t.id),
+            json_escape(&t.title),
+            json_string_array(&t.headers),
+        ));
+        for (j, row) in t.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "      {}{}\n",
+                json_string_array(row),
+                if j + 1 == t.rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 == tables.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes every table recorded by [`emit_table`] to the path named by the
+/// `BNE_EXPERIMENTS_JSON` environment variable, if set. Only the
+/// scenario-engine experiments (e13..e16) record tables; if none of them
+/// ran, nothing is written and a warning says so instead of leaving a
+/// silently empty export.
+pub fn write_experiments_json_if_requested() {
+    if let Ok(path) = std::env::var("BNE_EXPERIMENTS_JSON") {
+        let tables = TABLES.lock().unwrap();
+        if tables.is_empty() {
+            eprintln!(
+                "warning: BNE_EXPERIMENTS_JSON is set but no JSON-recording experiment \
+                 (e13..e16) ran; not writing {path}"
+            );
+            return;
+        }
+        match std::fs::write(&path, tables_to_json(&tables)) {
+            Ok(()) => println!("experiment tables written to {path}"),
+            Err(e) => eprintln!("warning: could not write experiments JSON to {path}: {e}"),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -85,6 +186,20 @@ mod tests {
         assert_eq!(fmt_bool(false), "no");
         assert_eq!(fmt_f64(1234.5678), "1234.6");
         assert_eq!(fmt_f64(0.5), "0.500");
-        assert_eq!(EXPERIMENT_IDS.len(), 12);
+        assert_eq!(EXPERIMENT_IDS.len(), 16);
+    }
+
+    #[test]
+    fn tables_json_is_well_formed_enough() {
+        let json = tables_to_json(&[RecordedTable {
+            id: "e13".into(),
+            title: "a \"quoted\" title".into(),
+            headers: vec!["x".into(), "y".into()],
+            rows: vec![vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        }]);
+        assert!(json.starts_with('{'));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("[\"3\", \"4\"]"));
     }
 }

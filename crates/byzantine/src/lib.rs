@@ -35,6 +35,7 @@ pub mod network;
 pub mod om;
 pub mod phase_king;
 pub mod properties;
+pub mod scenario;
 
 pub use adversary::FaultyBehavior;
 pub use mediator_ba::mediator_byzantine_agreement;
@@ -42,6 +43,7 @@ pub use network::{ProcId, Process, RoundStats, SyncNetwork};
 pub use om::{om_byzantine_generals, OmConfig, OmOutcome};
 pub use phase_king::{run_phase_king, PhaseKingProcess};
 pub use properties::{check_agreement, check_validity, AgreementReport};
+pub use scenario::{BroadcastScenario, OmScenario, PhaseKingScenario, ProtocolStats};
 
 /// A binary value agreed upon (attack = 1, retreat = 0 in the paper's
 /// Byzantine agreement story).

@@ -18,7 +18,9 @@
 //! [`games`] and [`solvers`] hold the classical representations and
 //! baseline solvers everything else builds on; [`scrip`] and [`p2p`] are the
 //! simulators behind the conclusion's scrip-system discussion and the
-//! Gnutella free-riding statistics.
+//! Gnutella free-riding statistics; [`sim`] is the deterministic parallel
+//! Monte Carlo engine that fans any of those simulators across grid ×
+//! replica sweeps.
 //!
 //! # Quick start
 //!
@@ -49,6 +51,7 @@ pub use bne_mediator as mediator;
 pub use bne_p2p as p2p;
 pub use bne_robust as robust;
 pub use bne_scrip as scrip;
+pub use bne_sim as sim;
 pub use bne_solvers as solvers;
 
 #[cfg(test)]

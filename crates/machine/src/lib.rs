@@ -36,6 +36,7 @@ pub mod game;
 pub mod machine;
 pub mod primality;
 pub mod roshambo;
+pub mod scenario;
 pub mod tournament;
 pub mod vm;
 

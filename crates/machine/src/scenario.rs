@@ -1,0 +1,100 @@
+//! The Axelrod tournament as a [`bne_sim::Scenario`]: replica sweeps over
+//! seeded fields (the randomized competitor draws a fresh stream per
+//! replica), aggregating ranks and scores instead of printing one standings
+//! table.
+
+use crate::tournament::{rank_of, run_tournament, Competitor, TournamentConfig};
+use bne_sim::{Merge, Scenario, StreamingStats};
+
+/// Streaming aggregate of tournament replicas (one grid cell).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TournamentStats {
+    /// Tit-for-tat's rank (1 = winner).
+    pub tft_rank: StreamingStats,
+    /// AllD's rank.
+    pub alld_rank: StreamingStats,
+    /// The winner's total score.
+    pub winner_score: StreamingStats,
+    /// Tit-for-tat's average score per match.
+    pub tft_avg_score: StreamingStats,
+}
+
+impl Merge for TournamentStats {
+    fn merge(&mut self, other: &Self) {
+        self.tft_rank.merge(&other.tft_rank);
+        self.alld_rank.merge(&other.alld_rank);
+        self.winner_score.merge(&other.winner_score);
+        self.tft_avg_score.merge(&other.tft_avg_score);
+    }
+}
+
+/// Round-robin FRPD tournament over the standard field; the seed feeds the
+/// randomized competitor, so replicas are independent tournaments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TournamentScenario;
+
+impl Scenario for TournamentScenario {
+    type Config = TournamentConfig;
+    type Outcome = TournamentStats;
+
+    fn run(&self, config: &TournamentConfig, seed: u64) -> TournamentStats {
+        let field = Competitor::standard_field(seed);
+        let standings = run_tournament(&field, *config);
+        let tft = rank_of(&standings, "TitForTat").expect("TFT competes") as f64;
+        let alld = rank_of(&standings, "AllD").expect("AllD competes") as f64;
+        let tft_avg = standings
+            .iter()
+            .find(|s| s.name == "TitForTat")
+            .expect("TFT competes")
+            .average_score;
+        TournamentStats {
+            tft_rank: StreamingStats::of(tft),
+            alld_rank: StreamingStats::of(alld),
+            winner_score: StreamingStats::of(standings[0].total_score),
+            tft_avg_score: StreamingStats::of(tft_avg),
+        }
+    }
+}
+
+/// Grid varying the match length.
+pub fn rounds_grid(rounds: &[usize], include_self_play: bool) -> Vec<TournamentConfig> {
+    rounds
+        .iter()
+        .map(|&rounds| TournamentConfig {
+            rounds,
+            include_self_play,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bne_sim::SimRunner;
+
+    #[test]
+    fn replica_sweep_confirms_axelrods_finding_on_average() {
+        let grid = rounds_grid(&[100], true);
+        let results = SimRunner::new(12, 7).run_sequential(&TournamentScenario, &grid);
+        let stats = &results[0].outcome;
+        assert_eq!(stats.tft_rank.count(), 12);
+        // averaged over independently seeded randomizers, TFT outranks AllD
+        assert!(
+            stats.tft_rank.mean() < stats.alld_rank.mean(),
+            "TFT mean rank {} vs AllD {}",
+            stats.tft_rank.mean(),
+            stats.alld_rank.mean()
+        );
+        assert!(stats.winner_score.min() > 0.0);
+    }
+
+    #[test]
+    fn longer_matches_scale_scores() {
+        let grid = rounds_grid(&[50, 200], true);
+        let results = SimRunner::new(6, 3).run_sequential(&TournamentScenario, &grid);
+        assert!(
+            results[1].outcome.winner_score.mean() > results[0].outcome.winner_score.mean(),
+            "more rounds must yield higher totals"
+        );
+    }
+}

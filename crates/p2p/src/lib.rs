@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scenario;
+
 use rand::{rngs::StdRng, Rng, RngExt, SeedableRng};
 
 /// Configuration of a file-sharing simulation.
@@ -45,8 +47,6 @@ pub struct P2pConfig {
     pub ttl: usize,
     /// Number of queries to simulate.
     pub queries: usize,
-    /// RNG seed.
-    pub seed: u64,
 }
 
 impl Default for P2pConfig {
@@ -59,7 +59,6 @@ impl Default for P2pConfig {
             degree: 6,
             ttl: 4,
             queries: 20_000,
-            seed: 42,
         }
     }
 }
@@ -89,14 +88,17 @@ pub fn shares_in_equilibrium(altruism: f64, sharing_cost: f64) -> bool {
 }
 
 /// Runs the full simulation: equilibrium sharing decisions, overlay
-/// construction, query flooding, response accounting.
+/// construction, query flooding, response accounting. The RNG stream is
+/// fully determined by `seed`, so independently seeded calls are
+/// independent replicas (the seed used to live inside [`P2pConfig`], which
+/// silently reused one stream across runs of the same configuration).
 ///
 /// # Panics
 ///
 /// Panics if there are fewer than 10 peers.
-pub fn simulate(config: &P2pConfig) -> P2pOutcome {
+pub fn simulate(config: &P2pConfig, seed: u64) -> P2pOutcome {
     assert!(config.peers >= 10, "need at least 10 peers");
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = StdRng::seed_from_u64(seed);
     let n = config.peers;
 
     // 1. equilibrium sharing decisions
@@ -217,7 +219,7 @@ mod tests {
 
     #[test]
     fn default_configuration_reproduces_the_gnutella_shape() {
-        let outcome = simulate(&P2pConfig::default());
+        let outcome = simulate(&P2pConfig::default(), 42);
         // ≈70 % free riders (Adar–Huberman report "almost 70 percent")
         assert!(
             (outcome.free_rider_fraction - 0.70).abs() < 0.06,
@@ -239,35 +241,49 @@ mod tests {
 
     #[test]
     fn raising_the_sharing_cost_increases_free_riding() {
-        let cheap = simulate(&P2pConfig {
-            sharing_cost: 0.3,
-            ..P2pConfig::default()
-        });
-        let expensive = simulate(&P2pConfig {
-            sharing_cost: 2.5,
-            ..P2pConfig::default()
-        });
+        let cheap = simulate(
+            &P2pConfig {
+                sharing_cost: 0.3,
+                ..P2pConfig::default()
+            },
+            42,
+        );
+        let expensive = simulate(
+            &P2pConfig {
+                sharing_cost: 2.5,
+                ..P2pConfig::default()
+            },
+            42,
+        );
         assert!(expensive.free_rider_fraction > cheap.free_rider_fraction + 0.1);
         assert!(expensive.sharers < cheap.sharers);
     }
 
     #[test]
     fn more_skewed_libraries_concentrate_responses() {
-        let skewed = simulate(&P2pConfig {
-            library_shape: 0.8,
-            ..P2pConfig::default()
-        });
-        let flat = simulate(&P2pConfig {
-            library_shape: 3.0,
-            ..P2pConfig::default()
-        });
+        let skewed = simulate(
+            &P2pConfig {
+                library_shape: 0.8,
+                ..P2pConfig::default()
+            },
+            42,
+        );
+        let flat = simulate(
+            &P2pConfig {
+                library_shape: 3.0,
+                ..P2pConfig::default()
+            },
+            42,
+        );
         assert!(skewed.top1_percent_response_share > flat.top1_percent_response_share);
     }
 
     #[test]
     fn simulation_is_reproducible_for_a_fixed_seed() {
-        let a = simulate(&P2pConfig::default());
-        let b = simulate(&P2pConfig::default());
+        let a = simulate(&P2pConfig::default(), 42);
+        let b = simulate(&P2pConfig::default(), 42);
         assert_eq!(a, b);
+        let c = simulate(&P2pConfig::default(), 43);
+        assert_ne!(a, c, "different seeds must give independent replicas");
     }
 }

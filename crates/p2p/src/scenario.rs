@@ -1,0 +1,116 @@
+//! The file-sharing simulator as a [`bne_sim::Scenario`]: sharing-cost /
+//! topology grids with seeded replicas, replacing one-shot calls to
+//! [`crate::simulate`].
+
+use crate::{simulate, P2pConfig, P2pOutcome};
+use bne_sim::{Merge, Scenario, StreamingStats};
+
+/// Streaming aggregate of file-sharing replicas (one grid cell).
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2pStats {
+    /// Fraction of peers sharing nothing.
+    pub free_riders: StreamingStats,
+    /// Share of responses served by the top 1 % of peers.
+    pub top1_share: StreamingStats,
+    /// Share of responses served by the top 10 % of peers.
+    pub top10_share: StreamingStats,
+    /// Fraction of queries answered at all.
+    pub query_success: StreamingStats,
+    /// Number of sharers.
+    pub sharers: StreamingStats,
+}
+
+impl P2pStats {
+    /// Summarizes one replica.
+    pub fn of_outcome(outcome: &P2pOutcome) -> Self {
+        P2pStats {
+            free_riders: StreamingStats::of(outcome.free_rider_fraction),
+            top1_share: StreamingStats::of(outcome.top1_percent_response_share),
+            top10_share: StreamingStats::of(outcome.top10_percent_response_share),
+            query_success: StreamingStats::of(outcome.query_success_rate),
+            sharers: StreamingStats::of(outcome.sharers as f64),
+        }
+    }
+}
+
+impl Merge for P2pStats {
+    fn merge(&mut self, other: &Self) {
+        self.free_riders.merge(&other.free_riders);
+        self.top1_share.merge(&other.top1_share);
+        self.top10_share.merge(&other.top10_share);
+        self.query_success.merge(&other.query_success);
+        self.sharers.merge(&other.sharers);
+    }
+}
+
+/// The file-sharing scenario.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct P2pScenario;
+
+impl Scenario for P2pScenario {
+    type Config = P2pConfig;
+    type Outcome = P2pStats;
+
+    fn run(&self, config: &P2pConfig, seed: u64) -> P2pStats {
+        P2pStats::of_outcome(&simulate(config, seed))
+    }
+}
+
+/// Grid varying the sharing cost over an otherwise fixed network.
+pub fn sharing_cost_grid(base: &P2pConfig, costs: &[f64]) -> Vec<P2pConfig> {
+    costs
+        .iter()
+        .map(|&sharing_cost| P2pConfig {
+            sharing_cost,
+            ..base.clone()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bne_sim::{canonical_fold, derive_seed, SimRunner};
+
+    fn small_base() -> P2pConfig {
+        P2pConfig {
+            peers: 120,
+            queries: 800,
+            ..P2pConfig::default()
+        }
+    }
+
+    #[test]
+    fn scenario_replica_matches_direct_simulate() {
+        let config = small_base();
+        let stats = P2pScenario.run(&config, 5);
+        let outcome = simulate(&config, 5);
+        assert_eq!(stats.free_riders.mean(), outcome.free_rider_fraction);
+        assert_eq!(stats.sharers.mean(), outcome.sharers as f64);
+    }
+
+    #[test]
+    fn engine_aggregate_is_bit_identical_to_legacy_loop() {
+        let grid = sharing_cost_grid(&small_base(), &[0.5, 1.0, 2.0]);
+        let runner = SimRunner::new(12, 3);
+        let engine = runner.run_sequential(&P2pScenario, &grid);
+        for (cell, config) in grid.iter().enumerate() {
+            let legacy =
+                canonical_fold((0..12).map(|r| {
+                    P2pStats::of_outcome(&simulate(config, derive_seed(3, cell as u64, r)))
+                }))
+                .expect("non-empty");
+            assert_eq!(engine[cell].outcome, legacy);
+        }
+    }
+
+    #[test]
+    fn replicated_cost_sweep_shows_more_free_riding_as_cost_rises() {
+        let grid = sharing_cost_grid(&small_base(), &[0.3, 2.5]);
+        let results = SimRunner::new(16, 9).run_sequential(&P2pScenario, &grid);
+        assert!(
+            results[1].outcome.free_riders.mean() > results[0].outcome.free_riders.mean() + 0.1,
+            "replica-averaged free riding must rise with the sharing cost"
+        );
+    }
+}

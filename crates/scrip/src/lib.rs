@@ -25,6 +25,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scenario;
+
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
 /// How an agent behaves in the scrip economy.
@@ -55,20 +57,17 @@ pub struct ScripConfig {
     pub cost: f64,
     /// Number of rounds to simulate.
     pub rounds: usize,
-    /// RNG seed.
-    pub seed: u64,
 }
 
 impl ScripConfig {
     /// A homogeneous population of `n` threshold agents.
-    pub fn homogeneous(n: usize, threshold: u64, rounds: usize, seed: u64) -> Self {
+    pub fn homogeneous(n: usize, threshold: u64, rounds: usize) -> Self {
         ScripConfig {
             agents: vec![AgentKind::Threshold { threshold }; n],
             initial_scrip: threshold / 2 + 1,
             benefit: 1.0,
             cost: 0.2,
             rounds,
-            seed,
         }
     }
 }
@@ -106,15 +105,18 @@ impl ScripOutcome {
     }
 }
 
-/// Runs the scrip economy simulation.
+/// Runs the scrip economy simulation. The RNG stream is fully determined
+/// by `seed`, so independently seeded calls are independent replicas (the
+/// seed used to live inside [`ScripConfig`], which silently reused one
+/// stream across runs of the same configuration).
 ///
 /// # Panics
 ///
 /// Panics if there are fewer than two agents.
-pub fn simulate(config: &ScripConfig) -> ScripOutcome {
+pub fn simulate(config: &ScripConfig, seed: u64) -> ScripOutcome {
     let n = config.agents.len();
     assert!(n >= 2, "the scrip economy needs at least two agents");
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut holdings = vec![config.initial_scrip; n];
     let mut utilities = vec![0.0; n];
     let mut unserved = 0usize;
@@ -158,14 +160,17 @@ pub fn simulate(config: &ScripConfig) -> ScripOutcome {
 /// Estimates whether the common threshold `threshold` is a best response for
 /// agent 0 when everyone else uses it: compares agent 0's utility at the
 /// common threshold against the candidate deviations in `alternatives`,
-/// averaging over `trials` seeds. Returns `(best_threshold, utilities)` with
-/// one utility entry per candidate (the common threshold is evaluated too).
+/// averaging over `trials` runs seeded `seed, seed + 1, …` (the same seeds
+/// for every candidate — common random numbers). Returns
+/// `(best_threshold, utilities)` with one utility entry per candidate (the
+/// common threshold is evaluated too).
 pub fn threshold_best_response(
     n: usize,
     threshold: u64,
     alternatives: &[u64],
     rounds: usize,
     trials: usize,
+    seed: u64,
 ) -> (u64, Vec<(u64, f64)>) {
     let mut results = Vec::new();
     let mut candidates = vec![threshold];
@@ -173,11 +178,11 @@ pub fn threshold_best_response(
     for &candidate in &candidates {
         let mut total = 0.0;
         for trial in 0..trials {
-            let mut config = ScripConfig::homogeneous(n, threshold, rounds, 1_000 + trial as u64);
+            let mut config = ScripConfig::homogeneous(n, threshold, rounds);
             config.agents[0] = AgentKind::Threshold {
                 threshold: candidate,
             };
-            total += simulate(&config).utilities[0];
+            total += simulate(&config, seed.wrapping_add(trial as u64)).utilities[0];
         }
         results.push((candidate, total / trials as f64));
     }
@@ -232,9 +237,8 @@ pub fn mix_sweep(
                 benefit: 1.0,
                 cost: 0.2,
                 rounds,
-                seed,
             };
-            let outcome = simulate(&config);
+            let outcome = simulate(&config, seed);
             let rational_utility = outcome.average_utility(|i| i >= hoarders + altruists);
             rows.push(MixRow {
                 hoarders,
@@ -253,8 +257,8 @@ mod tests {
 
     #[test]
     fn homogeneous_threshold_population_is_efficient() {
-        let config = ScripConfig::homogeneous(50, 10, 20_000, 7);
-        let outcome = simulate(&config);
+        let config = ScripConfig::homogeneous(50, 10, 20_000);
+        let outcome = simulate(&config, 7);
         assert!(
             outcome.efficiency > 0.9,
             "efficiency {}",
@@ -268,8 +272,8 @@ mod tests {
     #[test]
     fn zero_threshold_population_collapses() {
         // nobody ever volunteers: every request goes unserved
-        let config = ScripConfig::homogeneous(20, 0, 2_000, 3);
-        let outcome = simulate(&config);
+        let config = ScripConfig::homogeneous(20, 0, 2_000);
+        let outcome = simulate(&config, 3);
         assert_eq!(outcome.efficiency, 0.0);
         assert_eq!(outcome.unserved, 2_000);
     }
@@ -277,7 +281,7 @@ mod tests {
     #[test]
     fn hoarders_drain_scrip_and_hurt_efficiency() {
         let rounds = 30_000;
-        let baseline = simulate(&ScripConfig::homogeneous(40, 5, rounds, 11));
+        let baseline = simulate(&ScripConfig::homogeneous(40, 5, rounds), 11);
         let rows = mix_sweep(40, 5, &[0, 15], &[0], rounds, 11);
         let with_hoarders = rows.iter().find(|r| r.hoarders == 15).expect("row exists");
         // hoarders soak up scrip, so rational agents increasingly cannot pay
@@ -304,7 +308,7 @@ mod tests {
     fn moderate_threshold_beats_degenerate_ones_as_a_response() {
         // when everyone uses threshold 8, responding with threshold 0 (never
         // volunteer → never earn scrip → can rarely buy service) is worse
-        let (_, results) = threshold_best_response(25, 8, &[0], 8_000, 3);
+        let (_, results) = threshold_best_response(25, 8, &[0], 8_000, 3, 1_000);
         let common = results.iter().find(|(t, _)| *t == 8).unwrap().1;
         let zero = results.iter().find(|(t, _)| *t == 0).unwrap().1;
         assert!(common > zero, "common {common} vs zero {zero}");

@@ -1,0 +1,35 @@
+//! # bne-sim
+//!
+//! The deterministic parallel Monte Carlo scenario engine of the workspace.
+//!
+//! Halpern's solution concepts are things you *run at scale*: scrip
+//! economies with thousands of agents, Byzantine protocols under
+//! adversarial schedules, machine-game tournaments. Their interesting
+//! properties only emerge from large ensembles of seeded runs, and before
+//! this crate each workload had its own bespoke sequential loop. `bne-sim`
+//! generalizes the flat-index profile engine's chunked parallelism from
+//! *profile sweeps* to *replica sweeps*:
+//!
+//! * a [`Scenario`] trait — `(config, seed) → outcome`, with outcomes that
+//!   [`Merge`] into streaming aggregates instead of being stored;
+//! * a [`SimRunner`] — fans a parameter grid × replica count across
+//!   `std::thread::scope` workers (`parallel` feature), with per-replica
+//!   seeds from the bijective [`derive_seed`] mix and a **fixed merge
+//!   structure** ([`REPLICA_BLOCK`]) that makes sequential and parallel
+//!   aggregation bit-identical;
+//! * [`StreamingStats`] / [`Histogram`] — O(1)-per-replica accumulators
+//!   (count/mean/variance/min/max and fixed-bucket distributions).
+//!
+//! Scenario implementations live next to the simulators they wrap:
+//! `bne_scrip::scenario`, `bne_p2p::scenario`, `bne_byzantine::scenario`
+//! and `bne_machine::scenario`. See `benches/scenario_engine.rs` for the
+//! legacy-loop vs engine comparison recorded in `BENCH_2.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod runner;
+mod stats;
+
+pub use runner::{canonical_fold, derive_seed, CellResult, Scenario, SimRunner, REPLICA_BLOCK};
+pub use stats::{Histogram, Merge, StreamingStats};

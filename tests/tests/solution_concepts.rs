@@ -127,11 +127,11 @@ fn awareness_changes_the_prediction_but_equilibria_always_exist() {
 /// irrational behaviour.
 #[test]
 fn simulators_reproduce_the_quoted_shapes() {
-    let p2p = bne_core::p2p::simulate(&bne_core::p2p::P2pConfig::default());
+    let p2p = bne_core::p2p::simulate(&bne_core::p2p::P2pConfig::default(), 42);
     assert!(p2p.free_rider_fraction > 0.6 && p2p.free_rider_fraction < 0.8);
     assert!(p2p.top1_percent_response_share > 0.3);
 
     let scrip =
-        bne_core::scrip::simulate(&bne_core::scrip::ScripConfig::homogeneous(40, 8, 20_000, 5));
+        bne_core::scrip::simulate(&bne_core::scrip::ScripConfig::homogeneous(40, 8, 20_000), 5);
     assert!(scrip.efficiency > 0.9);
 }
