@@ -1,0 +1,296 @@
+//! Network-runtime benches: the lockstep `SyncNetwork` vs the `bne-net`
+//! async event queue vs parallel replica sweeps through the scenario
+//! engine.
+//!
+//! Run and record to `BENCH_3.json`:
+//!
+//! ```text
+//! BNE_BENCH_JSON=BENCH_3.json cargo bench -p bne-bench \
+//!     --features parallel --bench net_engine
+//! ```
+//!
+//! CI runs this bench in bounded smoke mode (`BNE_BENCH_SMOKE=1`). In
+//! **both** modes the zero-latency-FIFO-equals-`SyncNetwork` assertion
+//! gates the timing run: for OM (EIG processes) and phase king, across a
+//! spread of `(n, t, behavior, seed)` configurations, decisions, round
+//! counts and message counts must be bit-identical between the two
+//! runtimes — a divergence fails the bench (and the CI job) before
+//! anything is timed. With the `parallel` feature the async scenario
+//! sweep is additionally asserted bit-identical across forced worker
+//! counts.
+
+use bne_core::byzantine::adversary::{FaultyBehavior, FaultyProcess};
+use bne_core::byzantine::network::{Process, SyncNetwork};
+use bne_core::byzantine::om::{OmConfig, TraitorStrategy};
+use bne_core::byzantine::om_process::{om_process_set, OmProcess};
+use bne_core::byzantine::phase_king::PhaseKingProcess;
+use bne_core::byzantine::Value;
+use bne_core::net::scenario::{async_om_loss_grid, AsyncPhaseKingCell, NetProfile, SchedulerSpec};
+use bne_core::net::{
+    run_round_protocol, AsyncOmScenario, AsyncPhaseKingScenario, LatencyModel, LinkFaults,
+    NetConfig,
+};
+use bne_core::sim::SimRunner;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Builds one phase-king process set from a seed (honest initial bits
+/// drawn from the seed, `t` stochastic adversaries with explicit seeds).
+fn phase_king_set(n: usize, t: usize, seed: u64) -> Vec<Box<dyn Process<Msg = Value>>> {
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut processes: Vec<Box<dyn Process<Msg = Value>>> = (0..n - t)
+        .map(|_| {
+            Box::new(PhaseKingProcess::new(rng.random_range(0..2u64), t))
+                as Box<dyn Process<Msg = Value>>
+        })
+        .collect();
+    for i in 0..t {
+        let behavior = match i % 3 {
+            0 => FaultyBehavior::Equivocate { seed: seed ^ 0xE1 },
+            1 => FaultyBehavior::RandomNoise { seed: seed ^ 0xE2 },
+            _ => FaultyBehavior::Garbage { seed: seed ^ 0xE3 },
+        };
+        processes.push(Box::new(FaultyProcess::new(behavior)));
+    }
+    processes
+}
+
+fn om_config(n: usize, t: usize, seed: u64) -> OmConfig {
+    OmConfig {
+        n,
+        m: t,
+        commander_value: seed % 2,
+        traitors: (1..=t).collect(),
+        strategy: TraitorStrategy::SplitByParity,
+        default_value: 0,
+    }
+}
+
+/// The gate: zero-latency FIFO on the event queue must reproduce the
+/// lockstep network bit-identically before any timing happens.
+fn assert_lockstep_equals_sync(pk_cells: &[(usize, usize)], om_cells: &[(usize, usize)]) {
+    for &(n, t) in pk_cells {
+        for seed in 0..8u64 {
+            let rounds = PhaseKingProcess::rounds_needed(t);
+            let mut sync = SyncNetwork::new(phase_king_set(n, t, seed));
+            sync.run(rounds);
+            let async_out = run_round_protocol(
+                phase_king_set(n, t, seed),
+                rounds,
+                NetConfig::lockstep(seed),
+            );
+            assert_eq!(
+                sync.decisions(),
+                async_out.decisions,
+                "phase king (n={n}, t={t}, seed={seed}): decisions diverged"
+            );
+            assert_eq!(
+                sync.stats(),
+                async_out.round_stats(),
+                "phase king (n={n}, t={t}, seed={seed}): stats diverged"
+            );
+        }
+    }
+    for &(n, t) in om_cells {
+        for seed in 0..8u64 {
+            let config = om_config(n, t, seed);
+            let rounds = OmProcess::rounds_needed(config.m);
+            let mut sync = SyncNetwork::new(om_process_set(&config));
+            sync.run(rounds);
+            let async_out =
+                run_round_protocol(om_process_set(&config), rounds, NetConfig::lockstep(seed));
+            assert_eq!(
+                sync.decisions(),
+                async_out.decisions,
+                "OM (n={n}, t={t}, seed={seed}): decisions diverged"
+            );
+            assert_eq!(
+                sync.stats(),
+                async_out.round_stats(),
+                "OM (n={n}, t={t}, seed={seed}): stats diverged"
+            );
+        }
+    }
+}
+
+fn bench_net_engine(c: &mut Criterion) {
+    let smoke = bne_bench::bench_smoke_mode();
+
+    let (pk_n, pk_t, replicas): (usize, usize, usize) = if smoke { (6, 1, 8) } else { (13, 3, 32) };
+    let om_cells: &[(usize, usize)] = if smoke { &[(4, 1)] } else { &[(4, 1), (7, 2)] };
+
+    // -- the equality gate (both modes) -------------------------------------
+    let mut gate_cells = vec![(pk_n, pk_t), (6, 1)];
+    gate_cells.dedup(); // smoke mode's main cell IS (6, 1)
+    assert_lockstep_equals_sync(&gate_cells, om_cells);
+
+    // -- the async sweep is engine-bit-identical across worker counts -------
+    let pk_grid: Vec<AsyncPhaseKingCell> = vec![
+        AsyncPhaseKingCell {
+            n: pk_n,
+            t: pk_t,
+            behavior: FaultyBehavior::Equivocate { seed: 3 },
+            unanimous_start: true,
+            net: NetProfile::lockstep(),
+        },
+        AsyncPhaseKingCell {
+            n: pk_n,
+            t: pk_t,
+            behavior: FaultyBehavior::RandomNoise { seed: 3 },
+            unanimous_start: false,
+            net: NetProfile {
+                latency: LatencyModel::UniformJitter { min: 0, max: 3 },
+                scheduler: SchedulerSpec::Random { jitter: 2 },
+                faults: LinkFaults::lossy(0.1),
+                round_ticks: 4,
+            },
+        },
+    ];
+    let runner = SimRunner::new(replicas, 4_300);
+    let sequential = runner.run_sequential(&AsyncPhaseKingScenario, &pk_grid);
+    #[cfg(feature = "parallel")]
+    {
+        for workers in [2, 3, 5] {
+            assert_eq!(
+                sequential,
+                runner.run_parallel_with(workers, &AsyncPhaseKingScenario, &pk_grid),
+                "{workers}-worker async sweep is not bit-identical to sequential"
+            );
+        }
+    }
+    let _ = &sequential;
+
+    // -- sync lockstep vs async event queue, identical workloads ------------
+    let pk_rounds = PhaseKingProcess::rounds_needed(pk_t);
+    c.bench_function("net_sync_lockstep/phase_king", |b| {
+        b.iter(|| {
+            let mut net = SyncNetwork::new(phase_king_set(pk_n, pk_t, 1));
+            net.run(pk_rounds);
+            black_box(net.decisions())
+        })
+    });
+    c.bench_function("net_async_event_queue/phase_king", |b| {
+        b.iter(|| {
+            black_box(run_round_protocol(
+                phase_king_set(pk_n, pk_t, 1),
+                pk_rounds,
+                NetConfig::lockstep(1),
+            ))
+        })
+    });
+    c.bench_function("net_async_adversarial/phase_king", |b| {
+        // the workload only the async runtime can express: jittered
+        // latency, random interleaving, 10% loss
+        let cfg = NetConfig {
+            seed: 1,
+            latency: LatencyModel::UniformJitter { min: 0, max: 3 },
+            scheduler: bne_core::net::SchedulerPolicy::RandomInterleave { seed: 5, jitter: 2 },
+            faults: LinkFaults::lossy(0.1),
+            round_ticks: 4,
+            record_trace: false,
+        };
+        b.iter(|| {
+            black_box(run_round_protocol(
+                phase_king_set(pk_n, pk_t, 1),
+                pk_rounds,
+                cfg.clone(),
+            ))
+        })
+    });
+
+    let (om_n, om_t) = *om_cells.last().unwrap();
+    let om_cfg = om_config(om_n, om_t, 1);
+    let om_rounds = OmProcess::rounds_needed(om_cfg.m);
+    c.bench_function("net_sync_lockstep/om_eig", |b| {
+        b.iter(|| {
+            let mut net = SyncNetwork::new(om_process_set(&om_cfg));
+            net.run(om_rounds);
+            black_box(net.decisions())
+        })
+    });
+    c.bench_function("net_async_event_queue/om_eig", |b| {
+        b.iter(|| {
+            black_box(run_round_protocol(
+                om_process_set(&om_cfg),
+                om_rounds,
+                NetConfig::lockstep(1),
+            ))
+        })
+    });
+
+    // -- replica sweeps through the scenario engine -------------------------
+    let loss_grid = async_om_loss_grid(
+        om_cells,
+        &[0.0, 0.15, 0.3],
+        TraitorStrategy::SplitByParity,
+        false,
+    );
+    let sweep_runner = SimRunner::new(replicas, 4_301);
+    c.bench_function("net_replica_sweep_seq/om_loss_grid", |b| {
+        b.iter(|| black_box(sweep_runner.run_sequential(&AsyncOmScenario, &loss_grid)))
+    });
+    #[cfg(feature = "parallel")]
+    c.bench_function("net_replica_sweep_par/om_loss_grid", |b| {
+        b.iter(|| black_box(sweep_runner.run_parallel(&AsyncOmScenario, &loss_grid)))
+    });
+    c.bench_function("net_replica_sweep_seq/phase_king_grid", |b| {
+        b.iter(|| black_box(runner.run_sequential(&AsyncPhaseKingScenario, &pk_grid)))
+    });
+    #[cfg(feature = "parallel")]
+    c.bench_function("net_replica_sweep_par/phase_king_grid", |b| {
+        b.iter(|| black_box(runner.run_parallel(&AsyncPhaseKingScenario, &pk_grid)))
+    });
+
+    // Headline ratios: what the event queue costs over lockstep on the
+    // identical workload, and what parallel sweeps buy. Medians and mins
+    // (mins are far less drift-sensitive on shared hardware).
+    let results = criterion::results();
+    let median = |name: &str| results.iter().find(|r| r.name == name).map(|r| r.median_ns);
+    let minimum = |name: &str| results.iter().find(|r| r.name == name).map(|r| r.min_ns);
+    for (sync, async_q) in [
+        (
+            "net_sync_lockstep/phase_king",
+            "net_async_event_queue/phase_king",
+        ),
+        ("net_sync_lockstep/om_eig", "net_async_event_queue/om_eig"),
+    ] {
+        if let (Some(s), Some(a)) = (median(sync), median(async_q)) {
+            println!("{async_q}: {:.2}x the lockstep cost (median)", a / s);
+        }
+        if let (Some(s), Some(a)) = (minimum(sync), minimum(async_q)) {
+            println!("{async_q}: {:.2}x the lockstep cost (min)", a / s);
+        }
+    }
+    for (seq, par) in [
+        (
+            "net_replica_sweep_seq/om_loss_grid",
+            "net_replica_sweep_par/om_loss_grid",
+        ),
+        (
+            "net_replica_sweep_seq/phase_king_grid",
+            "net_replica_sweep_par/phase_king_grid",
+        ),
+    ] {
+        if let (Some(s), Some(p)) = (median(seq), median(par)) {
+            println!("{seq}: par {:.2}x vs seq (median)", s / p);
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = {
+        let (samples, warm_ms, measure_ms) = if bne_bench::bench_smoke_mode() {
+            (3, 100, 400)
+        } else {
+            (15, 400, 3_000)
+        };
+        Criterion::default()
+            .sample_size(samples)
+            .warm_up_time(std::time::Duration::from_millis(warm_ms))
+            .measurement_time(std::time::Duration::from_millis(measure_ms))
+    };
+    targets = bench_net_engine
+}
+criterion_main!(benches);

@@ -231,7 +231,7 @@ fn bench_scenario_engine(c: &mut Criterion) {
     } else {
         (&[(9, 2), (13, 3)], 32)
     };
-    let pk_grid = phase_king_grid(cells, &[FaultyBehavior::Equivocate], true);
+    let pk_grid = phase_king_grid(cells, &[FaultyBehavior::Equivocate { seed: 2 }], true);
     let pk_runner = SimRunner::new(replicas, 4_202);
     let legacy: Vec<Vec<ProtocolStats>> = legacy_sweep(&pk_grid, 4_202, replicas, |cfg, seed| {
         PhaseKingScenario.run(cfg, seed)

@@ -32,6 +32,11 @@ use bne_core::mediator::{
     distributions_match, ByzantineAgreementGame, MediatorGame, OralMessagesCheapTalk,
     SignedBroadcastCheapTalk, TruthfulMediator,
 };
+use bne_core::net::scenario::{
+    async_om_loss_grid, async_phase_king_scheduler_grid, AsyncOmScenario, AsyncPhaseKingScenario,
+    SchedulerSpec,
+};
+use bne_core::net::LatencyModel;
 use bne_core::p2p::scenario::{sharing_cost_grid, P2pScenario};
 use bne_core::p2p::{simulate as p2p_simulate, P2pConfig};
 use bne_core::robust::classify_profile;
@@ -70,6 +75,8 @@ fn main() {
             "e14" => e14_byzantine_grid(),
             "e15" => e15_p2p_grid(),
             "e16" => e16_tournament_grid(),
+            "e17" => e17_async_loss_grid(),
+            "e18" => e18_async_scheduler_grid(),
             _ => unreachable!(),
         }
         println!();
@@ -586,8 +593,9 @@ fn e13_scrip_grid() {
 fn e14_byzantine_grid() {
     let runner = SimRunner::new(48, 1_400);
     let behaviors = [
-        ("equivocate", FaultyBehavior::Equivocate),
+        ("equivocate", FaultyBehavior::Equivocate { seed: 14 }),
         ("random", FaultyBehavior::RandomNoise { seed: 14 }),
+        ("garbage", FaultyBehavior::Garbage { seed: 14 }),
         ("silent", FaultyBehavior::Silent),
         ("fixed(0)", FaultyBehavior::FixedValue(0)),
     ];
@@ -734,4 +742,115 @@ fn e16_tournament_grid() {
         &rows,
     );
     println!("Axelrod's headline survives averaging over randomizer seeds: TFT's mean rank stays ahead of AllD's.");
+}
+
+// ---------------------------------------------------------------------------
+// Async network-runtime sweeps (e17..e18): the Byzantine protocols on the
+// bne-net discrete-event runtime, where message loss and adversarial
+// scheduling — not just lies — attack correctness.
+// ---------------------------------------------------------------------------
+
+/// E17 — async OM(t): agreement/validity rate vs iid message loss, below
+/// and above the `n > 3t` bound. Reproducible from the fixed base seed
+/// 1_700 (replica seeds derive bijectively from it).
+fn e17_async_loss_grid() {
+    let runner = SimRunner::new(48, 1_700);
+    let cells = [(3usize, 1usize), (4, 1), (7, 2)];
+    let drops = [0.0, 0.05, 0.15, 0.3, 0.5];
+    let grid = async_om_loss_grid(
+        &cells,
+        &drops,
+        bne_core::byzantine::om::TraitorStrategy::SplitByParity,
+        false,
+    );
+    let rows: Vec<Vec<String>> = runner
+        .run(&AsyncOmScenario, &grid)
+        .into_iter()
+        .map(|r| {
+            let drop = drops[r.cell / cells.len()];
+            let (n, t) = cells[r.cell % cells.len()];
+            vec![
+                fmt_f64(drop),
+                format!("n={n}, t={t}"),
+                fmt_bool(n > 3 * t),
+                fmt_f64(r.outcome.agreement.mean()),
+                fmt_f64(r.outcome.validity.mean()),
+                fmt_f64(r.outcome.messages.mean()),
+            ]
+        })
+        .collect();
+    emit_table(
+        "e17",
+        "E17  async OM(t): correctness rate vs message loss (48 replicas/cell, EIG processes)",
+        &[
+            "drop prob",
+            "(n, t)",
+            "n > 3t?",
+            "P[agreement]",
+            "P[validity]",
+            "E[messages]",
+        ],
+        &rows,
+    );
+    println!("Within the bound, OM's guarantee holds only on reliable links: loss acts like extra traitors, and validity decays toward the sub-bound regime as the drop probability rises.");
+}
+
+/// E18 — async phase king: rushing adversary vs seeded-random scheduler vs
+/// FIFO, with mixed starts so agreement depends on the kings' tiebreaks
+/// arriving on time.
+fn e18_async_scheduler_grid() {
+    let runner = SimRunner::new(48, 1_800);
+    let cells = [(6usize, 1usize), (9, 2)];
+    let schedulers = [
+        SchedulerSpec::Fifo,
+        SchedulerSpec::Random { jitter: 2 },
+        SchedulerSpec::Rush { honest_delay: 2 },
+    ];
+    let latencies = [
+        LatencyModel::Constant(0),
+        LatencyModel::HeavyTail {
+            base: 1,
+            tail_prob: 0.3,
+            max_doublings: 3,
+        },
+    ];
+    let grid = async_phase_king_scheduler_grid(
+        &cells,
+        &bne_core::byzantine::adversary::FaultyBehavior::RandomNoise { seed: 18 },
+        &schedulers,
+        &latencies,
+        1,
+        false,
+    );
+    let rows: Vec<Vec<String>> = runner
+        .run(&AsyncPhaseKingScenario, &grid)
+        .into_iter()
+        .map(|r| {
+            let scheduler = &schedulers[r.cell / (latencies.len() * cells.len())];
+            let latency = &latencies[(r.cell / cells.len()) % latencies.len()];
+            let (n, t) = cells[r.cell % cells.len()];
+            vec![
+                scheduler.label(),
+                latency.label(),
+                format!("n={n}, t={t}"),
+                fmt_f64(r.outcome.agreement.mean()),
+                fmt_f64(r.outcome.decided.mean()),
+                fmt_f64(r.outcome.messages.mean()),
+            ]
+        })
+        .collect();
+    emit_table(
+        "e18",
+        "E18  async phase king: scheduler policies × latency (48 replicas/cell, mixed starts)",
+        &[
+            "scheduler",
+            "latency",
+            "(n, t)",
+            "P[agreement]",
+            "P[decided]",
+            "E[messages]",
+        ],
+        &rows,
+    );
+    println!("FIFO at zero latency is the lockstep baseline (agreement 1.0); the rushing adversary needs no lies beyond noise — delaying honest traffic by two ticks already splits mixed-start executions.");
 }

@@ -15,6 +15,9 @@
 //!   equivocating, value-flipping);
 //! * [`om`] — the recursive Oral Messages algorithm OM(m) of Lamport,
 //!   Shostak and Pease, correct for `n > 3t`;
+//! * [`om_process`] — the same protocol as message-passing processes (the
+//!   EIG formulation), runnable on [`network::SyncNetwork`] and on the
+//!   async `bne-net` runtime;
 //! * [`phase_king`] — the Berman–Garay–Perry phase-king consensus protocol
 //!   running on the network simulator, correct for `n > 4t`;
 //! * [`broadcast`] — Dolev–Strong authenticated broadcast on top of the
@@ -33,6 +36,7 @@ pub mod broadcast;
 pub mod mediator_ba;
 pub mod network;
 pub mod om;
+pub mod om_process;
 pub mod phase_king;
 pub mod properties;
 pub mod scenario;
@@ -41,6 +45,7 @@ pub use adversary::FaultyBehavior;
 pub use mediator_ba::mediator_byzantine_agreement;
 pub use network::{ProcId, Process, RoundStats, SyncNetwork};
 pub use om::{om_byzantine_generals, OmConfig, OmOutcome};
+pub use om_process::{om_process_set, run_om_process, OmMsg, OmProcess, OmTraitorProcess};
 pub use phase_king::{run_phase_king, PhaseKingProcess};
 pub use properties::{check_agreement, check_validity, AgreementReport};
 pub use scenario::{BroadcastScenario, OmScenario, PhaseKingScenario, ProtocolStats};

@@ -155,8 +155,9 @@ fn om_recursive(
 }
 
 /// Majority of a list of binary-ish values; ties and empty input go to the
-/// default.
-fn majority(values: &[Value], default: Value) -> Value {
+/// default. Shared with the EIG process formulation in
+/// [`crate::om_process`].
+pub(crate) fn majority(values: &[Value], default: Value) -> Value {
     let mut counts: BTreeMap<Value, usize> = BTreeMap::new();
     for &v in values {
         *counts.entry(v).or_insert(0) += 1;

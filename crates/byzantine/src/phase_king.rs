@@ -168,7 +168,7 @@ mod tests {
         // n = 6, t = 1 (n > 4t): the faulty process is id 5 (never a king
         // during phases 0..=1).
         let mut procs: Vec<_> = (0..5).map(|_| honest(1, 1)).collect();
-        procs.push(faulty(FaultyBehavior::Equivocate));
+        procs.push(faulty(FaultyBehavior::Equivocate { seed: 21 }));
         let (decisions, _) = run_phase_king(procs, 1);
         let values = honest_decisions(&decisions, &[5]);
         assert_eq!(values.len(), 5);
@@ -181,6 +181,7 @@ mod tests {
         for behavior in [
             FaultyBehavior::Silent,
             FaultyBehavior::RandomNoise { seed: 3 },
+            FaultyBehavior::Garbage { seed: 3 },
             FaultyBehavior::FixedValue(0),
             FaultyBehavior::Crash { after: 1, value: 0 },
         ] {
@@ -207,7 +208,7 @@ mod tests {
         // processes around; we only assert the protocol completes and
         // documents the degradation (decisions exist).
         let mut procs: Vec<_> = (0..3).map(|i| honest((i % 2) as u64, 1)).collect();
-        procs.push(faulty(FaultyBehavior::Equivocate));
+        procs.push(faulty(FaultyBehavior::Equivocate { seed: 5 }));
         let (decisions, _) = run_phase_king(procs, 1);
         assert!(decisions[..3].iter().all(|d| d.is_some()));
     }

@@ -183,14 +183,10 @@ impl Scenario for PhaseKingScenario {
             .map(|&v| Box::new(PhaseKingProcess::new(v, cell.t)) as Box<dyn Process<Msg = Value>>)
             .collect();
         for _ in 0..cell.t {
-            let behavior = match cell.behavior {
-                // re-seed stochastic adversaries from the replica seed so
-                // replicas see independent noise
-                FaultyBehavior::RandomNoise { seed: base } => FaultyBehavior::RandomNoise {
-                    seed: base ^ rng.random::<u64>(),
-                },
-                ref b => b.clone(),
-            };
+            // re-seed stochastic adversaries from the replica seed so
+            // replicas see independent noise (deterministic behaviors are
+            // unchanged; the draw keeps the stream layout uniform)
+            let behavior = cell.behavior.with_seed(rng.random::<u64>());
             processes.push(Box::new(FaultyProcess::new(behavior)));
         }
         let (decisions, stats) = run_phase_king(processes, cell.t);
@@ -328,8 +324,9 @@ mod tests {
         let grid = phase_king_grid(
             &[(6, 1), (9, 2)],
             &[
-                FaultyBehavior::Equivocate,
+                FaultyBehavior::Equivocate { seed: 7 },
                 FaultyBehavior::RandomNoise { seed: 7 },
+                FaultyBehavior::Garbage { seed: 7 },
             ],
             true,
         );
@@ -342,7 +339,7 @@ mod tests {
 
     #[test]
     fn phase_king_mixed_starts_still_agree() {
-        let grid = phase_king_grid(&[(9, 2)], &[FaultyBehavior::Equivocate], false);
+        let grid = phase_king_grid(&[(9, 2)], &[FaultyBehavior::Equivocate { seed: 4 }], false);
         let results = SimRunner::new(10, 4).run_sequential(&PhaseKingScenario, &grid);
         assert_eq!(results[0].outcome.agreement.mean(), 1.0);
     }

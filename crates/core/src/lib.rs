@@ -20,7 +20,9 @@
 //! simulators behind the conclusion's scrip-system discussion and the
 //! Gnutella free-riding statistics; [`sim`] is the deterministic parallel
 //! Monte Carlo engine that fans any of those simulators across grid ×
-//! replica sweeps.
+//! replica sweeps; [`net`] is the deterministic async discrete-event
+//! network runtime (latency models, adversarial schedulers, link faults)
+//! that the round-based protocols run on unchanged.
 //!
 //! # Quick start
 //!
@@ -48,6 +50,7 @@ pub use bne_crypto as crypto;
 pub use bne_games as games;
 pub use bne_machine as machine;
 pub use bne_mediator as mediator;
+pub use bne_net as net;
 pub use bne_p2p as p2p;
 pub use bne_robust as robust;
 pub use bne_scrip as scrip;

@@ -6,7 +6,7 @@
 //! interface such protocols need — per-player signing keys, unforgeable (in
 //! the simulation) signatures, and a registry mapping players to
 //! verification keys — implemented with the non-cryptographic
-//! [`mix_hash`](crate::commitment::mix_hash). Honest protocol code cannot
+//! [`crate::commitment::mix_hash`]. Honest protocol code cannot
 //! forge signatures because it never learns other players' signing keys;
 //! that is the property the protocol logic exercises.
 

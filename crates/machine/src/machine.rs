@@ -6,7 +6,7 @@
 //!
 //! * [`TableMachine`] — a hard-coded type → action table (constant time;
 //!   machine size = table length);
-//! * [`VmMachine`] — runs a [`Program`](crate::vm::Program) on the type and
+//! * [`VmMachine`] — runs a [`Program`] on the type and
 //!   post-processes the output into an action; its time/space complexity is
 //!   whatever the VM measures (Example 3.1);
 //! * [`RandomizedMachine`] — mixes over actions using a seeded RNG and is

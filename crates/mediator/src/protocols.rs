@@ -14,6 +14,12 @@
 //!   PKI. This works for any number of faulty relays (`n > k + t`), matching
 //!   the paper's last bullet (cryptography + PKI push the bound down to
 //!   `k + t`) at the price of the ε/computational caveats discussed there.
+//!
+//! Both protocols assume the lockstep synchronous network. Their
+//! asynchronous counterparts — the same dissemination protocols hosted on
+//! the `bne-net` discrete-event runtime, where loss and adversarial
+//! scheduling erode the implementation condition — live in
+//! `bne_net::cheap_talk`.
 
 use crate::cheap_talk::{CheapTalkImplementation, CheapTalkOutcome};
 use bne_byzantine::broadcast::{DolevStrongProcess, EquivocatingSender, SignedMessage};

@@ -1,0 +1,292 @@
+//! The mediator cheap-talk implementations re-hosted on the async
+//! runtime.
+//!
+//! `bne-mediator`'s protocols implement the paper's Byzantine-agreement
+//! mediator over the lockstep `SyncNetwork` (or the recursive OM
+//! function). These ports run the *same* dissemination protocols through
+//! [`crate::runtime::EventNet`]: under the lockstep profile they induce
+//! the same action distributions as the trusted mediator (asserted by the
+//! `distributions_match` tests), and under lossy or adversarially
+//! scheduled networks the implementation condition visibly erodes — the
+//! gap between the paper's synchronous assumption and asynchronous
+//! practice, made measurable.
+
+use crate::adapter::run_round_protocol;
+use crate::scenario::NetProfile;
+use bne_byzantine::broadcast::{DolevStrongProcess, EquivocatingSender, SignedMessage};
+use bne_byzantine::network::{ProcId, Process};
+use bne_byzantine::om::{OmConfig, TraitorStrategy};
+use bne_byzantine::om_process::{om_process_set, OmProcess};
+use bne_crypto::pki::PublicKeyInfrastructure;
+use bne_games::TypeId;
+use bne_mediator::{CheapTalkImplementation, CheapTalkOutcome};
+use bne_sim::derive_seed;
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+
+/// Stream tag separating the network seed from the protocol-input seed.
+const STREAM_NET_SEED: u64 = 13;
+
+/// A faulty relay that never sends anything, for any message type.
+struct SilentRelay<M>(PhantomData<M>);
+
+impl<M> SilentRelay<M> {
+    fn new() -> Self {
+        SilentRelay(PhantomData)
+    }
+}
+
+impl<M: Clone> Process for SilentRelay<M> {
+    type Msg = M;
+    fn init(&mut self, _id: ProcId, _n: usize) {}
+    fn round(&mut self, _round: usize, _inbox: &[(ProcId, M)]) -> Vec<(ProcId, M)> {
+        Vec::new()
+    }
+    fn decision(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Converts async protocol decisions into the cheap-talk action vector:
+/// the general acts on its own preference, honest players on their
+/// decisions, and faulty players take the mediator-defying marker action
+/// (the same convention as the sync implementations, so distribution
+/// comparisons are apples-to-apples).
+fn actions_from_decisions(
+    n: usize,
+    types: &[TypeId],
+    faulty: &BTreeSet<usize>,
+    decisions: &[Option<u64>],
+) -> Vec<usize> {
+    let mut actions = vec![0usize; n];
+    actions[0] = types[0];
+    for (i, d) in decisions.iter().enumerate() {
+        if let Some(v) = d {
+            actions[i] = *v as usize;
+        }
+    }
+    for &f in faulty {
+        actions[f] = 1 - types[0].min(1);
+    }
+    actions
+}
+
+/// Cheap talk via the EIG oral-messages protocol OM(k + t), executed on
+/// the event-driven runtime under a configurable [`NetProfile`].
+#[derive(Debug, Clone)]
+pub struct AsyncOralMessagesCheapTalk {
+    /// Number of players.
+    pub n: usize,
+    /// Coalition bound the implementation is asked to support.
+    pub k: usize,
+    /// Fault bound the implementation is asked to support.
+    pub t: usize,
+    /// How the faulty players lie during dissemination.
+    pub traitor_strategy: TraitorStrategy,
+    /// Network conditions the talk phase runs under.
+    pub net: NetProfile,
+}
+
+impl AsyncOralMessagesCheapTalk {
+    /// Creates the protocol on a lockstep network with the
+    /// parity-splitting adversary.
+    pub fn new(n: usize, k: usize, t: usize) -> Self {
+        AsyncOralMessagesCheapTalk {
+            n,
+            k,
+            t,
+            traitor_strategy: TraitorStrategy::SplitByParity,
+            net: NetProfile::lockstep(),
+        }
+    }
+
+    /// Replaces the network profile (builder style).
+    pub fn with_net(mut self, net: NetProfile) -> Self {
+        self.net = net;
+        self
+    }
+}
+
+impl CheapTalkImplementation for AsyncOralMessagesCheapTalk {
+    fn execute(&self, types: &[TypeId], faulty: &BTreeSet<usize>, seed: u64) -> CheapTalkOutcome {
+        let m = self.k + self.t;
+        let config = OmConfig {
+            n: self.n,
+            m,
+            commander_value: types[0] as u64,
+            traitors: faulty.clone(),
+            strategy: self.traitor_strategy,
+            default_value: 0,
+        };
+        let rounds = OmProcess::rounds_needed(m);
+        let outcome = run_round_protocol(
+            om_process_set(&config),
+            rounds,
+            self.net
+                .config(derive_seed(seed, STREAM_NET_SEED, 0), faulty),
+        );
+        CheapTalkOutcome {
+            actions: actions_from_decisions(self.n, types, faulty, &outcome.decisions),
+            messages: outcome.stats.messages_sent,
+            rounds,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("async OM({}) cheap talk", self.k + self.t)
+    }
+
+    fn claimed_regime(&self) -> (usize, usize, usize) {
+        (self.n, self.k, self.t)
+    }
+}
+
+/// Cheap talk via Dolev–Strong signed broadcast over the simulated PKI,
+/// executed on the event-driven runtime under a configurable
+/// [`NetProfile`].
+#[derive(Debug, Clone)]
+pub struct AsyncSignedBroadcastCheapTalk {
+    /// Number of players.
+    pub n: usize,
+    /// Coalition bound.
+    pub k: usize,
+    /// Fault bound.
+    pub t: usize,
+    /// Whether a faulty general equivocates instead of staying silent.
+    pub general_equivocates: bool,
+    /// Network conditions the talk phase runs under.
+    pub net: NetProfile,
+}
+
+impl AsyncSignedBroadcastCheapTalk {
+    /// Creates the protocol on a lockstep network.
+    pub fn new(n: usize, k: usize, t: usize) -> Self {
+        AsyncSignedBroadcastCheapTalk {
+            n,
+            k,
+            t,
+            general_equivocates: true,
+            net: NetProfile::lockstep(),
+        }
+    }
+
+    /// Replaces the network profile (builder style).
+    pub fn with_net(mut self, net: NetProfile) -> Self {
+        self.net = net;
+        self
+    }
+}
+
+impl CheapTalkImplementation for AsyncSignedBroadcastCheapTalk {
+    fn execute(&self, types: &[TypeId], faulty: &BTreeSet<usize>, seed: u64) -> CheapTalkOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fault_budget = self.k + self.t;
+        let (pki, keys) = PublicKeyInfrastructure::setup(self.n, &mut rng);
+        let mut processes: Vec<Box<dyn Process<Msg = SignedMessage>>> = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            if i == 0 && faulty.contains(&0) && self.general_equivocates {
+                processes.push(Box::new(EquivocatingSender::new(keys[0])));
+            } else if faulty.contains(&i) {
+                processes.push(Box::new(SilentRelay::new()));
+            } else {
+                processes.push(Box::new(DolevStrongProcess::new(
+                    0,
+                    types[0] as u64,
+                    fault_budget,
+                    pki.clone(),
+                    keys[i],
+                    0,
+                )));
+            }
+        }
+        let rounds = DolevStrongProcess::rounds_needed(fault_budget);
+        let outcome = run_round_protocol(
+            processes,
+            rounds,
+            self.net
+                .config(derive_seed(seed, STREAM_NET_SEED, 0), faulty),
+        );
+        CheapTalkOutcome {
+            actions: actions_from_decisions(self.n, types, faulty, &outcome.decisions),
+            messages: outcome.stats.messages_sent,
+            rounds,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "async Dolev–Strong cheap talk (t + k = {})",
+            self.k + self.t
+        )
+    }
+
+    fn claimed_regime(&self) -> (usize, usize, usize) {
+        (self.n, self.k, self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LinkFaults;
+    use bne_mediator::{
+        distributions_match, ByzantineAgreementGame, MediatorGame, TruthfulMediator,
+    };
+
+    fn faulty(ids: &[usize]) -> BTreeSet<usize> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn async_om_cheap_talk_implements_the_mediator_on_a_lockstep_net() {
+        // n = 7 > 3(k + t) = 6 with k = 1, t = 1 — the paper's strong
+        // regime, now running through the event queue
+        let game = ByzantineAgreementGame::build(7, 0.5);
+        let mg = MediatorGame::new(&game, TruthfulMediator);
+        let ct = AsyncOralMessagesCheapTalk::new(7, 1, 1);
+        assert!(distributions_match(&mg, &ct, &faulty(&[4, 6]), 5, 1e-9));
+    }
+
+    #[test]
+    fn async_signed_broadcast_implements_the_mediator_beyond_n_over_3() {
+        // n = 5, k + t = 3: far beyond n/3; the PKI protocol still works
+        let game = ByzantineAgreementGame::build(5, 0.5);
+        let mg = MediatorGame::new(&game, TruthfulMediator);
+        let ct = AsyncSignedBroadcastCheapTalk::new(5, 1, 2);
+        assert!(distributions_match(&mg, &ct, &faulty(&[2, 3, 4]), 5, 1e-9));
+    }
+
+    #[test]
+    fn message_loss_breaks_the_implementation_condition() {
+        // the same OM regime that is exact on a reliable network stops
+        // implementing the mediator once 40% of messages are lost
+        let game = ByzantineAgreementGame::build(7, 0.5);
+        let mg = MediatorGame::new(&game, TruthfulMediator);
+        let lossy = AsyncOralMessagesCheapTalk::new(7, 1, 1).with_net(NetProfile {
+            faults: LinkFaults::lossy(0.4),
+            ..NetProfile::lockstep()
+        });
+        assert!(!distributions_match(
+            &mg,
+            &lossy,
+            &faulty(&[4, 6]),
+            16,
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn async_om_matches_actions_shape_of_the_sync_port() {
+        let ct = AsyncOralMessagesCheapTalk::new(7, 1, 1);
+        let types = vec![1usize, 0, 0, 0, 0, 0, 0];
+        let out = ct.execute(&types, &faulty(&[4, 6]), 3);
+        assert_eq!(out.actions.len(), 7);
+        assert_eq!(out.actions[0], 1);
+        for p in [1usize, 2, 3, 5] {
+            assert_eq!(out.actions[p], 1, "honest player {p} follows the general");
+        }
+        assert!(out.messages > 0);
+        assert_eq!(out.rounds, OmProcess::rounds_needed(2));
+    }
+}

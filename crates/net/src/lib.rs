@@ -1,0 +1,50 @@
+//! # bne-net
+//!
+//! A deterministic, seeded **discrete-event network runtime** — the
+//! asynchronous execution layer under everything round-based in the
+//! workspace.
+//!
+//! The paper's thesis is that solution concepts must survive the
+//! realities of distributed computing, but the protocols in
+//! `bne-byzantine` and `bne-mediator` previously ran only on the lockstep
+//! [`bne_byzantine::SyncNetwork`]. This crate supplies the message-passing
+//! model that dominates practice:
+//!
+//! * [`runtime`] — an event queue keyed by `(virtual time, tiebreak,
+//!   sequence number)` driving [`runtime::AsyncProcess`]es, with a single
+//!   seeded RNG stream per concern (links, scheduler) derived via
+//!   [`bne_sim::derive_seed`];
+//! * [`model`] — pluggable [`model::LatencyModel`]s (constant,
+//!   uniform-jitter, heavy-tail), [`model::SchedulerPolicy`]s (FIFO,
+//!   seeded-random interleaving, adversarial rushing) and
+//!   [`model::LinkFaults`] (iid loss, partitions that heal at a fixed
+//!   time);
+//! * [`adapter`] — a [`adapter::RoundAdapter`] running every existing
+//!   round-based [`bne_byzantine::Process`] *unchanged* on the async
+//!   runtime, **bit-identical** to `SyncNetwork` under the zero-latency
+//!   FIFO configuration ([`model::NetConfig::lockstep`]);
+//! * [`scenario`] — [`bne_sim::Scenario`] ports (async OM, phase king,
+//!   Dolev–Strong) so agreement/validity rates sweep over latency × loss
+//!   × scheduler × `f/n` grids through the parallel Monte Carlo engine
+//!   (experiments e17–e18);
+//! * [`cheap_talk`] — the mediator cheap-talk implementations re-hosted
+//!   on the async runtime.
+//!
+//! The `net_engine` bench gates its timing runs on the
+//! lockstep-equals-`SyncNetwork` assertion and records `BENCH_3.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod cheap_talk;
+pub mod model;
+pub mod runtime;
+pub mod scenario;
+
+pub use adapter::{run_round_protocol, run_sync_protocol, AsyncRunOutcome, RoundAdapter};
+pub use model::{LatencyModel, LinkFaults, NetConfig, Partition, SchedulerPolicy};
+pub use runtime::{AsyncProcess, EventNet, NetCtx, NetStats, TraceEvent, TraceKind};
+pub use scenario::{
+    AsyncBroadcastScenario, AsyncOmScenario, AsyncPhaseKingScenario, NetProfile, SchedulerSpec,
+};

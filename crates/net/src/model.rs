@@ -1,0 +1,266 @@
+//! The configuration surface of the event-driven network: latency models,
+//! scheduler policies, and link faults.
+//!
+//! Everything here is *data*: a [`NetConfig`] plus a seed fully determines
+//! an execution of [`crate::runtime::EventNet`]. The RNG streams driving
+//! latency sampling, drop sampling and scheduler jitter are derived from
+//! the config seed via the bijective [`bne_sim::derive_seed`] mix, so no
+//! two streams ever alias and replicas with different seeds are
+//! statistically independent.
+
+use bne_byzantine::ProcId;
+use rand::{Rng, RngExt};
+use std::collections::BTreeSet;
+
+/// How long a message spends in flight, in virtual ticks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this many ticks (0 = instantaneous).
+    Constant(u64),
+    /// Uniformly distributed latency in `min..=max`.
+    UniformJitter {
+        /// Minimum latency in ticks.
+        min: u64,
+        /// Maximum latency in ticks (inclusive).
+        max: u64,
+    },
+    /// A heavy-tailed model: latency starts at `base` and repeatedly
+    /// doubles with probability `tail_prob` (capped at `max_doublings`),
+    /// giving occasional stragglers orders of magnitude slower than the
+    /// typical message — the classic long-tail behavior of real networks.
+    HeavyTail {
+        /// Typical latency in ticks.
+        base: u64,
+        /// Probability of each successive doubling.
+        tail_prob: f64,
+        /// Upper bound on the number of doublings.
+        max_doublings: u32,
+    },
+}
+
+impl LatencyModel {
+    /// Short label for experiment tables.
+    pub fn label(&self) -> String {
+        match *self {
+            LatencyModel::Constant(ticks) => format!("const({ticks})"),
+            LatencyModel::UniformJitter { min, max } => format!("uniform({min}..={max})"),
+            LatencyModel::HeavyTail { base, .. } => format!("heavy-tail(base={base})"),
+        }
+    }
+
+    /// Samples one message latency. [`LatencyModel::Constant`] draws
+    /// nothing from the RNG, so switching models never perturbs unrelated
+    /// streams in the zero-latency lockstep gate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            LatencyModel::Constant(ticks) => ticks,
+            LatencyModel::UniformJitter { min, max } => {
+                debug_assert!(min <= max, "empty latency range");
+                rng.random_range(min..=max)
+            }
+            LatencyModel::HeavyTail {
+                base,
+                tail_prob,
+                max_doublings,
+            } => {
+                let mut latency = base.max(1);
+                for _ in 0..max_doublings {
+                    if rng.random_bool(tail_prob) {
+                        latency = latency.saturating_mul(2);
+                    } else {
+                        break;
+                    }
+                }
+                latency
+            }
+        }
+    }
+}
+
+/// Who controls message *ordering* (on top of the latency model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulerPolicy {
+    /// Messages are delivered in send order at `send_time + latency` —
+    /// with [`LatencyModel::Constant`]`(0)` this reproduces the lockstep
+    /// [`bne_byzantine::SyncNetwork`] bit-identically (the property the
+    /// equality tests and the bench gate assert).
+    Fifo,
+    /// A seeded-random interleaving: every delivery gets a random
+    /// tiebreak, so same-tick messages arrive in adversary-free but
+    /// unpredictable order, and an extra jitter of `0..=jitter` ticks.
+    /// The scheduler's RNG stream is derived from `seed` via
+    /// [`bne_sim::derive_seed`], independent of the latency/drop stream.
+    RandomInterleave {
+        /// Seed of the scheduler's private RNG stream.
+        seed: u64,
+        /// Maximum extra delay added to any message.
+        jitter: u64,
+    },
+    /// A rushing adversary: messages *from* the listed processes are
+    /// delivered instantly (latency 0, ahead of every same-tick honest
+    /// delivery), while honest messages are delayed by an extra
+    /// `honest_delay` ticks. This is the classical scheduler that lets
+    /// Byzantine processes speak last in a round and first in the next.
+    AdversarialRush {
+        /// The processes whose messages are rushed.
+        byzantine: BTreeSet<ProcId>,
+        /// Extra delay imposed on every honest message.
+        honest_delay: u64,
+    },
+}
+
+/// A network partition that heals at a fixed virtual time: messages
+/// crossing the cut (one endpoint inside `group`, the other outside)
+/// before `heal_at` are dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// One side of the cut.
+    pub group: BTreeSet<ProcId>,
+    /// First tick at which cross-cut messages get through again.
+    pub heal_at: u64,
+}
+
+impl Partition {
+    /// Whether a message `src → dst` sent at `now` is severed by this
+    /// partition.
+    pub fn severs(&self, src: ProcId, dst: ProcId, now: u64) -> bool {
+        now < self.heal_at && self.group.contains(&src) != self.group.contains(&dst)
+    }
+}
+
+/// Link-level faults: iid message loss and an optional healing partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFaults {
+    /// Probability that any individual message is silently dropped.
+    pub drop_prob: f64,
+    /// An optional partition (see [`Partition`]).
+    pub partition: Option<Partition>,
+}
+
+impl LinkFaults {
+    /// A perfectly reliable link layer.
+    pub fn none() -> Self {
+        LinkFaults {
+            drop_prob: 0.0,
+            partition: None,
+        }
+    }
+
+    /// iid loss with the given probability, no partition.
+    pub fn lossy(drop_prob: f64) -> Self {
+        LinkFaults {
+            drop_prob,
+            partition: None,
+        }
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults::none()
+    }
+}
+
+/// Full configuration of one [`crate::runtime::EventNet`] execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Base seed; every internal RNG stream is derived from it via
+    /// [`bne_sim::derive_seed`].
+    pub seed: u64,
+    /// The in-flight time distribution.
+    pub latency: LatencyModel,
+    /// The delivery-order policy.
+    pub scheduler: SchedulerPolicy,
+    /// Link faults (loss, partitions).
+    pub faults: LinkFaults,
+    /// Virtual ticks per protocol round for round-based processes driven
+    /// through [`crate::adapter::RoundAdapter`]. Must be ≥ 1; latencies at
+    /// or above this make synchronous protocols miss messages, which is
+    /// exactly the timing stress the async experiments measure.
+    pub round_ticks: u64,
+    /// Record a full event trace (see
+    /// [`crate::runtime::EventNet::trace`]); used by the determinism
+    /// property tests, off by default because traces grow with every
+    /// event.
+    pub record_trace: bool,
+}
+
+impl NetConfig {
+    /// The configuration under which the async runtime is bit-identical
+    /// to [`bne_byzantine::SyncNetwork`]: zero latency, FIFO order, no
+    /// faults, one tick per round.
+    pub fn lockstep(seed: u64) -> Self {
+        NetConfig {
+            seed,
+            latency: LatencyModel::Constant(0),
+            scheduler: SchedulerPolicy::Fifo,
+            faults: LinkFaults::none(),
+            round_ticks: 1,
+            record_trace: false,
+        }
+    }
+
+    /// Enables event-trace recording (builder style).
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_latency_never_touches_the_rng() {
+        let mut a = StdRng::seed_from_u64(5);
+        let b = StdRng::seed_from_u64(5);
+        assert_eq!(LatencyModel::Constant(7).sample(&mut a), 7);
+        // stream untouched: both rngs still agree
+        assert_eq!(a, b);
+        let _ = LatencyModel::UniformJitter { min: 0, max: 9 }.sample(&mut a);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_jitter_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = LatencyModel::UniformJitter { min: 3, max: 11 };
+        for _ in 0..200 {
+            let l = model.sample(&mut rng);
+            assert!((3..=11).contains(&l));
+        }
+    }
+
+    #[test]
+    fn heavy_tail_is_bounded_by_doublings() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = LatencyModel::HeavyTail {
+            base: 4,
+            tail_prob: 0.9,
+            max_doublings: 3,
+        };
+        let mut seen_tail = false;
+        for _ in 0..100 {
+            let l = model.sample(&mut rng);
+            assert!((4..=4 * 8).contains(&l));
+            seen_tail |= l > 4;
+        }
+        assert!(seen_tail, "with p = 0.9 some doubling must occur");
+    }
+
+    #[test]
+    fn partitions_sever_only_across_the_cut_until_healed() {
+        let p = Partition {
+            group: [0usize, 1].into_iter().collect(),
+            heal_at: 10,
+        };
+        assert!(p.severs(0, 2, 9));
+        assert!(p.severs(2, 1, 0));
+        assert!(!p.severs(0, 1, 5), "same side is unaffected");
+        assert!(!p.severs(2, 3, 5), "same side is unaffected");
+        assert!(!p.severs(0, 2, 10), "healed at heal_at");
+    }
+}

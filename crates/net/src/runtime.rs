@@ -1,0 +1,564 @@
+//! The discrete-event engine: a seeded event queue keyed by
+//! `(virtual time, tiebreak, sequence number)` driving message-passing
+//! [`AsyncProcess`]es.
+//!
+//! Everything is deterministic given the [`NetConfig`]: the queue ordering
+//! is a total order (the sequence number is unique), latency/drop sampling
+//! happens in event-processing order from a single seeded stream, and the
+//! scheduler's randomness lives in its own stream derived via
+//! [`bne_sim::derive_seed`]. Two runs with the same `(config, processes)`
+//! therefore produce the same event trace, decisions and statistics — the
+//! determinism property tests assert exactly this.
+
+use crate::model::{NetConfig, SchedulerPolicy};
+use bne_byzantine::ProcId;
+use bne_sim::derive_seed;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Stream tag for the latency/drop RNG (see [`bne_sim::derive_seed`]).
+const STREAM_LINK: u64 = 1;
+/// Stream tag for the scheduler RNG.
+const STREAM_SCHEDULER: u64 = 2;
+
+/// What a processed event was; part of [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A process sent a message (`src → dst`).
+    Send,
+    /// A message was delivered (`src → dst`).
+    Deliver,
+    /// A message was dropped by loss or partition (`src → dst`).
+    Drop,
+    /// A timer fired (`src` = process, `dst` = timer id).
+    Timer,
+}
+
+/// One entry of the deterministic event trace (recorded only when
+/// [`NetConfig::record_trace`] is set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub time: u64,
+    /// Event class.
+    pub kind: TraceKind,
+    /// Sender / timer owner.
+    pub src: u64,
+    /// Recipient / timer id.
+    pub dst: u64,
+}
+
+/// Aggregate statistics of one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Messages handed to the network with a valid destination (counted at
+    /// send time, like [`bne_byzantine::RoundStats::messages_sent`]).
+    pub messages_sent: usize,
+    /// Messages actually delivered to their recipient.
+    pub messages_delivered: usize,
+    /// Messages lost to iid drops or partitions.
+    pub messages_dropped: usize,
+    /// Total events processed (deliveries + timers).
+    pub events_processed: usize,
+    /// Virtual time of the last processed event.
+    pub virtual_time: u64,
+}
+
+/// The action buffer handed to every [`AsyncProcess`] callback.
+///
+/// Sends and timers requested here are applied by the runtime after the
+/// callback returns, in request order — which keeps the sampling order of
+/// the latency/drop RNG well-defined.
+pub struct NetCtx<M> {
+    id: ProcId,
+    n: usize,
+    now: u64,
+    sends: Vec<(ProcId, M)>,
+    timers: Vec<(u64, u64)>,
+}
+
+impl<M> NetCtx<M> {
+    fn new(id: ProcId, n: usize, now: u64) -> Self {
+        NetCtx {
+            id,
+            n,
+            now,
+            sends: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// Number of processes in the network.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Sends `msg` to `dst`. Messages to nonexistent processes are
+    /// silently discarded (matching [`bne_byzantine::SyncNetwork`]).
+    pub fn send(&mut self, dst: ProcId, msg: M) {
+        self.sends.push((dst, msg));
+    }
+
+    /// Arms a timer that fires `delay` ticks from now, delivered back via
+    /// [`AsyncProcess::on_timer`] with the given id.
+    pub fn set_timer(&mut self, delay: u64, timer: u64) {
+        self.timers.push((delay, timer));
+    }
+}
+
+/// An event-driven protocol participant.
+///
+/// Unlike the round-based [`bne_byzantine::Process`], an `AsyncProcess`
+/// never sees global rounds — only message arrivals and its own timers.
+/// Round-based processes run unchanged through
+/// [`crate::adapter::RoundAdapter`].
+pub trait AsyncProcess {
+    /// The message type exchanged by this protocol.
+    type Msg: Clone;
+
+    /// Called once at virtual time 0, before any event.
+    fn on_start(&mut self, ctx: &mut NetCtx<Self::Msg>);
+
+    /// Called when a message from `src` is delivered.
+    fn on_message(&mut self, src: ProcId, msg: Self::Msg, ctx: &mut NetCtx<Self::Msg>);
+
+    /// Called when a timer armed via [`NetCtx::set_timer`] fires.
+    fn on_timer(&mut self, timer: u64, ctx: &mut NetCtx<Self::Msg>);
+
+    /// The process's decision, if it has decided.
+    fn decision(&self) -> Option<u64>;
+}
+
+enum EventKind<M> {
+    Deliver { src: ProcId, dst: ProcId, msg: M },
+    Timer { proc: ProcId, timer: u64 },
+}
+
+struct Event<M> {
+    time: u64,
+    tie: u64,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> Event<M> {
+    fn key(&self) -> (u64, u64, u64) {
+        (self.time, self.tie, self.seq)
+    }
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// The deterministic discrete-event network runtime.
+pub struct EventNet<M: Clone> {
+    procs: Vec<Box<dyn AsyncProcess<Msg = M>>>,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    cfg: NetConfig,
+    link_rng: StdRng,
+    sched_rng: StdRng,
+    now: u64,
+    next_seq: u64,
+    stats: NetStats,
+    trace: Vec<TraceEvent>,
+}
+
+impl<M: Clone> EventNet<M> {
+    /// Builds the network and runs every process's
+    /// [`AsyncProcess::on_start`] (in process-id order, at time 0).
+    pub fn new(mut procs: Vec<Box<dyn AsyncProcess<Msg = M>>>, cfg: NetConfig) -> Self {
+        assert!(cfg.round_ticks >= 1, "round_ticks must be at least 1");
+        let sched_seed = match cfg.scheduler {
+            SchedulerPolicy::RandomInterleave { seed, .. } => seed,
+            _ => 0,
+        };
+        let n = procs.len();
+        let mut net = EventNet {
+            queue: BinaryHeap::new(),
+            link_rng: StdRng::seed_from_u64(derive_seed(cfg.seed, STREAM_LINK, 0)),
+            sched_rng: StdRng::seed_from_u64(derive_seed(cfg.seed, STREAM_SCHEDULER, sched_seed)),
+            cfg,
+            now: 0,
+            next_seq: 0,
+            stats: NetStats::default(),
+            trace: Vec::new(),
+            procs: Vec::new(),
+        };
+        let mut ctxs = Vec::with_capacity(n);
+        for (id, proc) in procs.iter_mut().enumerate() {
+            let mut ctx = NetCtx::new(id, n, 0);
+            proc.on_start(&mut ctx);
+            ctxs.push(ctx);
+        }
+        // install the processes before applying, so destination validity
+        // checks in `route` see the real process count
+        net.procs = procs;
+        for (id, ctx) in ctxs.into_iter().enumerate() {
+            net.apply(id, ctx);
+        }
+        net
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// The recorded event trace (empty unless
+    /// [`NetConfig::record_trace`] was set).
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// The decisions of every process (in process-id order).
+    pub fn decisions(&self) -> Vec<Option<u64>> {
+        self.procs.iter().map(|p| p.decision()).collect()
+    }
+
+    fn record(&mut self, kind: TraceKind, src: u64, dst: u64) {
+        if self.cfg.record_trace {
+            self.trace.push(TraceEvent {
+                time: self.now,
+                kind,
+                src,
+                dst,
+            });
+        }
+    }
+
+    fn push_event(&mut self, time: u64, tie: u64, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Event {
+            time,
+            tie,
+            seq,
+            kind,
+        }));
+    }
+
+    /// Applies the actions a callback buffered in its [`NetCtx`]: timers
+    /// first, then sends, each in request order.
+    fn apply(&mut self, src: ProcId, ctx: NetCtx<M>) {
+        let NetCtx { sends, timers, .. } = ctx;
+        for (delay, timer) in timers {
+            self.push_event(
+                self.now.saturating_add(delay),
+                0,
+                EventKind::Timer { proc: src, timer },
+            );
+        }
+        for (dst, msg) in sends {
+            self.route(src, dst, msg);
+        }
+    }
+
+    /// Routes one message: validity check, fault sampling, latency and
+    /// scheduler policy, then enqueue (or drop).
+    fn route(&mut self, src: ProcId, dst: ProcId, msg: M) {
+        if dst >= self.procs.len() {
+            return; // nonexistent destination: discarded, not counted
+        }
+        self.stats.messages_sent += 1;
+        self.record(TraceKind::Send, src as u64, dst as u64);
+        if let Some(p) = &self.cfg.faults.partition {
+            if p.severs(src, dst, self.now) {
+                self.stats.messages_dropped += 1;
+                self.record(TraceKind::Drop, src as u64, dst as u64);
+                return;
+            }
+        }
+        if self.cfg.faults.drop_prob > 0.0 && self.link_rng.random_bool(self.cfg.faults.drop_prob) {
+            self.stats.messages_dropped += 1;
+            self.record(TraceKind::Drop, src as u64, dst as u64);
+            return;
+        }
+        let latency = self.cfg.latency.sample(&mut self.link_rng);
+        let (time, tie) = match &self.cfg.scheduler {
+            SchedulerPolicy::Fifo => (self.now.saturating_add(latency), 0),
+            SchedulerPolicy::RandomInterleave { jitter, .. } => {
+                let extra = if *jitter > 0 {
+                    self.sched_rng.random_range(0..=*jitter)
+                } else {
+                    0
+                };
+                let tie = self.sched_rng.random::<u64>();
+                (self.now.saturating_add(latency).saturating_add(extra), tie)
+            }
+            SchedulerPolicy::AdversarialRush {
+                byzantine,
+                honest_delay,
+            } => {
+                if byzantine.contains(&src) {
+                    // rushed: instantaneous, ahead of same-tick honest
+                    // deliveries (tie 0 sorts with timers, before any
+                    // positive tie)
+                    (self.now, 0)
+                } else {
+                    (
+                        self.now
+                            .saturating_add(latency)
+                            .saturating_add(*honest_delay),
+                        1,
+                    )
+                }
+            }
+        };
+        self.push_event(time, tie, EventKind::Deliver { src, dst, msg });
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.time >= self.now, "time must be monotone");
+        self.now = event.time;
+        self.stats.events_processed += 1;
+        self.stats.virtual_time = self.now;
+        let n = self.procs.len();
+        match event.kind {
+            EventKind::Deliver { src, dst, msg } => {
+                self.stats.messages_delivered += 1;
+                self.record(TraceKind::Deliver, src as u64, dst as u64);
+                let mut ctx = NetCtx::new(dst, n, self.now);
+                self.procs[dst].on_message(src, msg, &mut ctx);
+                self.apply(dst, ctx);
+            }
+            EventKind::Timer { proc, timer } => {
+                self.record(TraceKind::Timer, proc as u64, timer);
+                let mut ctx = NetCtx::new(proc, n, self.now);
+                self.procs[proc].on_timer(timer, &mut ctx);
+                self.apply(proc, ctx);
+            }
+        }
+        true
+    }
+
+    /// Runs until the event queue drains or `max_events` have been
+    /// processed; returns `true` if the queue drained.
+    pub fn run(&mut self, max_events: usize) -> bool {
+        for _ in 0..max_events {
+            if !self.step() {
+                return true;
+            }
+        }
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LatencyModel, LinkFaults, Partition};
+
+    /// Echoes every received message back to its sender, once.
+    struct Echo {
+        got: Vec<(ProcId, u64)>,
+        decided: Option<u64>,
+    }
+
+    impl Echo {
+        fn new() -> Self {
+            Echo {
+                got: Vec::new(),
+                decided: None,
+            }
+        }
+    }
+
+    impl AsyncProcess for Echo {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut NetCtx<u64>) {
+            if ctx.id() == 0 {
+                for d in 1..ctx.n() {
+                    ctx.send(d, d as u64 * 10);
+                }
+            }
+        }
+        fn on_message(&mut self, src: ProcId, msg: u64, ctx: &mut NetCtx<u64>) {
+            self.got.push((src, msg));
+            if ctx.id() != 0 {
+                ctx.send(src, msg + 1);
+            }
+            self.decided = Some(msg);
+        }
+        fn on_timer(&mut self, _timer: u64, _ctx: &mut NetCtx<u64>) {}
+        fn decision(&self) -> Option<u64> {
+            self.decided
+        }
+    }
+
+    fn echo_net(cfg: NetConfig, n: usize) -> EventNet<u64> {
+        let procs: Vec<Box<dyn AsyncProcess<Msg = u64>>> =
+            (0..n).map(|_| Box::new(Echo::new()) as _).collect();
+        EventNet::new(procs, cfg)
+    }
+
+    #[test]
+    fn fifo_zero_latency_echo_round_trip() {
+        let mut net = echo_net(NetConfig::lockstep(0), 4);
+        assert!(net.run(1_000));
+        let stats = net.stats();
+        assert_eq!(stats.messages_sent, 6); // 3 out + 3 echoes
+        assert_eq!(stats.messages_delivered, 6);
+        assert_eq!(stats.messages_dropped, 0);
+        assert_eq!(net.decisions()[0], Some(31)); // last echo processed: 30 + 1
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_replayable() {
+        let cfg = NetConfig {
+            latency: LatencyModel::UniformJitter { min: 0, max: 9 },
+            scheduler: SchedulerPolicy::RandomInterleave { seed: 3, jitter: 4 },
+            faults: LinkFaults::lossy(0.2),
+            ..NetConfig::lockstep(77)
+        }
+        .with_trace();
+        let mut a = echo_net(cfg.clone(), 5);
+        let mut b = echo_net(cfg, 5);
+        assert!(a.run(10_000));
+        assert!(b.run(10_000));
+        assert!(!a.trace().is_empty());
+        assert_eq!(a.trace(), b.trace());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.decisions(), b.decisions());
+    }
+
+    #[test]
+    fn different_scheduler_seeds_change_the_trace() {
+        let cfg = |seed| {
+            NetConfig {
+                latency: LatencyModel::Constant(2),
+                scheduler: SchedulerPolicy::RandomInterleave { seed, jitter: 6 },
+                ..NetConfig::lockstep(1)
+            }
+            .with_trace()
+        };
+        let mut a = echo_net(cfg(1), 6);
+        let mut b = echo_net(cfg(2), 6);
+        assert!(a.run(10_000));
+        assert!(b.run(10_000));
+        assert_ne!(a.trace(), b.trace());
+    }
+
+    #[test]
+    fn partition_drops_cross_cut_messages_until_heal() {
+        // process 0 is cut off from everyone until tick 100; all its
+        // initial sends at time 0 die, so nothing ever echoes back.
+        let cfg = NetConfig {
+            faults: LinkFaults {
+                drop_prob: 0.0,
+                partition: Some(Partition {
+                    group: [0usize].into_iter().collect(),
+                    heal_at: 100,
+                }),
+            },
+            ..NetConfig::lockstep(0)
+        };
+        let mut net = echo_net(cfg, 4);
+        assert!(net.run(1_000));
+        let stats = net.stats();
+        assert_eq!(stats.messages_sent, 3);
+        assert_eq!(stats.messages_dropped, 3);
+        assert_eq!(stats.messages_delivered, 0);
+        assert_eq!(net.decisions(), vec![None; 4]);
+    }
+
+    #[test]
+    fn rushing_scheduler_delivers_byzantine_first() {
+        /// Records global arrival order at process 2.
+        struct Recorder {
+            order: Vec<ProcId>,
+        }
+        impl AsyncProcess for Recorder {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut NetCtx<u64>) {
+                // both 0 (honest) and 1 (byzantine) send to 2 at time 0;
+                // 0's send is buffered first
+                if ctx.id() < 2 {
+                    ctx.send(2, ctx.id() as u64);
+                }
+            }
+            fn on_message(&mut self, src: ProcId, _msg: u64, _ctx: &mut NetCtx<u64>) {
+                self.order.push(src);
+            }
+            fn on_timer(&mut self, _timer: u64, _ctx: &mut NetCtx<u64>) {}
+            fn decision(&self) -> Option<u64> {
+                self.order.first().map(|&p| p as u64)
+            }
+        }
+        let cfg = NetConfig {
+            scheduler: SchedulerPolicy::AdversarialRush {
+                byzantine: [1usize].into_iter().collect(),
+                honest_delay: 5,
+            },
+            ..NetConfig::lockstep(0)
+        };
+        let procs: Vec<Box<dyn AsyncProcess<Msg = u64>>> = (0..3)
+            .map(|_| Box::new(Recorder { order: Vec::new() }) as _)
+            .collect();
+        let mut net = EventNet::new(procs, cfg);
+        assert!(net.run(100));
+        // the byzantine message from 1 arrives before the honest one from 0
+        assert_eq!(net.decisions()[2], Some(1));
+    }
+
+    #[test]
+    fn messages_to_invalid_destinations_are_discarded_uncounted() {
+        struct Bad;
+        impl AsyncProcess for Bad {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut NetCtx<u64>) {
+                ctx.send(99, 1);
+            }
+            fn on_message(&mut self, _s: ProcId, _m: u64, _c: &mut NetCtx<u64>) {}
+            fn on_timer(&mut self, _t: u64, _c: &mut NetCtx<u64>) {}
+            fn decision(&self) -> Option<u64> {
+                None
+            }
+        }
+        let mut net = EventNet::new(
+            vec![Box::new(Bad) as Box<dyn AsyncProcess<Msg = u64>>],
+            NetConfig::lockstep(0),
+        );
+        assert!(net.run(10));
+        assert_eq!(net.stats().messages_sent, 0);
+    }
+}

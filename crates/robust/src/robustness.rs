@@ -1,6 +1,6 @@
 //! (k,t)-robust equilibrium: the combination of resilience and immunity.
 //!
-//! The paper: *"we may want to combine resilience and [immunity]; a strategy
+//! The paper: *"we may want to combine resilience and \[immunity\]; a strategy
 //! is (k,t)-robust if it is both k-resilient and t-immune"*, and a Nash
 //! equilibrium is exactly a (1,0)-robust equilibrium.
 //!

@@ -21,9 +21,12 @@
 //!   (count/mean/variance/min/max and fixed-bucket distributions).
 //!
 //! Scenario implementations live next to the simulators they wrap:
-//! `bne_scrip::scenario`, `bne_p2p::scenario`, `bne_byzantine::scenario`
-//! and `bne_machine::scenario`. See `benches/scenario_engine.rs` for the
-//! legacy-loop vs engine comparison recorded in `BENCH_2.json`.
+//! `bne_scrip::scenario`, `bne_p2p::scenario`, `bne_byzantine::scenario`,
+//! `bne_machine::scenario` and `bne_net::scenario` (the async
+//! network-runtime sweeps). See `benches/scenario_engine.rs` for the
+//! legacy-loop vs engine comparison recorded in `BENCH_2.json`, and
+//! `benches/net_engine.rs` (`BENCH_3.json`) for the sync-vs-async runtime
+//! comparison gated on bit-identity.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

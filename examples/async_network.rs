@@ -1,0 +1,114 @@
+//! Walkthrough of the `bne-net` async discrete-event runtime: the same
+//! phase-king processes, four networks.
+//!
+//! ```text
+//! cargo run --release -p bne-examples --bin async_network
+//! ```
+//!
+//! The paper's protocols assume synchrony ("all the results ... depend on
+//! the system being synchronous"). This example runs the *unchanged*
+//! phase-king implementation on: (1) the lockstep `SyncNetwork`, (2) the
+//! async runtime configured to be bit-identical to it, (3) a lossy
+//! jittered network, and (4) a rushing adversarial scheduler — and shows
+//! where the guarantees stop.
+
+use bne_core::byzantine::adversary::{FaultyBehavior, FaultyProcess};
+use bne_core::byzantine::network::{Process, SyncNetwork};
+use bne_core::byzantine::phase_king::PhaseKingProcess;
+use bne_core::byzantine::Value;
+use bne_core::net::{
+    run_round_protocol, LatencyModel, LinkFaults, NetConfig, Partition, SchedulerPolicy,
+};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+const N: usize = 6;
+const T: usize = 1;
+
+fn processes(seed: u64) -> Vec<Box<dyn Process<Msg = Value>>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut procs: Vec<Box<dyn Process<Msg = Value>>> = (0..N - T)
+        .map(|_| {
+            Box::new(PhaseKingProcess::new(rng.random_range(0..2u64), T))
+                as Box<dyn Process<Msg = Value>>
+        })
+        .collect();
+    procs.push(Box::new(FaultyProcess::new(FaultyBehavior::RandomNoise {
+        seed: seed ^ 0xAD,
+    })));
+    procs
+}
+
+fn agreement(decisions: &[Option<u64>]) -> bool {
+    let honest: Vec<u64> = decisions[..N - T].iter().filter_map(|d| *d).collect();
+    honest.len() == N - T && honest.windows(2).all(|w| w[0] == w[1])
+}
+
+fn main() {
+    let seed = 2024;
+    let rounds = PhaseKingProcess::rounds_needed(T);
+
+    // 1. the lockstep baseline
+    let mut sync = SyncNetwork::new(processes(seed));
+    sync.run(rounds);
+    println!(
+        "sync lockstep        decisions {:?}  messages {}",
+        sync.decisions(),
+        sync.stats().messages_sent
+    );
+
+    // 2. the async runtime in its lockstep configuration: bit-identical
+    let lockstep = run_round_protocol(processes(seed), rounds, NetConfig::lockstep(seed));
+    assert_eq!(sync.decisions(), lockstep.decisions);
+    assert_eq!(sync.stats(), lockstep.round_stats());
+    println!(
+        "async (FIFO, 0 lat)  decisions {:?}  messages {}   <- bit-identical",
+        lockstep.decisions, lockstep.stats.messages_sent
+    );
+
+    // 3. a lossy, jittered network with a partition that heals mid-run
+    let rough = NetConfig {
+        seed,
+        latency: LatencyModel::UniformJitter { min: 0, max: 3 },
+        scheduler: SchedulerPolicy::Fifo,
+        faults: LinkFaults {
+            drop_prob: 0.15,
+            partition: Some(Partition {
+                group: [0usize, 1].into_iter().collect(),
+                heal_at: 8,
+            }),
+        },
+        round_ticks: 4,
+        record_trace: false,
+    };
+    let rough_out = run_round_protocol(processes(seed), rounds, rough);
+    println!(
+        "async (loss+cut)     decisions {:?}  dropped {}  agreement {}",
+        rough_out.decisions,
+        rough_out.stats.messages_dropped,
+        agreement(&rough_out.decisions)
+    );
+
+    // 4. the rushing adversary: honest traffic two ticks late, Byzantine
+    //    noise instantaneous
+    let rushed = NetConfig {
+        seed,
+        latency: LatencyModel::Constant(0),
+        scheduler: SchedulerPolicy::AdversarialRush {
+            byzantine: [N - 1].into_iter().collect(),
+            honest_delay: 2,
+        },
+        faults: LinkFaults::none(),
+        round_ticks: 1,
+        record_trace: false,
+    };
+    let rushed_out = run_round_protocol(processes(seed), rounds, rushed);
+    println!(
+        "async (rushing adv)  decisions {:?}  agreement {}",
+        rushed_out.decisions,
+        agreement(&rushed_out.decisions)
+    );
+
+    println!();
+    println!("The protocol is untouched across all four runs — only the network changed.");
+    println!("Sweeps over latency x loss x scheduler grids: `experiments -- e17 e18`.");
+}

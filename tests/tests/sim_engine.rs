@@ -169,7 +169,7 @@ mod parallel {
         let grid = phase_king_grid(
             &[(6, 1), (9, 2)],
             &[
-                FaultyBehavior::Equivocate,
+                FaultyBehavior::Equivocate { seed: 8 },
                 FaultyBehavior::RandomNoise { seed: 3 },
             ],
             true,
