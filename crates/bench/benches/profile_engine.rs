@@ -12,10 +12,10 @@
 //! Every search is checked for bit-identical results against the baseline
 //! before anything is timed, so the speedups are apples-to-apples.
 
-use bne_core::games::profile::{subsets_up_to_size, ProfileIter};
+use bne_core::games::profile::{strides_for, subsets_up_to_size, ProfileIter};
 use bne_core::games::random::random_game;
-use bne_core::games::NormalFormGame;
-use bne_core::robust::find_robust_profiles;
+use bne_core::games::{DeviationOracle, NormalFormGame, SearchStrategy};
+use bne_core::robust::{find_robust_profiles, find_robust_profiles_with_strategy};
 use bne_core::solvers::pure_nash_equilibria;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -234,6 +234,211 @@ fn bench_profile_engine(c: &mut Criterion) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_4: pruned vs unpruned deviation-oracle search
+// ---------------------------------------------------------------------------
+
+/// Deterministic 64-bit mix (splitmix64 finalizer) so the bench games
+/// need no RNG dependency.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// A game engineered so dominance bites: integer base payoffs in
+/// `[-5, 5]` (the `random_game` shape), with the top `dominated` actions
+/// of every player shifted strictly below that player's action 0 in
+/// every opponent context — so iterated elimination provably removes
+/// them and the pruned search space shrinks by `((r - d) / r)^n`.
+fn dominated_game(seed: u64, radices: &[usize], dominated: usize) -> NormalFormGame {
+    let n = radices.len();
+    let total: usize = radices.iter().product();
+    let strides = strides_for(radices);
+    let actions: Vec<Vec<String>> = radices
+        .iter()
+        .map(|&r| (0..r).map(|a| format!("a{a}")).collect())
+        .collect();
+    let mut payoffs = Vec::with_capacity(n);
+    for p in 0..n {
+        let mut table: Vec<f64> = (0..total)
+            .map(|flat| (mix(seed ^ ((p as u64) << 40) ^ flat as u64) % 11) as f64 - 5.0)
+            .collect();
+        let cutoff = radices[p] - dominated.min(radices[p] - 1);
+        for flat in 0..total {
+            let a = (flat / strides[p]) % radices[p];
+            if a >= cutoff {
+                // strictly below the action-0 payoff in the same context
+                table[flat] = table[flat - a * strides[p]] - (2.0 + (a - cutoff) as f64);
+            }
+        }
+        payoffs.push(table);
+    }
+    NormalFormGame::new(format!("dominated(seed={seed})"), actions, payoffs)
+        .expect("generated tensors are well formed")
+}
+
+/// The (k,t) grid of the frontier workload: the e-series classification
+/// shape, where one oracle's tables, pruned space and per-profile
+/// classification amortize over every cell.
+const FRONTIER: [(usize, usize); 9] = [
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (1, 1),
+    (2, 1),
+    (3, 1),
+    (1, 2),
+    (2, 2),
+    (3, 2),
+];
+
+fn bench_oracle_pruning(c: &mut Criterion) {
+    let game = dominated_game(4500, &[5, 5, 5, 5], 2);
+    let (k, t) = (2usize, 1usize);
+
+    // Correctness gates: pruned, unpruned-oracle and allocating-baseline
+    // searches must agree bit-for-bit on every frontier cell before any
+    // timing happens.
+    for &(k, t) in &FRONTIER {
+        let pruned = find_robust_profiles(&game, k, t);
+        assert_eq!(
+            pruned,
+            find_robust_profiles_with_strategy(&game, k, t, SearchStrategy::Exhaustive),
+            "pruned robustness search diverged from the exhaustive oracle at k={k} t={t}"
+        );
+        assert_eq!(
+            pruned,
+            alloc_find_robust_profiles(&game, k, t),
+            "oracle robustness search diverged from the allocating baseline at k={k} t={t}"
+        );
+    }
+    {
+        let oracle = DeviationOracle::new(&game);
+        let frontier = oracle.robust_frontier(&FRONTIER);
+        for (i, &(k, t)) in FRONTIER.iter().enumerate() {
+            assert_eq!(
+                frontier[i],
+                find_robust_profiles(&game, k, t),
+                "frontier cell ({k},{t}) diverged from the per-cell sweep"
+            );
+        }
+        assert!(
+            oracle.pruned_profile_count() <= 81,
+            "the planted dominated actions must actually be eliminated \
+             (pruned space {} of {})",
+            oracle.pruned_profile_count(),
+            game.num_profiles()
+        );
+        assert_eq!(
+            pure_nash_equilibria(&game),
+            alloc_pure_nash_equilibria(&game)
+        );
+    }
+
+    // Single (2,1)-robust sweep, end to end (table build + elimination
+    // included in every pruned iteration).
+    c.bench_function("robust_search_pruned/4p5a_k2t1_dom", |b| {
+        b.iter(|| black_box(find_robust_profiles(&game, k, t)))
+    });
+    c.bench_function("robust_search_unpruned/4p5a_k2t1_dom", |b| {
+        b.iter(|| {
+            black_box(find_robust_profiles_with_strategy(
+                &game,
+                k,
+                t,
+                SearchStrategy::Exhaustive,
+            ))
+        })
+    });
+
+    // The frontier workload: every (k,t) cell answered over the same
+    // game — the pruned arm classifies each profile once through one
+    // oracle (`robust_frontier`), while the unpruned arm re-scans the
+    // full space and re-runs the coalition searches per cell (the
+    // pre-oracle behavior).
+    c.bench_function("robust_frontier_pruned/4p5a_dom", |b| {
+        b.iter(|| {
+            let oracle = DeviationOracle::new(&game);
+            let found: usize = oracle.robust_frontier(&FRONTIER).iter().map(Vec::len).sum();
+            black_box(found)
+        })
+    });
+    c.bench_function("robust_frontier_unpruned/4p5a_dom", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for &(k, t) in &FRONTIER {
+                found +=
+                    find_robust_profiles_with_strategy(&game, k, t, SearchStrategy::Exhaustive)
+                        .len();
+            }
+            black_box(found)
+        })
+    });
+
+    // Nash enumeration on the same dominance-heavy game.
+    c.bench_function("nash_enum_pruned/4p5a_dom", |b| {
+        b.iter(|| black_box(pure_nash_equilibria(&game)))
+    });
+    c.bench_function("nash_enum_unpruned/4p5a_dom", |b| {
+        b.iter(|| {
+            black_box(bne_core::solvers::pure_nash_equilibria_with_strategy(
+                &game,
+                SearchStrategy::Exhaustive,
+            ))
+        })
+    });
+
+    // Record the BENCH_4 legs (and headline ratios) separately from the
+    // BENCH_1 trajectory: BNE_BENCH4_JSON names the output file.
+    let legs = [
+        "robust_search_pruned/4p5a_k2t1_dom",
+        "robust_search_unpruned/4p5a_k2t1_dom",
+        "robust_frontier_pruned/4p5a_dom",
+        "robust_frontier_unpruned/4p5a_dom",
+        "nash_enum_pruned/4p5a_dom",
+        "nash_enum_unpruned/4p5a_dom",
+    ];
+    let results = criterion::results();
+    let median = |name: &str| results.iter().find(|r| r.name == name).map(|r| r.median_ns);
+    for (pruned, unpruned, label) in [
+        (
+            "robust_search_pruned/4p5a_k2t1_dom",
+            "robust_search_unpruned/4p5a_k2t1_dom",
+            "single (2,1)-robust sweep",
+        ),
+        (
+            "robust_frontier_pruned/4p5a_dom",
+            "robust_frontier_unpruned/4p5a_dom",
+            "(k,t) frontier sweep",
+        ),
+        (
+            "nash_enum_pruned/4p5a_dom",
+            "nash_enum_unpruned/4p5a_dom",
+            "nash enumeration",
+        ),
+    ] {
+        if let (Some(p), Some(u)) = (median(pruned), median(unpruned)) {
+            println!(
+                "speedup pruned vs unpruned ({label}, 4p5a dom): {:.2}x",
+                u / p
+            );
+        }
+    }
+    if let Ok(path) = std::env::var("BNE_BENCH4_JSON") {
+        let bench4: Vec<_> = results
+            .iter()
+            .filter(|r| legs.contains(&r.name.as_str()))
+            .cloned()
+            .collect();
+        match std::fs::write(&path, criterion::results_to_json(&bench4)) {
+            Ok(()) => println!("BENCH_4 summary written to {path}"),
+            Err(e) => eprintln!("warning: could not write BENCH_4 JSON to {path}: {e}"),
+        }
+    }
+}
+
 criterion_group! {
     name = benches;
     config = {
@@ -250,6 +455,6 @@ criterion_group! {
             .warm_up_time(std::time::Duration::from_millis(warm_ms))
             .measurement_time(std::time::Duration::from_millis(measure_ms))
     };
-    targets = bench_profile_engine
+    targets = bench_profile_engine, bench_oracle_pruning
 }
 criterion_main!(benches);

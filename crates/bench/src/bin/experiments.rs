@@ -33,8 +33,8 @@ use bne_core::mediator::{
     SignedBroadcastCheapTalk, TruthfulMediator,
 };
 use bne_core::net::scenario::{
-    async_om_loss_grid, async_phase_king_scheduler_grid, AsyncOmScenario, AsyncPhaseKingScenario,
-    SchedulerSpec,
+    async_broadcast_partition_grid, async_om_loss_grid, async_phase_king_scheduler_grid,
+    AsyncBroadcastScenario, AsyncOmScenario, AsyncPhaseKingScenario, SchedulerSpec,
 };
 use bne_core::net::LatencyModel;
 use bne_core::p2p::scenario::{sharing_cost_grid, P2pScenario};
@@ -77,6 +77,7 @@ fn main() {
             "e16" => e16_tournament_grid(),
             "e17" => e17_async_loss_grid(),
             "e18" => e18_async_scheduler_grid(),
+            "e19" => e19_partition_grid(),
             _ => unreachable!(),
         }
         println!();
@@ -853,4 +854,57 @@ fn e18_async_scheduler_grid() {
         &rows,
     );
     println!("FIFO at zero latency is the lockstep baseline (agreement 1.0); the rushing adversary needs no lies beyond noise — delaying honest traffic by two ticks already splits mixed-start executions.");
+}
+
+/// E19 — the CAP-flavored partition grid: Dolev–Strong signed broadcast
+/// under a half/half network split swept over outage duration × heal
+/// time. Closes the tested-but-unswept partition gap from the async
+/// runtime PR; reproducible from the fixed base seed 1_900.
+fn e19_partition_grid() {
+    let runner = SimRunner::new(48, 1_900);
+    let cells = [(6usize, 2usize)]; // t + 2 = 4 protocol rounds, ticks 0..=3
+    let durations = [0u64, 1, 2, 4];
+    let heals = [1u64, 2, 4];
+    let grid = async_broadcast_partition_grid(&cells, &durations, &heals, 1);
+    let rows: Vec<Vec<String>> = runner
+        .run(&AsyncBroadcastScenario, &grid)
+        .into_iter()
+        .map(|r| {
+            // labels come from the cell's actual partition window (the
+            // grid skips truncated duration > heal_at combinations)
+            let cell = &grid[r.cell];
+            let (duration, heal, window) = match &cell.net.faults.partition {
+                None => ("-".to_string(), "-".to_string(), "-".to_string()),
+                Some(p) => (
+                    p.duration().to_string(),
+                    p.heal_at.to_string(),
+                    format!("[{}, {})", p.cut_at, p.heal_at),
+                ),
+            };
+            vec![
+                duration,
+                heal,
+                window,
+                format!("n={}, t={}", cell.n, cell.t),
+                fmt_f64(r.outcome.agreement.mean()),
+                fmt_f64(r.outcome.validity.mean()),
+                fmt_f64(r.outcome.decided.mean()),
+            ]
+        })
+        .collect();
+    emit_table(
+        "e19",
+        "E19  async Dolev-Strong: half/half partition, outage duration x heal time (48 replicas/cell)",
+        &[
+            "duration",
+            "heal at",
+            "cut window",
+            "(n, t)",
+            "P[agreement]",
+            "P[validity]",
+            "P[decided]",
+        ],
+        &rows,
+    );
+    println!("The sender's value floods in rounds 0-1 (broadcast, then every process relays exactly once). A partition is fatal for the cut-off half iff it covers that whole flood window [0, 2) — healing later never helps, because nothing is ever retransmitted; any window leaving one flood tick open, or opening after it, costs nothing. Availability under partitions needs retransmission, not just healing — the CAP trade measured in rounds.");
 }

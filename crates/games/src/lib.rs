@@ -17,10 +17,15 @@
 //!   (prisoner's dilemma, roshambo, the 0/1 coordination example, the
 //!   bargaining example, attack/retreat, the Figure 1 game, ...).
 //!
-//! All games are finite and use `f64` utilities. The crate is deliberately
-//! free of equilibrium computation: solvers live in `bne-solvers`, and the
-//! paper's new solution concepts live in `bne-robust`, `bne-machine` and
-//! `bne-awareness`.
+//! * [`oracle`] — the [`DeviationOracle`]: the shared, pruned
+//!   deviation-search core (best-response certificate tables, iterated
+//!   pre-elimination, incremental flat-index sweeps) that `bne-solvers`,
+//!   `bne-robust` and `bne-mediator` run their searches through.
+//!
+//! All games are finite and use `f64` utilities. Beyond the oracle's
+//! deviation predicates the crate is free of equilibrium computation:
+//! solvers live in `bne-solvers`, and the paper's new solution concepts
+//! live in `bne-robust`, `bne-machine` and `bne-awareness`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +36,7 @@ pub mod error;
 pub mod extensive;
 pub mod mixed;
 pub mod normal_form;
+pub mod oracle;
 #[cfg(feature = "parallel")]
 pub mod parallel;
 pub mod profile;
@@ -43,6 +49,7 @@ pub use error::GameError;
 pub use extensive::{ExtensiveGame, Node, NodeId, Outcome, PureBehaviorStrategy};
 pub use mixed::{MixedProfile, MixedStrategy};
 pub use normal_form::{NormalFormBuilder, NormalFormGame};
+pub use oracle::{DeviationOracle, ResilienceVariant, SearchStrategy};
 pub use profile::{ActionProfile, ProfileIter};
 
 /// Index of a player in a game (0-based).

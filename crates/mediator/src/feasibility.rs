@@ -13,6 +13,8 @@
 //! regimes where we implement the protocol) and in `bne-byzantine` (the
 //! `t < n/3` boundary that drives the impossibility results).
 
+use bne_games::{ActionId, DeviationOracle, NormalFormGame, Utility};
+
 /// Extra assumptions a cheap-talk implementation may rely on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Assumptions {
@@ -45,6 +47,51 @@ impl Assumptions {
             pki: true,
         }
     }
+
+    /// Replaces the *claimed* `punishment_strategy` bit with a
+    /// **verified** one: an oracle-backed search for an actual
+    /// `(k + t)`-punishment strategy relative to `equilibrium` in the
+    /// concrete `game` (the requirement of the paper's bullet 3 regime,
+    /// `2k + 3t < n ≤ 3k + 3t`). Having the utilities in hand also means
+    /// `known_utilities` holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `equilibrium` is not a valid profile of `game`.
+    pub fn verified_for_game(
+        mut self,
+        game: &NormalFormGame,
+        equilibrium: &[ActionId],
+        k: usize,
+        t: usize,
+    ) -> Self {
+        game.validate_profile(equilibrium)
+            .expect("equilibrium profile must be valid");
+        let base: Vec<Utility> = (0..game.num_players())
+            .map(|p| game.payoff(p, equilibrium))
+            .collect();
+        self.known_utilities = true;
+        self.punishment_strategy = DeviationOracle::new(game)
+            .first_punishment_profile(&base, k + t)
+            .is_some();
+        self
+    }
+}
+
+/// Classifies `(k, t)` for the concrete `game` (with `n` its player
+/// count), constructively verifying the punishment-strategy assumption
+/// through the deviation oracle instead of taking it on faith: the
+/// catalogue's bullet 3 only fires when a `(k + t)`-punishment strategy
+/// relative to `equilibrium` actually exists in the game.
+pub fn classify_regime_for_game(
+    game: &NormalFormGame,
+    equilibrium: &[ActionId],
+    k: usize,
+    t: usize,
+    assumptions: Assumptions,
+) -> RegimeResult {
+    let verified = assumptions.verified_for_game(game, equilibrium, k, t);
+    classify_regime(game.num_players(), k, t, verified)
 }
 
 /// The running-time guarantee attached to a feasible implementation.
@@ -337,6 +384,46 @@ mod tests {
         // assumptions.
         let r = classify_regime(3, 2, 1, Assumptions::all());
         assert_eq!(r.implementability, Implementability::Impossible);
+    }
+
+    #[test]
+    fn punishment_assumption_is_verified_constructively() {
+        use bne_games::classic;
+        // Bargaining, n = 6, (k, t) = (1, 1): 2k + 3t = 5 < 6 ≤ 3k + 3t = 6
+        // — the middle regime. "All leave" really is a 2-punishment
+        // strategy relative to "all stay", so the verified classification
+        // lands on bullet 3 (exact, finite expected running time).
+        let bargaining = classic::bargaining_game(6);
+        let r = classify_regime_for_game(&bargaining, &[0; 6], 1, 1, Assumptions::none());
+        assert_eq!(
+            r.implementability,
+            Implementability::Exact(RuntimeBound::FiniteExpectedUtilityIndependent)
+        );
+        assert_eq!(r.justification, vec![3]);
+
+        // A constant-payoff 6-player game in the same regime: nobody can
+        // ever be pushed strictly below the equilibrium payoff, so no
+        // punishment strategy exists at all — the verified classification
+        // rejects a *claimed* punishment assumption instead of trusting
+        // it.
+        let mut builder = bne_games::NormalFormBuilder::new("constant");
+        for p in 0..6 {
+            builder = builder.player(format!("P{p}"), &["x", "y"]);
+        }
+        let constant = builder.default_payoff(1.0).build().unwrap();
+        let claimed = Assumptions {
+            known_utilities: true,
+            punishment_strategy: true,
+            ..Assumptions::none()
+        };
+        assert!(
+            !claimed
+                .verified_for_game(&constant, &[0; 6], 1, 1)
+                .punishment_strategy
+        );
+        let r = classify_regime_for_game(&constant, &[0; 6], 1, 1, claimed);
+        assert_eq!(r.implementability, Implementability::Impossible);
+        assert_eq!(r.justification, vec![2]);
     }
 
     #[test]

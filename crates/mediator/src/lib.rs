@@ -34,6 +34,11 @@ pub mod protocols;
 
 pub use cheap_talk::{CheapTalkImplementation, CheapTalkOutcome};
 pub use equivalence::{distributions_match, total_variation_distance, ActionDistribution};
-pub use feasibility::{classify_regime, regime_table, Assumptions, RegimeResult, RuntimeBound};
-pub use mediator_game::{ByzantineAgreementGame, Mediator, MediatorGame, TruthfulMediator};
+pub use feasibility::{
+    classify_regime, classify_regime_for_game, regime_table, Assumptions, RegimeResult,
+    RuntimeBound,
+};
+pub use mediator_game::{
+    ByzantineAgreementGame, DeviationChoice, Mediator, MediatorGame, TruthfulMediator,
+};
 pub use protocols::{OralMessagesCheapTalk, SignedBroadcastCheapTalk};

@@ -109,22 +109,51 @@ pub enum SchedulerPolicy {
     },
 }
 
-/// A network partition that heals at a fixed virtual time: messages
+/// A network partition active over a virtual-time window: messages
 /// crossing the cut (one endpoint inside `group`, the other outside)
-/// before `heal_at` are dropped.
+/// while `cut_at ≤ now < heal_at` are dropped. The default window starts
+/// at time 0 ([`Partition::until`]); [`Partition::window`] places the cut
+/// mid-execution, which is what the e19 duration × heal-time sweeps use.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     /// One side of the cut.
     pub group: BTreeSet<ProcId>,
+    /// First tick at which the cut is active.
+    pub cut_at: u64,
     /// First tick at which cross-cut messages get through again.
     pub heal_at: u64,
 }
 
 impl Partition {
+    /// A partition active from time 0 until `heal_at` (the pre-window
+    /// behavior).
+    pub fn until(group: BTreeSet<ProcId>, heal_at: u64) -> Self {
+        Partition {
+            group,
+            cut_at: 0,
+            heal_at,
+        }
+    }
+
+    /// A partition active over `cut_at..heal_at`.
+    pub fn window(group: BTreeSet<ProcId>, cut_at: u64, heal_at: u64) -> Self {
+        Partition {
+            group,
+            cut_at,
+            heal_at,
+        }
+    }
+
+    /// Duration of the outage window in ticks.
+    pub fn duration(&self) -> u64 {
+        self.heal_at.saturating_sub(self.cut_at)
+    }
+
     /// Whether a message `src → dst` sent at `now` is severed by this
     /// partition.
     pub fn severs(&self, src: ProcId, dst: ProcId, now: u64) -> bool {
-        now < self.heal_at && self.group.contains(&src) != self.group.contains(&dst)
+        (self.cut_at..self.heal_at).contains(&now)
+            && self.group.contains(&src) != self.group.contains(&dst)
     }
 }
 
@@ -253,14 +282,26 @@ mod tests {
 
     #[test]
     fn partitions_sever_only_across_the_cut_until_healed() {
-        let p = Partition {
-            group: [0usize, 1].into_iter().collect(),
-            heal_at: 10,
-        };
+        let p = Partition::until([0usize, 1].into_iter().collect(), 10);
         assert!(p.severs(0, 2, 9));
         assert!(p.severs(2, 1, 0));
         assert!(!p.severs(0, 1, 5), "same side is unaffected");
         assert!(!p.severs(2, 3, 5), "same side is unaffected");
         assert!(!p.severs(0, 2, 10), "healed at heal_at");
+        assert_eq!(p.duration(), 10);
+    }
+
+    #[test]
+    fn windowed_partitions_only_sever_inside_the_window() {
+        let p = Partition::window([0usize].into_iter().collect(), 4, 9);
+        assert!(!p.severs(0, 1, 3), "before the cut");
+        assert!(p.severs(0, 1, 4));
+        assert!(p.severs(1, 0, 8));
+        assert!(!p.severs(0, 1, 9), "healed at heal_at");
+        assert_eq!(p.duration(), 5);
+        // degenerate window never severs
+        let empty = Partition::window([0usize].into_iter().collect(), 9, 4);
+        assert!(!empty.severs(0, 1, 6));
+        assert_eq!(empty.duration(), 0);
     }
 }

@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 /// Stream tag for the latency/drop RNG (see [`bne_sim::derive_seed`]).
 const STREAM_LINK: u64 = 1;
@@ -66,6 +67,32 @@ pub struct NetStats {
     pub virtual_time: u64,
 }
 
+/// A queued message payload: unicast sends own their message outright
+/// (no extra allocation over the pre-`Rc` queue), multicasts share one
+/// `Rc`-backed allocation across every recipient. The payload is only
+/// materialized into an owned `M` at delivery time — the last live
+/// reference is moved out instead of cloned, and messages dropped by
+/// loss or partitions never pay for a clone at all. This is what cuts
+/// the per-recipient clone cost of big multicast payloads (e.g. the
+/// Dolev–Strong signature chains) on large `n`.
+enum Payload<M> {
+    /// A unicast message, owned by its single queue entry.
+    Owned(M),
+    /// A multicast message, shared across recipients.
+    Shared(Rc<M>),
+}
+
+impl<M: Clone> Payload<M> {
+    /// Materializes an owned message for delivery, cloning only when
+    /// other recipients still hold the shared payload.
+    fn into_msg(self) -> M {
+        match self {
+            Payload::Owned(msg) => msg,
+            Payload::Shared(rc) => Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()),
+        }
+    }
+}
+
 /// The action buffer handed to every [`AsyncProcess`] callback.
 ///
 /// Sends and timers requested here are applied by the runtime after the
@@ -75,7 +102,7 @@ pub struct NetCtx<M> {
     id: ProcId,
     n: usize,
     now: u64,
-    sends: Vec<(ProcId, M)>,
+    sends: Vec<(ProcId, Payload<M>)>,
     timers: Vec<(u64, u64)>,
 }
 
@@ -108,7 +135,20 @@ impl<M> NetCtx<M> {
     /// Sends `msg` to `dst`. Messages to nonexistent processes are
     /// silently discarded (matching [`bne_byzantine::SyncNetwork`]).
     pub fn send(&mut self, dst: ProcId, msg: M) {
-        self.sends.push((dst, msg));
+        self.sends.push((dst, Payload::Owned(msg)));
+    }
+
+    /// Sends one `msg` to every destination in `dsts`, storing the
+    /// payload **once** in the event queue (`Rc`-backed) instead of
+    /// cloning it per recipient. Delivery order, fault sampling and
+    /// statistics are identical to calling [`Self::send`] once per
+    /// destination with a clone — only the allocation profile changes
+    /// (see the `multicast_matches_per_recipient_sends` test).
+    pub fn multicast<I: IntoIterator<Item = ProcId>>(&mut self, dsts: I, msg: M) {
+        let shared = Rc::new(msg);
+        for dst in dsts {
+            self.sends.push((dst, Payload::Shared(Rc::clone(&shared))));
+        }
     }
 
     /// Arms a timer that fires `delay` ticks from now, delivered back via
@@ -142,8 +182,15 @@ pub trait AsyncProcess {
 }
 
 enum EventKind<M> {
-    Deliver { src: ProcId, dst: ProcId, msg: M },
-    Timer { proc: ProcId, timer: u64 },
+    Deliver {
+        src: ProcId,
+        dst: ProcId,
+        msg: Payload<M>,
+    },
+    Timer {
+        proc: ProcId,
+        timer: u64,
+    },
 }
 
 struct Event<M> {
@@ -290,8 +337,10 @@ impl<M: Clone> EventNet<M> {
     }
 
     /// Routes one message: validity check, fault sampling, latency and
-    /// scheduler policy, then enqueue (or drop).
-    fn route(&mut self, src: ProcId, dst: ProcId, msg: M) {
+    /// scheduler policy, then enqueue (or drop). Dropped payloads are
+    /// simply released — a shared multicast payload is never cloned for
+    /// a recipient who does not receive it.
+    fn route(&mut self, src: ProcId, dst: ProcId, msg: Payload<M>) {
         if dst >= self.procs.len() {
             return; // nonexistent destination: discarded, not counted
         }
@@ -358,7 +407,8 @@ impl<M: Clone> EventNet<M> {
                 self.stats.messages_delivered += 1;
                 self.record(TraceKind::Deliver, src as u64, dst as u64);
                 let mut ctx = NetCtx::new(dst, n, self.now);
-                self.procs[dst].on_message(src, msg, &mut ctx);
+                // the last live reference moves out without cloning
+                self.procs[dst].on_message(src, msg.into_msg(), &mut ctx);
                 self.apply(dst, ctx);
             }
             EventKind::Timer { proc, timer } => {
@@ -485,10 +535,7 @@ mod tests {
         let cfg = NetConfig {
             faults: LinkFaults {
                 drop_prob: 0.0,
-                partition: Some(Partition {
-                    group: [0usize].into_iter().collect(),
-                    heal_at: 100,
-                }),
+                partition: Some(Partition::until([0usize].into_iter().collect(), 100)),
             },
             ..NetConfig::lockstep(0)
         };
@@ -538,6 +585,131 @@ mod tests {
         assert!(net.run(100));
         // the byzantine message from 1 arrives before the honest one from 0
         assert_eq!(net.decisions()[2], Some(1));
+    }
+
+    #[test]
+    fn multicast_matches_per_recipient_sends() {
+        /// Process 0 fans one message out to everyone else, either via
+        /// `multicast` or via a per-recipient `send` loop.
+        struct Caster {
+            use_multicast: bool,
+            sum: u64,
+        }
+        impl AsyncProcess for Caster {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut NetCtx<u64>) {
+                if ctx.id() == 0 {
+                    if self.use_multicast {
+                        ctx.multicast(1..ctx.n(), 7);
+                    } else {
+                        for d in 1..ctx.n() {
+                            ctx.send(d, 7);
+                        }
+                    }
+                }
+            }
+            fn on_message(&mut self, src: ProcId, msg: u64, _ctx: &mut NetCtx<u64>) {
+                self.sum += msg + src as u64;
+            }
+            fn on_timer(&mut self, _t: u64, _c: &mut NetCtx<u64>) {}
+            fn decision(&self) -> Option<u64> {
+                Some(self.sum)
+            }
+        }
+        let run = |use_multicast: bool| {
+            let cfg = NetConfig {
+                latency: LatencyModel::UniformJitter { min: 0, max: 4 },
+                scheduler: crate::model::SchedulerPolicy::RandomInterleave { seed: 9, jitter: 2 },
+                faults: LinkFaults::lossy(0.25),
+                ..NetConfig::lockstep(44)
+            }
+            .with_trace();
+            let procs: Vec<Box<dyn AsyncProcess<Msg = u64>>> = (0..6)
+                .map(|_| {
+                    Box::new(Caster {
+                        use_multicast,
+                        sum: 0,
+                    }) as _
+                })
+                .collect();
+            let mut net = EventNet::new(procs, cfg);
+            assert!(net.run(10_000));
+            (net.trace().to_vec(), net.stats(), net.decisions())
+        };
+        // identical traces, stats and decisions: only the allocation
+        // profile differs between the two fan-out styles
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn multicast_payload_is_cloned_lazily() {
+        use std::cell::Cell;
+
+        /// A payload that counts how many times it is cloned.
+        #[derive(Debug)]
+        struct Counted {
+            clones: Rc<Cell<usize>>,
+        }
+        impl Clone for Counted {
+            fn clone(&self) -> Self {
+                self.clones.set(self.clones.get() + 1);
+                Counted {
+                    clones: Rc::clone(&self.clones),
+                }
+            }
+        }
+        struct Fan {
+            clones: Rc<Cell<usize>>,
+            got: usize,
+        }
+        impl AsyncProcess for Fan {
+            type Msg = Counted;
+            fn on_start(&mut self, ctx: &mut NetCtx<Counted>) {
+                if ctx.id() == 0 {
+                    let msg = Counted {
+                        clones: Rc::clone(&self.clones),
+                    };
+                    ctx.multicast(1..ctx.n(), msg);
+                }
+            }
+            fn on_message(&mut self, _s: ProcId, _m: Counted, _c: &mut NetCtx<Counted>) {
+                self.got += 1;
+            }
+            fn on_timer(&mut self, _t: u64, _c: &mut NetCtx<Counted>) {}
+            fn decision(&self) -> Option<u64> {
+                Some(self.got as u64)
+            }
+        }
+        let n = 8;
+        let run = |cfg: NetConfig| {
+            let clones = Rc::new(Cell::new(0));
+            let procs: Vec<Box<dyn AsyncProcess<Msg = Counted>>> = (0..n)
+                .map(|_| {
+                    Box::new(Fan {
+                        clones: Rc::clone(&clones),
+                        got: 0,
+                    }) as _
+                })
+                .collect();
+            let mut net = EventNet::new(procs, cfg);
+            assert!(net.run(10_000));
+            (clones.get(), net.stats())
+        };
+        // all delivered: n - 1 recipients share one payload; the last
+        // delivery moves it out, so only n - 2 clones happen
+        let (clones, stats) = run(NetConfig::lockstep(0));
+        assert_eq!(stats.messages_delivered, n - 1);
+        assert_eq!(clones, n - 2);
+        // everything dropped by a partition: zero clones ever
+        let (clones, stats) = run(NetConfig {
+            faults: LinkFaults {
+                drop_prob: 0.0,
+                partition: Some(Partition::until([0usize].into_iter().collect(), 100)),
+            },
+            ..NetConfig::lockstep(0)
+        });
+        assert_eq!(stats.messages_dropped, n - 1);
+        assert_eq!(clones, 0);
     }
 
     #[test]

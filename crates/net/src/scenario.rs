@@ -8,7 +8,7 @@
 //! comparable. Experiments e17–e18 are built from these scenarios.
 
 use crate::adapter::run_round_protocol;
-use crate::model::{LatencyModel, LinkFaults, NetConfig, SchedulerPolicy};
+use crate::model::{LatencyModel, LinkFaults, NetConfig, Partition, SchedulerPolicy};
 use bne_byzantine::adversary::{FaultyBehavior, FaultyProcess};
 use bne_byzantine::broadcast::{DolevStrongProcess, EquivocatingSender, SignedMessage};
 use bne_byzantine::network::Process;
@@ -400,6 +400,62 @@ impl Scenario for AsyncBroadcastScenario {
     }
 }
 
+/// One cell of the e19 CAP-flavored partition sweep: the network splits
+/// into two halves (the designated sender's side first) for a window of
+/// `duration` ticks ending at `heal_at`, while Dolev–Strong broadcast
+/// runs underneath.
+///
+/// The two axes separate *how long* the network is split from *when* it
+/// comes back: a short cut healing early is repaired by the remaining
+/// relay rounds, while the same cut healing after the last round is
+/// indistinguishable from a permanent one. `duration > heal_at` would
+/// silently truncate the window (it cannot start before time 0), so
+/// those combinations are **skipped** rather than emitted under a
+/// misleading label; a single no-partition baseline cell per `(n, t)` is
+/// emitted instead of one per heal time. Read each cell's actual window
+/// from its `net.faults.partition` when labelling tables.
+pub fn async_broadcast_partition_grid(
+    cells: &[(usize, usize)],
+    durations: &[u64],
+    heal_times: &[u64],
+    round_ticks: u64,
+) -> Vec<AsyncBroadcastCell> {
+    let make_cell = |n: usize, t: usize, partition: Option<Partition>| AsyncBroadcastCell {
+        n,
+        t,
+        equivocating_sender: false,
+        net: NetProfile {
+            latency: LatencyModel::Constant(0),
+            scheduler: SchedulerSpec::Fifo,
+            faults: LinkFaults {
+                drop_prob: 0.0,
+                partition,
+            },
+            round_ticks,
+        },
+    };
+    let mut grid = Vec::new();
+    for &(n, t) in cells {
+        grid.push(make_cell(n, t, None)); // the no-partition baseline
+    }
+    for &duration in durations {
+        for &heal_at in heal_times {
+            if duration == 0 || duration > heal_at {
+                continue; // baseline already emitted / truncated window
+            }
+            for &(n, t) in cells {
+                let group: BTreeSet<ProcId> = (0..n / 2).collect();
+                grid.push(make_cell(
+                    n,
+                    t,
+                    Some(Partition::window(group, heal_at - duration, heal_at)),
+                ));
+            }
+        }
+    }
+    grid
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -488,6 +544,46 @@ mod tests {
         assert_eq!(results[0].outcome.agreement.mean(), 1.0);
         assert_eq!(results[0].outcome.validity.mean(), 1.0);
         assert_eq!(results[1].outcome.agreement.mean(), 1.0);
+    }
+
+    #[test]
+    fn partition_grid_separates_fatal_from_healed_windows() {
+        // Dolev–Strong with (n, t) = (6, 2) runs t + 2 = 4 rounds at
+        // ticks 0..=3, and the sender's value floods in rounds 0-1
+        // (broadcast, then one relay wave — each process relays exactly
+        // once). A cut covering that whole flood window is fatal for the
+        // cut-off half *no matter when it heals*; a window that leaves a
+        // flood tick open, or opens after the flood, is harmless.
+        let grid = async_broadcast_partition_grid(&[(6, 2)], &[0, 2, 4], &[2, 4], 1);
+        // one baseline + the untruncated windows (2,2), (2,4), (4,4) —
+        // duration > heal_at combinations are skipped, not mislabeled
+        assert_eq!(grid.len(), 4);
+        assert!(grid[0].net.faults.partition.is_none());
+        let results = SimRunner::new(16, 1_905).run_sequential(&AsyncBroadcastScenario, &grid);
+        let rate = |duration: u64, heal: u64| {
+            let idx = grid
+                .iter()
+                .position(|c| match &c.net.faults.partition {
+                    None => duration == 0,
+                    Some(p) => p.duration() == duration && p.heal_at == heal,
+                })
+                .expect("cell exists");
+            results[idx].outcome.agreement.mean()
+        };
+        assert_eq!(rate(0, 0), 1.0, "no partition is the lockstep baseline");
+        assert_eq!(
+            rate(2, 4),
+            1.0,
+            "a cut over the relay rounds only (ticks 2..4) is harmless"
+        );
+        assert!(
+            rate(2, 2) < 1.0,
+            "a cut over the broadcast round (ticks 0..2) is fatal even though it heals mid-protocol"
+        );
+        assert!(
+            rate(4, 4) < 1.0,
+            "a partition covering every round must break agreement"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! hosts).
 
 use bne_games::profile::{try_for_each_subset_of_size, ActionProfile};
-use bne_games::{ActionId, NormalFormGame, PlayerId, EPSILON};
+use bne_games::{ActionId, DeviationOracle, NormalFormGame, PlayerId, EPSILON};
 
 /// A witness that a profile is not t-immune: a set of deviators and a joint
 /// deviation that hurts some non-deviator.
@@ -92,37 +92,49 @@ pub fn immunity_counterexample_by_index(
         }
     }
     let mut violation = None;
-    'sizes: for size in 2..=t.min(n) {
-        let complete = try_for_each_subset_of_size(n, size, |deviators| {
-            game.visit_coalition_deviations(flat, deviators, |dev, new_flat| {
-                if new_flat == flat {
-                    return true; // the non-deviation
-                }
-                for victim in 0..n {
-                    if deviators.contains(&victim) {
-                        continue;
-                    }
-                    let before = game.payoff_by_index(victim, flat);
-                    let after = game.payoff_by_index(victim, new_flat);
-                    if after < before - EPSILON {
-                        violation = Some(ImmunityViolation {
-                            deviators: deviators.to_vec(),
-                            deviation: dev.to_vec(),
-                            victim,
-                            before,
-                            after,
-                        });
-                        return false;
-                    }
-                }
-                true
-            })
-        });
-        if !complete {
-            break 'sizes;
+    for size in 2..=t.min(n) {
+        if immunity_size_scan(game, flat, size, &mut violation) {
+            break;
         }
     }
     violation
+}
+
+/// Scans the deviator sets of exactly `size` members for a deviation that
+/// hurts a bystander, materializing the first witness found. Returns
+/// `true` when a witness was found (the sweep stopped early).
+fn immunity_size_scan(
+    game: &NormalFormGame,
+    flat: usize,
+    size: usize,
+    violation: &mut Option<ImmunityViolation>,
+) -> bool {
+    let n = game.num_players();
+    !try_for_each_subset_of_size(n, size, |deviators| {
+        game.visit_coalition_deviations(flat, deviators, |dev, new_flat| {
+            if new_flat == flat {
+                return true; // the non-deviation
+            }
+            for victim in 0..n {
+                if deviators.contains(&victim) {
+                    continue;
+                }
+                let before = game.payoff_by_index(victim, flat);
+                let after = game.payoff_by_index(victim, new_flat);
+                if after < before - EPSILON {
+                    *violation = Some(ImmunityViolation {
+                        deviators: deviators.to_vec(),
+                        deviation: dev.to_vec(),
+                        victim,
+                        before,
+                        after,
+                    });
+                    return false;
+                }
+            }
+            true
+        })
+    })
 }
 
 /// Whether `profile` is t-immune. Every profile is trivially 0-immune.
@@ -136,14 +148,16 @@ pub fn is_t_immune_by_index(game: &NormalFormGame, flat: usize, t: usize) -> boo
 }
 
 /// Sweeps the whole profile space and collects every t-immune profile, in
-/// flat-index order.
+/// flat-index order. Runs through the [`DeviationOracle`] (memoized
+/// payoff snapshots); immunity admits no sound pre-elimination, so the
+/// sweep always covers the full space.
 pub fn find_t_immune_profiles(game: &NormalFormGame, t: usize) -> Vec<ActionProfile> {
-    bne_games::search::find_profiles(game, |flat| is_t_immune_by_index(game, flat, t))
+    DeviationOracle::new(game).t_immune_profiles(t)
 }
 
 /// The t-immune profile with the lowest flat index, if any.
 pub fn first_t_immune_profile(game: &NormalFormGame, t: usize) -> Option<ActionProfile> {
-    bne_games::search::first_profile(game, |flat| is_t_immune_by_index(game, flat, t))
+    DeviationOracle::new(game).first_t_immune_profile(t)
 }
 
 /// Parallel form of [`find_t_immune_profiles`]; output is bit-identical to
@@ -164,9 +178,7 @@ pub fn find_t_immune_profiles_with_workers(
     t: usize,
     workers: usize,
 ) -> Vec<ActionProfile> {
-    bne_games::search::find_profiles_parallel(game, workers, |flat| {
-        is_t_immune_by_index(game, flat, t)
-    })
+    DeviationOracle::new(game).t_immune_profiles_with_workers(t, workers)
 }
 
 /// Parallel form of [`first_t_immune_profile`] with deterministic
@@ -187,22 +199,25 @@ pub fn first_t_immune_profile_with_workers(
     t: usize,
     workers: usize,
 ) -> Option<ActionProfile> {
-    bne_games::search::first_profile_parallel(game, workers, |flat| {
-        is_t_immune_by_index(game, flat, t)
-    })
+    DeviationOracle::new(game).first_t_immune_profile_with_workers(t, workers)
 }
 
 /// The largest `t ≤ max_t` for which `profile` is t-immune.
+///
+/// Runs in a **single pass** over deviator-set sizes (immunity is
+/// monotone in `t`): one below the first size with a hurt bystander,
+/// instead of re-scanning every size `≤ t` once per `t`.
 pub fn max_immunity(game: &NormalFormGame, profile: &[ActionId], max_t: usize) -> usize {
-    let mut best = 0;
-    for t in 1..=max_t.min(game.num_players()) {
-        if is_t_immune(game, profile, t) {
-            best = t;
-        } else {
-            break;
-        }
-    }
-    best
+    game.validate_profile(profile)
+        .expect("profile must be valid for the game");
+    max_immunity_by_index(game, game.profile_index(profile), max_t)
+}
+
+/// Index-based form of [`max_immunity`]. Delegates to the oracle's
+/// single-pass classifier (immunity never uses the certificate tables,
+/// so no precomputation happens for a single-profile query).
+pub fn max_immunity_by_index(game: &NormalFormGame, flat: usize, max_t: usize) -> usize {
+    DeviationOracle::new(game).max_immunity(flat, max_t)
 }
 
 #[cfg(test)]

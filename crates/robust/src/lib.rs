@@ -22,6 +22,15 @@
 //! sampled variant for larger games (see
 //! [`robustness::RobustnessChecker::sampled`]); the exhaustive/sampled
 //! trade-off is one of the ablations benchmarked in `bne-bench`.
+//!
+//! Every full-space sweep (`find_*_profiles`, `first_*_profile`) runs on
+//! the shared [`bne_games::DeviationOracle`]: best-response payoff tables
+//! certify or refute all size-1 deviations at once, and — for the
+//! Nash-implying predicates (k-resilience and (k,t)-robustness with
+//! `k ≥ 1`) — iterated never-best-response elimination shrinks the
+//! searched space. Results are bit-identical to the exhaustive sweeps,
+//! which remain reachable through the `*_with_strategy` variants with
+//! [`bne_games::SearchStrategy::Exhaustive`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,7 +44,7 @@ pub mod robustness;
 pub use analysis::{classify_profile, ProfileClassification};
 pub use immunity::{
     find_t_immune_profiles, first_t_immune_profile, immunity_counterexample, is_t_immune,
-    is_t_immune_by_index, ImmunityViolation,
+    is_t_immune_by_index, max_immunity_by_index, ImmunityViolation,
 };
 #[cfg(feature = "parallel")]
 pub use immunity::{find_t_immune_profiles_parallel, first_t_immune_profile_parallel};
@@ -43,14 +52,16 @@ pub use immunity::{find_t_immune_profiles_parallel, first_t_immune_profile_paral
 pub use punishment::find_punishment_strategies_parallel;
 pub use punishment::{find_punishment_strategies, is_punishment_strategy};
 pub use resilience::{
-    find_k_resilient_profiles, first_k_resilient_profile, is_k_resilient, is_k_resilient_by_index,
-    resilience_counterexample, CoalitionDeviation, ResilienceVariant,
+    find_k_resilient_profiles, find_k_resilient_profiles_with_strategy, first_k_resilient_profile,
+    is_k_resilient, is_k_resilient_by_index, max_resilience_by_index, resilience_counterexample,
+    CoalitionDeviation, ResilienceVariant,
 };
 #[cfg(feature = "parallel")]
 pub use resilience::{find_k_resilient_profiles_parallel, first_k_resilient_profile_parallel};
 pub use robustness::{
-    find_robust_profiles, first_robust_profile, is_robust, is_robust_by_index, max_robustness,
-    RobustnessChecker, RobustnessReport,
+    find_robust_frontier, find_robust_profiles, find_robust_profiles_with_strategy,
+    first_robust_profile, is_robust, is_robust_by_index, max_robustness, RobustnessChecker,
+    RobustnessReport,
 };
 #[cfg(feature = "parallel")]
 pub use robustness::{find_robust_profiles_parallel, first_robust_profile_parallel};

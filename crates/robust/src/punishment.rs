@@ -9,7 +9,7 @@
 //! honest players for information-theoretic enforcement.
 
 use bne_games::profile::try_for_each_subset_of_size;
-use bne_games::{ActionId, NormalFormGame, EPSILON};
+use bne_games::{ActionId, DeviationOracle, NormalFormGame, EPSILON};
 
 /// Whether `punishment` is a `p`-punishment strategy relative to the
 /// `equilibrium` profile: for every set `D` of at most `p` players and every
@@ -68,7 +68,10 @@ pub fn is_punishment_strategy_by_index(
 
 /// Exhaustively searches for `p`-punishment strategies relative to
 /// `equilibrium`. Returns all pure profiles that qualify, in flat-index
-/// order.
+/// order. Runs through the [`DeviationOracle`]: the best-response tables
+/// reject most candidates in `O(n)` (a lone deviator reaches their
+/// best-response payoff, which must stay strictly below the equilibrium)
+/// before the exponential deviator sweep runs.
 pub fn find_punishment_strategies(
     game: &NormalFormGame,
     equilibrium: &[ActionId],
@@ -79,13 +82,7 @@ pub fn find_punishment_strategies(
     let base: Vec<f64> = (0..game.num_players())
         .map(|i| game.payoff(i, equilibrium))
         .collect();
-    let mut out = Vec::new();
-    game.visit_profiles(|candidate, flat| {
-        if is_punishment_strategy_by_index(game, &base, flat, p) {
-            out.push(candidate.to_vec());
-        }
-    });
-    out
+    DeviationOracle::new(game).punishment_profiles(&base, p)
 }
 
 /// Parallel form of [`find_punishment_strategies`]; the output is
@@ -102,16 +99,7 @@ pub fn find_punishment_strategies_parallel(
         .map(|i| game.payoff(i, equilibrium))
         .collect();
     let workers = bne_games::parallel::costly_workers(game.num_profiles());
-    bne_games::parallel::collect_chunked_with(game.num_profiles(), workers, |range| {
-        let mut hits = Vec::new();
-        game.visit_profiles_in(range, |candidate, flat| {
-            if is_punishment_strategy_by_index(game, &base, flat, p) {
-                hits.push(candidate.to_vec());
-            }
-            true
-        });
-        hits
-    })
+    DeviationOracle::new(game).punishment_profiles_with_workers(&base, p, workers)
 }
 
 #[cfg(test)]

@@ -10,21 +10,12 @@
 //! Moreno–Wooders).
 
 use bne_games::profile::{try_for_each_subset_of_size, ActionProfile};
-use bne_games::{ActionId, NormalFormGame, PlayerId, EPSILON};
+use bne_games::{ActionId, DeviationOracle, NormalFormGame, PlayerId, SearchStrategy, EPSILON};
 
 /// Which players must benefit for a coalition deviation to count as a
-/// successful objection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ResilienceVariant {
-    /// The deviation succeeds if **some** member of the coalition strictly
-    /// gains (and, implicitly, the others in the coalition follow along).
-    /// This is the strong notion used by Abraham et al. and the paper.
-    #[default]
-    SomeMemberGains,
-    /// The deviation succeeds only if **every** member of the coalition
-    /// strictly gains. This is the weaker, coalition-proof-style notion.
-    AllMembersGain,
-}
+/// successful objection. Re-exported from the [`bne_games::oracle`]
+/// deviation core, which owns the hot-path predicate.
+pub use bne_games::ResilienceVariant;
 
 /// A successful coalition deviation: a witness that a profile is not
 /// k-resilient.
@@ -107,62 +98,61 @@ pub fn resilience_counterexample_by_index(
     // Stack-resident payoff snapshot of the coalition, reused across the
     // scan (see `with_scratch`: heap fallback only beyond 16 members).
     bne_games::profile::with_scratch::<f64, ()>(k.min(n), |before| {
-        resilience_sizes_scan(game, flat, k, variant, before, &mut witness);
+        for size in 2..=k.min(n) {
+            if resilience_size_scan(game, flat, size, variant, before, &mut witness) {
+                break;
+            }
+        }
     });
     witness
 }
 
-/// The size ≥ 2 part of the resilience scan, extracted so the scratch
-/// buffer can wrap it.
-fn resilience_sizes_scan(
+/// Scans the coalitions of exactly `size` members for a profitable joint
+/// deviation, materializing the first witness found. Returns `true` when
+/// a witness was found (the sweep stopped early).
+fn resilience_size_scan(
     game: &NormalFormGame,
     flat: usize,
-    k: usize,
+    size: usize,
     variant: ResilienceVariant,
     before: &mut [f64],
     witness: &mut Option<CoalitionDeviation>,
-) {
+) -> bool {
     let n = game.num_players();
-    'sizes: for size in 2..=k.min(n) {
-        let complete = try_for_each_subset_of_size(n, size, |coalition| {
-            let before = &mut before[..size];
-            for (slot, &p) in before.iter_mut().zip(coalition.iter()) {
-                *slot = game.payoff_by_index(p, flat);
-            }
-            let complete = game.visit_coalition_deviations(flat, coalition, |dev, new_flat| {
-                if new_flat == flat {
-                    return true; // the non-deviation
-                }
-                let success = match variant {
-                    ResilienceVariant::SomeMemberGains => coalition
-                        .iter()
-                        .zip(before.iter())
-                        .any(|(&p, b)| game.payoff_by_index(p, new_flat) > *b + EPSILON),
-                    ResilienceVariant::AllMembersGain => coalition
-                        .iter()
-                        .zip(before.iter())
-                        .all(|(&p, b)| game.payoff_by_index(p, new_flat) > *b + EPSILON),
-                };
-                if success {
-                    *witness = Some(CoalitionDeviation {
-                        coalition: coalition.to_vec(),
-                        deviation: dev.to_vec(),
-                        before: before.to_vec(),
-                        after: coalition
-                            .iter()
-                            .map(|&p| game.payoff_by_index(p, new_flat))
-                            .collect(),
-                    });
-                    return false;
-                }
-                true
-            });
-            complete
-        });
-        if !complete {
-            break 'sizes;
+    !try_for_each_subset_of_size(n, size, |coalition| {
+        let before = &mut before[..size];
+        for (slot, &p) in before.iter_mut().zip(coalition.iter()) {
+            *slot = game.payoff_by_index(p, flat);
         }
-    }
+        game.visit_coalition_deviations(flat, coalition, |dev, new_flat| {
+            if new_flat == flat {
+                return true; // the non-deviation
+            }
+            let success = match variant {
+                ResilienceVariant::SomeMemberGains => coalition
+                    .iter()
+                    .zip(before.iter())
+                    .any(|(&p, b)| game.payoff_by_index(p, new_flat) > *b + EPSILON),
+                ResilienceVariant::AllMembersGain => coalition
+                    .iter()
+                    .zip(before.iter())
+                    .all(|(&p, b)| game.payoff_by_index(p, new_flat) > *b + EPSILON),
+            };
+            if success {
+                *witness = Some(CoalitionDeviation {
+                    coalition: coalition.to_vec(),
+                    deviation: dev.to_vec(),
+                    before: before.to_vec(),
+                    after: coalition
+                        .iter()
+                        .map(|&p| game.payoff_by_index(p, new_flat))
+                        .collect(),
+                });
+                return false;
+            }
+            true
+        })
+    })
 }
 
 /// Whether `profile` is k-resilient under the given variant.
@@ -189,13 +179,26 @@ pub fn is_k_resilient_by_index(
 }
 
 /// Sweeps the whole profile space and collects every k-resilient profile,
-/// in flat-index order.
+/// in flat-index order. Runs on the [`DeviationOracle`] with the default
+/// pruned strategy (best-response certificates plus pre-elimination for
+/// `k ≥ 1`); the result is bit-identical to the exhaustive sweep.
 pub fn find_k_resilient_profiles(
     game: &NormalFormGame,
     k: usize,
     variant: ResilienceVariant,
 ) -> Vec<ActionProfile> {
-    bne_games::search::find_profiles(game, |flat| is_k_resilient_by_index(game, flat, k, variant))
+    DeviationOracle::new(game).k_resilient_profiles(k, variant)
+}
+
+/// [`find_k_resilient_profiles`] with an explicit [`SearchStrategy`]
+/// ([`SearchStrategy::Exhaustive`] is the property-test equality gate).
+pub fn find_k_resilient_profiles_with_strategy(
+    game: &NormalFormGame,
+    k: usize,
+    variant: ResilienceVariant,
+    strategy: SearchStrategy,
+) -> Vec<ActionProfile> {
+    DeviationOracle::with_strategy(game, strategy).k_resilient_profiles(k, variant)
 }
 
 /// The k-resilient profile with the lowest flat index, if any.
@@ -204,7 +207,7 @@ pub fn first_k_resilient_profile(
     k: usize,
     variant: ResilienceVariant,
 ) -> Option<ActionProfile> {
-    bne_games::search::first_profile(game, |flat| is_k_resilient_by_index(game, flat, k, variant))
+    DeviationOracle::new(game).first_k_resilient_profile(k, variant)
 }
 
 /// Parallel form of [`find_k_resilient_profiles`]: the flat profile space
@@ -235,9 +238,7 @@ pub fn find_k_resilient_profiles_with_workers(
     variant: ResilienceVariant,
     workers: usize,
 ) -> Vec<ActionProfile> {
-    bne_games::search::find_profiles_parallel(game, workers, |flat| {
-        is_k_resilient_by_index(game, flat, k, variant)
-    })
+    DeviationOracle::new(game).k_resilient_profiles_with_workers(k, variant, workers)
 }
 
 /// Parallel form of [`first_k_resilient_profile`] with deterministic
@@ -265,28 +266,38 @@ pub fn first_k_resilient_profile_with_workers(
     variant: ResilienceVariant,
     workers: usize,
 ) -> Option<ActionProfile> {
-    bne_games::search::first_profile_parallel(game, workers, |flat| {
-        is_k_resilient_by_index(game, flat, k, variant)
-    })
+    DeviationOracle::new(game).first_k_resilient_profile_with_workers(k, variant, workers)
 }
 
 /// The largest `k ≤ max_k` for which `profile` is k-resilient (0 means not
 /// even 1-resilient, i.e. not a Nash equilibrium).
+///
+/// Runs in a **single pass** over coalition sizes: resilience is monotone
+/// in `k`, so the answer is one below the first size with a profitable
+/// deviation. The per-`k` re-scan this replaces re-examined every size
+/// `≤ k` once per `k`.
 pub fn max_resilience(
     game: &NormalFormGame,
     profile: &[ActionId],
     max_k: usize,
     variant: ResilienceVariant,
 ) -> usize {
-    let mut best = 0;
-    for k in 1..=max_k.min(game.num_players()) {
-        if is_k_resilient(game, profile, k, variant) {
-            best = k;
-        } else {
-            break;
-        }
-    }
-    best
+    game.validate_profile(profile)
+        .expect("profile must be valid for the game");
+    max_resilience_by_index(game, game.profile_index(profile), max_k, variant)
+}
+
+/// Index-based form of [`max_resilience`]. Delegates to the oracle's
+/// single-pass classifier; the exhaustive strategy skips table
+/// construction, which a single-profile query cannot amortize.
+pub fn max_resilience_by_index(
+    game: &NormalFormGame,
+    flat: usize,
+    max_k: usize,
+    variant: ResilienceVariant,
+) -> usize {
+    DeviationOracle::with_strategy(game, SearchStrategy::Exhaustive)
+        .max_resilience(flat, max_k, variant)
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@
 use crate::immunity::{is_t_immune, is_t_immune_by_index};
 use crate::resilience::{is_k_resilient, is_k_resilient_by_index, ResilienceVariant};
 use bne_games::profile::{subsets_up_to_size, ActionProfile};
-use bne_games::{ActionId, NormalFormGame, PlayerId, EPSILON};
+use bne_games::{ActionId, DeviationOracle, NormalFormGame, PlayerId, SearchStrategy, EPSILON};
 use rand::{RngExt, SeedableRng};
 
 /// How to search the space of coalitions and deviations.
@@ -120,14 +120,41 @@ pub fn is_robust_by_index(game: &NormalFormGame, flat: usize, k: usize, t: usize
 }
 
 /// Sweeps the whole profile space and collects every (k,t)-robust profile
-/// (componentwise definition), in flat-index order.
+/// (componentwise definition), in flat-index order. Runs on the
+/// [`DeviationOracle`] with the default pruned strategy (best-response
+/// certificates plus pre-elimination for `k ≥ 1`); the result is
+/// bit-identical to the exhaustive sweep.
 pub fn find_robust_profiles(game: &NormalFormGame, k: usize, t: usize) -> Vec<ActionProfile> {
-    bne_games::search::find_profiles(game, |flat| is_robust_by_index(game, flat, k, t))
+    DeviationOracle::new(game).robust_profiles(k, t)
+}
+
+/// [`find_robust_profiles`] with an explicit [`SearchStrategy`]
+/// ([`SearchStrategy::Exhaustive`] is the unpruned escape hatch the
+/// property tests and the BENCH_4 pruning leg compare against).
+pub fn find_robust_profiles_with_strategy(
+    game: &NormalFormGame,
+    k: usize,
+    t: usize,
+    strategy: SearchStrategy,
+) -> Vec<ActionProfile> {
+    DeviationOracle::with_strategy(game, strategy).robust_profiles(k, t)
 }
 
 /// The (k,t)-robust profile with the lowest flat index, if any.
 pub fn first_robust_profile(game: &NormalFormGame, k: usize, t: usize) -> Option<ActionProfile> {
-    bne_games::search::first_profile(game, |flat| is_robust_by_index(game, flat, k, t))
+    DeviationOracle::new(game).first_robust_profile(k, t)
+}
+
+/// Sweeps a whole `(k, t)` frontier in **one** scan: `result[i]` equals
+/// `find_robust_profiles(game, cells[i].0, cells[i].1)`, but each profile
+/// is classified once (maximal `k` and `t`, single-pass each) and matched
+/// against every cell, instead of re-sweeping the space per pair — the
+/// shape of the e-series classification tables.
+pub fn find_robust_frontier(
+    game: &NormalFormGame,
+    cells: &[(usize, usize)],
+) -> Vec<Vec<ActionProfile>> {
+    DeviationOracle::new(game).robust_frontier(cells)
 }
 
 /// Parallel form of [`find_robust_profiles`]; the output is bit-identical
@@ -154,9 +181,7 @@ pub fn find_robust_profiles_with_workers(
     t: usize,
     workers: usize,
 ) -> Vec<ActionProfile> {
-    bne_games::search::find_profiles_parallel(game, workers, |flat| {
-        is_robust_by_index(game, flat, k, t)
-    })
+    DeviationOracle::new(game).robust_profiles_with_workers(k, t, workers)
 }
 
 /// Parallel form of [`first_robust_profile`] with deterministic
@@ -183,15 +208,14 @@ pub fn first_robust_profile_with_workers(
     t: usize,
     workers: usize,
 ) -> Option<ActionProfile> {
-    bne_games::search::first_profile_parallel(game, workers, |flat| {
-        is_robust_by_index(game, flat, k, t)
-    })
+    DeviationOracle::new(game).first_robust_profile_with_workers(k, t, workers)
 }
 
 /// The pair `(max resilient k, max immune t)` for the profile (bounded by
 /// `max_k` / `max_t`). Because resilience and immunity are each monotone in
 /// their parameter, this pair describes the whole componentwise robustness
-/// frontier.
+/// frontier. Each component is found in a single pass over coalition /
+/// deviator-set sizes instead of one full re-scan per `k` (per `t`).
 pub fn max_robustness(
     game: &NormalFormGame,
     profile: &[ActionId],

@@ -43,7 +43,7 @@ pub use correlated::{
 pub use fictitious::{FictitiousPlay, FictitiousPlayResult};
 pub use pure::{
     best_response_table, first_pure_nash, iterated_elimination, pure_nash_equilibria,
-    strictly_dominant_profile, DominanceKind,
+    pure_nash_equilibria_with_strategy, strictly_dominant_profile, DominanceKind,
 };
 #[cfg(feature = "parallel")]
 pub use pure::{

@@ -2,7 +2,7 @@
 //! strategies, and iterated elimination of dominated strategies.
 
 use bne_games::profile::ActionProfile;
-use bne_games::{ActionId, NormalFormGame, PlayerId};
+use bne_games::{ActionId, DeviationOracle, NormalFormGame, PlayerId, SearchStrategy};
 
 /// Which notion of dominance to use during iterated elimination.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,12 +17,24 @@ pub enum DominanceKind {
     Weak,
 }
 
-/// Enumerates every pure Nash equilibrium of the game (exhaustively, so the
-/// cost is the number of profiles times the number of unilateral
-/// deviations). Runs on the flat-index engine: the sweep allocates only for
-/// the equilibria it returns.
+/// Enumerates every pure Nash equilibrium of the game. Runs on the shared
+/// [`DeviationOracle`]: best-response payoff tables decide each profile in
+/// `O(n)` lookups and iterated never-best-response elimination skips
+/// profiles that cannot be equilibria; the result is bit-identical to the
+/// exhaustive flat-index sweep (see
+/// [`pure_nash_equilibria_with_strategy`]).
 pub fn pure_nash_equilibria(game: &NormalFormGame) -> Vec<ActionProfile> {
-    bne_games::search::find_profiles(game, |flat| game.is_pure_nash_by_index(flat))
+    DeviationOracle::new(game).nash_profiles()
+}
+
+/// [`pure_nash_equilibria`] with an explicit [`SearchStrategy`]
+/// ([`SearchStrategy::Exhaustive`] is the unpruned escape hatch used as
+/// the property-test equality gate).
+pub fn pure_nash_equilibria_with_strategy(
+    game: &NormalFormGame,
+    strategy: SearchStrategy,
+) -> Vec<ActionProfile> {
+    DeviationOracle::with_strategy(game, strategy).nash_profiles()
 }
 
 /// Parallel form of [`pure_nash_equilibria`]: the flat profile space is
@@ -44,26 +56,21 @@ pub fn pure_nash_equilibria_with_workers(
     game: &NormalFormGame,
     workers: usize,
 ) -> Vec<ActionProfile> {
-    bne_games::search::find_profiles_parallel(game, workers, |flat| {
-        game.is_pure_nash_by_index(flat)
-    })
+    DeviationOracle::new(game).nash_profiles_with_workers(workers)
 }
 
 /// The pure Nash equilibrium with the lowest flat index, if any — the
 /// deterministic witness used when only existence matters.
 pub fn first_pure_nash(game: &NormalFormGame) -> Option<ActionProfile> {
-    bne_games::search::first_profile(game, |flat| game.is_pure_nash_by_index(flat))
+    DeviationOracle::new(game).first_nash()
 }
 
 /// Parallel form of [`first_pure_nash`] with deterministic
 /// lowest-flat-index-wins semantics.
 #[cfg(feature = "parallel")]
 pub fn first_pure_nash_parallel(game: &NormalFormGame) -> Option<ActionProfile> {
-    bne_games::search::first_profile_parallel(
-        game,
-        bne_games::parallel::cheap_workers(game.num_profiles()),
-        |flat| game.is_pure_nash_by_index(flat),
-    )
+    DeviationOracle::new(game)
+        .first_nash_with_workers(bne_games::parallel::cheap_workers(game.num_profiles()))
 }
 
 /// The best-response table of one player: entry `flat` is the

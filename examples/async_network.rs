@@ -72,10 +72,7 @@ fn main() {
         scheduler: SchedulerPolicy::Fifo,
         faults: LinkFaults {
             drop_prob: 0.15,
-            partition: Some(Partition {
-                group: [0usize, 1].into_iter().collect(),
-                heal_at: 8,
-            }),
+            partition: Some(Partition::until([0usize, 1].into_iter().collect(), 8)),
         },
         round_ticks: 4,
         record_trace: false,
