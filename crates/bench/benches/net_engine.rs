@@ -20,19 +20,41 @@
 //! counts.
 
 use bne_core::byzantine::adversary::{FaultyBehavior, FaultyProcess};
+use bne_core::byzantine::bracha::BrachaMsg;
 use bne_core::byzantine::network::{Process, SyncNetwork};
 use bne_core::byzantine::om::{OmConfig, TraitorStrategy};
 use bne_core::byzantine::om_process::{om_process_set, OmProcess};
 use bne_core::byzantine::phase_king::PhaseKingProcess;
 use bne_core::byzantine::Value;
-use bne_core::net::scenario::{async_om_loss_grid, AsyncPhaseKingCell, NetProfile, SchedulerSpec};
+use bne_core::net::protocols::run_bracha;
+use bne_core::net::scenario::{
+    async_om_loss_grid, ben_or_scheduler_grid, AsyncPhaseKingCell, BenOrScenario, NetProfile,
+    SchedulerSpec,
+};
 use bne_core::net::{
-    run_round_protocol, AsyncOmScenario, AsyncPhaseKingScenario, LatencyModel, LinkFaults,
-    NetConfig,
+    run_round_protocol, AsyncOmScenario, AsyncPhaseKingScenario, AsyncProcess, BrachaProcess,
+    EventNet, LatencyModel, LinkFaults, NetConfig, RetryAdapter, RetryMsg, RetryPolicy,
 };
 use bne_core::sim::SimRunner;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+
+/// Runs a retry-wrapped Bracha broadcast (process 0 broadcasting
+/// `input`) to quiescence.
+fn run_bracha_retry(
+    n: usize,
+    t: usize,
+    input: u64,
+    policy: RetryPolicy,
+    cfg: NetConfig,
+) -> EventNet<RetryMsg<BrachaMsg>> {
+    let procs: Vec<Box<dyn AsyncProcess<Msg = RetryMsg<BrachaMsg>>>> = (0..n)
+        .map(|_| Box::new(RetryAdapter::new(BrachaProcess::new(t, 0, input), policy)) as _)
+        .collect();
+    let mut net = EventNet::new(procs, cfg);
+    assert!(net.run(10_000_000), "retry queue must drain");
+    net
+}
 
 /// Builds one phase-king process set from a seed (honest initial bits
 /// drawn from the seed, `t` stochastic adversaries with explicit seeds).
@@ -225,6 +247,7 @@ fn bench_net_engine(c: &mut Criterion) {
         &[0.0, 0.15, 0.3],
         TraitorStrategy::SplitByParity,
         false,
+        false,
     );
     let sweep_runner = SimRunner::new(replicas, 4_301);
     c.bench_function("net_replica_sweep_seq/om_loss_grid", |b| {
@@ -240,6 +263,89 @@ fn bench_net_engine(c: &mut Criterion) {
     #[cfg(feature = "parallel")]
     c.bench_function("net_replica_sweep_par/phase_king_grid", |b| {
         b.iter(|| black_box(runner.run_parallel(&AsyncPhaseKingScenario, &pk_grid)))
+    });
+
+    // -- event-driven protocols (no round adapter): the BENCH_5 legs --------
+    //
+    // Gates first, like every other timing run in this bench: Bracha on
+    // the lockstep configuration must satisfy all three RB conditions,
+    // and the retry adapter under zero loss must be behaviorally
+    // invisible (identical decisions and decision times, exactly one ack
+    // per data message, nothing retransmitted).
+    let (brn, brt): (usize, usize) = if smoke { (6, 1) } else { (10, 3) };
+    {
+        use bne_core::byzantine::properties::rb_report;
+        for seed in 0..8u64 {
+            let bare = run_bracha(brn, brt, 1, NetConfig::lockstep(seed), 1_000_000);
+            let honest = vec![true; brn];
+            assert!(
+                rb_report(&bare.decisions(), &honest, Some(1)).correct(),
+                "bracha lockstep violates RB properties (seed {seed})"
+            );
+            let wrapped = run_bracha_retry(
+                brn,
+                brt,
+                1,
+                RetryPolicy::default(),
+                NetConfig::lockstep(seed),
+            );
+            assert_eq!(
+                bare.decisions(),
+                wrapped.decisions(),
+                "retry adapter changed zero-loss decisions (seed {seed})"
+            );
+            assert_eq!(
+                bare.decision_times(),
+                wrapped.decision_times(),
+                "retry adapter changed zero-loss decision times (seed {seed})"
+            );
+            assert_eq!(
+                wrapped.stats().messages_sent,
+                2 * bare.stats().messages_sent,
+                "zero-loss retry must be data + one ack, no resends (seed {seed})"
+            );
+        }
+    }
+
+    c.bench_function("event_bracha/direct", |b| {
+        b.iter(|| black_box(run_bracha(brn, brt, 1, NetConfig::lockstep(1), 1_000_000).decisions()))
+    });
+    c.bench_function("event_bracha_retry/zero_loss", |b| {
+        b.iter(|| {
+            black_box(
+                run_bracha_retry(brn, brt, 1, RetryPolicy::default(), NetConfig::lockstep(1))
+                    .decisions(),
+            )
+        })
+    });
+    c.bench_function("event_bracha_retry/loss20", |b| {
+        let cfg = NetConfig {
+            latency: LatencyModel::Constant(1),
+            faults: LinkFaults::lossy(0.2),
+            ..NetConfig::lockstep(1)
+        };
+        b.iter(|| {
+            black_box(
+                run_bracha_retry(brn, brt, 1, RetryPolicy::exponential(3), cfg.clone()).decisions(),
+            )
+        })
+    });
+
+    // Ben-Or: the running time is a random variable of the scheduler, so
+    // these legs time whole replica ensembles (the honest unit of work)
+    // rather than one lucky execution.
+    let ben_or_cells: &[(usize, usize)] = &[(if smoke { 8 } else { 11 }, 1)];
+    let ben_or_grid = |spec: SchedulerSpec| {
+        ben_or_scheduler_grid(ben_or_cells, &[1], &[spec], LatencyModel::Constant(1), 200)
+    };
+    let fifo_grid = ben_or_grid(SchedulerSpec::Fifo);
+    let rush_grid = ben_or_grid(SchedulerSpec::Rush { honest_delay: 2 });
+    let ben_or_runner = SimRunner::new(if smoke { 8 } else { 16 }, 4_302);
+    c.bench_function("event_ben_or_sweep/fifo", |b| {
+        b.iter(|| black_box(ben_or_runner.run_sequential(&BenOrScenario, &fifo_grid)))
+    });
+    c.bench_function("event_ben_or_sweep/rush", |b| {
+        b.iter(|| black_box(ben_or_runner.run_sequential(&BenOrScenario, &rush_grid)))
     });
 
     // Headline ratios: what the event queue costs over lockstep on the
@@ -274,6 +380,56 @@ fn bench_net_engine(c: &mut Criterion) {
     ] {
         if let (Some(s), Some(p)) = (median(seq), median(par)) {
             println!("{seq}: par {:.2}x vs seq (median)", s / p);
+        }
+    }
+
+    // Event-driven headlines, recorded separately to BENCH_5.json (the
+    // BENCH_3 trajectory stays comparable across PRs): what the
+    // ack/retransmit machinery costs when it never fires, what 20% loss
+    // costs when it does, and what the rushing scheduler costs Ben-Or.
+    if let (Some(bare), Some(wrapped)) = (
+        median("event_bracha/direct"),
+        median("event_bracha_retry/zero_loss"),
+    ) {
+        println!(
+            "event_bracha_retry/zero_loss: {:.2}x the bare protocol (median; acks that never fire)",
+            wrapped / bare
+        );
+    }
+    if let (Some(clean), Some(lossy)) = (
+        median("event_bracha_retry/zero_loss"),
+        median("event_bracha_retry/loss20"),
+    ) {
+        println!(
+            "event_bracha_retry/loss20: {:.2}x the zero-loss run (median; loss as latency)",
+            lossy / clean
+        );
+    }
+    if let (Some(fifo), Some(rush)) = (
+        median("event_ben_or_sweep/fifo"),
+        median("event_ben_or_sweep/rush"),
+    ) {
+        println!(
+            "event_ben_or_sweep/rush: {:.2}x the FIFO ensemble (median; the scheduler is the adversary)",
+            rush / fifo
+        );
+    }
+    if let Ok(path) = std::env::var("BNE_BENCH5_JSON") {
+        let legs = [
+            "event_bracha/direct",
+            "event_bracha_retry/zero_loss",
+            "event_bracha_retry/loss20",
+            "event_ben_or_sweep/fifo",
+            "event_ben_or_sweep/rush",
+        ];
+        let bench5: Vec<_> = results
+            .iter()
+            .filter(|r| legs.contains(&r.name.as_str()))
+            .cloned()
+            .collect();
+        match std::fs::write(&path, criterion::results_to_json(&bench5)) {
+            Ok(()) => println!("BENCH_5 summary written to {path}"),
+            Err(e) => eprintln!("warning: could not write BENCH_5 JSON to {path}: {e}"),
         }
     }
 }

@@ -34,7 +34,8 @@ use bne_core::mediator::{
 };
 use bne_core::net::scenario::{
     async_broadcast_partition_grid, async_om_loss_grid, async_phase_king_scheduler_grid,
-    AsyncBroadcastScenario, AsyncOmScenario, AsyncPhaseKingScenario, SchedulerSpec,
+    ben_or_scheduler_grid, bracha_partition_grid, AsyncBrachaScenario, AsyncBroadcastScenario,
+    AsyncOmScenario, AsyncPhaseKingScenario, BenOrScenario, SchedulerSpec,
 };
 use bne_core::net::LatencyModel;
 use bne_core::p2p::scenario::{sharing_cost_grid, P2pScenario};
@@ -78,6 +79,8 @@ fn main() {
             "e17" => e17_async_loss_grid(),
             "e18" => e18_async_scheduler_grid(),
             "e19" => e19_partition_grid(),
+            "e20" => e20_ben_or_grid(),
+            "e21" => e21_bracha_retry_partition_grid(),
             _ => unreachable!(),
         }
         println!();
@@ -752,25 +755,39 @@ fn e16_tournament_grid() {
 // ---------------------------------------------------------------------------
 
 /// E17 — async OM(t): agreement/validity rate vs iid message loss, below
-/// and above the `n > 3t` bound. Reproducible from the fixed base seed
-/// 1_700 (replica seeds derive bijectively from it).
+/// and above the `n > 3t` bound, with a stateless (parity-splitting) arm
+/// and a **colluding** arm (shared-ledger coordinated lies). Reproducible
+/// from the fixed base seed 1_700 (replica seeds derive bijectively from
+/// it).
 fn e17_async_loss_grid() {
     let runner = SimRunner::new(48, 1_700);
-    let cells = [(3usize, 1usize), (4, 1), (7, 2)];
+    let cells = [(3usize, 1usize), (4, 1), (6, 2), (7, 2)];
     let drops = [0.0, 0.05, 0.15, 0.3, 0.5];
-    let grid = async_om_loss_grid(
-        &cells,
-        &drops,
-        bne_core::byzantine::om::TraitorStrategy::SplitByParity,
-        false,
-    );
+    let mut grid = Vec::new();
+    for colluding in [false, true] {
+        grid.extend(async_om_loss_grid(
+            &cells,
+            &drops,
+            bne_core::byzantine::om::TraitorStrategy::SplitByParity,
+            false,
+            colluding,
+        ));
+    }
+    let per_arm = cells.len() * drops.len();
     let rows: Vec<Vec<String>> = runner
         .run(&AsyncOmScenario, &grid)
         .into_iter()
         .map(|r| {
-            let drop = drops[r.cell / cells.len()];
-            let (n, t) = cells[r.cell % cells.len()];
+            let arm = if r.cell / per_arm == 0 {
+                "split-parity"
+            } else {
+                "colluding"
+            };
+            let within_arm = r.cell % per_arm;
+            let drop = drops[within_arm / cells.len()];
+            let (n, t) = cells[within_arm % cells.len()];
             vec![
+                arm.to_string(),
                 fmt_f64(drop),
                 format!("n={n}, t={t}"),
                 fmt_bool(n > 3 * t),
@@ -784,6 +801,7 @@ fn e17_async_loss_grid() {
         "e17",
         "E17  async OM(t): correctness rate vs message loss (48 replicas/cell, EIG processes)",
         &[
+            "adversary",
             "drop prob",
             "(n, t)",
             "n > 3t?",
@@ -793,7 +811,7 @@ fn e17_async_loss_grid() {
         ],
         &rows,
     );
-    println!("Within the bound, OM's guarantee holds only on reliable links: loss acts like extra traitors, and validity decays toward the sub-bound regime as the drop probability rises.");
+    println!("Within the bound, OM's guarantee holds only on reliable links: loss acts like extra traitors, and validity decays toward the sub-bound regime as the drop probability rises. The colluding arm shares one lie ledger across the coalition (every traitor tells each honest lieutenant one consistent story, camps balanced over the honest set). Collusion is a genuine coalition property: with two traitors on the sub-bound (6, 2) cell it cuts loss-free agreement from 0.646 to 0.396 — the parity split often lands the honest lieutenants lopsidedly in one camp, the balanced ledger never does — while with a single traitor ((3, 1)) there is nobody to coordinate with and the ledger is just a coin.");
 }
 
 /// E18 — async phase king: rushing adversary vs seeded-random scheduler vs
@@ -907,4 +925,120 @@ fn e19_partition_grid() {
         &rows,
     );
     println!("The sender's value floods in rounds 0-1 (broadcast, then every process relays exactly once). A partition is fatal for the cut-off half iff it covers that whole flood window [0, 2) — healing later never helps, because nothing is ever retransmitted; any window leaving one flood tick open, or opening after it, costs nothing. Availability under partitions needs retransmission, not just healing — the CAP trade measured in rounds.");
+}
+
+/// E20 — Ben-Or randomized consensus, event-driven (no round adapter):
+/// expected rounds-to-decide and decision time under Fifo vs
+/// RandomInterleave vs AdversarialRush × fault count, mixed starts, with
+/// `StreamingStats` error bars. The first experiment whose measured
+/// quantity is a genuine random variable of the schedule. Reproducible
+/// from the fixed base seed 2_000.
+fn e20_ben_or_grid() {
+    let runner = SimRunner::new(48, 2_000);
+    let cells = [(11usize, 2usize)];
+    let fault_counts = [0usize, 1, 2];
+    let schedulers = [
+        SchedulerSpec::Fifo,
+        SchedulerSpec::Random { jitter: 2 },
+        SchedulerSpec::Rush { honest_delay: 2 },
+    ];
+    let grid = ben_or_scheduler_grid(
+        &cells,
+        &fault_counts,
+        &schedulers,
+        LatencyModel::Constant(1),
+        400,
+    );
+    let rows: Vec<Vec<String>> = runner
+        .run(&BenOrScenario, &grid)
+        .into_iter()
+        .map(|r| {
+            let scheduler = &schedulers[r.cell / (fault_counts.len() * cells.len())];
+            let faults = fault_counts[(r.cell / cells.len()) % fault_counts.len()];
+            let (n, t) = cells[r.cell % cells.len()];
+            vec![
+                scheduler.label(),
+                format!("n={n}, t={t}"),
+                faults.to_string(),
+                fmt_f64(r.outcome.decided.mean()),
+                fmt_f64(r.outcome.agreement.mean()),
+                fmt_stat(&r.outcome.rounds),
+                fmt_stat(&r.outcome.decide_time),
+                fmt_f64(r.outcome.messages.mean()),
+            ]
+        })
+        .collect();
+    emit_table(
+        "e20",
+        "E20  event-driven Ben-Or: expected rounds/time to decide, scheduler x faults (48 replicas/cell, mixed starts, noise adversaries)",
+        &[
+            "scheduler",
+            "(n, t)",
+            "faults",
+            "P[decided]",
+            "P[agreement]",
+            "E[rounds]",
+            "E[decide time]",
+            "E[messages]",
+        ],
+        &rows,
+    );
+    println!("Ben-Or's running time is a random variable (note the error bars: the rounds-to-decide distribution has std on the order of its mean). The rushing adversary — Byzantine noise delivered instantly, honest votes delayed two ticks — is strictly worse in expected decision time than FIFO at every fault count (roughly 2x here): every quorum waits on delayed honest traffic, and its round count creeps up with the fault count as the rushed noise claims more of each quorum's early slots. Zero-latency FIFO burns rounds only on coin flips, so its virtual time stays low no matter how many rounds the coin costs.");
+}
+
+/// E21 — the e19 partition grid re-run on Bracha reliable broadcast with
+/// and without the retry adapter: retransmission turns the "fatal
+/// window" into a latency cliff (correctness 1.0, cost measured in
+/// virtual ticks). Reproducible from the fixed base seed 2_100.
+fn e21_bracha_retry_partition_grid() {
+    let runner = SimRunner::new(48, 2_100);
+    let cells = [(6usize, 1usize)];
+    // Bracha at one tick per hop: init lands at tick 1, echoes at 2,
+    // readies at 3 — windows over [0, 6) can cover none, part or all of
+    // the pipeline, mirroring e19's duration × heal-time axes.
+    let durations = [0u64, 2, 4, 6];
+    let heals = [2u64, 4, 6];
+    let retry = bne_core::net::RetryPolicy::exponential(2);
+    let grid = bracha_partition_grid(&cells, &durations, &heals, &[None, Some(retry)]);
+    let rows: Vec<Vec<String>> = runner
+        .run(&AsyncBrachaScenario, &grid)
+        .into_iter()
+        .map(|r| {
+            let cell = &grid[r.cell];
+            let arm = match &cell.retry {
+                None => "bare".to_string(),
+                Some(p) => p.label(),
+            };
+            let window = match &cell.net.faults.partition {
+                None => "-".to_string(),
+                Some(p) => format!("[{}, {})", p.cut_at, p.heal_at),
+            };
+            vec![
+                arm,
+                window,
+                format!("n={}, t={}", cell.n, cell.t),
+                fmt_f64(r.outcome.delivered.mean()),
+                fmt_f64(r.outcome.agreement.mean()),
+                fmt_f64(r.outcome.totality.mean()),
+                fmt_stat(&r.outcome.deliver_time),
+                fmt_f64(r.outcome.messages.mean()),
+            ]
+        })
+        .collect();
+    emit_table(
+        "e21",
+        "E21  Bracha +/- retransmission under the e19 partition windows (48 replicas/cell, half/half cut)",
+        &[
+            "arm",
+            "cut window",
+            "(n, t)",
+            "P[delivered]",
+            "P[agreement]",
+            "P[totality]",
+            "E[deliver time]",
+            "E[messages]",
+        ],
+        &rows,
+    );
+    println!("Bare Bracha reproduces e19's cliff, and harder: the echo quorum (> (n + t) / 2) spans both halves of the cut, so every window opening at tick 0 — killing the init fan-out and the cross-cut echoes — leaves NOBODY able to deliver, no matter when it heals; once the echoes have crossed, each half's own 2t + 1 readies suffice and the cut costs nothing. With the retry adapter every window delivers 1.0 — the fatal region becomes a latency cliff whose height is roughly the heal time plus one retransmission backoff, and the message column shows what the acks and resends cost. Healing plus retransmission is what buys availability; healing alone buys nothing.");
 }

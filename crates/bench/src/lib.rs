@@ -62,11 +62,14 @@ pub fn fmt_bool(b: bool) -> String {
 /// The list of experiment identifiers understood by the `experiments`
 /// binary. `e1..e12` regenerate the paper's tables; `e13..e16` are the
 /// scenario-engine grid sweeps (replicated Monte Carlo with streaming
-/// aggregation); `e17..e19` run the Byzantine protocols on the `bne-net`
-/// async discrete-event runtime (loss, scheduler and partition sweeps).
+/// aggregation); `e17..e19` run the round-based Byzantine protocols on
+/// the `bne-net` async discrete-event runtime (loss, scheduler and
+/// partition sweeps); `e20..e21` run the **event-driven** protocols
+/// (Ben-Or expected convergence under adversarial schedulers, Bracha ±
+/// retransmission under partitions).
 pub const EXPERIMENT_IDS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19",
+    "e16", "e17", "e18", "e19", "e20", "e21",
 ];
 
 /// Whether the benches should run in bounded smoke mode (the CI
@@ -144,7 +147,7 @@ pub fn tables_to_json(tables: &[RecordedTable]) -> String {
 
 /// Writes every table recorded by [`emit_table`] to the path named by the
 /// `BNE_EXPERIMENTS_JSON` environment variable, if set. Only the
-/// engine-driven experiments (e13..e19) record tables; if none of them
+/// engine-driven experiments (e13..e21) record tables; if none of them
 /// ran, nothing is written and a warning says so instead of leaving a
 /// silently empty export.
 pub fn write_experiments_json_if_requested() {
@@ -153,7 +156,7 @@ pub fn write_experiments_json_if_requested() {
         if tables.is_empty() {
             eprintln!(
                 "warning: BNE_EXPERIMENTS_JSON is set but no JSON-recording experiment \
-                 (e13..e19) ran; not writing {path}"
+                 (e13..e21) ran; not writing {path}"
             );
             return;
         }
@@ -187,7 +190,7 @@ mod tests {
         assert_eq!(fmt_bool(false), "no");
         assert_eq!(fmt_f64(1234.5678), "1234.6");
         assert_eq!(fmt_f64(0.5), "0.500");
-        assert_eq!(EXPERIMENT_IDS.len(), 19);
+        assert_eq!(EXPERIMENT_IDS.len(), 21);
     }
 
     #[test]

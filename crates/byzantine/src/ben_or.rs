@@ -1,0 +1,396 @@
+//! Ben-Or's randomized binary consensus, as a runtime-agnostic state
+//! machine with a seeded per-process coin.
+//!
+//! The second event-driven protocol of the workspace (after
+//! [`crate::bracha`]): each process moves through *its own* rounds at
+//! whatever pace the message schedule allows — there is no global clock,
+//! and the number of rounds until decision is a **random variable** whose
+//! distribution depends on the inputs, the coin seeds and, crucially, the
+//! scheduler. That makes it exactly the workload the `bne-net` adversarial
+//! schedulers were built to stress (the Herman-protocol-style
+//! expected-convergence analysis).
+//!
+//! The protocol (Ben-Or 1983, in the presentation of Aspnes' *Notes on
+//! Theory of Distributed Systems*): in round `r` with preference `x`,
+//!
+//! 1. multicast `Report(r, x)`; collect `n − t` round-`r` reports. If more
+//!    than `(n + t) / 2` report the same `v`, multicast `Proposal(r, v)`,
+//!    else `Proposal(r, ⊥)`;
+//! 2. collect `n − t` round-`r` proposals. If `2t + 1` propose the same
+//!    `v`: **decide** `v`. Else if `t + 1` propose `v`: adopt `x = v`.
+//!    Else: set `x` to a fresh coin flip. Advance to round `r + 1`.
+//!
+//! A process that decides multicasts `Decided(v)` and halts; peers count a
+//! `Decided(v)` as a permanent `Report(r, v)` **and** `Proposal(r, v)` in
+//! every later round, which is what lets stragglers reach their quorums
+//! after the fast processes have gone quiet (termination detection without
+//! a global observer). With these thresholds the classical guarantees hold
+//! for `n > 5t` under Byzantine faults (`n > 2t` for crash faults);
+//! termination is with probability 1, so [`BenOrState`] carries a
+//! `max_rounds` cap after which it halts undecided rather than spin
+//! forever in a simulation.
+
+use crate::network::ProcId;
+use crate::Value;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+
+/// One Ben-Or message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenOrMsg {
+    /// Phase-1 vote: "my round-`round` preference is `value`".
+    Report {
+        /// The sender's current round (1-based).
+        round: u32,
+        /// The sender's preference.
+        value: Value,
+    },
+    /// Phase-2 vote: "round `round` reports showed a supermajority for
+    /// `value`" (`None` encodes the ⊥ proposal).
+    Proposal {
+        /// The sender's current round (1-based).
+        round: u32,
+        /// The proposed value, or `None` for ⊥.
+        value: Option<Value>,
+    },
+    /// Broadcast once on deciding; counts as this sender's report and
+    /// proposal in every later round.
+    Decided {
+        /// The decided value.
+        value: Value,
+    },
+}
+
+/// Which phase of its current round a process is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for `n − t` round-`r` reports.
+    Reporting,
+    /// Waiting for `n − t` round-`r` proposals.
+    Proposing,
+}
+
+/// The state of one Ben-Or participant: per-round vote tallies (keyed by
+/// sender, so Byzantine duplicates cannot stuff a quorum), the halted
+/// peers' decided values, and the process's private seeded coin.
+#[derive(Debug, Clone)]
+pub struct BenOrState {
+    id: ProcId,
+    n: usize,
+    t: usize,
+    pref: Value,
+    round: u32,
+    phase: Phase,
+    max_rounds: u32,
+    reports: BTreeMap<u32, BTreeMap<ProcId, Value>>,
+    proposals: BTreeMap<u32, BTreeMap<ProcId, Option<Value>>>,
+    decided_peers: BTreeMap<ProcId, Value>,
+    decided: Option<Value>,
+    decided_round: Option<u32>,
+    halted: bool,
+    coin: StdRng,
+}
+
+impl BenOrState {
+    /// A fresh participant with initial preference `pref` and a private
+    /// coin seeded with `coin_seed` (derive it per process via
+    /// `bne_sim::derive_seed` so no two processes share a coin stream).
+    pub fn new(
+        id: ProcId,
+        n: usize,
+        t: usize,
+        pref: Value,
+        max_rounds: u32,
+        coin_seed: u64,
+    ) -> Self {
+        BenOrState {
+            id,
+            n,
+            t,
+            pref,
+            round: 1,
+            phase: Phase::Reporting,
+            max_rounds,
+            reports: BTreeMap::new(),
+            proposals: BTreeMap::new(),
+            decided_peers: BTreeMap::new(),
+            decided: None,
+            decided_round: None,
+            halted: false,
+            coin: StdRng::seed_from_u64(coin_seed),
+        }
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// The decided value, if any.
+    pub fn decided(&self) -> Option<Value> {
+        self.decided
+    }
+
+    /// The round in which the decision was reached, if any.
+    pub fn decided_round(&self) -> Option<u32> {
+        self.decided_round
+    }
+
+    /// Whether the process has stopped participating (decided, or gave up
+    /// at `max_rounds`).
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The opening move: multicast this process's round-1 report.
+    pub fn start(&mut self) -> Vec<BenOrMsg> {
+        vec![BenOrMsg::Report {
+            round: 1,
+            value: self.pref,
+        }]
+    }
+
+    /// Handles one incoming message and advances through as many
+    /// phases/rounds as the accumulated votes allow, returning every
+    /// message to multicast to all `n` processes (first write per
+    /// `(round, sender)` wins; a process's own multicasts loop back
+    /// through the network like anyone else's).
+    pub fn handle(&mut self, src: ProcId, msg: &BenOrMsg) -> Vec<BenOrMsg> {
+        match *msg {
+            BenOrMsg::Report { round, value } => {
+                self.reports
+                    .entry(round)
+                    .or_default()
+                    .entry(src)
+                    .or_insert(value);
+            }
+            BenOrMsg::Proposal { round, value } => {
+                self.proposals
+                    .entry(round)
+                    .or_default()
+                    .entry(src)
+                    .or_insert(value);
+            }
+            BenOrMsg::Decided { value } => {
+                self.decided_peers.entry(src).or_insert(value);
+            }
+        }
+        self.advance()
+    }
+
+    /// Tries to finish the current phase (possibly several in a row — a
+    /// burst of buffered future-round votes can unlock more than one).
+    fn advance(&mut self) -> Vec<BenOrMsg> {
+        let mut out = Vec::new();
+        loop {
+            if self.halted {
+                return out;
+            }
+            match self.phase {
+                Phase::Reporting => {
+                    let Some(tally) = self.report_tally() else {
+                        return out;
+                    };
+                    // supermajority: two report quorums intersect in an
+                    // honest process, so at most one value can cross it
+                    let quorum = (self.n + self.t) / 2 + 1;
+                    let proposal = tally.iter().find(|&(_, &c)| c >= quorum).map(|(&v, _)| v);
+                    self.phase = Phase::Proposing;
+                    out.push(BenOrMsg::Proposal {
+                        round: self.round,
+                        value: proposal,
+                    });
+                }
+                Phase::Proposing => {
+                    let Some(tally) = self.proposal_tally() else {
+                        return out;
+                    };
+                    // the best-supported non-⊥ value (ties broken toward
+                    // the smaller value for determinism; honest processes
+                    // can never produce two conflicting proposals, so a
+                    // tie means Byzantine noise on both sides)
+                    let best = tally
+                        .iter()
+                        .max_by_key(|&(&v, &c)| (c, std::cmp::Reverse(v)))
+                        .map(|(&v, &c)| (v, c));
+                    match best {
+                        // c ≥ 2t + 1: a majority of the proposers are honest
+                        Some((v, c)) if c > 2 * self.t => {
+                            self.decided = Some(v);
+                            self.decided_round = Some(self.round);
+                            self.halted = true;
+                            out.push(BenOrMsg::Decided { value: v });
+                            return out;
+                        }
+                        // c ≥ t + 1: at least one honest proposer
+                        Some((v, c)) if c > self.t => self.pref = v,
+                        _ => self.pref = self.coin.random_range(0..2u64),
+                    }
+                    self.round += 1;
+                    if self.round > self.max_rounds {
+                        // give up undecided: bounds the simulation
+                        self.halted = true;
+                        return out;
+                    }
+                    self.phase = Phase::Reporting;
+                    out.push(BenOrMsg::Report {
+                        round: self.round,
+                        value: self.pref,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The round-`r` report tally (value → votes), with halted peers
+    /// counted as permanent reporters of their decided value. `None`
+    /// until `n − t` distinct voters have been heard.
+    fn report_tally(&self) -> Option<BTreeMap<Value, usize>> {
+        let empty = BTreeMap::new();
+        let live = self.reports.get(&self.round).unwrap_or(&empty);
+        let mut tally: BTreeMap<Value, usize> = BTreeMap::new();
+        let mut voters = 0usize;
+        for (&src, &v) in live {
+            if !self.decided_peers.contains_key(&src) {
+                *tally.entry(v).or_default() += 1;
+                voters += 1;
+            }
+        }
+        for &v in self.decided_peers.values() {
+            *tally.entry(v).or_default() += 1;
+            voters += 1;
+        }
+        (voters >= self.n - self.t).then_some(tally)
+    }
+
+    /// The round-`r` proposal tally over non-⊥ values, with halted peers
+    /// counted as permanent proposers of their decided value. `None`
+    /// until `n − t` distinct voters have been heard.
+    fn proposal_tally(&self) -> Option<BTreeMap<Value, usize>> {
+        let empty = BTreeMap::new();
+        let live = self.proposals.get(&self.round).unwrap_or(&empty);
+        let mut tally: BTreeMap<Value, usize> = BTreeMap::new();
+        let mut voters = 0usize;
+        for (&src, &v) in live {
+            if !self.decided_peers.contains_key(&src) {
+                if let Some(v) = v {
+                    *tally.entry(v).or_default() += 1;
+                }
+                voters += 1;
+            }
+        }
+        for &v in self.decided_peers.values() {
+            *tally.entry(v).or_default() += 1;
+            voters += 1;
+        }
+        (voters >= self.n - self.t).then_some(tally)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a full network of `BenOrState`s by a FIFO queue until
+    /// quiescence (every returned message multicast to all).
+    fn run_lockstep(prefs: &[Value], t: usize, max_rounds: u32) -> Vec<BenOrState> {
+        let n = prefs.len();
+        let mut procs: Vec<BenOrState> = prefs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| BenOrState::new(i, n, t, p, max_rounds, 0xC0 + i as u64))
+            .collect();
+        let mut queue: std::collections::VecDeque<(ProcId, ProcId, BenOrMsg)> =
+            std::collections::VecDeque::new();
+        for (src, proc) in procs.iter_mut().enumerate() {
+            for m in proc.start() {
+                for dst in 0..n {
+                    queue.push_back((src, dst, m));
+                }
+            }
+        }
+        while let Some((src, dst, msg)) = queue.pop_front() {
+            for m in procs[dst].handle(src, &msg) {
+                for d in 0..n {
+                    queue.push_back((dst, d, m));
+                }
+            }
+        }
+        procs
+    }
+
+    #[test]
+    fn unanimous_inputs_decide_in_round_one() {
+        let procs = run_lockstep(&[1, 1, 1, 1, 1], 1, 50);
+        for p in &procs {
+            assert_eq!(p.decided(), Some(1));
+            assert_eq!(p.decided_round(), Some(1));
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_decide_and_agree() {
+        let procs = run_lockstep(&[0, 1, 0, 1, 0, 1, 0], 1, 200);
+        let first = procs[0].decided().expect("must decide");
+        for p in &procs {
+            assert_eq!(p.decided(), Some(first), "agreement");
+        }
+    }
+
+    #[test]
+    fn validity_unanimous_zero() {
+        let procs = run_lockstep(&[0, 0, 0, 0], 1, 50);
+        assert!(procs.iter().all(|p| p.decided() == Some(0)));
+    }
+
+    #[test]
+    fn max_rounds_halts_undecided_rather_than_spinning() {
+        // t = n: quorums are unreachable, so every process coins forever
+        // until the cap trips
+        let mut p = BenOrState::new(0, 3, 3, 1, 5, 9);
+        let _ = p.start();
+        // n - t = 0 voters needed: advances through phases on no votes
+        let _ = p.advance();
+        assert!(p.halted());
+        assert_eq!(p.decided(), None);
+    }
+
+    #[test]
+    fn duplicate_votes_from_one_sender_count_once() {
+        let mut p = BenOrState::new(0, 4, 1, 1, 10, 7);
+        let _ = p.start();
+        for _ in 0..5 {
+            let _ = p.handle(2, &BenOrMsg::Report { round: 1, value: 1 });
+        }
+        // only 1 distinct voter < n - t = 3: still reporting
+        assert_eq!(p.phase, Phase::Reporting);
+    }
+
+    #[test]
+    fn decided_peers_unblock_stragglers_in_later_rounds() {
+        // three peers decided 1 and halted; the straggler's round-1 tally
+        // counts them, crosses its quorums and decides without any live
+        // round-1 traffic
+        let mut p = BenOrState::new(3, 4, 1, 0, 10, 11);
+        let _ = p.start();
+        let mut out = Vec::new();
+        for src in 0..3 {
+            out.extend(p.handle(src, &BenOrMsg::Decided { value: 1 }));
+        }
+        assert_eq!(p.decided(), Some(1));
+        assert!(out
+            .iter()
+            .any(|m| matches!(m, BenOrMsg::Decided { value: 1 })));
+    }
+
+    #[test]
+    fn coin_streams_differ_across_seeds() {
+        let mut a = BenOrState::new(0, 3, 1, 0, 10, 1);
+        let mut b = BenOrState::new(0, 3, 1, 0, 10, 2);
+        let flips = |s: &mut BenOrState| -> Vec<u64> {
+            (0..32).map(|_| s.coin.random_range(0..2u64)).collect()
+        };
+        assert_ne!(flips(&mut a), flips(&mut b));
+    }
+}

@@ -22,6 +22,12 @@
 //!   running on the network simulator, correct for `n > 4t`;
 //! * [`broadcast`] — Dolev–Strong authenticated broadcast on top of the
 //!   simulated PKI of `bne-crypto`, correct for any `t < n`;
+//! * [`bracha`] — Bracha's echo/ready reliable broadcast as an
+//!   **event-driven** quorum state machine (no rounds; runs directly on
+//!   the `bne-net` event runtime), correct for `n > 3t`;
+//! * [`ben_or`] — Ben-Or's randomized binary consensus with a seeded
+//!   per-process coin: the first protocol here whose running time is a
+//!   random variable rather than a fixed round count;
 //! * [`mediator_ba`] — the trivial mediator-based solution the paper uses as
 //!   the specification ("the general simply sends the mediator his
 //!   preference, and the mediator sends it to all the soldiers");
@@ -32,6 +38,8 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod ben_or;
+pub mod bracha;
 pub mod broadcast;
 pub mod mediator_ba;
 pub mod network;
@@ -42,12 +50,17 @@ pub mod properties;
 pub mod scenario;
 
 pub use adversary::FaultyBehavior;
+pub use ben_or::{BenOrMsg, BenOrState};
+pub use bracha::{BrachaMsg, BrachaState};
 pub use mediator_ba::mediator_byzantine_agreement;
 pub use network::{ProcId, Process, RoundStats, SyncNetwork};
 pub use om::{om_byzantine_generals, OmConfig, OmOutcome};
-pub use om_process::{om_process_set, run_om_process, OmMsg, OmProcess, OmTraitorProcess};
+pub use om_process::{
+    om_colluding_process_set, om_process_set, run_om_process, OmColludingTraitorProcess,
+    OmCollusion, OmMsg, OmProcess, OmTraitorProcess,
+};
 pub use phase_king::{run_phase_king, PhaseKingProcess};
-pub use properties::{check_agreement, check_validity, AgreementReport};
+pub use properties::{check_agreement, check_validity, rb_report, AgreementReport, RbReport};
 pub use scenario::{BroadcastScenario, OmScenario, PhaseKingScenario, ProtocolStats};
 
 /// A binary value agreed upon (attack = 1, retreat = 0 in the paper's

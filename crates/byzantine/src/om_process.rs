@@ -20,7 +20,9 @@
 use crate::network::{ProcId, Process, RoundStats, SyncNetwork};
 use crate::om::{majority, OmConfig, TraitorStrategy};
 use crate::Value;
-use std::collections::BTreeMap;
+use rand::{RngExt, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
 /// One oral message: the claimed value and the relay path it travelled
 /// (starting at the commander, ending at the sender).
@@ -275,6 +277,138 @@ impl Process for OmTraitorProcess {
     }
 }
 
+/// Shared adversary state for **colluding** OM traitors: a ledger mapping
+/// each honest lieutenant to the camp (0 or 1) every traitor consistently
+/// tells it, assigned lazily in a seeded random order while keeping the
+/// two camps balanced over the honest lieutenants actually targeted.
+///
+/// The stateless [`TraitorStrategy`]s lie per message with no memory: the
+/// parity split, for example, partitions *all* process ids, so the honest
+/// lieutenants may land lopsidedly in one camp, and `Flip` tells everyone
+/// the same story. A colluding coalition instead agrees on one balanced
+/// partition of the honest lieutenants and has **every traitor tell every
+/// camp member the same value at every relay level** — consistent lies are
+/// strictly harder for the recursive EIG majority to outvote, which is
+/// what pushes sub-bound failure rates toward the adversarial optimum
+/// (the e17 colluding arm measures the gap).
+#[derive(Debug)]
+pub struct OmCollusion {
+    /// The coalition — fellow traitors never occupy a camp slot, so the
+    /// balance is genuinely over the honest lieutenants.
+    traitors: BTreeSet<usize>,
+    camps: std::cell::RefCell<BTreeMap<ProcId, Value>>,
+    rng: std::cell::RefCell<rand::rngs::StdRng>,
+}
+
+impl OmCollusion {
+    /// A fresh ledger for the given coalition; seed it per replica (via
+    /// `bne_sim::derive_seed`) so the camp assignment varies across
+    /// replicas.
+    pub fn new(seed: u64, traitors: BTreeSet<usize>) -> Rc<Self> {
+        Rc::new(OmCollusion {
+            traitors,
+            camps: std::cell::RefCell::new(BTreeMap::new()),
+            rng: std::cell::RefCell::new(rand::rngs::StdRng::seed_from_u64(seed)),
+        })
+    }
+
+    /// The coordinated lie for destination `dst`: every traitor always
+    /// tells `dst` the same value. New **honest** destinations join
+    /// whichever camp is smaller (ties broken by a seeded coin), keeping
+    /// the split of targeted honest lieutenants balanced; messages to
+    /// fellow traitors carry a fixed filler value and never occupy a camp
+    /// slot (the coalition does not need to lie to itself, and letting it
+    /// eat camp capacity would unbalance the real split).
+    pub fn lie_for(&self, dst: ProcId) -> Value {
+        if self.traitors.contains(&dst) {
+            return 0;
+        }
+        let mut camps = self.camps.borrow_mut();
+        if let Some(&v) = camps.get(&dst) {
+            return v;
+        }
+        let zeros = camps.values().filter(|&&v| v == 0).count();
+        let ones = camps.len() - zeros;
+        let v = match zeros.cmp(&ones) {
+            std::cmp::Ordering::Less => 0,
+            std::cmp::Ordering::Greater => 1,
+            std::cmp::Ordering::Equal => self.rng.borrow_mut().random_range(0..2u64),
+        };
+        camps.insert(dst, v);
+        v
+    }
+}
+
+/// A traitorous OM(m) participant drawing its lies from a shared
+/// [`OmCollusion`] ledger, so the whole coalition tells each honest
+/// lieutenant one consistent story. Follows the honest message schedule
+/// (same paths, same recipients) and never decides.
+#[derive(Debug)]
+pub struct OmColludingTraitorProcess {
+    state: EigState,
+    collusion: Rc<OmCollusion>,
+}
+
+impl OmColludingTraitorProcess {
+    /// Creates a colluding traitor sharing the given ledger.
+    pub fn new(m: usize, default: Value, collusion: Rc<OmCollusion>) -> Self {
+        OmColludingTraitorProcess {
+            state: EigState::new(m, default),
+            collusion,
+        }
+    }
+}
+
+impl Process for OmColludingTraitorProcess {
+    type Msg = OmMsg;
+
+    fn init(&mut self, id: ProcId, n: usize) {
+        self.state.id = id;
+        self.state.n = n;
+    }
+
+    fn round(&mut self, round: usize, inbox: &[(ProcId, OmMsg)]) -> Vec<(ProcId, OmMsg)> {
+        let mut out = Vec::new();
+        if round == 0 {
+            if self.state.id == 0 {
+                for dst in 1..self.state.n {
+                    out.push((
+                        dst,
+                        OmMsg {
+                            path: vec![0],
+                            value: self.collusion.lie_for(dst),
+                        },
+                    ));
+                }
+            }
+            return out;
+        }
+        for (src, msg) in inbox {
+            let Some(path) = self.state.absorb(*src, msg, round) else {
+                continue;
+            };
+            if round <= self.state.m {
+                let mut relayed = path.clone();
+                relayed.push(self.state.id);
+                for dst in self.state.relay_targets(&path) {
+                    out.push((
+                        dst,
+                        OmMsg {
+                            path: relayed.clone(),
+                            value: self.collusion.lie_for(dst),
+                        },
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    fn decision(&self) -> Option<u64> {
+        None
+    }
+}
+
 /// Builds the full process set (honest and traitorous) for `config`,
 /// ready to run on any network runtime.
 pub fn om_process_set(config: &OmConfig) -> Vec<Box<dyn Process<Msg = OmMsg>>> {
@@ -286,6 +420,34 @@ pub fn om_process_set(config: &OmConfig) -> Vec<Box<dyn Process<Msg = OmMsg>>> {
                     config.m,
                     config.default_value,
                     config.strategy,
+                )) as Box<dyn Process<Msg = OmMsg>>
+            } else {
+                Box::new(OmProcess::new(
+                    config.commander_value,
+                    config.m,
+                    config.default_value,
+                )) as Box<dyn Process<Msg = OmMsg>>
+            }
+        })
+        .collect()
+}
+
+/// Builds the process set for `config` with **colluding** traitors: all
+/// traitors share one [`OmCollusion`] ledger seeded with `collusion_seed`
+/// (the [`OmConfig::strategy`] field is ignored — the ledger *is* the
+/// strategy). Honest processes are identical to [`om_process_set`]'s.
+pub fn om_colluding_process_set(
+    config: &OmConfig,
+    collusion_seed: u64,
+) -> Vec<Box<dyn Process<Msg = OmMsg>>> {
+    let collusion = OmCollusion::new(collusion_seed, config.traitors.clone());
+    (0..config.n)
+        .map(|id| {
+            if config.traitors.contains(&id) {
+                Box::new(OmColludingTraitorProcess::new(
+                    config.m,
+                    config.default_value,
+                    Rc::clone(&collusion),
                 )) as Box<dyn Process<Msg = OmMsg>>
             } else {
                 Box::new(OmProcess::new(
@@ -412,6 +574,59 @@ mod tests {
         let cfg = config(7, 2, &[], TraitorStrategy::Flip);
         let (_, stats) = run_om_process(&cfg);
         assert_eq!(stats.messages_sent, 6 + 30 + 120);
+    }
+
+    #[test]
+    fn colluding_traitors_tell_each_destination_one_story() {
+        let ledger = OmCollusion::new(7, [3usize].into_iter().collect());
+        let first: Vec<Value> = (1..6).map(|d| ledger.lie_for(d)).collect();
+        let again: Vec<Value> = (1..6).map(|d| ledger.lie_for(d)).collect();
+        assert_eq!(first, again, "the ledger never changes its story");
+        // camps stay balanced over the targeted HONEST destinations
+        // ({1, 2, 4, 5}; the fellow traitor 3 occupies no camp slot)
+        let honest_values: Vec<Value> = [1usize, 2, 4, 5].map(|d| ledger.lie_for(d)).to_vec();
+        let zeros = honest_values.iter().filter(|&&v| v == 0).count();
+        assert_eq!(zeros, 2, "honest split must be exactly 2/2");
+    }
+
+    #[test]
+    fn colluding_camps_ignore_fellow_traitors_in_every_interleaving() {
+        // whatever order destinations are first targeted in — including
+        // traitors interleaved between honest lieutenants — the honest
+        // camps end up exactly balanced
+        for seed in 0..8u64 {
+            let traitors: BTreeSet<usize> = [2usize, 5].into_iter().collect();
+            let ledger = OmCollusion::new(seed, traitors.clone());
+            for dst in [5usize, 1, 2, 3, 4, 6] {
+                let _ = ledger.lie_for(dst);
+            }
+            let honest: Vec<Value> = [1usize, 3, 4, 6]
+                .iter()
+                .map(|&d| ledger.lie_for(d))
+                .collect();
+            let zeros = honest.iter().filter(|&&v| v == 0).count();
+            assert_eq!(zeros, 2, "seed {seed}: honest split {zeros}/4");
+        }
+    }
+
+    #[test]
+    fn colluding_traitors_respect_the_bound_and_break_below_it() {
+        // within n > 3t the protocol shrugs collusion off like any lie
+        let cfg = config(7, 2, &[2, 5], TraitorStrategy::Flip);
+        let mut net = SyncNetwork::new(om_colluding_process_set(&cfg, 42));
+        net.run(OmProcess::rounds_needed(cfg.m));
+        let values = honest_decisions(&net.decisions(), &cfg.traitors);
+        assert!(values.iter().all(|&v| v == 1), "validity within the bound");
+        // below the bound (n = 6 ≤ 3t with t = 2) the balanced consistent
+        // split must break agreement for some collusion seed
+        let cfg = config(6, 2, &[2, 5], TraitorStrategy::Flip);
+        let broke = (0..16u64).any(|seed| {
+            let mut net = SyncNetwork::new(om_colluding_process_set(&cfg, seed));
+            net.run(OmProcess::rounds_needed(cfg.m));
+            let values = honest_decisions(&net.decisions(), &cfg.traitors);
+            !values.windows(2).all(|w| w[0] == w[1]) || values.iter().any(|&v| v != 1)
+        });
+        assert!(broke, "sub-bound collusion should break correctness");
     }
 
     #[test]

@@ -73,6 +73,56 @@ pub fn report(
     }
 }
 
+/// The correctness conditions of **reliable broadcast** (Bracha), evaluated
+/// on the honest processes' delivered values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RbReport {
+    /// Validity: the honest broadcaster's value was delivered by every
+    /// honest process (vacuously true when the broadcaster is faulty).
+    pub validity: bool,
+    /// Agreement: no two honest processes delivered different values.
+    pub agreement: bool,
+    /// Totality: if any honest process delivered, every honest process
+    /// delivered.
+    pub totality: bool,
+}
+
+impl RbReport {
+    /// Whether all three conditions hold.
+    pub fn correct(&self) -> bool {
+        self.validity && self.agreement && self.totality
+    }
+}
+
+/// Builds the [`RbReport`] of one reliable-broadcast execution.
+/// `delivered[i]` is process `i`'s delivered value (if any), `honest[i]`
+/// its honesty; `broadcaster_value` is `Some(v)` when the broadcaster is
+/// honest and broadcast `v`.
+pub fn rb_report(
+    delivered: &[Option<Value>],
+    honest: &[bool],
+    broadcaster_value: Option<Value>,
+) -> RbReport {
+    let honest_deliveries: Vec<Option<Value>> = delivered
+        .iter()
+        .zip(honest.iter())
+        .filter(|(_, &h)| h)
+        .map(|(d, _)| *d)
+        .collect();
+    let validity = match broadcaster_value {
+        Some(v) => honest_deliveries.iter().all(|d| *d == Some(v)),
+        None => true,
+    };
+    let agreement = check_agreement(delivered, honest);
+    let any = honest_deliveries.iter().any(|d| d.is_some());
+    let totality = !any || honest_deliveries.iter().all(|d| d.is_some());
+    RbReport {
+        validity,
+        agreement,
+        totality,
+    }
+}
+
 /// One row of the E4 sweep: for a given `(n, t)`, whether OM(t) with the
 /// worst adversary we implement preserved agreement and validity.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -169,6 +219,28 @@ mod tests {
         let r = report(&decisions, &honest, true, 1);
         assert!(!r.all_decided);
         assert!(!r.correct());
+    }
+
+    #[test]
+    fn rb_report_covers_the_three_conditions() {
+        let honest = vec![true, true, true, false];
+        // all honest delivered the broadcast value: fully correct
+        let r = rb_report(&[Some(1), Some(1), Some(1), None], &honest, Some(1));
+        assert!(r.correct());
+        // one honest delivery missing: totality (and validity) broken
+        let r = rb_report(&[Some(1), None, Some(1), None], &honest, Some(1));
+        assert!(!r.totality);
+        assert!(!r.validity);
+        assert!(r.agreement, "agreement only constrains actual deliveries");
+        // split deliveries: agreement broken, totality fine
+        let r = rb_report(&[Some(1), Some(0), Some(1), None], &honest, None);
+        assert!(!r.agreement);
+        assert!(r.totality);
+        assert!(r.validity, "vacuous under a faulty broadcaster");
+        // nobody delivered anything: totality vacuous, validity not
+        let r = rb_report(&[None, None, None, None], &honest, Some(1));
+        assert!(r.totality);
+        assert!(!r.validity);
     }
 
     #[test]

@@ -36,6 +36,31 @@
 //! sweeps return **bit-identical** profile lists (same profiles, same
 //! order) as the exhaustive ones. [`SearchStrategy::Exhaustive`] keeps
 //! the unpruned path available as the property-test equality gate.
+//!
+//! # Examples
+//!
+//! The oracle answers per-profile predicates by flat index (profile
+//! `(a_0, …)` lives at `Σ a_p · stride_p`; see
+//! [`NormalFormGame::strides`]). In the prisoner's dilemma, (Defect,
+//! Defect) — flat index 3 — is the unique Nash equilibrium, but any
+//! 2-coalition gains by jointly switching to Cooperate, so it is not
+//! 2-resilient:
+//!
+//! ```
+//! use bne_games::classic::prisoners_dilemma;
+//! use bne_games::{DeviationOracle, ResilienceVariant};
+//!
+//! let game = prisoners_dilemma();
+//! let oracle = DeviationOracle::new(&game);
+//!
+//! let dd = 3; // flat index of (Defect, Defect)
+//! assert!(oracle.is_nash(dd));
+//! assert!(!oracle.is_k_resilient(dd, 2, ResilienceVariant::SomeMemberGains));
+//! assert_eq!(oracle.max_resilience(dd, 2, ResilienceVariant::SomeMemberGains), 1);
+//!
+//! // no other profile is Nash: one oracle, many queries, one table build
+//! assert!((0..4).filter(|&flat| oracle.is_nash(flat)).eq([dd]));
+//! ```
 
 use crate::normal_form::NormalFormGame;
 use crate::profile::{index_to_profile, try_for_each_subset_of_size, with_scratch, ActionProfile};

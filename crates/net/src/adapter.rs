@@ -20,6 +20,52 @@
 //! message that takes longer than a round simply lands in a later round's
 //! inbox, which is how the async experiments measure synchronous-protocol
 //! degradation under asynchrony.
+//!
+//! # Examples
+//!
+//! A round-based [`Process`] runs unchanged on both runtimes, and under
+//! [`NetConfig::lockstep`] the outcomes coincide exactly:
+//!
+//! ```
+//! use bne_byzantine::{ProcId, Process};
+//! use bne_net::{run_round_protocol, run_sync_protocol, NetConfig};
+//!
+//! /// Every process broadcasts its id in round 0 and decides the sum of
+//! /// what it heard in round 1.
+//! struct SumIds {
+//!     id: ProcId,
+//!     n: usize,
+//!     sum: Option<u64>,
+//! }
+//!
+//! impl Process for SumIds {
+//!     type Msg = u64;
+//!     fn init(&mut self, id: ProcId, n: usize) {
+//!         self.id = id;
+//!         self.n = n;
+//!     }
+//!     fn round(&mut self, round: usize, inbox: &[(ProcId, u64)]) -> Vec<(ProcId, u64)> {
+//!         if round == 0 {
+//!             (0..self.n).filter(|&d| d != self.id).map(|d| (d, self.id as u64)).collect()
+//!         } else {
+//!             self.sum = Some(inbox.iter().map(|(_, v)| v).sum());
+//!             Vec::new()
+//!         }
+//!     }
+//!     fn decision(&self) -> Option<u64> {
+//!         self.sum
+//!     }
+//! }
+//!
+//! let make = || -> Vec<Box<dyn Process<Msg = u64>>> {
+//!     (0..4).map(|_| Box::new(SumIds { id: 0, n: 0, sum: None }) as _).collect()
+//! };
+//! let (sync_decisions, sync_stats) = run_sync_protocol(make(), 2);
+//! let async_out = run_round_protocol(make(), 2, NetConfig::lockstep(0));
+//! assert_eq!(async_out.decisions, sync_decisions);
+//! assert_eq!(async_out.round_stats(), sync_stats);
+//! assert_eq!(async_out.decisions[0], Some(1 + 2 + 3));
+//! ```
 
 use crate::model::NetConfig;
 use crate::runtime::{AsyncProcess, EventNet, NetCtx, NetStats};

@@ -23,10 +23,18 @@
 //!   round-based [`bne_byzantine::Process`] *unchanged* on the async
 //!   runtime, **bit-identical** to `SyncNetwork` under the zero-latency
 //!   FIFO configuration ([`model::NetConfig::lockstep`]);
+//! * [`protocols`] — **event-driven** protocols running directly on the
+//!   runtime with no round adapter: Bracha reliable broadcast
+//!   ([`protocols::BrachaProcess`]) and Ben-Or randomized consensus
+//!   ([`protocols::BenOrProcess`]), whose running time is a random
+//!   variable of the schedule;
+//! * [`retry`] — a [`retry::RetryAdapter`] wrapping any
+//!   [`runtime::AsyncProcess`] with acknowledgement + retransmission
+//!   (configurable backoff), turning message loss into latency;
 //! * [`scenario`] — [`bne_sim::Scenario`] ports (async OM, phase king,
-//!   Dolev–Strong) so agreement/validity rates sweep over latency × loss
-//!   × scheduler × `f/n` grids through the parallel Monte Carlo engine
-//!   (experiments e17–e18);
+//!   Dolev–Strong, Bracha, Ben-Or) so agreement/validity rates sweep over
+//!   latency × loss × scheduler × `f/n` grids through the parallel Monte
+//!   Carlo engine (experiments e17–e21);
 //! * [`cheap_talk`] — the mediator cheap-talk implementations re-hosted
 //!   on the async runtime.
 //!
@@ -39,12 +47,17 @@
 pub mod adapter;
 pub mod cheap_talk;
 pub mod model;
+pub mod protocols;
+pub mod retry;
 pub mod runtime;
 pub mod scenario;
 
 pub use adapter::{run_round_protocol, run_sync_protocol, AsyncRunOutcome, RoundAdapter};
 pub use model::{LatencyModel, LinkFaults, NetConfig, Partition, SchedulerPolicy};
+pub use protocols::{BenOrNoiseProcess, BenOrProcess, BrachaProcess, SilentAsyncProcess};
+pub use retry::{RetryAdapter, RetryMsg, RetryPolicy};
 pub use runtime::{AsyncProcess, EventNet, NetCtx, NetStats, TraceEvent, TraceKind};
 pub use scenario::{
-    AsyncBroadcastScenario, AsyncOmScenario, AsyncPhaseKingScenario, NetProfile, SchedulerSpec,
+    AsyncBrachaScenario, AsyncBroadcastScenario, AsyncOmScenario, AsyncPhaseKingScenario,
+    BenOrScenario, ConsensusStats, NetProfile, RbStats, SchedulerSpec,
 };

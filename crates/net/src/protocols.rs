@@ -1,0 +1,401 @@
+//! Event-driven protocols running **directly** on [`EventNet`] — no
+//! round adapter, no global clock.
+//!
+//! These are thin [`AsyncProcess`] shells over the runtime-agnostic state
+//! machines in `bne-byzantine`: every message the machine wants out is
+//! multicast to all `n` processes (their own copy loops back through the
+//! network like anyone else's, so quorums count uniformly). Because
+//! progress is driven purely by arrivals, the protocols' running time is
+//! whatever the latency model and scheduler make it — the random variable
+//! experiments e20/e21 measure.
+//!
+//! * [`BrachaProcess`] — Bracha reliable broadcast
+//!   ([`bne_byzantine::bracha`]);
+//! * [`BenOrProcess`] — Ben-Or randomized consensus
+//!   ([`bne_byzantine::ben_or`]), with a per-process seeded coin and a
+//!   round probe for measuring rounds-to-decide;
+//! * [`SilentAsyncProcess`] — a crashed-from-the-start participant for
+//!   any message type;
+//! * [`BenOrNoiseProcess`] — a Byzantine participant injecting seeded
+//!   random reports and proposals for every round it observes.
+
+use crate::runtime::{AsyncProcess, EventNet, NetCtx};
+use bne_byzantine::ben_or::{BenOrMsg, BenOrState};
+use bne_byzantine::bracha::{BrachaMsg, BrachaState};
+use bne_byzantine::{ProcId, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cell::Cell;
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+/// Bracha reliable broadcast as an [`AsyncProcess`].
+///
+/// Process `broadcaster` multicasts `Init(input)` at start; everyone else
+/// reacts to arrivals only. [`AsyncProcess::decision`] is the delivered
+/// value, so [`EventNet::decision_times`] reports per-process delivery
+/// latency.
+pub struct BrachaProcess {
+    t: usize,
+    broadcaster: ProcId,
+    input: Value,
+    state: Option<BrachaState>,
+}
+
+impl BrachaProcess {
+    /// A participant with fault budget `t`; `input` is used only by the
+    /// process whose id equals `broadcaster`.
+    pub fn new(t: usize, broadcaster: ProcId, input: Value) -> Self {
+        BrachaProcess {
+            t,
+            broadcaster,
+            input,
+            state: None,
+        }
+    }
+}
+
+impl AsyncProcess for BrachaProcess {
+    type Msg = BrachaMsg;
+
+    fn on_start(&mut self, ctx: &mut NetCtx<BrachaMsg>) {
+        let mut state = BrachaState::new(ctx.id(), ctx.n(), self.t, self.broadcaster);
+        for m in state.start(self.input) {
+            ctx.multicast(0..ctx.n(), m);
+        }
+        self.state = Some(state);
+    }
+
+    fn on_message(&mut self, src: ProcId, msg: BrachaMsg, ctx: &mut NetCtx<BrachaMsg>) {
+        let state = self.state.as_mut().expect("on_start ran");
+        for m in state.handle(src, &msg) {
+            ctx.multicast(0..ctx.n(), m);
+        }
+    }
+
+    fn on_timer(&mut self, _timer: u64, _ctx: &mut NetCtx<BrachaMsg>) {}
+
+    fn decision(&self) -> Option<u64> {
+        self.state.as_ref().and_then(|s| s.delivered())
+    }
+}
+
+/// Ben-Or randomized binary consensus as an [`AsyncProcess`].
+///
+/// The coin seed must be derived per process (e.g.
+/// `bne_sim::derive_seed(replica_seed, COIN_STREAM, id)`) so no two
+/// processes share a coin stream. An optional round probe
+/// ([`BenOrProcess::with_round_probe`]) exposes the decision round to the
+/// scenario without downcasting.
+pub struct BenOrProcess {
+    t: usize,
+    pref: Value,
+    max_rounds: u32,
+    coin_seed: u64,
+    state: Option<BenOrState>,
+    round_probe: Option<Rc<Cell<Option<u32>>>>,
+}
+
+impl BenOrProcess {
+    /// A participant with fault budget `t`, initial preference `pref`,
+    /// round cap `max_rounds` and private coin seed `coin_seed`.
+    pub fn new(t: usize, pref: Value, max_rounds: u32, coin_seed: u64) -> Self {
+        BenOrProcess {
+            t,
+            pref,
+            max_rounds,
+            coin_seed,
+            state: None,
+            round_probe: None,
+        }
+    }
+
+    /// Attaches a probe cell that is set to the decision round the moment
+    /// the process decides (scenarios read it after the run; replicas are
+    /// single-threaded, so a shared `Rc<Cell<…>>` is safe).
+    pub fn with_round_probe(mut self, probe: Rc<Cell<Option<u32>>>) -> Self {
+        self.round_probe = Some(probe);
+        self
+    }
+
+    fn flush(&mut self, out: Vec<BenOrMsg>, ctx: &mut NetCtx<BenOrMsg>) {
+        for m in out {
+            ctx.multicast(0..ctx.n(), m);
+        }
+        if let (Some(probe), Some(state)) = (&self.round_probe, &self.state) {
+            if probe.get().is_none() {
+                probe.set(state.decided_round());
+            }
+        }
+    }
+}
+
+impl AsyncProcess for BenOrProcess {
+    type Msg = BenOrMsg;
+
+    fn on_start(&mut self, ctx: &mut NetCtx<BenOrMsg>) {
+        let mut state = BenOrState::new(
+            ctx.id(),
+            ctx.n(),
+            self.t,
+            self.pref,
+            self.max_rounds,
+            self.coin_seed,
+        );
+        let out = state.start();
+        self.state = Some(state);
+        self.flush(out, ctx);
+    }
+
+    fn on_message(&mut self, src: ProcId, msg: BenOrMsg, ctx: &mut NetCtx<BenOrMsg>) {
+        let state = self.state.as_mut().expect("on_start ran");
+        if state.halted() {
+            return; // decided (or gave up): no further traffic
+        }
+        let out = state.handle(src, &msg);
+        self.flush(out, ctx);
+    }
+
+    fn on_timer(&mut self, _timer: u64, _ctx: &mut NetCtx<BenOrMsg>) {}
+
+    fn decision(&self) -> Option<u64> {
+        self.state.as_ref().and_then(|s| s.decided())
+    }
+}
+
+/// A crashed-from-the-start participant: never sends, never decides.
+/// Generic over the message type, so it drops into any protocol (wrapped
+/// or not).
+pub struct SilentAsyncProcess<M: Clone> {
+    _marker: PhantomData<M>,
+}
+
+impl<M: Clone> SilentAsyncProcess<M> {
+    /// A new silent process.
+    pub fn new() -> Self {
+        SilentAsyncProcess {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<M: Clone> Default for SilentAsyncProcess<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Clone> AsyncProcess for SilentAsyncProcess<M> {
+    type Msg = M;
+    fn on_start(&mut self, _ctx: &mut NetCtx<M>) {}
+    fn on_message(&mut self, _src: ProcId, _msg: M, _ctx: &mut NetCtx<M>) {}
+    fn on_timer(&mut self, _timer: u64, _ctx: &mut NetCtx<M>) {}
+    fn decision(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// A Byzantine Ben-Or participant: the first time it sees traffic for a
+/// round, it multicasts a seeded-random report **and** proposal for that
+/// round (valid-looking votes with adversarial content — the strongest
+/// canned noise the quorum tallies will accept). It never decides and
+/// never halts, but sends at most two multicasts per observed round, so
+/// executions stay bounded.
+pub struct BenOrNoiseProcess {
+    seed: u64,
+    rng: Option<StdRng>,
+    rounds_hit: BTreeSet<u32>,
+}
+
+impl BenOrNoiseProcess {
+    /// A noise adversary with its own seed (derive it per process and per
+    /// replica via `bne_sim::derive_seed`).
+    pub fn new(seed: u64) -> Self {
+        BenOrNoiseProcess {
+            seed,
+            rng: None,
+            rounds_hit: BTreeSet::new(),
+        }
+    }
+}
+
+impl AsyncProcess for BenOrNoiseProcess {
+    type Msg = BenOrMsg;
+
+    fn on_start(&mut self, ctx: &mut NetCtx<BenOrMsg>) {
+        // separate the stream per process id so colocated adversaries
+        // sharing a base seed do not mirror each other
+        self.rng = Some(StdRng::seed_from_u64(bne_sim::derive_seed(
+            self.seed,
+            ctx.id() as u64,
+            0,
+        )));
+    }
+
+    fn on_message(&mut self, _src: ProcId, msg: BenOrMsg, ctx: &mut NetCtx<BenOrMsg>) {
+        let round = match msg {
+            BenOrMsg::Report { round, .. } | BenOrMsg::Proposal { round, .. } => round,
+            BenOrMsg::Decided { .. } => return,
+        };
+        if !self.rounds_hit.insert(round) {
+            return;
+        }
+        let rng = self.rng.as_mut().expect("on_start ran");
+        let report = rng.random_range(0..2u64);
+        let proposal = if rng.random_bool(0.5) {
+            Some(rng.random_range(0..2u64))
+        } else {
+            None
+        };
+        ctx.multicast(
+            0..ctx.n(),
+            BenOrMsg::Report {
+                round,
+                value: report,
+            },
+        );
+        ctx.multicast(
+            0..ctx.n(),
+            BenOrMsg::Proposal {
+                round,
+                value: proposal,
+            },
+        );
+    }
+
+    fn on_timer(&mut self, _timer: u64, _ctx: &mut NetCtx<BenOrMsg>) {}
+
+    fn decision(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Convenience: runs a full honest Bracha broadcast (process 0
+/// broadcasting `input`) on `cfg`, returning the drained network.
+///
+/// # Panics
+///
+/// Panics if the event queue fails to drain within `max_events` — a
+/// truncated execution would silently masquerade as a protocol-property
+/// violation downstream.
+pub fn run_bracha(
+    n: usize,
+    t: usize,
+    input: Value,
+    cfg: crate::model::NetConfig,
+    max_events: usize,
+) -> EventNet<BrachaMsg> {
+    let procs: Vec<Box<dyn AsyncProcess<Msg = BrachaMsg>>> = (0..n)
+        .map(|_| Box::new(BrachaProcess::new(t, 0, input)) as _)
+        .collect();
+    let mut net = EventNet::new(procs, cfg);
+    assert!(
+        net.run(max_events),
+        "bracha event queue did not drain within {max_events} events"
+    );
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LatencyModel, LinkFaults, NetConfig, SchedulerPolicy};
+
+    #[test]
+    fn bracha_delivers_everywhere_on_a_clean_network() {
+        let net = run_bracha(7, 2, 1, NetConfig::lockstep(3), 100_000);
+        assert_eq!(net.decisions(), vec![Some(1); 7]);
+        // zero latency: everything happens at virtual time 0
+        assert!(net.decision_times().iter().all(|t| *t == Some(0)));
+    }
+
+    #[test]
+    fn bracha_latency_is_the_echo_ready_pipeline_depth() {
+        let cfg = NetConfig {
+            latency: LatencyModel::Constant(1),
+            ..NetConfig::lockstep(0)
+        };
+        let net = run_bracha(4, 1, 1, cfg, 100_000);
+        assert_eq!(net.decisions(), vec![Some(1); 4]);
+        // init (1 tick) → echo (1) → ready (1): deliveries at tick 3
+        assert!(net.decision_times().iter().all(|t| *t == Some(3)));
+    }
+
+    #[test]
+    fn ben_or_unanimous_lockstep_decides_in_round_one() {
+        let probes: Vec<Rc<Cell<Option<u32>>>> = (0..5).map(|_| Rc::new(Cell::new(None))).collect();
+        let procs: Vec<Box<dyn AsyncProcess<Msg = BenOrMsg>>> = (0..5)
+            .map(|i| {
+                Box::new(
+                    BenOrProcess::new(1, 1, 30, 100 + i as u64)
+                        .with_round_probe(Rc::clone(&probes[i])),
+                ) as _
+            })
+            .collect();
+        let mut net = EventNet::new(procs, NetConfig::lockstep(0));
+        assert!(net.run(1_000_000));
+        assert_eq!(net.decisions(), vec![Some(1); 5]);
+        assert!(probes.iter().all(|p| p.get() == Some(1)));
+    }
+
+    #[test]
+    fn ben_or_mixed_starts_agree_under_random_scheduling() {
+        let cfg = NetConfig {
+            latency: LatencyModel::UniformJitter { min: 0, max: 3 },
+            scheduler: SchedulerPolicy::RandomInterleave { seed: 5, jitter: 2 },
+            ..NetConfig::lockstep(11)
+        };
+        let procs: Vec<Box<dyn AsyncProcess<Msg = BenOrMsg>>> = (0..6)
+            .map(|i| Box::new(BenOrProcess::new(1, (i % 2) as u64, 60, 200 + i as u64)) as _)
+            .collect();
+        let mut net = EventNet::new(procs, cfg);
+        assert!(net.run(5_000_000));
+        let decisions = net.decisions();
+        let first = decisions[0].expect("decides");
+        assert!(decisions.iter().all(|d| *d == Some(first)), "{decisions:?}");
+    }
+
+    #[test]
+    fn ben_or_tolerates_silent_and_noisy_faults() {
+        for noisy in [false, true] {
+            // n = 11, t = 2: quorums survive two non-participating or
+            // actively noisy processes
+            let n = 11;
+            let procs: Vec<Box<dyn AsyncProcess<Msg = BenOrMsg>>> = (0..n)
+                .map(|i| -> Box<dyn AsyncProcess<Msg = BenOrMsg>> {
+                    if i >= n - 2 {
+                        if noisy {
+                            Box::new(BenOrNoiseProcess::new(900 + i as u64))
+                        } else {
+                            Box::new(SilentAsyncProcess::new())
+                        }
+                    } else {
+                        Box::new(BenOrProcess::new(2, (i % 2) as u64, 80, 300 + i as u64))
+                    }
+                })
+                .collect();
+            let mut net = EventNet::new(procs, NetConfig::lockstep(17));
+            assert!(net.run(10_000_000));
+            let honest: Vec<Option<u64>> = net.decisions()[..n - 2].to_vec();
+            let first = honest[0].expect("decides despite faults");
+            assert!(honest.iter().all(|d| *d == Some(first)), "noisy={noisy}");
+        }
+    }
+
+    #[test]
+    fn bracha_runs_are_seed_deterministic() {
+        let cfg = NetConfig {
+            latency: LatencyModel::UniformJitter { min: 0, max: 4 },
+            scheduler: SchedulerPolicy::RandomInterleave { seed: 2, jitter: 3 },
+            faults: LinkFaults::lossy(0.2),
+            ..NetConfig::lockstep(9)
+        }
+        .with_trace();
+        let a = run_bracha(6, 1, 1, cfg.clone(), 100_000);
+        let b = run_bracha(6, 1, 1, cfg, 100_000);
+        assert_eq!(a.trace(), b.trace());
+        assert_eq!(a.decisions(), b.decisions());
+        assert_eq!(a.decision_times(), b.decision_times());
+    }
+}

@@ -9,6 +9,46 @@
 //! [`bne_sim::derive_seed`]. Two runs with the same `(config, processes)`
 //! therefore produce the same event trace, decisions and statistics — the
 //! determinism property tests assert exactly this.
+//!
+//! # Examples
+//!
+//! An [`AsyncProcess`] sees only message arrivals and its own timers —
+//! no rounds. A two-process ping/pong, run to quiescence under the
+//! lockstep configuration:
+//!
+//! ```
+//! use bne_net::{AsyncProcess, EventNet, NetConfig, NetCtx};
+//!
+//! struct Ping {
+//!     last: Option<u64>,
+//! }
+//!
+//! impl AsyncProcess for Ping {
+//!     type Msg = u64;
+//!     fn on_start(&mut self, ctx: &mut NetCtx<u64>) {
+//!         if ctx.id() == 0 {
+//!             ctx.send(1, 7); // the opening ping
+//!         }
+//!     }
+//!     fn on_message(&mut self, src: usize, msg: u64, ctx: &mut NetCtx<u64>) {
+//!         self.last = Some(msg);
+//!         if ctx.id() == 1 {
+//!             ctx.send(src, msg + 1); // pong once
+//!         }
+//!     }
+//!     fn on_timer(&mut self, _timer: u64, _ctx: &mut NetCtx<u64>) {}
+//!     fn decision(&self) -> Option<u64> {
+//!         self.last
+//!     }
+//! }
+//!
+//! let procs: Vec<Box<dyn AsyncProcess<Msg = u64>>> =
+//!     (0..2).map(|_| Box::new(Ping { last: None }) as _).collect();
+//! let mut net = EventNet::new(procs, NetConfig::lockstep(0));
+//! assert!(net.run(100), "the event queue drains");
+//! assert_eq!(net.decisions(), vec![Some(8), Some(7)]);
+//! assert_eq!(net.stats().messages_delivered, 2);
+//! ```
 
 use crate::model::{NetConfig, SchedulerPolicy};
 use bne_byzantine::ProcId;
@@ -93,6 +133,10 @@ impl<M: Clone> Payload<M> {
     }
 }
 
+/// Buffered `(sends, timers)` drained from a [`NetCtx`] by a wrapping
+/// adapter.
+pub(crate) type DrainedActions<M> = (Vec<(ProcId, M)>, Vec<(u64, u64)>);
+
 /// The action buffer handed to every [`AsyncProcess`] callback.
 ///
 /// Sends and timers requested here are applied by the runtime after the
@@ -107,7 +151,7 @@ pub struct NetCtx<M> {
 }
 
 impl<M> NetCtx<M> {
-    fn new(id: ProcId, n: usize, now: u64) -> Self {
+    pub(crate) fn new(id: ProcId, n: usize, now: u64) -> Self {
         NetCtx {
             id,
             n,
@@ -155,6 +199,27 @@ impl<M> NetCtx<M> {
     /// [`AsyncProcess::on_timer`] with the given id.
     pub fn set_timer(&mut self, delay: u64, timer: u64) {
         self.timers.push((delay, timer));
+    }
+
+    /// Consumes the buffered actions: `(sends, timers)` in request order,
+    /// with shared multicast payloads materialized. Used by wrapping
+    /// adapters (the retry adapter) that must intercept an inner process's
+    /// sends rather than hand them to the network directly.
+    pub(crate) fn drain_actions(self) -> DrainedActions<M>
+    where
+        M: Clone,
+    {
+        let sends = self
+            .sends
+            .into_iter()
+            .map(|(dst, payload)| (dst, payload.into_msg()))
+            .collect();
+        (sends, self.timers)
+    }
+
+    /// Builds a context for a wrapped inner process (same id/n/now).
+    pub(crate) fn inner<N>(&self) -> NetCtx<N> {
+        NetCtx::new(self.id, self.n, self.now)
     }
 }
 
@@ -234,6 +299,7 @@ pub struct EventNet<M: Clone> {
     next_seq: u64,
     stats: NetStats,
     trace: Vec<TraceEvent>,
+    decision_times: Vec<Option<u64>>,
 }
 
 impl<M: Clone> EventNet<M> {
@@ -256,6 +322,7 @@ impl<M: Clone> EventNet<M> {
             stats: NetStats::default(),
             trace: Vec::new(),
             procs: Vec::new(),
+            decision_times: vec![None; n],
         };
         let mut ctxs = Vec::with_capacity(n);
         for (id, proc) in procs.iter_mut().enumerate() {
@@ -267,6 +334,7 @@ impl<M: Clone> EventNet<M> {
         // checks in `route` see the real process count
         net.procs = procs;
         for (id, ctx) in ctxs.into_iter().enumerate() {
+            net.note_decision(id);
             net.apply(id, ctx);
         }
         net
@@ -296,6 +364,23 @@ impl<M: Clone> EventNet<M> {
     /// The decisions of every process (in process-id order).
     pub fn decisions(&self) -> Vec<Option<u64>> {
         self.procs.iter().map(|p| p.decision()).collect()
+    }
+
+    /// The virtual time at which each process's [`AsyncProcess::decision`]
+    /// first became `Some` (in process-id order; `None` for processes that
+    /// never decided). This is the per-process *decision latency* the
+    /// event-driven experiments report — for round-based protocols the
+    /// round count is fixed, but for Bracha/Ben-Or it is the measured
+    /// random variable.
+    pub fn decision_times(&self) -> &[Option<u64>] {
+        &self.decision_times
+    }
+
+    /// Records the decision time of `proc` if its decision just appeared.
+    fn note_decision(&mut self, proc: ProcId) {
+        if self.decision_times[proc].is_none() && self.procs[proc].decision().is_some() {
+            self.decision_times[proc] = Some(self.now);
+        }
     }
 
     fn record(&mut self, kind: TraceKind, src: u64, dst: u64) {
@@ -409,12 +494,14 @@ impl<M: Clone> EventNet<M> {
                 let mut ctx = NetCtx::new(dst, n, self.now);
                 // the last live reference moves out without cloning
                 self.procs[dst].on_message(src, msg.into_msg(), &mut ctx);
+                self.note_decision(dst);
                 self.apply(dst, ctx);
             }
             EventKind::Timer { proc, timer } => {
                 self.record(TraceKind::Timer, proc as u64, timer);
                 let mut ctx = NetCtx::new(proc, n, self.now);
                 self.procs[proc].on_timer(timer, &mut ctx);
+                self.note_decision(proc);
                 self.apply(proc, ctx);
             }
         }

@@ -13,19 +13,25 @@ use bne_byzantine::adversary::{FaultyBehavior, FaultyProcess};
 use bne_byzantine::broadcast::{DolevStrongProcess, EquivocatingSender, SignedMessage};
 use bne_byzantine::network::Process;
 use bne_byzantine::om::{OmConfig, TraitorStrategy};
-use bne_byzantine::om_process::{om_process_set, OmProcess};
+use bne_byzantine::om_process::{om_colluding_process_set, om_process_set, OmProcess};
 use bne_byzantine::phase_king::PhaseKingProcess;
 use bne_byzantine::properties::{check_agreement, check_validity};
 use bne_byzantine::scenario::ProtocolStats;
 use bne_byzantine::{ProcId, Value};
 use bne_crypto::pki::PublicKeyInfrastructure;
-use bne_sim::{derive_seed, Scenario};
+use bne_sim::{derive_seed, Merge, Scenario, StreamingStats};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use std::collections::BTreeSet;
 
 /// Stream tag separating a replica's *network* seed from the seed used
 /// for protocol inputs (commander orders, initial preferences).
 const STREAM_NET_SEED: u64 = 11;
+/// Stream tag for per-process Ben-Or coin seeds.
+const STREAM_COIN: u64 = 12;
+/// Stream tag for the colluding-traitor ledger seed.
+const STREAM_COLLUSION: u64 = 13;
+/// Stream tag for Byzantine noise-process seeds.
+const STREAM_NOISE: u64 = 14;
 
 /// A scheduler choice that does not yet know which processes are
 /// Byzantine — scenarios materialize it per replica once the fault set is
@@ -138,6 +144,10 @@ pub struct AsyncOmCell {
     pub strategy: TraitorStrategy,
     /// Whether the commander is one of the traitors.
     pub commander_faulty: bool,
+    /// When set, the traitors **collude**: they ignore `strategy` and
+    /// draw coordinated, per-destination-consistent lies from a shared
+    /// [`bne_byzantine::OmCollusion`] ledger (re-seeded per replica).
+    pub colluding: bool,
     /// Network conditions.
     pub net: NetProfile,
 }
@@ -168,8 +178,13 @@ impl Scenario for AsyncOmScenario {
             strategy: cell.strategy,
             default_value: 0,
         };
+        let processes = if cell.colluding {
+            om_colluding_process_set(&config, derive_seed(seed, STREAM_COLLUSION, 0))
+        } else {
+            om_process_set(&config)
+        };
         let outcome = run_round_protocol(
-            om_process_set(&config),
+            processes,
             OmProcess::rounds_needed(config.m),
             cell.net.config(net_seed, &traitors),
         );
@@ -191,12 +206,15 @@ impl Scenario for AsyncOmScenario {
 }
 
 /// The e17 grid: OM cells swept over message-loss probabilities under
-/// otherwise-lockstep timing.
+/// otherwise-lockstep timing. With `colluding` set, traitors draw
+/// coordinated lies from a shared per-replica ledger instead of
+/// `strategy` (the e17 colluding arm).
 pub fn async_om_loss_grid(
     cells: &[(usize, usize)],
     drop_probs: &[f64],
     strategy: TraitorStrategy,
     commander_faulty: bool,
+    colluding: bool,
 ) -> Vec<AsyncOmCell> {
     let mut grid = Vec::new();
     for &drop_prob in drop_probs {
@@ -206,6 +224,7 @@ pub fn async_om_loss_grid(
                 t,
                 strategy,
                 commander_faulty,
+                colluding,
                 net: NetProfile::lossy(drop_prob),
             });
         }
@@ -456,6 +475,372 @@ pub fn async_broadcast_partition_grid(
     grid
 }
 
+// ---------------------------------------------------------------------------
+// Event-driven protocols (no round adapter): Ben-Or and Bracha
+// ---------------------------------------------------------------------------
+
+/// Streaming aggregate of event-driven **consensus** executions. On top
+/// of the correctness rates this records the two quantities that are
+/// *random variables* for randomized protocols: rounds-to-decide and
+/// virtual decision time. Both are recorded only for replicas where every
+/// honest process decided (their means are conditional on success).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsensusStats {
+    /// Did every honest process decide (within the round cap)?
+    pub decided: StreamingStats,
+    /// Did all honest decisions agree?
+    pub agreement: StreamingStats,
+    /// Did honest decisions match the unanimous honest input (vacuous
+    /// under mixed starts)?
+    pub validity: StreamingStats,
+    /// Max rounds-to-decide over the honest processes (successful
+    /// replicas only).
+    pub rounds: StreamingStats,
+    /// Max virtual decision time over the honest processes (successful
+    /// replicas only).
+    pub decide_time: StreamingStats,
+    /// Point-to-point messages handed to the network.
+    pub messages: StreamingStats,
+}
+
+impl Merge for ConsensusStats {
+    fn merge(&mut self, other: &Self) {
+        self.decided.merge(&other.decided);
+        self.agreement.merge(&other.agreement);
+        self.validity.merge(&other.validity);
+        self.rounds.merge(&other.rounds);
+        self.decide_time.merge(&other.decide_time);
+        self.messages.merge(&other.messages);
+    }
+}
+
+/// One grid cell of the Ben-Or sweep (experiment e20).
+#[derive(Debug, Clone)]
+pub struct BenOrCell {
+    /// Total number of processes.
+    pub n: usize,
+    /// Fault budget shaping the quorum thresholds (classical Byzantine
+    /// guarantee needs `n > 5t`).
+    pub t: usize,
+    /// Actual adversaries (the last `faults` process ids).
+    pub faults: usize,
+    /// Adversary flavor: `true` = seeded noise injection
+    /// ([`crate::protocols::BenOrNoiseProcess`]), `false` = silent.
+    pub noisy: bool,
+    /// Whether all honest processes start with the same seed-drawn bit.
+    pub unanimous_start: bool,
+    /// Round cap after which an undecided process gives up.
+    pub max_rounds: u32,
+    /// Network conditions.
+    pub net: NetProfile,
+}
+
+/// Ben-Or randomized consensus directly on the event runtime — the first
+/// scenario whose running time is a random variable rather than a fixed
+/// round count, which is what the scheduler adversaries stress.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenOrScenario;
+
+impl Scenario for BenOrScenario {
+    type Config = BenOrCell;
+    type Outcome = ConsensusStats;
+
+    fn run(&self, cell: &BenOrCell, seed: u64) -> ConsensusStats {
+        use crate::protocols::{BenOrNoiseProcess, BenOrProcess, SilentAsyncProcess};
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let honest_count = cell.n - cell.faults;
+        let common: Value = rng.random_range(0..2u64);
+        let probes: Vec<Rc<Cell<Option<u32>>>> = (0..honest_count)
+            .map(|_| Rc::new(Cell::new(None)))
+            .collect();
+        let mut procs: Vec<Box<dyn crate::runtime::AsyncProcess<Msg = bne_byzantine::BenOrMsg>>> =
+            Vec::with_capacity(cell.n);
+        for (i, probe) in probes.iter().enumerate() {
+            let pref = if cell.unanimous_start {
+                common
+            } else {
+                rng.random_range(0..2u64)
+            };
+            procs.push(Box::new(
+                BenOrProcess::new(
+                    cell.t,
+                    pref,
+                    cell.max_rounds,
+                    derive_seed(seed, STREAM_COIN, i as u64),
+                )
+                .with_round_probe(Rc::clone(probe)),
+            ));
+        }
+        for i in honest_count..cell.n {
+            if cell.noisy {
+                procs.push(Box::new(BenOrNoiseProcess::new(derive_seed(
+                    seed,
+                    STREAM_NOISE,
+                    i as u64,
+                ))));
+            } else {
+                procs.push(Box::new(SilentAsyncProcess::new()));
+            }
+        }
+        let byzantine: BTreeSet<ProcId> = (honest_count..cell.n).collect();
+        let net_seed = derive_seed(seed, STREAM_NET_SEED, 0);
+        let mut net = crate::runtime::EventNet::new(procs, cell.net.config(net_seed, &byzantine));
+        let drained = net.run(20_000_000);
+        debug_assert!(drained, "Ben-Or event queue failed to drain");
+        let decisions = net.decisions();
+        let honest: Vec<bool> = (0..cell.n).map(|i| i < honest_count).collect();
+        let decided = decisions[..honest_count].iter().all(|d| d.is_some());
+        let agreement = check_agreement(&decisions, &honest);
+        let validity = if cell.unanimous_start {
+            check_validity(&decisions, &honest, common)
+        } else {
+            true
+        };
+        let (rounds, decide_time) = if decided {
+            let max_round = probes.iter().filter_map(|p| p.get()).max().unwrap_or(0);
+            let max_time = net.decision_times()[..honest_count]
+                .iter()
+                .filter_map(|t| *t)
+                .max()
+                .unwrap_or(0);
+            (
+                StreamingStats::of(f64::from(max_round)),
+                StreamingStats::of(max_time as f64),
+            )
+        } else {
+            (StreamingStats::new(), StreamingStats::new())
+        };
+        ConsensusStats {
+            decided: StreamingStats::of(f64::from(u8::from(decided))),
+            agreement: StreamingStats::of(f64::from(u8::from(agreement))),
+            validity: StreamingStats::of(f64::from(u8::from(validity))),
+            rounds,
+            decide_time,
+            messages: StreamingStats::of(net.stats().messages_sent as f64),
+        }
+    }
+}
+
+/// The e20 grid: Ben-Or cells swept over scheduler policies × fault
+/// counts at a fixed latency, mixed starts (so the coin genuinely
+/// matters and the decision round is a non-degenerate random variable).
+pub fn ben_or_scheduler_grid(
+    cells: &[(usize, usize)],
+    fault_counts: &[usize],
+    schedulers: &[SchedulerSpec],
+    latency: LatencyModel,
+    max_rounds: u32,
+) -> Vec<BenOrCell> {
+    let mut grid = Vec::new();
+    for scheduler in schedulers {
+        for &faults in fault_counts {
+            for &(n, t) in cells {
+                grid.push(BenOrCell {
+                    n,
+                    t,
+                    faults,
+                    noisy: true,
+                    unanimous_start: false,
+                    max_rounds,
+                    net: NetProfile {
+                        latency: latency.clone(),
+                        scheduler: scheduler.clone(),
+                        faults: LinkFaults::none(),
+                        round_ticks: 1,
+                    },
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// Streaming aggregate of **reliable broadcast** executions: the three RB
+/// correctness conditions plus delivery latency (recorded only for
+/// replicas where every process delivered, so the mean is conditional on
+/// success — the "latency cliff" of e21).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RbStats {
+    /// Did every honest process deliver?
+    pub delivered: StreamingStats,
+    /// RB agreement (no two honest deliveries differ).
+    pub agreement: StreamingStats,
+    /// RB validity (honest broadcaster's value delivered by all honest).
+    pub validity: StreamingStats,
+    /// RB totality (one honest delivery implies all).
+    pub totality: StreamingStats,
+    /// Max virtual delivery time over all processes (successful replicas
+    /// only).
+    pub deliver_time: StreamingStats,
+    /// Point-to-point messages handed to the network (acks and
+    /// retransmissions included when a retry policy is active).
+    pub messages: StreamingStats,
+}
+
+impl Merge for RbStats {
+    fn merge(&mut self, other: &Self) {
+        self.delivered.merge(&other.delivered);
+        self.agreement.merge(&other.agreement);
+        self.validity.merge(&other.validity);
+        self.totality.merge(&other.totality);
+        self.deliver_time.merge(&other.deliver_time);
+        self.messages.merge(&other.messages);
+    }
+}
+
+/// One grid cell of the Bracha sweep (experiment e21): all processes
+/// honest — the adversary is the *network* (loss, partitions,
+/// scheduling), optionally answered by retransmission.
+#[derive(Debug, Clone)]
+pub struct AsyncBrachaCell {
+    /// Total number of processes.
+    pub n: usize,
+    /// Fault budget shaping the quorum sizes (`n > 3t` for the classical
+    /// guarantee; larger `t` means larger quorums, i.e. less slack
+    /// against loss).
+    pub t: usize,
+    /// Retransmission policy; `None` runs the bare protocol (the e19
+    /// regime where whatever the partition eats stays lost).
+    pub retry: Option<crate::retry::RetryPolicy>,
+    /// Network conditions.
+    pub net: NetProfile,
+}
+
+/// Bracha reliable broadcast directly on the event runtime, with process
+/// 0 broadcasting a seed-drawn bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AsyncBrachaScenario;
+
+impl Scenario for AsyncBrachaScenario {
+    type Config = AsyncBrachaCell;
+    type Outcome = RbStats;
+
+    fn run(&self, cell: &AsyncBrachaCell, seed: u64) -> RbStats {
+        use crate::protocols::BrachaProcess;
+        use crate::retry::{RetryAdapter, RetryMsg};
+        use bne_byzantine::bracha::BrachaMsg;
+        use bne_byzantine::properties::rb_report;
+
+        /// Runs any process set to quiescence and extracts the outcome
+        /// fields — one definition for both arms, so the event bound and
+        /// the extraction can never diverge between them.
+        fn drive<M: Clone>(
+            procs: Vec<Box<dyn crate::runtime::AsyncProcess<Msg = M>>>,
+            cfg: NetConfig,
+        ) -> (Vec<Option<Value>>, Vec<Option<u64>>, usize, bool) {
+            let mut net = crate::runtime::EventNet::new(procs, cfg);
+            let drained = net.run(20_000_000);
+            (
+                net.decisions(),
+                net.decision_times().to_vec(),
+                net.stats().messages_sent,
+                drained,
+            )
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input: Value = rng.random_range(0..2u64);
+        let net_seed = derive_seed(seed, STREAM_NET_SEED, 0);
+        let cfg = cell.net.config(net_seed, &BTreeSet::new());
+        let (decisions, times, messages, drained) = match cell.retry {
+            None => drive::<BrachaMsg>(
+                (0..cell.n)
+                    .map(|_| Box::new(BrachaProcess::new(cell.t, 0, input)) as _)
+                    .collect(),
+                cfg,
+            ),
+            Some(policy) => drive::<RetryMsg<BrachaMsg>>(
+                (0..cell.n)
+                    .map(|_| {
+                        Box::new(RetryAdapter::new(
+                            BrachaProcess::new(cell.t, 0, input),
+                            policy,
+                        )) as _
+                    })
+                    .collect(),
+                cfg,
+            ),
+        };
+        debug_assert!(drained, "Bracha event queue failed to drain");
+        let honest = vec![true; cell.n];
+        let report = rb_report(&decisions, &honest, Some(input));
+        let delivered = decisions.iter().all(|d| d.is_some());
+        let deliver_time = if delivered {
+            let max_time = times.iter().filter_map(|t| *t).max().unwrap_or(0);
+            StreamingStats::of(max_time as f64)
+        } else {
+            StreamingStats::new()
+        };
+        RbStats {
+            delivered: StreamingStats::of(f64::from(u8::from(delivered))),
+            agreement: StreamingStats::of(f64::from(u8::from(report.agreement))),
+            validity: StreamingStats::of(f64::from(u8::from(report.validity))),
+            totality: StreamingStats::of(f64::from(u8::from(report.totality))),
+            deliver_time,
+            messages: StreamingStats::of(messages as f64),
+        }
+    }
+}
+
+/// The e21 grid: the e19 partition sweep (half/half cut over outage
+/// duration × heal time) re-run on Bracha, with one arm per entry of
+/// `retries` (`None` = bare protocol, `Some(policy)` = retransmission).
+/// Latency is one tick per hop so the echo/ready pipeline spans a few
+/// ticks and partition windows can cover all, part or none of it; like
+/// [`async_broadcast_partition_grid`], truncated `duration > heal_at`
+/// combinations are skipped and a single no-partition baseline per
+/// `(n, t, retry)` is emitted.
+pub fn bracha_partition_grid(
+    cells: &[(usize, usize)],
+    durations: &[u64],
+    heal_times: &[u64],
+    retries: &[Option<crate::retry::RetryPolicy>],
+) -> Vec<AsyncBrachaCell> {
+    let make_cell = |n: usize,
+                     t: usize,
+                     retry: Option<crate::retry::RetryPolicy>,
+                     partition: Option<Partition>| AsyncBrachaCell {
+        n,
+        t,
+        retry,
+        net: NetProfile {
+            latency: LatencyModel::Constant(1),
+            scheduler: SchedulerSpec::Fifo,
+            faults: LinkFaults {
+                drop_prob: 0.0,
+                partition,
+            },
+            round_ticks: 1,
+        },
+    };
+    let mut grid = Vec::new();
+    for &retry in retries {
+        for &(n, t) in cells {
+            grid.push(make_cell(n, t, retry, None));
+        }
+        for &duration in durations {
+            for &heal_at in heal_times {
+                if duration == 0 || duration > heal_at {
+                    continue;
+                }
+                for &(n, t) in cells {
+                    let group: BTreeSet<ProcId> = (0..n / 2).collect();
+                    grid.push(make_cell(
+                        n,
+                        t,
+                        retry,
+                        Some(Partition::window(group, heal_at - duration, heal_at)),
+                    ));
+                }
+            }
+        }
+    }
+    grid
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,7 +850,13 @@ mod tests {
     fn lockstep_async_om_matches_the_sync_bound_structure() {
         // within the n > 3t bound and with no network faults, the async
         // runtime preserves OM's guarantees
-        let grid = async_om_loss_grid(&[(4, 1), (7, 2)], &[0.0], TraitorStrategy::Flip, false);
+        let grid = async_om_loss_grid(
+            &[(4, 1), (7, 2)],
+            &[0.0],
+            TraitorStrategy::Flip,
+            false,
+            false,
+        );
         for cell in SimRunner::new(8, 17).run_sequential(&AsyncOmScenario, &grid) {
             assert_eq!(cell.outcome.agreement.mean(), 1.0, "cell {}", cell.cell);
             assert_eq!(cell.outcome.validity.mean(), 1.0, "cell {}", cell.cell);
@@ -476,7 +867,7 @@ mod tests {
     fn message_loss_degrades_om_within_the_bound() {
         // n = 4, t = 1 is perfectly correct on a reliable network, but iid
         // loss of 35% of messages must break validity in some replicas
-        let grid = async_om_loss_grid(&[(4, 1)], &[0.0, 0.35], TraitorStrategy::Flip, false);
+        let grid = async_om_loss_grid(&[(4, 1)], &[0.0, 0.35], TraitorStrategy::Flip, false, false);
         let results = SimRunner::new(48, 18).run_sequential(&AsyncOmScenario, &grid);
         let reliable = results[0].outcome.validity.mean();
         let lossy = results[1].outcome.validity.mean();
@@ -583,6 +974,116 @@ mod tests {
         assert!(
             rate(4, 4) < 1.0,
             "a partition covering every round must break agreement"
+        );
+    }
+
+    #[test]
+    fn colluding_traitors_are_at_least_as_harmful_below_the_bound() {
+        // (6, 2) violates n > 3t: the balanced consistent split must not
+        // *help* correctness relative to the parity split, and across
+        // replicas it should actually hurt (measured in e17's colluding
+        // arm; asserted loosely here to stay seed-robust)
+        let stateless = async_om_loss_grid(
+            &[(6, 2)],
+            &[0.0],
+            TraitorStrategy::SplitByParity,
+            false,
+            false,
+        );
+        let colluding = async_om_loss_grid(
+            &[(6, 2)],
+            &[0.0],
+            TraitorStrategy::SplitByParity,
+            false,
+            true,
+        );
+        let runner = SimRunner::new(48, 1_717);
+        let s = runner.run_sequential(&AsyncOmScenario, &stateless)[0]
+            .outcome
+            .clone();
+        let c = runner.run_sequential(&AsyncOmScenario, &colluding)[0]
+            .outcome
+            .clone();
+        let correct = |o: &ProtocolStats| o.agreement.mean().min(o.validity.mean());
+        assert!(
+            correct(&c) <= correct(&s) + 1e-9,
+            "collusion must not help the protocol: colluding {} vs stateless {}",
+            correct(&c),
+            correct(&s)
+        );
+    }
+
+    #[test]
+    fn ben_or_rushing_scheduler_costs_decision_time() {
+        // the e20 acceptance shape in miniature: same fault fraction,
+        // FIFO vs rushing adversary — rushing must cost strictly more
+        // expected decision time (and it does so through extra rounds,
+        // not just the per-hop delay)
+        let grid = ben_or_scheduler_grid(
+            &[(8, 1)],
+            &[1],
+            &[SchedulerSpec::Fifo, SchedulerSpec::Rush { honest_delay: 3 }],
+            LatencyModel::Constant(1),
+            200,
+        );
+        let results = SimRunner::new(32, 2_020).run_sequential(&BenOrScenario, &grid);
+        let fifo = &results[0].outcome;
+        let rush = &results[1].outcome;
+        assert_eq!(fifo.decided.mean(), 1.0, "FIFO decides");
+        assert_eq!(rush.decided.mean(), 1.0, "rush delays but cannot block");
+        assert!(
+            rush.decide_time.mean() > fifo.decide_time.mean(),
+            "rushing must cost time: {} vs {}",
+            rush.decide_time.mean(),
+            fifo.decide_time.mean()
+        );
+    }
+
+    #[test]
+    fn ben_or_unanimous_lockstep_is_a_one_round_protocol() {
+        let grid = vec![BenOrCell {
+            n: 7,
+            t: 1,
+            faults: 0,
+            noisy: false,
+            unanimous_start: true,
+            max_rounds: 50,
+            net: NetProfile::lockstep(),
+        }];
+        let results = SimRunner::new(16, 2_021).run_sequential(&BenOrScenario, &grid);
+        let o = &results[0].outcome;
+        assert_eq!(o.decided.mean(), 1.0);
+        assert_eq!(o.validity.mean(), 1.0);
+        assert_eq!(o.rounds.mean(), 1.0);
+    }
+
+    #[test]
+    fn bracha_partition_fatal_window_becomes_latency_with_retry() {
+        // the e21 acceptance shape in miniature: a cut covering Bracha's
+        // whole init→echo→ready pipeline is fatal bare, survived with
+        // retransmission at a measurable latency cost
+        let retry = Some(crate::retry::RetryPolicy::exponential(2));
+        let grid = bracha_partition_grid(&[(6, 1)], &[4], &[4], &[None, retry]);
+        assert_eq!(grid.len(), 4, "baseline + window, two arms");
+        let results = SimRunner::new(16, 2_121).run_sequential(&AsyncBrachaScenario, &grid);
+        let (bare_base, bare_cut) = (&results[0].outcome, &results[1].outcome);
+        let (retry_base, retry_cut) = (&results[2].outcome, &results[3].outcome);
+        assert_eq!(bare_base.delivered.mean(), 1.0);
+        assert!(
+            bare_cut.delivered.mean() < 1.0,
+            "a [0, 4) cut over the whole pipeline must be fatal without retransmission"
+        );
+        assert_eq!(retry_base.delivered.mean(), 1.0);
+        assert_eq!(
+            retry_cut.delivered.mean(),
+            1.0,
+            "retransmission survives the fatal window"
+        );
+        assert!(
+            retry_cut.deliver_time.mean() > retry_base.deliver_time.mean(),
+            "…at a latency cost: {} vs {}",
+            retry_cut.deliver_time.mean(),
+            retry_base.deliver_time.mean()
         );
     }
 
