@@ -2,10 +2,13 @@
 //! async event queue vs parallel replica sweeps through the scenario
 //! engine.
 //!
-//! Run and record to `BENCH_3.json`:
+//! Run and record to `BENCH_3.json` (all legs), `BENCH_5.json`
+//! (event-driven protocol legs) and `BENCH_6.json` (timing-wheel vs
+//! reference-heap legs plus the 10^6-run mega sweep):
 //!
 //! ```text
-//! BNE_BENCH_JSON=BENCH_3.json cargo bench -p bne-bench \
+//! BNE_BENCH_JSON=BENCH_3.json BNE_BENCH5_JSON=BENCH_5.json \
+//!     BNE_BENCH6_JSON=BENCH_6.json cargo bench -p bne-bench \
 //!     --features parallel --bench net_engine
 //! ```
 //!
@@ -28,12 +31,13 @@ use bne_core::byzantine::phase_king::PhaseKingProcess;
 use bne_core::byzantine::Value;
 use bne_core::net::protocols::run_bracha;
 use bne_core::net::scenario::{
-    async_om_loss_grid, ben_or_scheduler_grid, AsyncPhaseKingCell, BenOrScenario, NetProfile,
-    SchedulerSpec,
+    async_om_loss_grid, ben_or_scheduler_grid, AsyncPhaseKingCell, BenOrCell, BenOrScenario,
+    NetProfile, SchedulerSpec,
 };
 use bne_core::net::{
     run_round_protocol, AsyncOmScenario, AsyncPhaseKingScenario, AsyncProcess, BrachaProcess,
-    EventNet, LatencyModel, LinkFaults, NetConfig, RetryAdapter, RetryMsg, RetryPolicy,
+    EventNet, LatencyModel, LinkFaults, NetConfig, QueueImpl, RetryAdapter, RetryMsg, RetryPolicy,
+    RoundAdapter, SchedulerPolicy,
 };
 use bne_core::sim::SimRunner;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -136,6 +140,75 @@ fn assert_lockstep_equals_sync(pk_cells: &[(usize, usize)], om_cells: &[(usize, 
     }
 }
 
+/// The BENCH_6 gate: the timing wheel and the reference binary heap must
+/// produce **bit-identical executions** — same event traces, same
+/// statistics (including the work counters: events processed, peak queue
+/// length, arena high-water mark), same decisions and decision times —
+/// before either implementation is timed. Workloads cover the stochastic
+/// scheduler with jitter + iid loss (out-of-order bucket appends) and a
+/// retry policy whose backoff crosses the wheel horizon (the overflow
+/// heap path).
+fn assert_wheel_equals_heap(pk_n: usize, pk_t: usize) {
+    let pk_rounds = PhaseKingProcess::rounds_needed(pk_t);
+    for seed in 0..6u64 {
+        let cfg = |queue: QueueImpl| {
+            NetConfig {
+                latency: LatencyModel::UniformJitter { min: 0, max: 5 },
+                scheduler: SchedulerPolicy::RandomInterleave {
+                    seed: seed ^ 0xA5,
+                    jitter: 3,
+                },
+                faults: LinkFaults::lossy(0.15),
+                round_ticks: 4,
+                record_trace: true,
+                ..NetConfig::lockstep(seed)
+            }
+            .with_queue(queue)
+        };
+        let run_pk = |queue: QueueImpl| {
+            let adapters: Vec<Box<dyn AsyncProcess<Msg = Value>>> =
+                phase_king_set(pk_n, pk_t, seed)
+                    .into_iter()
+                    .map(|p| Box::new(RoundAdapter::new(p, pk_rounds, 4)) as _)
+                    .collect();
+            let mut net = EventNet::new(adapters, cfg(queue));
+            assert!(net.run(10_000_000), "phase-king queue must drain");
+            (
+                net.trace().to_vec(),
+                net.stats(),
+                net.decisions(),
+                net.decision_times().to_vec(),
+            )
+        };
+        assert_eq!(
+            run_pk(QueueImpl::Wheel),
+            run_pk(QueueImpl::Heap),
+            "wheel/heap divergence on phase king (seed {seed})"
+        );
+        // retry backoff 200 → 800 ticks: far past the wheel horizon, so
+        // every retransmission timer rides the overflow heap
+        let run_bracha_arm = |queue: QueueImpl| {
+            let policy = RetryPolicy {
+                timeout: 200,
+                backoff: 4,
+                max_attempts: 0,
+            };
+            let net = run_bracha_retry(6, 1, 1, policy, cfg(queue));
+            (
+                net.trace().to_vec(),
+                net.stats(),
+                net.decisions(),
+                net.decision_times().to_vec(),
+            )
+        };
+        assert_eq!(
+            run_bracha_arm(QueueImpl::Wheel),
+            run_bracha_arm(QueueImpl::Heap),
+            "wheel/heap divergence on bracha+retry (seed {seed})"
+        );
+    }
+}
+
 fn bench_net_engine(c: &mut Criterion) {
     let smoke = bne_bench::bench_smoke_mode();
 
@@ -146,6 +219,9 @@ fn bench_net_engine(c: &mut Criterion) {
     let mut gate_cells = vec![(pk_n, pk_t), (6, 1)];
     gate_cells.dedup(); // smoke mode's main cell IS (6, 1)
     assert_lockstep_equals_sync(&gate_cells, om_cells);
+
+    // -- the wheel-vs-heap identity gate (both modes, before timing) --------
+    assert_wheel_equals_heap(pk_n, pk_t);
 
     // -- the async sweep is engine-bit-identical across worker counts -------
     let pk_grid: Vec<AsyncPhaseKingCell> = vec![
@@ -166,6 +242,7 @@ fn bench_net_engine(c: &mut Criterion) {
                 scheduler: SchedulerSpec::Random { jitter: 2 },
                 faults: LinkFaults::lossy(0.1),
                 round_ticks: 4,
+                ..NetProfile::lockstep()
             },
         },
     ];
@@ -201,16 +278,27 @@ fn bench_net_engine(c: &mut Criterion) {
             ))
         })
     });
+    c.bench_function("net_async_heap/phase_king", |b| {
+        // the reference heap on the identical workload — the wheel leg
+        // above is the default queue, so this pair is the BENCH_6
+        // queue-implementation comparison
+        b.iter(|| {
+            black_box(run_round_protocol(
+                phase_king_set(pk_n, pk_t, 1),
+                pk_rounds,
+                NetConfig::lockstep(1).with_queue(QueueImpl::Heap),
+            ))
+        })
+    });
     c.bench_function("net_async_adversarial/phase_king", |b| {
         // the workload only the async runtime can express: jittered
         // latency, random interleaving, 10% loss
         let cfg = NetConfig {
-            seed: 1,
             latency: LatencyModel::UniformJitter { min: 0, max: 3 },
-            scheduler: bne_core::net::SchedulerPolicy::RandomInterleave { seed: 5, jitter: 2 },
+            scheduler: SchedulerPolicy::RandomInterleave { seed: 5, jitter: 2 },
             faults: LinkFaults::lossy(0.1),
             round_ticks: 4,
-            record_trace: false,
+            ..NetConfig::lockstep(1)
         };
         b.iter(|| {
             black_box(run_round_protocol(
@@ -237,6 +325,15 @@ fn bench_net_engine(c: &mut Criterion) {
                 om_process_set(&om_cfg),
                 om_rounds,
                 NetConfig::lockstep(1),
+            ))
+        })
+    });
+    c.bench_function("net_async_heap/om_eig", |b| {
+        b.iter(|| {
+            black_box(run_round_protocol(
+                om_process_set(&om_cfg),
+                om_rounds,
+                NetConfig::lockstep(1).with_queue(QueueImpl::Heap),
             ))
         })
     });
@@ -347,6 +444,63 @@ fn bench_net_engine(c: &mut Criterion) {
     c.bench_function("event_ben_or_sweep/rush", |b| {
         b.iter(|| black_box(ben_or_runner.run_sequential(&BenOrScenario, &rush_grid)))
     });
+    // the same FIFO ensemble on the reference heap: the ensemble-level
+    // half of the BENCH_6 queue comparison (work counters are asserted
+    // identical by the gate; only wall time may differ)
+    let fifo_grid_heap: Vec<BenOrCell> = fifo_grid
+        .iter()
+        .map(|cell| BenOrCell {
+            net: cell.net.clone().with_queue(QueueImpl::Heap),
+            ..cell.clone()
+        })
+        .collect();
+    c.bench_function("event_ben_or_sweep_heap/fifo", |b| {
+        b.iter(|| black_box(ben_or_runner.run_sequential(&BenOrScenario, &fifo_grid_heap)))
+    });
+
+    // -- the BENCH_6 mega sweep: 10^6 protocol runs, wall-clock ------------
+    //
+    // One million minimal Ben-Or replicas (n = 4, unanimous start,
+    // lockstep timing) through the scenario engine — the throughput
+    // headline of the timing-wheel core. Timed as a single wall-clock
+    // pass with `Instant` rather than criterion's calibrated batches
+    // (the payload is seconds long; batching would multiply it), then
+    // recorded as a hand-built result so it lands in BENCH_6.json with
+    // everything else.
+    let mega_cell = BenOrCell {
+        n: 4,
+        t: 0,
+        faults: 0,
+        noisy: false,
+        unanimous_start: true,
+        max_rounds: 20,
+        net: NetProfile::lockstep(),
+    };
+    let mega_replicas: usize = 1_000_000;
+    let mega_runner = SimRunner::new(mega_replicas, 4_303);
+    let mega_start = std::time::Instant::now();
+    let mega = mega_runner.run_sequential(&BenOrScenario, std::slice::from_ref(&mega_cell));
+    let mega_ns = mega_start.elapsed().as_nanos() as f64;
+    assert_eq!(
+        mega[0].outcome.decided.mean(),
+        1.0,
+        "unanimous lockstep Ben-Or must always decide"
+    );
+    let events_per_run = mega[0].outcome.events.mean();
+    println!(
+        "net_mega_sweep/ben_or_1e6: {mega_replicas} runs in {:.2} s ({:.0} ns/run, {:.0} events/run)",
+        mega_ns / 1e9,
+        mega_ns / mega_replicas as f64,
+        events_per_run,
+    );
+    let mega_result = criterion::BenchResult {
+        name: "net_mega_sweep/ben_or_1e6".to_string(),
+        median_ns: mega_ns / mega_replicas as f64,
+        min_ns: mega_ns / mega_replicas as f64,
+        max_ns: mega_ns / mega_replicas as f64,
+        samples: 1,
+        iters_per_sample: mega_replicas as u64,
+    };
 
     // Headline ratios: what the event queue costs over lockstep on the
     // identical workload, and what parallel sweeps buy. Medians and mins
@@ -360,6 +514,8 @@ fn bench_net_engine(c: &mut Criterion) {
             "net_async_event_queue/phase_king",
         ),
         ("net_sync_lockstep/om_eig", "net_async_event_queue/om_eig"),
+        ("net_sync_lockstep/phase_king", "net_async_heap/phase_king"),
+        ("net_sync_lockstep/om_eig", "net_async_heap/om_eig"),
     ] {
         if let (Some(s), Some(a)) = (median(sync), median(async_q)) {
             println!("{async_q}: {:.2}x the lockstep cost (median)", a / s);
@@ -414,6 +570,23 @@ fn bench_net_engine(c: &mut Criterion) {
             rush / fifo
         );
     }
+    // BENCH_6 headlines: the wheel against the reference heap on
+    // identical (gate-verified bit-identical) workloads.
+    for (wheel, heap) in [
+        (
+            "net_async_event_queue/phase_king",
+            "net_async_heap/phase_king",
+        ),
+        ("net_async_event_queue/om_eig", "net_async_heap/om_eig"),
+        ("event_ben_or_sweep/fifo", "event_ben_or_sweep_heap/fifo"),
+    ] {
+        if let (Some(w), Some(h)) = (median(wheel), median(heap)) {
+            println!(
+                "{wheel}: wheel at {:.2}x the heap cost (median; <1 = faster)",
+                w / h
+            );
+        }
+    }
     if let Ok(path) = std::env::var("BNE_BENCH5_JSON") {
         let legs = [
             "event_bracha/direct",
@@ -430,6 +603,29 @@ fn bench_net_engine(c: &mut Criterion) {
         match std::fs::write(&path, criterion::results_to_json(&bench5)) {
             Ok(()) => println!("BENCH_5 summary written to {path}"),
             Err(e) => eprintln!("warning: could not write BENCH_5 JSON to {path}: {e}"),
+        }
+    }
+    if let Ok(path) = std::env::var("BNE_BENCH6_JSON") {
+        let legs = [
+            "net_sync_lockstep/phase_king",
+            "net_async_event_queue/phase_king",
+            "net_async_heap/phase_king",
+            "net_sync_lockstep/om_eig",
+            "net_async_event_queue/om_eig",
+            "net_async_heap/om_eig",
+            "event_ben_or_sweep/fifo",
+            "event_ben_or_sweep/rush",
+            "event_ben_or_sweep_heap/fifo",
+        ];
+        let mut bench6: Vec<_> = results
+            .iter()
+            .filter(|r| legs.contains(&r.name.as_str()))
+            .cloned()
+            .collect();
+        bench6.push(mega_result);
+        match std::fs::write(&path, criterion::results_to_json(&bench6)) {
+            Ok(()) => println!("BENCH_6 summary written to {path}"),
+            Err(e) => eprintln!("warning: could not write BENCH_6 JSON to {path}: {e}"),
         }
     }
 }

@@ -121,11 +121,12 @@ impl<M: Clone> AsyncProcess for RoundAdapter<M> {
         if self.round >= self.max_rounds {
             return;
         }
-        let mut inbox = std::mem::take(&mut self.inbox);
         // deterministic delivery order, matching SyncNetwork's per-round
-        // sender sort (stable: ties keep arrival order)
-        inbox.sort_by_key(|(sender, _)| *sender);
-        let out = self.inner.round(self.round, &inbox);
+        // sender sort (stable: ties keep arrival order); the buffer is
+        // sorted and drained in place so its capacity survives the round
+        self.inbox.sort_by_key(|(sender, _)| *sender);
+        let out = self.inner.round(self.round, &self.inbox);
+        self.inbox.clear();
         for (dst, msg) in out {
             ctx.send(dst, msg);
         }

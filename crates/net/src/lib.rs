@@ -13,7 +13,10 @@
 //! * [`runtime`] — an event queue keyed by `(virtual time, tiebreak,
 //!   sequence number)` driving [`runtime::AsyncProcess`]es, with a single
 //!   seeded RNG stream per concern (links, scheduler) derived via
-//!   [`bne_sim::derive_seed`];
+//!   [`bne_sim::derive_seed`]. The queue is a bucketed timing wheel over
+//!   arena-allocated events (the original binary heap stays available
+//!   behind [`model::QueueImpl`], differentially tested for bit-identical
+//!   executions);
 //! * [`model`] — pluggable [`model::LatencyModel`]s (constant,
 //!   uniform-jitter, heavy-tail), [`model::SchedulerPolicy`]s (FIFO,
 //!   seeded-random interleaving, adversarial rushing) and
@@ -53,7 +56,7 @@ pub mod runtime;
 pub mod scenario;
 
 pub use adapter::{run_round_protocol, run_sync_protocol, AsyncRunOutcome, RoundAdapter};
-pub use model::{LatencyModel, LinkFaults, NetConfig, Partition, SchedulerPolicy};
+pub use model::{LatencyModel, LinkFaults, NetConfig, Partition, QueueImpl, SchedulerPolicy};
 pub use protocols::{BenOrNoiseProcess, BenOrProcess, BrachaProcess, SilentAsyncProcess};
 pub use retry::{RetryAdapter, RetryMsg, RetryPolicy};
 pub use runtime::{AsyncProcess, EventNet, NetCtx, NetStats, TraceEvent, TraceKind};

@@ -157,6 +157,39 @@ impl Partition {
     }
 }
 
+/// Which data structure backs the [`crate::runtime::EventNet`] event
+/// queue.
+///
+/// Both implementations realize the **same total order** on events —
+/// `(virtual time, tiebreak, sequence number)` — so executions are
+/// bit-identical between them: same traces, same decisions, same
+/// decision times, same statistics. The property tests in
+/// `tests/tests/net_queue.rs` and the `net_engine` bench gate assert
+/// exactly this; the only difference is speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueImpl {
+    /// A bucketed timing wheel keyed by virtual tick, with an overflow
+    /// heap for events beyond the wheel horizon. Near-future events (the
+    /// overwhelmingly common case in discrete virtual time) cost O(1)
+    /// amortized; this is the default and the fast path.
+    #[default]
+    Wheel,
+    /// The original global binary heap — the reference implementation and
+    /// escape hatch. O(log n) per event with full event keys; kept so the
+    /// wheel can always be differentially tested against it.
+    Heap,
+}
+
+impl QueueImpl {
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueueImpl::Wheel => "wheel",
+            QueueImpl::Heap => "heap",
+        }
+    }
+}
+
 /// Link-level faults: iid message loss and an optional healing partition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkFaults {
@@ -212,6 +245,9 @@ pub struct NetConfig {
     /// property tests, off by default because traces grow with every
     /// event.
     pub record_trace: bool,
+    /// Which queue implementation backs the event core (identical
+    /// semantics either way; see [`QueueImpl`]).
+    pub queue: QueueImpl,
 }
 
 impl NetConfig {
@@ -226,12 +262,19 @@ impl NetConfig {
             faults: LinkFaults::none(),
             round_ticks: 1,
             record_trace: false,
+            queue: QueueImpl::default(),
         }
     }
 
     /// Enables event-trace recording (builder style).
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Selects the event-queue implementation (builder style).
+    pub fn with_queue(mut self, queue: QueueImpl) -> Self {
+        self.queue = queue;
         self
     }
 }

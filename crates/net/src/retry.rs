@@ -9,12 +9,23 @@
 //!
 //! * each inner send becomes a [`RetryMsg::Data`] carrying a locally
 //!   unique id, tracked in a pending table with a retransmission timer;
+//! * a **multicast** (consecutive sends sharing one `Rc` payload) becomes
+//!   **one** table entry per (message, recipient-set): a single id, a
+//!   per-recipient ack bitmask, and one `Rc`-shared wire message reused by
+//!   the initial fan-out and every retransmission — the payload is never
+//!   cloned into the table, and retransmissions go only to the recipients
+//!   that have not acked yet;
 //! * receivers acknowledge every `Data` (re-acking duplicates, since the
 //!   previous ack may itself have been lost) and deliver the payload to
 //!   the inner process exactly once per `(sender, id)`;
-//! * an unacknowledged message is resent when its timer fires, with the
+//! * an unacknowledged entry is resent when its timer fires, with the
 //!   timeout scaled by [`RetryPolicy::backoff`] each attempt, until
 //!   [`RetryPolicy::max_attempts`] is exhausted (0 = retry forever).
+//!
+//! The unicast path is the degenerate one-recipient table entry: the
+//! payload is moved (not cloned) into the single `Rc`-shared wire message,
+//! so a message pending through `k` attempts costs one allocation total,
+//! not `k` payload clones.
 //!
 //! Under a loss-free network the adapter is behaviorally invisible: the
 //! inner processes see the same deliveries in the same order and decide
@@ -29,9 +40,11 @@
 //! timers are `id << 1 | 1`) and forwards inner timers shifted left one
 //! bit, so inner timer ids must stay below `2^63`.
 
-use crate::runtime::{AsyncProcess, NetCtx};
+use crate::runtime::{AsyncProcess, NetCtx, Payload};
 use bne_byzantine::ProcId;
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
 /// Retransmission policy of a [`RetryAdapter`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,12 +110,52 @@ pub enum RetryMsg<M> {
     },
 }
 
-/// One unacknowledged send awaiting its retransmission timer.
+/// One pending table entry: a (message, recipient-set) pair awaiting
+/// acknowledgement. Unicast sends are the one-recipient special case.
 struct Pending<M> {
-    dst: ProcId,
-    payload: M,
+    /// The recipient set of the original fan-out, in send order.
+    recipients: Vec<ProcId>,
+    /// Per-recipient ack bitmask (bit `i` set ⇔ `recipients[i]` acked).
+    acked: Vec<u64>,
+    /// Recipients still unacked (`== recipients.len() - popcount(acked)`).
+    remaining: usize,
+    /// The one `Rc`-shared wire message: reused by the initial fan-out
+    /// and every retransmission — the payload lives here exactly once.
+    msg: Rc<RetryMsg<M>>,
+    /// Send attempts so far (the initial fan-out counts as 1).
     attempts: u32,
+    /// Current retransmission timeout (grows by the backoff factor).
     timeout: u64,
+}
+
+impl<M> Pending<M> {
+    fn new(recipients: Vec<ProcId>, msg: Rc<RetryMsg<M>>, timeout: u64) -> Self {
+        let words = recipients.len().div_ceil(64);
+        Pending {
+            remaining: recipients.len(),
+            acked: vec![0; words],
+            recipients,
+            msg,
+            attempts: 1,
+            timeout,
+        }
+    }
+
+    fn is_acked(&self, idx: usize) -> bool {
+        self.acked[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Marks `src`'s slot acked; returns `true` if this was the last
+    /// outstanding recipient.
+    fn ack(&mut self, src: ProcId) -> bool {
+        if let Some(idx) =
+            (0..self.recipients.len()).find(|&i| self.recipients[i] == src && !self.is_acked(i))
+        {
+            self.acked[idx / 64] |= 1u64 << (idx % 64);
+            self.remaining -= 1;
+        }
+        self.remaining == 0
+    }
 }
 
 /// Wraps an [`AsyncProcess`] with acknowledgements and retransmission
@@ -113,8 +166,15 @@ pub struct RetryAdapter<P: AsyncProcess> {
     next_id: u64,
     pending: BTreeMap<u64, Pending<P::Msg>>,
     delivered: BTreeSet<(ProcId, u64)>,
-    /// Retransmissions actually sent (excludes first attempts).
+    /// Retransmissions actually sent (excludes first attempts), counted
+    /// per retransmitted message (a table entry resent to 3 unacked
+    /// recipients counts 3).
     retransmissions: u64,
+    /// Optional shared counter mirroring `retransmissions` (lets scenario
+    /// probes read the total after the adapter is boxed away).
+    probe: Option<Rc<Cell<u64>>>,
+    /// Recycled inner-callback context (capacity retained across events).
+    scratch: Option<NetCtx<P::Msg>>,
 }
 
 impl<P: AsyncProcess> RetryAdapter<P> {
@@ -134,7 +194,16 @@ impl<P: AsyncProcess> RetryAdapter<P> {
             pending: BTreeMap::new(),
             delivered: BTreeSet::new(),
             retransmissions: 0,
+            probe: None,
+            scratch: None,
         }
+    }
+
+    /// Mirrors the retransmission counter into a shared cell, so callers
+    /// that box the adapter behind `dyn AsyncProcess` can still read it.
+    pub fn with_probe(mut self, probe: Rc<Cell<u64>>) -> Self {
+        self.probe = Some(probe);
+        self
     }
 
     /// The wrapped process.
@@ -147,36 +216,63 @@ impl<P: AsyncProcess> RetryAdapter<P> {
         self.retransmissions
     }
 
+    fn count_retransmissions(&mut self, sent: u64) {
+        self.retransmissions += sent;
+        if let Some(probe) = &self.probe {
+            probe.set(probe.get() + sent);
+        }
+    }
+
+    /// Opens one pending entry for a (payload, recipient-set) group and
+    /// fans the shared wire message out to every recipient.
+    fn track(&mut self, dsts: Vec<ProcId>, payload: P::Msg, ctx: &mut NetCtx<RetryMsg<P::Msg>>) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let msg = Rc::new(RetryMsg::Data { id, payload });
+        for &dst in &dsts {
+            ctx.send_shared(dst, Rc::clone(&msg));
+        }
+        if self.policy.max_attempts != 1 {
+            ctx.set_timer(self.policy.timeout, (id << 1) | 1);
+            self.pending
+                .insert(id, Pending::new(dsts, msg, self.policy.timeout));
+        }
+    }
+
     /// Applies the actions an inner callback buffered: forwards timers
     /// (shifted into the even namespace) and converts sends into tracked
-    /// `Data` messages with retransmission timers.
-    fn absorb(&mut self, ictx: NetCtx<P::Msg>, ctx: &mut NetCtx<RetryMsg<P::Msg>>) {
-        let (sends, timers) = ictx.drain_actions();
-        for (delay, timer) in timers {
+    /// `Data` messages with retransmission timers. Consecutive sends
+    /// sharing one multicast `Rc` payload collapse into a single table
+    /// entry; the payload is extracted by dropping the redundant `Rc`
+    /// handles and unwrapping the last — no clone on this path.
+    fn absorb(&mut self, ictx: &mut NetCtx<P::Msg>, ctx: &mut NetCtx<RetryMsg<P::Msg>>) {
+        for &(delay, timer) in &ictx.timers {
             debug_assert!(timer < 1 << 63, "inner timer id overflows the namespace");
             ctx.set_timer(delay, timer << 1);
         }
-        for (dst, payload) in sends {
-            let id = self.next_id;
-            self.next_id += 1;
-            ctx.send(
-                dst,
-                RetryMsg::Data {
-                    id,
-                    payload: payload.clone(),
-                },
-            );
-            if self.policy.max_attempts != 1 {
-                ctx.set_timer(self.policy.timeout, (id << 1) | 1);
-                self.pending.insert(
-                    id,
-                    Pending {
-                        dst,
-                        payload,
-                        attempts: 1,
-                        timeout: self.policy.timeout,
-                    },
-                );
+        ictx.timers.clear();
+        let mut sends = ictx.sends.drain(..).peekable();
+        while let Some((dst, payload)) = sends.next() {
+            match payload {
+                Payload::Owned(msg) => self.track(vec![dst], msg, ctx),
+                Payload::Shared(rc) => {
+                    let mut dsts = vec![dst];
+                    while let Some((next_dst, Payload::Shared(next_rc))) = sends.peek() {
+                        // repeated destinations split into separate
+                        // entries, keeping (sender, id) delivery dedup
+                        // per physical send
+                        if !Rc::ptr_eq(&rc, next_rc) || dsts.contains(next_dst) {
+                            break;
+                        }
+                        dsts.push(*next_dst);
+                        sends.next(); // drops the redundant Rc handle
+                    }
+                    // the group held the only live handles: move the
+                    // payload out (clone only in the pathological
+                    // repeated-destination case)
+                    let msg = Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone());
+                    self.track(dsts, msg, ctx);
+                }
             }
         }
     }
@@ -186,9 +282,11 @@ impl<P: AsyncProcess> AsyncProcess for RetryAdapter<P> {
     type Msg = RetryMsg<P::Msg>;
 
     fn on_start(&mut self, ctx: &mut NetCtx<Self::Msg>) {
-        let mut ictx = ctx.inner();
+        let mut ictx = self.scratch.take().unwrap_or_else(|| NetCtx::new(0, 0, 0));
+        ictx.reset(ctx.id(), ctx.n(), ctx.now());
         self.inner.on_start(&mut ictx);
-        self.absorb(ictx, ctx);
+        self.absorb(&mut ictx, ctx);
+        self.scratch = Some(ictx);
     }
 
     fn on_message(&mut self, src: ProcId, msg: Self::Msg, ctx: &mut NetCtx<Self::Msg>) {
@@ -197,13 +295,19 @@ impl<P: AsyncProcess> AsyncProcess for RetryAdapter<P> {
                 // always ack — the previous ack may have been lost
                 ctx.send(src, RetryMsg::Ack { id });
                 if self.delivered.insert((src, id)) {
-                    let mut ictx = ctx.inner();
+                    let mut ictx = self.scratch.take().unwrap_or_else(|| NetCtx::new(0, 0, 0));
+                    ictx.reset(ctx.id(), ctx.n(), ctx.now());
                     self.inner.on_message(src, payload, &mut ictx);
-                    self.absorb(ictx, ctx);
+                    self.absorb(&mut ictx, ctx);
+                    self.scratch = Some(ictx);
                 }
             }
             RetryMsg::Ack { id } => {
-                self.pending.remove(&id);
+                if let Some(p) = self.pending.get_mut(&id) {
+                    if p.ack(src) {
+                        self.pending.remove(&id);
+                    }
+                }
             }
         }
     }
@@ -211,14 +315,16 @@ impl<P: AsyncProcess> AsyncProcess for RetryAdapter<P> {
     fn on_timer(&mut self, timer: u64, ctx: &mut NetCtx<Self::Msg>) {
         if timer & 1 == 0 {
             // an inner timer, forwarded
-            let mut ictx = ctx.inner();
+            let mut ictx = self.scratch.take().unwrap_or_else(|| NetCtx::new(0, 0, 0));
+            ictx.reset(ctx.id(), ctx.n(), ctx.now());
             self.inner.on_timer(timer >> 1, &mut ictx);
-            self.absorb(ictx, ctx);
+            self.absorb(&mut ictx, ctx);
+            self.scratch = Some(ictx);
             return;
         }
         let id = timer >> 1;
         let Some(p) = self.pending.get_mut(&id) else {
-            return; // acknowledged in the meantime
+            return; // fully acknowledged in the meantime
         };
         if self.policy.max_attempts != 0 && p.attempts >= self.policy.max_attempts {
             self.pending.remove(&id);
@@ -226,9 +332,18 @@ impl<P: AsyncProcess> AsyncProcess for RetryAdapter<P> {
         }
         p.attempts += 1;
         p.timeout = p.timeout.saturating_mul(self.policy.backoff.max(1));
-        let (dst, payload, timeout) = (p.dst, p.payload.clone(), p.timeout);
-        self.retransmissions += 1;
-        ctx.send(dst, RetryMsg::Data { id, payload });
+        let timeout = p.timeout;
+        // resend the one shared wire message to every unacked recipient
+        let mut resent = 0;
+        for i in 0..p.recipients.len() {
+            if !p.is_acked(i) {
+                let dst = p.recipients[i];
+                let msg = Rc::clone(&p.msg);
+                ctx.send_shared(dst, msg);
+                resent += 1;
+            }
+        }
+        self.count_retransmissions(resent);
         ctx.set_timer(timeout, (id << 1) | 1);
     }
 
@@ -303,8 +418,8 @@ mod tests {
         assert_eq!(net.decisions(), vec![None; 3]);
         let stats = net.stats();
         assert_eq!(stats.messages_dropped, stats.messages_sent);
-        // the broadcaster's 3 Init multicasts (to 3 destinations) are
-        // attempted 3 times each; nothing else ever starts
+        // the broadcaster's Init multicast (to 3 destinations) is
+        // attempted 3 times; nothing else ever starts
         assert_eq!(stats.messages_sent, 9);
     }
 
@@ -361,9 +476,10 @@ mod tests {
 
     #[test]
     fn retransmission_counter_and_backoff_schedule() {
-        // drive the adapter directly (no network): the broadcaster's 3
-        // Init copies go pending; firing each retry timer twice exhausts
-        // max_attempts = 3, after which further timers are no-ops
+        // drive the adapter directly (no network): the broadcaster's Init
+        // multicast becomes ONE pending entry covering 3 recipients;
+        // firing its retry timer twice exhausts max_attempts = 3, after
+        // which further timers are no-ops
         let policy = RetryPolicy {
             timeout: 2,
             backoff: 2,
@@ -373,21 +489,110 @@ mod tests {
         let mut ctx = NetCtx::new(0, 3, 0);
         adapter.on_start(&mut ctx);
         assert_eq!(adapter.retransmissions(), 0);
-        assert_eq!(adapter.pending.len(), 3);
+        assert_eq!(adapter.pending.len(), 1, "one entry per multicast group");
+        let entry = adapter.pending.values().next().unwrap();
+        assert_eq!(entry.recipients, vec![0, 1, 2]);
+        assert_eq!(entry.remaining, 3);
         for _ in 0..2 {
-            for id in 0..3u64 {
-                let mut ctx = NetCtx::new(0, 3, 0);
-                adapter.on_timer((id << 1) | 1, &mut ctx);
-            }
-        }
-        assert_eq!(adapter.retransmissions(), 6);
-        // exponential backoff doubled the per-message timeout twice
-        assert!(adapter.pending.values().all(|p| p.timeout == 8));
-        for id in 0..3u64 {
             let mut ctx = NetCtx::new(0, 3, 0);
-            adapter.on_timer((id << 1) | 1, &mut ctx);
+            adapter.on_timer(1, &mut ctx); // retry timer of id 0
         }
+        // each firing resends to all 3 still-unacked recipients
+        assert_eq!(adapter.retransmissions(), 6);
+        // exponential backoff doubled the per-entry timeout twice
+        assert!(adapter.pending.values().all(|p| p.timeout == 8));
+        let mut ctx = NetCtx::new(0, 3, 0);
+        adapter.on_timer(1, &mut ctx);
         assert_eq!(adapter.retransmissions(), 6, "attempts exhausted");
         assert!(adapter.pending.is_empty());
+    }
+
+    #[test]
+    fn acks_clear_individual_recipients_and_stop_their_retransmits() {
+        // one multicast entry over recipients {0, 1, 2}; ack from 1 only
+        let policy = RetryPolicy {
+            timeout: 2,
+            backoff: 1,
+            max_attempts: 0,
+        };
+        let mut adapter = RetryAdapter::new(BrachaProcess::new(1, 0, 1), policy);
+        let mut ctx = NetCtx::new(0, 3, 0);
+        adapter.on_start(&mut ctx);
+        let mut ctx = NetCtx::new(0, 3, 0);
+        adapter.on_message(1, RetryMsg::Ack { id: 0 }, &mut ctx);
+        let entry = adapter.pending.values().next().unwrap();
+        assert_eq!(entry.remaining, 2);
+        // the next timer resends only to the 2 unacked recipients
+        let mut ctx = NetCtx::new(0, 3, 0);
+        adapter.on_timer(1, &mut ctx);
+        assert_eq!(adapter.retransmissions(), 2);
+        assert_eq!(
+            ctx.sends.iter().map(|(d, _)| *d).collect::<Vec<_>>(),
+            vec![0, 2],
+            "recipient 1 is not retransmitted to"
+        );
+        // acking the rest removes the entry entirely
+        let mut ctx = NetCtx::new(0, 3, 0);
+        adapter.on_message(0, RetryMsg::Ack { id: 0 }, &mut ctx);
+        adapter.on_message(2, RetryMsg::Ack { id: 0 }, &mut ctx);
+        assert!(adapter.pending.is_empty());
+    }
+
+    #[test]
+    fn multicast_payload_is_not_cloned_into_the_pending_table() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        /// A payload that counts clones (delivery clones + table clones).
+        #[derive(Debug)]
+        struct Counted {
+            clones: Rc<Cell<usize>>,
+        }
+        impl Clone for Counted {
+            fn clone(&self) -> Self {
+                self.clones.set(self.clones.get() + 1);
+                Counted {
+                    clones: Rc::clone(&self.clones),
+                }
+            }
+        }
+        struct Fan {
+            clones: Rc<Cell<usize>>,
+        }
+        impl AsyncProcess for Fan {
+            type Msg = Counted;
+            fn on_start(&mut self, ctx: &mut NetCtx<Counted>) {
+                if ctx.id() == 0 {
+                    let msg = Counted {
+                        clones: Rc::clone(&self.clones),
+                    };
+                    ctx.multicast(1..ctx.n(), msg);
+                }
+            }
+            fn on_message(&mut self, _s: ProcId, _m: Counted, _c: &mut NetCtx<Counted>) {}
+            fn on_timer(&mut self, _t: u64, _c: &mut NetCtx<Counted>) {}
+            fn decision(&self) -> Option<u64> {
+                None
+            }
+        }
+        let n = 8;
+        let clones = Rc::new(Cell::new(0));
+        let procs: Vec<Box<dyn AsyncProcess<Msg = RetryMsg<Counted>>>> = (0..n)
+            .map(|_| {
+                Box::new(RetryAdapter::new(
+                    Fan {
+                        clones: Rc::clone(&clones),
+                    },
+                    RetryPolicy::default(),
+                )) as _
+            })
+            .collect();
+        let mut net = EventNet::new(procs, NetConfig::lockstep(0));
+        assert!(net.run(100_000));
+        // the table holds the ONE shared wire message (zero payload
+        // copies of its own, shared with every retransmission); each of
+        // the n - 1 deliveries materializes one clone because the table's
+        // handle is still live until the ack lands
+        assert_eq!(clones.get(), n - 1);
     }
 }

@@ -10,6 +10,22 @@
 //! therefore produce the same event trace, decisions and statistics — the
 //! determinism property tests assert exactly this.
 //!
+//! # The event core
+//!
+//! Queued events live in an **arena** (a slab indexed by `u32` handles
+//! with a free list), so the queue itself only ever moves small `Copy`
+//! keys around. Two queue implementations realize the same total order
+//! (selected by [`NetConfig::queue`], see [`QueueImpl`]):
+//!
+//! * a **bucketed timing wheel**: a fixed ring of per-tick buckets over
+//!   a fixed near-future horizon, with a binary-heap overflow for
+//!   far-future events (retry backoff can exceed the horizon). Buckets
+//!   stay append-sorted on the FIFO fast path and lazily sort their
+//!   undrained tail when an out-of-order tiebreak lands, so a whole tick
+//!   drains in one pass;
+//! * the original **global binary heap** — the reference implementation
+//!   and escape hatch, differentially tested against the wheel.
+//!
 //! # Examples
 //!
 //! An [`AsyncProcess`] sees only message arrivals and its own timers —
@@ -50,7 +66,7 @@
 //! assert_eq!(net.stats().messages_delivered, 2);
 //! ```
 
-use crate::model::{NetConfig, SchedulerPolicy};
+use crate::model::{NetConfig, QueueImpl, SchedulerPolicy};
 use bne_byzantine::ProcId;
 use bne_sim::derive_seed;
 use rand::rngs::StdRng;
@@ -92,6 +108,13 @@ pub struct TraceEvent {
 }
 
 /// Aggregate statistics of one execution.
+///
+/// Besides the message counts, this carries the **work counters** the
+/// `BENCH_6` methodology reports: events processed, the peak number of
+/// simultaneously queued events, and the arena high-water mark (event
+/// slots ever allocated — the allocation footprint of the run). All of
+/// them are part of the deterministic execution, so they are bit-identical
+/// across queue implementations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NetStats {
     /// Messages handed to the network with a valid destination (counted at
@@ -105,6 +128,12 @@ pub struct NetStats {
     pub events_processed: usize,
     /// Virtual time of the last processed event.
     pub virtual_time: u64,
+    /// Peak number of simultaneously queued events.
+    pub peak_queue_len: usize,
+    /// Event-arena slots ever allocated (the in-flight high-water mark:
+    /// slots are recycled through a free list, so this is the peak number
+    /// of concurrently live events, not a per-event allocation count).
+    pub arena_high_water: usize,
 }
 
 /// A queued message payload: unicast sends own their message outright
@@ -115,7 +144,7 @@ pub struct NetStats {
 /// loss or partitions never pay for a clone at all. This is what cuts
 /// the per-recipient clone cost of big multicast payloads (e.g. the
 /// Dolev–Strong signature chains) on large `n`.
-enum Payload<M> {
+pub(crate) enum Payload<M> {
     /// A unicast message, owned by its single queue entry.
     Owned(M),
     /// A multicast message, shared across recipients.
@@ -125,7 +154,7 @@ enum Payload<M> {
 impl<M: Clone> Payload<M> {
     /// Materializes an owned message for delivery, cloning only when
     /// other recipients still hold the shared payload.
-    fn into_msg(self) -> M {
+    pub(crate) fn into_msg(self) -> M {
         match self {
             Payload::Owned(msg) => msg,
             Payload::Shared(rc) => Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()),
@@ -133,21 +162,19 @@ impl<M: Clone> Payload<M> {
     }
 }
 
-/// Buffered `(sends, timers)` drained from a [`NetCtx`] by a wrapping
-/// adapter.
-pub(crate) type DrainedActions<M> = (Vec<(ProcId, M)>, Vec<(u64, u64)>);
-
 /// The action buffer handed to every [`AsyncProcess`] callback.
 ///
 /// Sends and timers requested here are applied by the runtime after the
 /// callback returns, in request order — which keeps the sampling order of
-/// the latency/drop RNG well-defined.
+/// the latency/drop RNG well-defined. The runtime recycles one scratch
+/// buffer across events, so steady-state event processing allocates
+/// nothing here.
 pub struct NetCtx<M> {
     id: ProcId,
     n: usize,
     now: u64,
-    sends: Vec<(ProcId, Payload<M>)>,
-    timers: Vec<(u64, u64)>,
+    pub(crate) sends: Vec<(ProcId, Payload<M>)>,
+    pub(crate) timers: Vec<(u64, u64)>,
 }
 
 impl<M> NetCtx<M> {
@@ -159,6 +186,16 @@ impl<M> NetCtx<M> {
             sends: Vec::new(),
             timers: Vec::new(),
         }
+    }
+
+    /// Re-targets a recycled context: clears the buffers (keeping their
+    /// capacity) and points it at a new `(id, now)`.
+    pub(crate) fn reset(&mut self, id: ProcId, n: usize, now: u64) {
+        self.id = id;
+        self.n = n;
+        self.now = now;
+        self.sends.clear();
+        self.timers.clear();
     }
 
     /// This process's id.
@@ -182,6 +219,13 @@ impl<M> NetCtx<M> {
         self.sends.push((dst, Payload::Owned(msg)));
     }
 
+    /// Sends an already-shared payload to `dst` without cloning it —
+    /// the internal hook the retry adapter uses to retransmit one tracked
+    /// allocation to many recipients across many attempts.
+    pub(crate) fn send_shared(&mut self, dst: ProcId, msg: Rc<M>) {
+        self.sends.push((dst, Payload::Shared(msg)));
+    }
+
     /// Sends one `msg` to every destination in `dsts`, storing the
     /// payload **once** in the event queue (`Rc`-backed) instead of
     /// cloning it per recipient. Delivery order, fault sampling and
@@ -199,27 +243,6 @@ impl<M> NetCtx<M> {
     /// [`AsyncProcess::on_timer`] with the given id.
     pub fn set_timer(&mut self, delay: u64, timer: u64) {
         self.timers.push((delay, timer));
-    }
-
-    /// Consumes the buffered actions: `(sends, timers)` in request order,
-    /// with shared multicast payloads materialized. Used by wrapping
-    /// adapters (the retry adapter) that must intercept an inner process's
-    /// sends rather than hand them to the network directly.
-    pub(crate) fn drain_actions(self) -> DrainedActions<M>
-    where
-        M: Clone,
-    {
-        let sends = self
-            .sends
-            .into_iter()
-            .map(|(dst, payload)| (dst, payload.into_msg()))
-            .collect();
-        (sends, self.timers)
-    }
-
-    /// Builds a context for a wrapped inner process (same id/n/now).
-    pub(crate) fn inner<N>(&self) -> NetCtx<N> {
-        NetCtx::new(self.id, self.n, self.now)
     }
 }
 
@@ -258,54 +281,325 @@ enum EventKind<M> {
     },
 }
 
-struct Event<M> {
-    time: u64,
+// ---------------------------------------------------------------------------
+// The arena: payloads live in a slab, the queue moves 24-byte keys
+// ---------------------------------------------------------------------------
+
+/// Slab storage for in-flight events. Queue entries reference slots by
+/// `u32` handle; freed slots are recycled through a free list, so a
+/// steady-state run stops allocating once it reaches its peak in-flight
+/// event count (the high-water mark reported in [`NetStats`]).
+struct Arena<M> {
+    slots: Vec<Option<EventKind<M>>>,
+    free: Vec<u32>,
+}
+
+impl<M> Arena<M> {
+    fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn alloc(&mut self, ev: EventKind<M>) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(ev);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("arena capacity");
+                self.slots.push(Some(ev));
+                slot
+            }
+        }
+    }
+
+    fn take(&mut self, slot: u32) -> EventKind<M> {
+        let ev = self.slots[slot as usize].take().expect("live arena slot");
+        self.free.push(slot);
+        ev
+    }
+
+    /// Slots ever allocated == peak number of concurrently live events.
+    fn high_water(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The timing wheel
+// ---------------------------------------------------------------------------
+
+/// Wheel horizon in ticks (must be a power of two). 64 covers every
+/// latency model and scheduler delay in the workspace (the widest
+/// near-future spread is heavy-tail latency at `base × 2^max_doublings`
+/// plus scheduler jitter, ≈ 55 ticks); only far-future retry-backoff
+/// timers overflow, and those are rare enough that the overflow heap is
+/// cheap. Kept deliberately small because the ring is initialized per
+/// `EventNet` — replica ensembles build millions of nets, so ring setup
+/// cost is part of the hot path (64 × 32-byte buckets = one 2 KiB
+/// write).
+const WHEEL_SLOTS: usize = 64;
+const WHEEL_MASK: u64 = (WHEEL_SLOTS as u64) - 1;
+const WHEEL_WORDS: usize = WHEEL_SLOTS / 64;
+
+/// Within-tick ordering key of one queued event. `seq` is unique, so the
+/// derived lexicographic order on `(tie, seq)` is total and `slot` is
+/// never compared.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct TickKey {
     tie: u64,
     seq: u64,
-    kind: EventKind<M>,
+    slot: u32,
 }
 
-impl<M> Event<M> {
-    fn key(&self) -> (u64, u64, u64) {
-        (self.time, self.tie, self.seq)
+/// One per-tick bucket. Keys are appended; as long as appends arrive in
+/// nondecreasing `(tie, seq)` order (the FIFO / monotone-sequence fast
+/// path) the bucket needs no sorting at all, and a drain is a linear
+/// scan. An out-of-order append (random tiebreaks, rushed deliveries into
+/// a partially drained tick) marks the bucket dirty; the *undrained tail*
+/// is then sorted lazily at the next pop — exactly reproducing the
+/// global heap's "minimum of the remaining events" semantics.
+#[derive(Default)]
+struct Bucket {
+    items: Vec<TickKey>,
+    /// Drain cursor: `items[..next]` have been popped. `u32` keeps the
+    /// bucket at 32 bytes — the ring is initialized per `EventNet`, so
+    /// its footprint is construction cost.
+    next: u32,
+    /// Whether `items[next..]` needs sorting before the next pop.
+    dirty: bool,
+}
+
+impl Bucket {
+    fn push(&mut self, key: TickKey) {
+        if !self.dirty {
+            if let Some(last) = self.items.last() {
+                if *last > key {
+                    self.dirty = true;
+                }
+            }
+        }
+        self.items.push(key);
+    }
+
+    /// Pops the smallest remaining key. Caller guarantees non-emptiness.
+    fn pop(&mut self) -> TickKey {
+        let next = self.next as usize;
+        if self.dirty {
+            self.items[next..].sort_unstable();
+            self.dirty = false;
+        }
+        let key = self.items[next];
+        self.next += 1;
+        if self.next as usize == self.items.len() {
+            // fully drained: recycle the allocation for the next rotation
+            self.items.clear();
+            self.next = 0;
+        }
+        key
+    }
+
+    fn is_empty(&self) -> bool {
+        self.next as usize == self.items.len()
     }
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
+/// The bucketed timing wheel: per-tick buckets over
+/// `[base, base + WHEEL_SLOTS)` plus an overflow heap for events beyond
+/// the horizon. An occupancy bitmap makes "find the next non-empty tick"
+/// a handful of word scans instead of a ring walk.
+struct TimingWheel {
+    buckets: Vec<Bucket>,
+    occupied: [u64; WHEEL_WORDS],
+    /// Earliest time the wheel can hold; advances monotonically with
+    /// every pop. The wheel covers `[base, base + WHEEL_SLOTS)`.
+    base: u64,
+    /// Events currently in buckets (excluding overflow).
+    len: usize,
+    /// Far-future events, keyed by the full `(time, tie, seq)` order.
+    overflow: BinaryHeap<Reverse<(u64, u64, u64, u32)>>,
+}
+
+impl TimingWheel {
+    fn new() -> Self {
+        TimingWheel {
+            buckets: (0..WHEEL_SLOTS).map(|_| Bucket::default()).collect(),
+            occupied: [0; WHEEL_WORDS],
+            base: 0,
+            len: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len + self.overflow.len()
+    }
+
+    #[inline]
+    fn set_bit(&mut self, idx: usize) {
+        self.occupied[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, idx: usize) {
+        self.occupied[idx / 64] &= !(1u64 << (idx % 64));
+    }
+
+    fn push(&mut self, time: u64, tie: u64, seq: u64, slot: u32) {
+        debug_assert!(time >= self.base, "events are never scheduled in the past");
+        if time - self.base < WHEEL_SLOTS as u64 {
+            let idx = (time & WHEEL_MASK) as usize;
+            self.buckets[idx].push(TickKey { tie, seq, slot });
+            self.set_bit(idx);
+            self.len += 1;
+        } else {
+            self.overflow.push(Reverse((time, tie, seq, slot)));
+        }
+    }
+
+    /// Moves every overflow event that now fits the horizon into its
+    /// bucket. Called whenever `base` advances.
+    fn migrate_overflow(&mut self) {
+        while let Some(&Reverse((time, tie, seq, slot))) = self.overflow.peek() {
+            if time - self.base >= WHEEL_SLOTS as u64 {
+                break;
+            }
+            self.overflow.pop();
+            let idx = (time & WHEEL_MASK) as usize;
+            self.buckets[idx].push(TickKey { tie, seq, slot });
+            self.set_bit(idx);
+            self.len += 1;
+        }
+    }
+
+    /// Ring-scans the occupancy bitmap for the first occupied bucket at
+    /// ring offset ≥ 0 from `start`, returning the offset. Caller
+    /// guarantees `self.len > 0`.
+    fn next_occupied_offset(&self, start: usize) -> usize {
+        let word = start / 64;
+        let bit = start % 64;
+        let masked = self.occupied[word] & (!0u64 << bit);
+        if masked != 0 {
+            return word * 64 + masked.trailing_zeros() as usize - start;
+        }
+        for i in 1..=WHEEL_WORDS {
+            let mut w = word + i;
+            if w >= WHEEL_WORDS {
+                w -= WHEEL_WORDS;
+            }
+            let bits = self.occupied[w];
+            if bits != 0 {
+                let pos = w * 64 + bits.trailing_zeros() as usize;
+                return (pos + WHEEL_SLOTS - start) % WHEEL_SLOTS;
+            }
+        }
+        unreachable!("next_occupied_offset called on an empty wheel")
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        if self.len == 0 {
+            // nothing inside the horizon: jump straight to the overflow
+            let &Reverse((time, ..)) = self.overflow.peek()?;
+            self.base = time;
+            self.migrate_overflow();
+            debug_assert!(self.len > 0);
+        }
+        let start = (self.base & WHEEL_MASK) as usize;
+        let offset = self.next_occupied_offset(start);
+        let time = self.base + offset as u64;
+        let idx = (start + offset) % WHEEL_SLOTS;
+        let key = self.buckets[idx].pop();
+        self.len -= 1;
+        if self.buckets[idx].is_empty() {
+            self.clear_bit(idx);
+        }
+        if time > self.base {
+            // the horizon slid forward: admit newly-eligible overflow
+            self.base = time;
+            self.migrate_overflow();
+        }
+        Some((time, key.slot))
     }
 }
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+/// The two interchangeable queue implementations behind [`EventNet`].
+/// Both realize the `(time, tie, seq)` total order exactly; see
+/// [`QueueImpl`].
+enum EventQueue {
+    Wheel(TimingWheel),
+    Heap(BinaryHeap<Reverse<(u64, u64, u64, u32)>>),
+}
+
+impl EventQueue {
+    fn new(impl_choice: QueueImpl) -> Self {
+        match impl_choice {
+            QueueImpl::Wheel => EventQueue::Wheel(TimingWheel::new()),
+            QueueImpl::Heap => EventQueue::Heap(BinaryHeap::new()),
+        }
+    }
+
+    fn push(&mut self, time: u64, tie: u64, seq: u64, slot: u32) {
+        match self {
+            EventQueue::Wheel(wheel) => wheel.push(time, tie, seq, slot),
+            EventQueue::Heap(heap) => heap.push(Reverse((time, tie, seq, slot))),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        match self {
+            EventQueue::Wheel(wheel) => wheel.pop(),
+            EventQueue::Heap(heap) => heap.pop().map(|Reverse((time, _, _, slot))| (time, slot)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Wheel(wheel) => wheel.len(),
+            EventQueue::Heap(heap) => heap.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key().cmp(&other.key())
-    }
+
+/// Where trace events go: nowhere (the benchmark/ensemble fast path pays
+/// a single branch per record call and no memory traffic) or an in-memory
+/// log (the replay/property-test path).
+enum TraceSink {
+    Off,
+    Record(Vec<TraceEvent>),
 }
 
 /// The deterministic discrete-event network runtime.
 pub struct EventNet<M: Clone> {
     procs: Vec<Box<dyn AsyncProcess<Msg = M>>>,
-    queue: BinaryHeap<Reverse<Event<M>>>,
+    queue: EventQueue,
+    arena: Arena<M>,
     cfg: NetConfig,
     link_rng: StdRng,
     sched_rng: StdRng,
     now: u64,
     next_seq: u64,
     stats: NetStats,
-    trace: Vec<TraceEvent>,
+    /// Incremental mirror of `queue.len()` (pushes minus pops), so peak
+    /// tracking never traverses the queue.
+    queue_len: usize,
+    trace: TraceSink,
     decision_times: Vec<Option<u64>>,
+    /// Recycled action buffer: one live callback at a time, so a single
+    /// scratch context serves every event.
+    scratch: Option<NetCtx<M>>,
 }
 
 impl<M: Clone> EventNet<M> {
     /// Builds the network and runs every process's
     /// [`AsyncProcess::on_start`] (in process-id order, at time 0).
-    pub fn new(mut procs: Vec<Box<dyn AsyncProcess<Msg = M>>>, cfg: NetConfig) -> Self {
+    pub fn new(procs: Vec<Box<dyn AsyncProcess<Msg = M>>>, cfg: NetConfig) -> Self {
         assert!(cfg.round_ticks >= 1, "round_ticks must be at least 1");
         let sched_seed = match cfg.scheduler {
             SchedulerPolicy::RandomInterleave { seed, .. } => seed,
@@ -313,30 +607,37 @@ impl<M: Clone> EventNet<M> {
         };
         let n = procs.len();
         let mut net = EventNet {
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(cfg.queue),
+            arena: Arena::new(),
             link_rng: StdRng::seed_from_u64(derive_seed(cfg.seed, STREAM_LINK, 0)),
             sched_rng: StdRng::seed_from_u64(derive_seed(cfg.seed, STREAM_SCHEDULER, sched_seed)),
+            trace: if cfg.record_trace {
+                TraceSink::Record(Vec::new())
+            } else {
+                TraceSink::Off
+            },
             cfg,
             now: 0,
             next_seq: 0,
             stats: NetStats::default(),
-            trace: Vec::new(),
+            queue_len: 0,
             procs: Vec::new(),
             decision_times: vec![None; n],
+            scratch: None,
         };
-        let mut ctxs = Vec::with_capacity(n);
-        for (id, proc) in procs.iter_mut().enumerate() {
-            let mut ctx = NetCtx::new(id, n, 0);
-            proc.on_start(&mut ctx);
-            ctxs.push(ctx);
-        }
-        // install the processes before applying, so destination validity
-        // checks in `route` see the real process count
+        // install the processes before starting them, so destination
+        // validity checks in `route` see the real process count; one
+        // context serves every start callback (and seeds the scratch
+        // buffer the event loop recycles)
         net.procs = procs;
-        for (id, ctx) in ctxs.into_iter().enumerate() {
+        let mut ctx = NetCtx::new(0, n, 0);
+        for id in 0..n {
+            ctx.reset(id, n, 0);
+            net.procs[id].on_start(&mut ctx);
             net.note_decision(id);
-            net.apply(id, ctx);
+            net.apply(id, &mut ctx);
         }
+        net.scratch = Some(ctx);
         net
     }
 
@@ -352,13 +653,23 @@ impl<M: Clone> EventNet<M> {
 
     /// Statistics so far.
     pub fn stats(&self) -> NetStats {
-        self.stats
+        let mut stats = self.stats;
+        // both are implied by hot-path state — the arena never shrinks,
+        // so its slot count IS the running high-water mark, and `now` is
+        // the time of the last processed event — so neither is stored
+        // per event
+        stats.arena_high_water = self.arena.high_water();
+        stats.virtual_time = self.now;
+        stats
     }
 
     /// The recorded event trace (empty unless
     /// [`NetConfig::record_trace`] was set).
     pub fn trace(&self) -> &[TraceEvent] {
-        &self.trace
+        match &self.trace {
+            TraceSink::Off => &[],
+            TraceSink::Record(trace) => trace,
+        }
     }
 
     /// The decisions of every process (in process-id order).
@@ -383,9 +694,10 @@ impl<M: Clone> EventNet<M> {
         }
     }
 
+    #[inline]
     fn record(&mut self, kind: TraceKind, src: u64, dst: u64) {
-        if self.cfg.record_trace {
-            self.trace.push(TraceEvent {
+        if let TraceSink::Record(trace) = &mut self.trace {
+            trace.push(TraceEvent {
                 time: self.now,
                 kind,
                 src,
@@ -397,26 +709,32 @@ impl<M: Clone> EventNet<M> {
     fn push_event(&mut self, time: u64, tie: u64, kind: EventKind<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Reverse(Event {
-            time,
-            tie,
-            seq,
-            kind,
-        }));
+        let slot = self.arena.alloc(kind);
+        self.queue.push(time, tie, seq, slot);
+        // incremental queue length (== self.queue.len()), so the peak
+        // tracking costs two register ops instead of a queue traversal;
+        // the arena high-water mark is monotone and is read off the
+        // arena lazily in `stats()`
+        self.queue_len += 1;
+        if self.queue_len > self.stats.peak_queue_len {
+            self.stats.peak_queue_len = self.queue_len;
+        }
     }
 
     /// Applies the actions a callback buffered in its [`NetCtx`]: timers
-    /// first, then sends, each in request order.
-    fn apply(&mut self, src: ProcId, ctx: NetCtx<M>) {
-        let NetCtx { sends, timers, .. } = ctx;
-        for (delay, timer) in timers {
+    /// first, then sends, each in request order. The context's buffers
+    /// are drained in place (capacity retained for the next event).
+    fn apply(&mut self, src: ProcId, ctx: &mut NetCtx<M>) {
+        for i in 0..ctx.timers.len() {
+            let (delay, timer) = ctx.timers[i];
             self.push_event(
                 self.now.saturating_add(delay),
                 0,
                 EventKind::Timer { proc: src, timer },
             );
         }
-        for (dst, msg) in sends {
+        ctx.timers.clear();
+        for (dst, msg) in ctx.sends.drain(..) {
             self.route(src, dst, msg);
         }
     }
@@ -479,32 +797,35 @@ impl<M: Clone> EventNet<M> {
 
     /// Processes a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(event)) = self.queue.pop() else {
+        let Some((time, slot)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(event.time >= self.now, "time must be monotone");
-        self.now = event.time;
+        debug_assert!(time >= self.now, "time must be monotone");
+        self.queue_len -= 1;
+        self.now = time;
         self.stats.events_processed += 1;
-        self.stats.virtual_time = self.now;
+        let event = self.arena.take(slot);
         let n = self.procs.len();
-        match event.kind {
+        let mut ctx = self.scratch.take().unwrap_or_else(|| NetCtx::new(0, n, 0));
+        match event {
             EventKind::Deliver { src, dst, msg } => {
                 self.stats.messages_delivered += 1;
                 self.record(TraceKind::Deliver, src as u64, dst as u64);
-                let mut ctx = NetCtx::new(dst, n, self.now);
+                ctx.reset(dst, n, self.now);
                 // the last live reference moves out without cloning
                 self.procs[dst].on_message(src, msg.into_msg(), &mut ctx);
                 self.note_decision(dst);
-                self.apply(dst, ctx);
+                self.apply(dst, &mut ctx);
             }
             EventKind::Timer { proc, timer } => {
                 self.record(TraceKind::Timer, proc as u64, timer);
-                let mut ctx = NetCtx::new(proc, n, self.now);
+                ctx.reset(proc, n, self.now);
                 self.procs[proc].on_timer(timer, &mut ctx);
                 self.note_decision(proc);
-                self.apply(proc, ctx);
+                self.apply(proc, &mut ctx);
             }
         }
+        self.scratch = Some(ctx);
         true
     }
 
@@ -819,5 +1140,82 @@ mod tests {
         );
         assert!(net.run(10));
         assert_eq!(net.stats().messages_sent, 0);
+    }
+
+    /// A process that arms one far-future timer chain — each hop longer
+    /// than the wheel horizon — to exercise the overflow path.
+    struct LongTimer {
+        hops: u64,
+        fired: Vec<u64>,
+    }
+    impl AsyncProcess for LongTimer {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut NetCtx<u64>) {
+            // several timers straddling the horizon in one batch, armed
+            // out of target-time order
+            ctx.set_timer(5_000, 1);
+            ctx.set_timer(3, 2);
+            ctx.set_timer(70_000, 3);
+            ctx.set_timer(1_500, 4);
+        }
+        fn on_message(&mut self, _s: ProcId, _m: u64, _c: &mut NetCtx<u64>) {}
+        fn on_timer(&mut self, timer: u64, ctx: &mut NetCtx<u64>) {
+            self.fired.push(timer);
+            if timer == 3 && self.hops > 0 {
+                self.hops -= 1;
+                ctx.set_timer(10_000, 3); // keep hopping past the horizon
+            }
+        }
+        fn decision(&self) -> Option<u64> {
+            None
+        }
+    }
+
+    #[test]
+    fn far_future_timers_cross_the_wheel_horizon_in_order() {
+        for queue in [QueueImpl::Wheel, QueueImpl::Heap] {
+            let procs: Vec<Box<dyn AsyncProcess<Msg = u64>>> = vec![Box::new(LongTimer {
+                hops: 3,
+                fired: Vec::new(),
+            })];
+            let mut net = EventNet::new(procs, NetConfig::lockstep(0).with_queue(queue));
+            assert!(net.run(1_000), "{queue:?} must drain");
+            assert_eq!(net.now(), 70_000 + 3 * 10_000);
+            assert_eq!(net.stats().events_processed, 4 + 3);
+        }
+    }
+
+    #[test]
+    fn wheel_and_heap_produce_identical_executions() {
+        let cfg = |queue| {
+            NetConfig {
+                latency: LatencyModel::UniformJitter { min: 0, max: 9 },
+                scheduler: SchedulerPolicy::RandomInterleave { seed: 3, jitter: 4 },
+                faults: LinkFaults::lossy(0.2),
+                ..NetConfig::lockstep(77)
+            }
+            .with_trace()
+            .with_queue(queue)
+        };
+        let mut wheel = echo_net(cfg(QueueImpl::Wheel), 6);
+        let mut heap = echo_net(cfg(QueueImpl::Heap), 6);
+        assert!(wheel.run(10_000));
+        assert!(heap.run(10_000));
+        assert!(!wheel.trace().is_empty());
+        assert_eq!(wheel.trace(), heap.trace());
+        assert_eq!(wheel.stats(), heap.stats());
+        assert_eq!(wheel.decisions(), heap.decisions());
+    }
+
+    #[test]
+    fn work_counters_track_queue_and_arena_peaks() {
+        let mut net = echo_net(NetConfig::lockstep(0), 5);
+        assert!(net.run(1_000));
+        let stats = net.stats();
+        // 4 initial sends queue up before anything is processed
+        assert_eq!(stats.peak_queue_len, 4);
+        // slots are recycled: the arena never grows past the peak
+        assert_eq!(stats.arena_high_water, 4);
+        assert_eq!(stats.events_processed, 8);
     }
 }

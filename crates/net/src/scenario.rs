@@ -8,7 +8,7 @@
 //! comparable. Experiments e17–e18 are built from these scenarios.
 
 use crate::adapter::run_round_protocol;
-use crate::model::{LatencyModel, LinkFaults, NetConfig, Partition, SchedulerPolicy};
+use crate::model::{LatencyModel, LinkFaults, NetConfig, Partition, QueueImpl, SchedulerPolicy};
 use bne_byzantine::adversary::{FaultyBehavior, FaultyProcess};
 use bne_byzantine::broadcast::{DolevStrongProcess, EquivocatingSender, SignedMessage};
 use bne_byzantine::network::Process;
@@ -93,6 +93,10 @@ pub struct NetProfile {
     pub faults: LinkFaults,
     /// Virtual ticks per protocol round.
     pub round_ticks: u64,
+    /// Event-queue implementation (identical executions either way; the
+    /// wheel is the fast default, the heap is the differential-testing
+    /// reference — see [`QueueImpl`]).
+    pub queue: QueueImpl,
 }
 
 impl NetProfile {
@@ -104,7 +108,14 @@ impl NetProfile {
             scheduler: SchedulerSpec::Fifo,
             faults: LinkFaults::none(),
             round_ticks: 1,
+            queue: QueueImpl::default(),
         }
+    }
+
+    /// Selects the event-queue implementation (builder style).
+    pub fn with_queue(mut self, queue: QueueImpl) -> Self {
+        self.queue = queue;
+        self
     }
 
     /// Lockstep timing with iid message loss — the profile of the e17
@@ -125,6 +136,7 @@ impl NetProfile {
             faults: self.faults.clone(),
             round_ticks: self.round_ticks,
             record_trace: false,
+            queue: self.queue,
         }
     }
 }
@@ -334,8 +346,8 @@ pub fn async_phase_king_scheduler_grid(
                     net: NetProfile {
                         latency: latency.clone(),
                         scheduler: scheduler.clone(),
-                        faults: LinkFaults::none(),
                         round_ticks,
+                        ..NetProfile::lockstep()
                     },
                 });
             }
@@ -444,13 +456,12 @@ pub fn async_broadcast_partition_grid(
         t,
         equivocating_sender: false,
         net: NetProfile {
-            latency: LatencyModel::Constant(0),
-            scheduler: SchedulerSpec::Fifo,
             faults: LinkFaults {
                 drop_prob: 0.0,
                 partition,
             },
             round_ticks,
+            ..NetProfile::lockstep()
         },
     };
     let mut grid = Vec::new();
@@ -501,6 +512,9 @@ pub struct ConsensusStats {
     pub decide_time: StreamingStats,
     /// Point-to-point messages handed to the network.
     pub messages: StreamingStats,
+    /// Runtime events processed (deliveries + timers) — the work metric
+    /// the BENCH_6 queue comparison reports alongside wall time.
+    pub events: StreamingStats,
 }
 
 impl Merge for ConsensusStats {
@@ -511,6 +525,7 @@ impl Merge for ConsensusStats {
         self.rounds.merge(&other.rounds);
         self.decide_time.merge(&other.decide_time);
         self.messages.merge(&other.messages);
+        self.events.merge(&other.events);
     }
 }
 
@@ -620,6 +635,7 @@ impl Scenario for BenOrScenario {
             rounds,
             decide_time,
             messages: StreamingStats::of(net.stats().messages_sent as f64),
+            events: StreamingStats::of(net.stats().events_processed as f64),
         }
     }
 }
@@ -648,8 +664,7 @@ pub fn ben_or_scheduler_grid(
                     net: NetProfile {
                         latency: latency.clone(),
                         scheduler: scheduler.clone(),
-                        faults: LinkFaults::none(),
-                        round_ticks: 1,
+                        ..NetProfile::lockstep()
                     },
                 });
             }
@@ -678,6 +693,11 @@ pub struct RbStats {
     /// Point-to-point messages handed to the network (acks and
     /// retransmissions included when a retry policy is active).
     pub messages: StreamingStats,
+    /// Runtime events processed (deliveries + timers).
+    pub events: StreamingStats,
+    /// Retransmissions sent by the retry adapters (0 for the bare arm),
+    /// summed over all processes via the adapters' shared probe.
+    pub retransmissions: StreamingStats,
 }
 
 impl Merge for RbStats {
@@ -688,6 +708,8 @@ impl Merge for RbStats {
         self.totality.merge(&other.totality);
         self.deliver_time.merge(&other.deliver_time);
         self.messages.merge(&other.messages);
+        self.events.merge(&other.events);
+        self.retransmissions.merge(&other.retransmissions);
     }
 }
 
@@ -730,13 +752,18 @@ impl Scenario for AsyncBrachaScenario {
         fn drive<M: Clone>(
             procs: Vec<Box<dyn crate::runtime::AsyncProcess<Msg = M>>>,
             cfg: NetConfig,
-        ) -> (Vec<Option<Value>>, Vec<Option<u64>>, usize, bool) {
+        ) -> (
+            Vec<Option<Value>>,
+            Vec<Option<u64>>,
+            crate::runtime::NetStats,
+            bool,
+        ) {
             let mut net = crate::runtime::EventNet::new(procs, cfg);
             let drained = net.run(20_000_000);
             (
                 net.decisions(),
                 net.decision_times().to_vec(),
-                net.stats().messages_sent,
+                net.stats(),
                 drained,
             )
         }
@@ -745,7 +772,10 @@ impl Scenario for AsyncBrachaScenario {
         let input: Value = rng.random_range(0..2u64);
         let net_seed = derive_seed(seed, STREAM_NET_SEED, 0);
         let cfg = cell.net.config(net_seed, &BTreeSet::new());
-        let (decisions, times, messages, drained) = match cell.retry {
+        // one shared counter across all adapters: total retransmissions
+        // stay readable after the adapters are boxed behind the trait
+        let retrans_probe = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let (decisions, times, stats, drained) = match cell.retry {
             None => drive::<BrachaMsg>(
                 (0..cell.n)
                     .map(|_| Box::new(BrachaProcess::new(cell.t, 0, input)) as _)
@@ -755,10 +785,10 @@ impl Scenario for AsyncBrachaScenario {
             Some(policy) => drive::<RetryMsg<BrachaMsg>>(
                 (0..cell.n)
                     .map(|_| {
-                        Box::new(RetryAdapter::new(
-                            BrachaProcess::new(cell.t, 0, input),
-                            policy,
-                        )) as _
+                        Box::new(
+                            RetryAdapter::new(BrachaProcess::new(cell.t, 0, input), policy)
+                                .with_probe(std::rc::Rc::clone(&retrans_probe)),
+                        ) as _
                     })
                     .collect(),
                 cfg,
@@ -780,7 +810,9 @@ impl Scenario for AsyncBrachaScenario {
             validity: StreamingStats::of(f64::from(u8::from(report.validity))),
             totality: StreamingStats::of(f64::from(u8::from(report.totality))),
             deliver_time,
-            messages: StreamingStats::of(messages as f64),
+            messages: StreamingStats::of(stats.messages_sent as f64),
+            events: StreamingStats::of(stats.events_processed as f64),
+            retransmissions: StreamingStats::of(retrans_probe.get() as f64),
         }
     }
 }
@@ -808,12 +840,11 @@ pub fn bracha_partition_grid(
         retry,
         net: NetProfile {
             latency: LatencyModel::Constant(1),
-            scheduler: SchedulerSpec::Fifo,
             faults: LinkFaults {
                 drop_prob: 0.0,
                 partition,
             },
-            round_ticks: 1,
+            ..NetProfile::lockstep()
         },
     };
     let mut grid = Vec::new();
@@ -1101,6 +1132,7 @@ mod tests {
                 scheduler: SchedulerSpec::Random { jitter: 3 },
                 faults: LinkFaults::lossy(0.45),
                 round_ticks: 4,
+                ..NetProfile::lockstep()
             },
         };
         let a = AsyncPhaseKingScenario.run(&cell, 123);

@@ -22,7 +22,7 @@ use bne_core::byzantine::phase_king::PhaseKingProcess;
 use bne_core::byzantine::Value;
 use bne_core::net::{
     run_round_protocol, AsyncProcess, BrachaProcess, EventNet, LatencyModel, LinkFaults, NetConfig,
-    Partition, RetryAdapter, RetryMsg, RetryPolicy, SchedulerPolicy,
+    Partition, QueueImpl, RetryAdapter, RetryMsg, RetryPolicy, SchedulerPolicy,
 };
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
@@ -81,6 +81,7 @@ fn main() {
         },
         round_ticks: 4,
         record_trace: false,
+        queue: QueueImpl::Wheel,
     };
     let rough_out = run_round_protocol(processes(seed), rounds, rough);
     println!(
@@ -102,6 +103,7 @@ fn main() {
         faults: LinkFaults::none(),
         round_ticks: 1,
         record_trace: false,
+        queue: QueueImpl::Wheel,
     };
     let rushed_out = run_round_protocol(processes(seed), rounds, rushed);
     println!(
@@ -128,6 +130,7 @@ fn main() {
         },
         round_ticks: 1,
         record_trace: false,
+        queue: QueueImpl::Wheel,
     };
     let bare = {
         let procs: Vec<Box<dyn AsyncProcess<Msg = BrachaMsg>>> = (0..N)

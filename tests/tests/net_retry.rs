@@ -14,8 +14,8 @@
 use bne_core::byzantine::bracha::BrachaMsg;
 use bne_core::byzantine::properties::rb_report;
 use bne_core::net::{
-    AsyncProcess, BrachaProcess, EventNet, LatencyModel, LinkFaults, NetConfig, RetryAdapter,
-    RetryMsg, RetryPolicy, SchedulerPolicy,
+    AsyncProcess, BrachaProcess, EventNet, LatencyModel, LinkFaults, NetConfig, NetCtx,
+    RetryAdapter, RetryMsg, RetryPolicy, SchedulerPolicy,
 };
 use proptest::prelude::*;
 
@@ -149,4 +149,141 @@ fn short_timeouts_retransmit_but_stay_correct() {
         wrapped.stats().messages_sent,
         bare.stats().messages_sent
     );
+}
+
+/// A one-shot flooder: process 0 sends `value` to everyone else, either
+/// as one multicast (which the retry adapter tracks as a single
+/// pending-table entry with a per-recipient ack bitmask) or as a
+/// per-recipient unicast loop (one tracked entry per recipient — the
+/// baseline the grouped table must be transparent against). Everyone
+/// decides on the value they saw.
+#[derive(Clone)]
+struct Flood {
+    value: u64,
+    grouped: bool,
+    decided: Option<u64>,
+}
+
+impl AsyncProcess for Flood {
+    type Msg = u64;
+
+    fn on_start(&mut self, ctx: &mut NetCtx<u64>) {
+        if ctx.id() == 0 {
+            self.decided = Some(self.value);
+            if self.grouped {
+                let n = ctx.n();
+                ctx.multicast(1..n, self.value);
+            } else {
+                for dst in 1..ctx.n() {
+                    ctx.send(dst, self.value);
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, _src: usize, msg: u64, _ctx: &mut NetCtx<u64>) {
+        self.decided.get_or_insert(msg);
+    }
+
+    fn on_timer(&mut self, _timer: u64, _ctx: &mut NetCtx<u64>) {}
+
+    fn decision(&self) -> Option<u64> {
+        self.decided
+    }
+}
+
+/// Runs the retry-wrapped flood and fingerprints it.
+fn run_flood(
+    n: usize,
+    grouped: bool,
+    value: u64,
+    policy: RetryPolicy,
+    cfg: NetConfig,
+) -> EventNet<RetryMsg<u64>> {
+    let procs: Vec<Box<dyn AsyncProcess<Msg = RetryMsg<u64>>>> = (0..n)
+        .map(|_| {
+            Box::new(RetryAdapter::new(
+                Flood {
+                    value,
+                    grouped,
+                    decided: None,
+                },
+                policy,
+            )) as _
+        })
+        .collect();
+    let mut net = EventNet::new(procs, cfg);
+    assert!(net.run(1_000_000), "flood queue must drain");
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The multicast pending table is transparent vs per-recipient
+    /// tracking: under a loss-free network the grouped run decides the
+    /// same values at the same virtual times with the same message count
+    /// (so "≤ messages" holds with equality), and processes strictly
+    /// fewer events — one retransmission timer per multicast instead of
+    /// one per recipient.
+    #[test]
+    fn multicast_table_is_transparent_vs_per_recipient_tracking(
+        n in 3usize..10,
+        latency in 0u64..4,
+        timeout_extra in 1u64..5,
+        value in 0u64..2,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cfg = NetConfig {
+            latency: LatencyModel::Constant(latency),
+            scheduler: SchedulerPolicy::Fifo,
+            faults: LinkFaults::none(),
+            ..NetConfig::lockstep(seed)
+        };
+        let policy = RetryPolicy {
+            timeout: 2 * latency + timeout_extra,
+            backoff: 2,
+            max_attempts: 0,
+        };
+        let grouped = run_flood(n, true, value, policy, cfg.clone());
+        let ungrouped = run_flood(n, false, value, policy, cfg);
+
+        prop_assert_eq!(grouped.decisions(), ungrouped.decisions());
+        prop_assert_eq!(grouped.decisions(), vec![Some(value); n]);
+        prop_assert_eq!(grouped.decision_times(), ungrouped.decision_times());
+        prop_assert_eq!(
+            grouped.stats().messages_sent,
+            ungrouped.stats().messages_sent
+        );
+        // one give-up timer for the whole recipient set vs one per
+        // recipient: n - 2 fewer timer events
+        prop_assert_eq!(
+            grouped.stats().events_processed + (n - 2),
+            ungrouped.stats().events_processed
+        );
+    }
+
+    /// Under iid loss with unlimited retransmission both tracking shapes
+    /// still deliver to everyone — the grouped table retransmits only to
+    /// unacked recipients, which must not cost liveness.
+    #[test]
+    fn multicast_table_stays_live_under_loss(
+        n in 3usize..9,
+        drop_percent in 5u64..70,
+        timeout in 1u64..6,
+        value in 0u64..2,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cfg = NetConfig {
+            latency: LatencyModel::Constant(1),
+            scheduler: SchedulerPolicy::Fifo,
+            faults: LinkFaults::lossy(drop_percent as f64 / 100.0),
+            ..NetConfig::lockstep(seed)
+        };
+        let policy = RetryPolicy { timeout, backoff: 2, max_attempts: 0 };
+        let grouped = run_flood(n, true, value, policy, cfg.clone());
+        let ungrouped = run_flood(n, false, value, policy, cfg);
+        prop_assert_eq!(grouped.decisions(), vec![Some(value); n]);
+        prop_assert_eq!(grouped.decisions(), ungrouped.decisions());
+    }
 }

@@ -174,12 +174,12 @@ proptest! {
             },
         };
         let cfg = NetConfig {
-            seed,
             latency,
             scheduler,
             faults: LinkFaults::lossy(drop_percent as f64 / 100.0),
             round_ticks,
             record_trace: true,
+            ..NetConfig::lockstep(seed)
         };
         let behavior = FaultyBehavior::RandomNoise { seed: derive_seed(seed, 8, 0) };
         let rounds = PhaseKingProcess::rounds_needed(t);
@@ -210,7 +210,6 @@ proptest! {
 #[test]
 fn different_seeds_change_stochastic_traces() {
     let cfg = |seed: u64| NetConfig {
-        seed,
         latency: LatencyModel::UniformJitter { min: 0, max: 5 },
         scheduler: SchedulerPolicy::RandomInterleave {
             seed: derive_seed(seed, 7, 0),
@@ -219,6 +218,7 @@ fn different_seeds_change_stochastic_traces() {
         faults: LinkFaults::lossy(0.2),
         round_ticks: 2,
         record_trace: true,
+        ..NetConfig::lockstep(seed)
     };
     let behavior = FaultyBehavior::RandomNoise { seed: 5 };
     let rounds = PhaseKingProcess::rounds_needed(1);
