@@ -3,13 +3,15 @@
 //! engine.
 //!
 //! Run and record to `BENCH_3.json` (all legs), `BENCH_5.json`
-//! (event-driven protocol legs) and `BENCH_6.json` (timing-wheel vs
-//! reference-heap legs plus the 10^6-run mega sweep):
+//! (event-driven protocol legs), `BENCH_6.json` (timing-wheel vs
+//! reference-heap legs plus the 10^6-run mega sweep) and `BENCH_7.json`
+//! (crash-recovery consensus: Paxos throughput, failover latency, the
+//! durable round-trip, and the e22 crash-grid sweeps):
 //!
 //! ```text
 //! BNE_BENCH_JSON=BENCH_3.json BNE_BENCH5_JSON=BENCH_5.json \
-//!     BNE_BENCH6_JSON=BENCH_6.json cargo bench -p bne-bench \
-//!     --features parallel --bench net_engine
+//!     BNE_BENCH6_JSON=BENCH_6.json BNE_BENCH7_JSON=BENCH_7.json \
+//!     cargo bench -p bne-bench --features parallel --bench net_engine
 //! ```
 //!
 //! CI runs this bench in bounded smoke mode (`BNE_BENCH_SMOKE=1`). In
@@ -31,13 +33,13 @@ use bne_core::byzantine::phase_king::PhaseKingProcess;
 use bne_core::byzantine::Value;
 use bne_core::net::protocols::run_bracha;
 use bne_core::net::scenario::{
-    async_om_loss_grid, ben_or_scheduler_grid, AsyncPhaseKingCell, BenOrCell, BenOrScenario,
-    NetProfile, SchedulerSpec,
+    async_om_loss_grid, ben_or_scheduler_grid, quorum_consensus_grid, AsyncPhaseKingCell,
+    BenOrCell, BenOrScenario, CrashRegime, HsucScenario, NetProfile, PaxosScenario, SchedulerSpec,
 };
 use bne_core::net::{
-    run_round_protocol, AsyncOmScenario, AsyncPhaseKingScenario, AsyncProcess, BrachaProcess,
-    EventNet, LatencyModel, LinkFaults, NetConfig, QueueImpl, RetryAdapter, RetryMsg, RetryPolicy,
-    RoundAdapter, SchedulerPolicy,
+    run_paxos, run_round_protocol, AsyncOmScenario, AsyncPhaseKingScenario, AsyncProcess,
+    BrachaProcess, EventNet, FaultPlan, LatencyModel, LinkFaults, NetConfig, QueueImpl,
+    RetryAdapter, RetryMsg, RetryPolicy, RoundAdapter, SchedulerPolicy,
 };
 use bne_core::sim::SimRunner;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -158,7 +160,7 @@ fn assert_wheel_equals_heap(pk_n: usize, pk_t: usize) {
                     seed: seed ^ 0xA5,
                     jitter: 3,
                 },
-                faults: LinkFaults::lossy(0.15),
+                faults: LinkFaults::lossy(0.15).into(),
                 round_ticks: 4,
                 record_trace: true,
                 ..NetConfig::lockstep(seed)
@@ -240,7 +242,7 @@ fn bench_net_engine(c: &mut Criterion) {
             net: NetProfile {
                 latency: LatencyModel::UniformJitter { min: 0, max: 3 },
                 scheduler: SchedulerSpec::Random { jitter: 2 },
-                faults: LinkFaults::lossy(0.1),
+                faults: LinkFaults::lossy(0.1).into(),
                 round_ticks: 4,
                 ..NetProfile::lockstep()
             },
@@ -296,7 +298,7 @@ fn bench_net_engine(c: &mut Criterion) {
         let cfg = NetConfig {
             latency: LatencyModel::UniformJitter { min: 0, max: 3 },
             scheduler: SchedulerPolicy::RandomInterleave { seed: 5, jitter: 2 },
-            faults: LinkFaults::lossy(0.1),
+            faults: LinkFaults::lossy(0.1).into(),
             round_ticks: 4,
             ..NetConfig::lockstep(1)
         };
@@ -418,7 +420,7 @@ fn bench_net_engine(c: &mut Criterion) {
     c.bench_function("event_bracha_retry/loss20", |b| {
         let cfg = NetConfig {
             latency: LatencyModel::Constant(1),
-            faults: LinkFaults::lossy(0.2),
+            faults: LinkFaults::lossy(0.2).into(),
             ..NetConfig::lockstep(1)
         };
         b.iter(|| {
@@ -456,6 +458,101 @@ fn bench_net_engine(c: &mut Criterion) {
         .collect();
     c.bench_function("event_ben_or_sweep_heap/fifo", |b| {
         b.iter(|| black_box(ben_or_runner.run_sequential(&BenOrScenario, &fifo_grid_heap)))
+    });
+
+    // -- crash-recovery consensus: the BENCH_7 legs ------------------------
+    //
+    // Gates first, as always: before anything is timed, single-decree
+    // Paxos must be safe and live on the clean network, survive losing
+    // its initial proposer at start (failover), and bring a crashed
+    // acceptor back through the durable round-trip with everyone —
+    // recovered process included — learning the one decided value.
+    let pxn: usize = if smoke { 5 } else { 7 };
+    let paxos_inputs: Vec<u64> = (0..pxn as u64).map(|i| 7 + i).collect();
+    {
+        for seed in 0..8u64 {
+            let clean = run_paxos(&paxos_inputs, 40, 8, NetConfig::lockstep(seed), 10_000_000);
+            let decisions = clean.decisions();
+            assert!(
+                decisions.iter().all(|d| *d == Some(paxos_inputs[0])),
+                "clean paxos must decide the initial proposer's input (seed {seed}): {decisions:?}"
+            );
+            let failover_cfg = NetConfig {
+                faults: FaultPlan::none().crash_at_start(0),
+                ..NetConfig::lockstep(seed)
+            };
+            let failed = run_paxos(&paxos_inputs, 40, 8, failover_cfg, 10_000_000);
+            let survivors: Vec<Option<u64>> = failed.decisions()[1..].to_vec();
+            assert!(
+                survivors.iter().all(|d| d.is_some()) && survivors.windows(2).all(|w| w[0] == w[1]),
+                "paxos failover must leave the survivors agreed (seed {seed}): {survivors:?}"
+            );
+            let recovery_cfg = NetConfig {
+                faults: FaultPlan::none().crash(pxn - 1, 1).recover_at(300),
+                ..NetConfig::lockstep(seed)
+            };
+            let recovered = run_paxos(&paxos_inputs, 40, 12, recovery_cfg, 10_000_000);
+            assert!(
+                recovered
+                    .decisions()
+                    .iter()
+                    .all(|d| *d == Some(paxos_inputs[0])),
+                "recovered acceptor must re-learn the decision (seed {seed})"
+            );
+            assert_eq!(recovered.stats().recoveries[pxn - 1], 1, "seed {seed}");
+        }
+    }
+
+    // Steady-state throughput: the clean two-phase pipeline, no timers
+    // beyond the initial proposer's.
+    c.bench_function("event_paxos/clean", |b| {
+        b.iter(|| {
+            black_box(
+                run_paxos(&paxos_inputs, 40, 8, NetConfig::lockstep(1), 10_000_000).decisions(),
+            )
+        })
+    });
+    // Failover recovery latency: the initial proposer is crashed before
+    // its on_start, so the decision waits on a staggered timeout firing
+    // and a full fresh ballot — the price of leader failure.
+    c.bench_function("event_paxos/failover", |b| {
+        let cfg = NetConfig {
+            faults: FaultPlan::none().crash_at_start(0),
+            ..NetConfig::lockstep(1)
+        };
+        b.iter(|| black_box(run_paxos(&paxos_inputs, 40, 8, cfg.clone(), 10_000_000).decisions()))
+    });
+    // Durable round-trip: crash an acceptor mid-run, recover it at t=300,
+    // let it re-learn via a fresh ballot.
+    c.bench_function("event_paxos/crash_recovery", |b| {
+        let cfg = NetConfig {
+            faults: FaultPlan::none().crash(pxn - 1, 1).recover_at(300),
+            ..NetConfig::lockstep(1)
+        };
+        b.iter(|| black_box(run_paxos(&paxos_inputs, 40, 12, cfg.clone(), 10_000_000).decisions()))
+    });
+    // The e22 crash-grid sweep through the scenario engine, both
+    // protocols on the identical grid (the atlas's unit of work).
+    let crash_grid = quorum_consensus_grid(
+        &[if smoke { 3 } else { 5 }],
+        &[
+            CrashRegime::None,
+            CrashRegime::CrashStop { after_events: 3 },
+            CrashRegime::CrashRecovery {
+                after_events: 3,
+                recover_at: 300,
+            },
+        ],
+        &[SchedulerSpec::Fifo, SchedulerSpec::Random { jitter: 2 }],
+        40,
+        12,
+    );
+    let crash_runner = SimRunner::new(if smoke { 8 } else { 16 }, 4_304);
+    c.bench_function("event_paxos_sweep/crash_grid", |b| {
+        b.iter(|| black_box(crash_runner.run_sequential(&PaxosScenario, &crash_grid)))
+    });
+    c.bench_function("event_hsuc_sweep/crash_grid", |b| {
+        b.iter(|| black_box(crash_runner.run_sequential(&HsucScenario, &crash_grid)))
     });
 
     // -- the BENCH_6 mega sweep: 10^6 protocol runs, wall-clock ------------
@@ -585,6 +682,53 @@ fn bench_net_engine(c: &mut Criterion) {
                 "{wheel}: wheel at {:.2}x the heap cost (median; <1 = faster)",
                 w / h
             );
+        }
+    }
+    // BENCH_7 headlines: what coordinator failure and the durable
+    // round-trip cost over the clean two-phase pipeline, and HSUC's
+    // rotation against Paxos's ballot race on the identical crash grid.
+    if let (Some(clean), Some(failover)) =
+        (median("event_paxos/clean"), median("event_paxos/failover"))
+    {
+        println!(
+            "event_paxos/failover: {:.2}x the clean decision (median wall time; the crashed proposer's silence is cheap to simulate — the failover price is paid in *virtual* time, see e22)",
+            failover / clean
+        );
+    }
+    if let (Some(clean), Some(recovery)) = (
+        median("event_paxos/clean"),
+        median("event_paxos/crash_recovery"),
+    ) {
+        println!(
+            "event_paxos/crash_recovery: {:.2}x the clean decision (median; the durable round-trip)",
+            recovery / clean
+        );
+    }
+    if let (Some(paxos), Some(hsuc)) = (
+        median("event_paxos_sweep/crash_grid"),
+        median("event_hsuc_sweep/crash_grid"),
+    ) {
+        println!(
+            "event_hsuc_sweep/crash_grid: {:.2}x the paxos sweep (median; rotation vs ballot race)",
+            hsuc / paxos
+        );
+    }
+    if let Ok(path) = std::env::var("BNE_BENCH7_JSON") {
+        let legs = [
+            "event_paxos/clean",
+            "event_paxos/failover",
+            "event_paxos/crash_recovery",
+            "event_paxos_sweep/crash_grid",
+            "event_hsuc_sweep/crash_grid",
+        ];
+        let bench7: Vec<_> = results
+            .iter()
+            .filter(|r| legs.contains(&r.name.as_str()))
+            .cloned()
+            .collect();
+        match std::fs::write(&path, criterion::results_to_json(&bench7)) {
+            Ok(()) => println!("BENCH_7 summary written to {path}"),
+            Err(e) => eprintln!("warning: could not write BENCH_7 JSON to {path}: {e}"),
         }
     }
     if let Ok(path) = std::env::var("BNE_BENCH5_JSON") {

@@ -149,6 +149,38 @@ impl BrachaState {
         }
         out
     }
+
+    /// The state that must survive a crash, encoded as words:
+    /// `[echoed, readied, has_delivered, delivered]`. The quorum tallies
+    /// are deliberately volatile — they are rebuilt from peers'
+    /// retransmissions after recovery — but the *sent* flags must
+    /// persist so a recovered process never equivocates by echoing or
+    /// readying a second time for a different value.
+    pub fn durable_words(&self) -> Vec<u64> {
+        vec![
+            u64::from(self.echoed),
+            u64::from(self.readied),
+            u64::from(self.delivered.is_some()),
+            self.delivered.unwrap_or(0),
+        ]
+    }
+
+    /// Restores [`BrachaState::durable_words`] after a crash, wiping the
+    /// volatile echo/ready tallies. An undelivered recovered process
+    /// re-accumulates quorums from retransmitted traffic (e.g. under
+    /// `bne_net::RetryAdapter`); without retransmission it simply stays
+    /// undelivered — Bracha has no leader to pull it forward.
+    pub fn restore_durable(&mut self, words: &[u64]) {
+        self.echoed = words.first().copied().unwrap_or(0) == 1;
+        self.readied = words.get(1).copied().unwrap_or(0) == 1;
+        self.delivered = if words.get(2).copied().unwrap_or(0) == 1 {
+            Some(words.get(3).copied().unwrap_or(0))
+        } else {
+            None
+        };
+        self.echoes.clear();
+        self.readies.clear();
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +267,31 @@ mod tests {
         assert_eq!(s.handle(4, &BrachaMsg::Ready(1)), vec![BrachaMsg::Ready(1)]);
         // ...but only once
         assert!(s.handle(5, &BrachaMsg::Ready(1)).is_empty());
+    }
+
+    #[test]
+    fn durable_round_trip_keeps_sent_flags_and_replay_reconverges() {
+        // a process that echoed and readied, then crashed: the flags
+        // survive (no equivocation on replay) but tallies are rebuilt
+        let mut s = BrachaState::new(0, 4, 1, 1);
+        let _ = s.handle(1, &BrachaMsg::Init(1));
+        for src in 1..4 {
+            s.handle(src, &BrachaMsg::Echo(1));
+        }
+        assert!(s.echoed && s.readied);
+        let words = s.durable_words();
+        let mut r = BrachaState::new(0, 4, 1, 1);
+        r.restore_durable(&words);
+        assert!(r.echoed && r.readied, "sent flags survive");
+        assert_eq!(r.delivered(), None);
+        assert!(r.echoes.is_empty() && r.readies.is_empty());
+        // replayed Init produces no second echo (no equivocation)...
+        assert!(r.handle(1, &BrachaMsg::Init(1)).is_empty());
+        // ...and replayed readies rebuild the quorum to the same value
+        for src in 1..4 {
+            r.handle(src, &BrachaMsg::Ready(1));
+        }
+        assert_eq!(r.delivered(), Some(1));
     }
 
     #[test]

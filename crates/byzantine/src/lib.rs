@@ -28,6 +28,12 @@
 //! * [`ben_or`] — Ben-Or's randomized binary consensus with a seeded
 //!   per-process coin: the first protocol here whose running time is a
 //!   random variable rather than a fixed round count;
+//! * [`paxos`] — single-decree Paxos as a ballot/quorum-intersection
+//!   state machine, correct for any crash pattern and tolerant of
+//!   `f < n/2` crash-recovery faults (no Byzantine behavior);
+//! * [`hsuc`] — leader-driven (rotating-coordinator) consensus in the
+//!   HSUC style, the `f < n/2` crash-fault counterpart to Paxos with a
+//!   predetermined leader per round;
 //! * [`mediator_ba`] — the trivial mediator-based solution the paper uses as
 //!   the specification ("the general simply sends the mediator his
 //!   preference, and the mediator sends it to all the soldiers");
@@ -41,10 +47,12 @@ pub mod adversary;
 pub mod ben_or;
 pub mod bracha;
 pub mod broadcast;
+pub mod hsuc;
 pub mod mediator_ba;
 pub mod network;
 pub mod om;
 pub mod om_process;
+pub mod paxos;
 pub mod phase_king;
 pub mod properties;
 pub mod scenario;
@@ -52,6 +60,7 @@ pub mod scenario;
 pub use adversary::FaultyBehavior;
 pub use ben_or::{BenOrMsg, BenOrState};
 pub use bracha::{BrachaMsg, BrachaState};
+pub use hsuc::{HsucMsg, HsucState};
 pub use mediator_ba::mediator_byzantine_agreement;
 pub use network::{ProcId, Process, RoundStats, SyncNetwork};
 pub use om::{om_byzantine_generals, OmConfig, OmOutcome};
@@ -59,6 +68,7 @@ pub use om_process::{
     om_colluding_process_set, om_process_set, run_om_process, OmColludingTraitorProcess,
     OmCollusion, OmMsg, OmProcess, OmTraitorProcess,
 };
+pub use paxos::{PaxosMsg, PaxosState};
 pub use phase_king::{run_phase_king, PhaseKingProcess};
 pub use properties::{check_agreement, check_validity, rb_report, AgreementReport, RbReport};
 pub use scenario::{BroadcastScenario, OmScenario, PhaseKingScenario, ProtocolStats};

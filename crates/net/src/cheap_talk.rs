@@ -264,7 +264,7 @@ mod tests {
         let game = ByzantineAgreementGame::build(7, 0.5);
         let mg = MediatorGame::new(&game, TruthfulMediator);
         let lossy = AsyncOralMessagesCheapTalk::new(7, 1, 1).with_net(NetProfile {
-            faults: LinkFaults::lossy(0.4),
+            faults: LinkFaults::lossy(0.4).into(),
             ..NetProfile::lockstep()
         });
         assert!(!distributions_match(

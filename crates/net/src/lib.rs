@@ -19,25 +19,31 @@
 //!   executions);
 //! * [`model`] — pluggable [`model::LatencyModel`]s (constant,
 //!   uniform-jitter, heavy-tail), [`model::SchedulerPolicy`]s (FIFO,
-//!   seeded-random interleaving, adversarial rushing) and
-//!   [`model::LinkFaults`] (iid loss, partitions that heal at a fixed
-//!   time);
+//!   seeded-random interleaving, adversarial rushing) and a unified
+//!   builder-style [`model::FaultPlan`] combining [`model::LinkFaults`]
+//!   (iid loss, partitions that heal at a fixed time) with
+//!   [`model::ProcessFault`] crash-recovery plans (halt after `k`
+//!   events, timed crash windows, durable-state recovery) enforced by
+//!   the runtime for *any* protocol;
 //! * [`adapter`] — a [`adapter::RoundAdapter`] running every existing
 //!   round-based [`bne_byzantine::Process`] *unchanged* on the async
 //!   runtime, **bit-identical** to `SyncNetwork` under the zero-latency
 //!   FIFO configuration ([`model::NetConfig::lockstep`]);
 //! * [`protocols`] — **event-driven** protocols running directly on the
 //!   runtime with no round adapter: Bracha reliable broadcast
-//!   ([`protocols::BrachaProcess`]) and Ben-Or randomized consensus
-//!   ([`protocols::BenOrProcess`]), whose running time is a random
-//!   variable of the schedule;
+//!   ([`protocols::BrachaProcess`]), Ben-Or randomized consensus
+//!   ([`protocols::BenOrProcess`]), single-decree Paxos
+//!   ([`protocols::PaxosProcess`]) and leader-driven HSUC-style
+//!   consensus ([`protocols::HsucProcess`]) — the latter two tolerate
+//!   `f < n/2` crash-recovery faults via timeout-driven failover;
 //! * [`retry`] — a [`retry::RetryAdapter`] wrapping any
 //!   [`runtime::AsyncProcess`] with acknowledgement + retransmission
 //!   (configurable backoff), turning message loss into latency;
 //! * [`scenario`] — [`bne_sim::Scenario`] ports (async OM, phase king,
-//!   Dolev–Strong, Bracha, Ben-Or) so agreement/validity rates sweep over
-//!   latency × loss × scheduler × `f/n` grids through the parallel Monte
-//!   Carlo engine (experiments e17–e21);
+//!   Dolev–Strong, Bracha, Ben-Or, Paxos, HSUC) so agreement/validity
+//!   rates sweep over latency × loss × scheduler × fault-plan × `f/n`
+//!   grids through the parallel Monte Carlo engine (experiments
+//!   e17–e22);
 //! * [`cheap_talk`] — the mediator cheap-talk implementations re-hosted
 //!   on the async runtime.
 //!
@@ -56,11 +62,21 @@ pub mod runtime;
 pub mod scenario;
 
 pub use adapter::{run_round_protocol, run_sync_protocol, AsyncRunOutcome, RoundAdapter};
-pub use model::{LatencyModel, LinkFaults, NetConfig, Partition, QueueImpl, SchedulerPolicy};
-pub use protocols::{BenOrNoiseProcess, BenOrProcess, BrachaProcess, SilentAsyncProcess};
+pub use model::{
+    CrashTrigger, FaultPlan, LatencyModel, LinkFaults, NetConfig, Partition, ProcessFault,
+    QueueImpl, SchedulerPolicy,
+};
+#[allow(deprecated)]
+pub use protocols::SilentAsyncProcess;
+pub use protocols::{
+    run_hsuc, run_paxos, BenOrNoiseProcess, BenOrProcess, BrachaProcess, HsucProcess, PaxosProcess,
+};
 pub use retry::{RetryAdapter, RetryMsg, RetryPolicy};
-pub use runtime::{AsyncProcess, EventNet, NetCtx, NetStats, TraceEvent, TraceKind};
+pub use runtime::{
+    AsyncProcess, DurableState, EventNet, IdleProcess, NetCtx, NetStats, TraceEvent, TraceKind,
+};
 pub use scenario::{
-    AsyncBrachaScenario, AsyncBroadcastScenario, AsyncOmScenario, AsyncPhaseKingScenario,
-    BenOrScenario, ConsensusStats, NetProfile, RbStats, SchedulerSpec,
+    quorum_consensus_grid, AsyncBrachaScenario, AsyncBroadcastScenario, AsyncOmScenario,
+    AsyncPhaseKingScenario, BenOrScenario, ConsensusStats, CrashRegime, HsucScenario, NetProfile,
+    PaxosScenario, QuorumConsensusCell, RbStats, SchedulerSpec,
 };

@@ -223,6 +223,151 @@ impl Default for LinkFaults {
     }
 }
 
+/// When a planned process crash fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashTrigger {
+    /// Fires once the process has handled this many events (message
+    /// deliveries plus timer firings; `on_start` does not count).
+    /// `AfterEvents(u64::MAX)` therefore never fires — a plan using it is
+    /// bit-identical to a fault-free run.
+    AfterEvents(u64),
+    /// Fires at the given virtual time. `AtTime(0)` crashes the process
+    /// before `on_start` runs — the crash-at-start replacement for the old
+    /// `SilentAsyncProcess` wrapper.
+    AtTime(u64),
+}
+
+/// One planned crash (and optional recovery) of one process.
+///
+/// Each fault fires at most once. A fault whose `recover_at` is `None`
+/// is a crash-stop: the process never comes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessFault {
+    /// Which process crashes.
+    pub proc: ProcId,
+    /// When the crash fires.
+    pub trigger: CrashTrigger,
+    /// Virtual time at which the process recovers (its durable state is
+    /// restored and `on_recover` runs); `None` means crash-stop. A
+    /// recovery time earlier than the crash time recovers immediately
+    /// after the crash fires.
+    pub recover_at: Option<u64>,
+}
+
+/// The unified fault surface of one execution: link faults (iid loss,
+/// partitions) plus a plan of process crashes and recoveries, built in
+/// fluent style:
+///
+/// ```
+/// use bne_net::{FaultPlan, Partition};
+/// let plan = FaultPlan::lossy(0.1)
+///     .partition(Partition::window([0].into_iter().collect(), 5, 20))
+///     .crash(2, 8)        // process 2 halts after handling 8 events
+///     .recover_at(60)     // ... and recovers at virtual time 60
+///     .crash_at_start(3); // process 3 never runs at all
+/// assert!(plan.has_process_faults());
+/// ```
+///
+/// Existing [`LinkFaults`] values convert losslessly:
+/// `NetConfig { faults: LinkFaults::lossy(0.1).into(), .. }`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Link-level faults (loss, partitions).
+    pub link: LinkFaults,
+    /// Planned process crashes/recoveries, enforced by the runtime.
+    pub process: Vec<ProcessFault>,
+}
+
+impl FaultPlan {
+    /// A fault-free plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// iid link loss with the given probability, no process faults.
+    pub fn lossy(drop_prob: f64) -> Self {
+        FaultPlan {
+            link: LinkFaults::lossy(drop_prob),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the link partition window (builder style).
+    pub fn partition(mut self, partition: Partition) -> Self {
+        self.link.partition = Some(partition);
+        self
+    }
+
+    /// Crashes `proc` after it has handled `after_k` events (builder
+    /// style). Follow with [`FaultPlan::recover_at`] to schedule its
+    /// recovery.
+    pub fn crash(mut self, proc: ProcId, after_k: u64) -> Self {
+        self.process.push(ProcessFault {
+            proc,
+            trigger: CrashTrigger::AfterEvents(after_k),
+            recover_at: None,
+        });
+        self
+    }
+
+    /// Crashes `proc` at virtual time `time` (builder style).
+    pub fn crash_at(mut self, proc: ProcId, time: u64) -> Self {
+        self.process.push(ProcessFault {
+            proc,
+            trigger: CrashTrigger::AtTime(time),
+            recover_at: None,
+        });
+        self
+    }
+
+    /// Crashes `proc` before its `on_start` ever runs — the planned-fault
+    /// replacement for the old `SilentAsyncProcess` wrapper.
+    pub fn crash_at_start(self, proc: ProcId) -> Self {
+        self.crash_at(proc, 0)
+    }
+
+    /// Schedules the recovery of the most recently added crash (builder
+    /// style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no crash has been added yet.
+    pub fn recover_at(mut self, time: u64) -> Self {
+        self.process
+            .last_mut()
+            .expect("FaultPlan::recover_at called before any crash was added")
+            .recover_at = Some(time);
+        self
+    }
+
+    /// Whether the plan contains any process faults. Plans without them
+    /// are enforced purely at the link layer and are bit-identical to the
+    /// pre-crash-model runtime.
+    pub fn has_process_faults(&self) -> bool {
+        !self.process.is_empty()
+    }
+
+    /// The processes this plan crashes and never recovers. Liveness
+    /// measurements (did everyone decide?) should quantify over the
+    /// complement of this set.
+    pub fn permanently_crashed(&self) -> BTreeSet<ProcId> {
+        self.process
+            .iter()
+            .filter(|f| f.recover_at.is_none())
+            .map(|f| f.proc)
+            .collect()
+    }
+}
+
+impl From<LinkFaults> for FaultPlan {
+    fn from(link: LinkFaults) -> Self {
+        FaultPlan {
+            link,
+            process: Vec::new(),
+        }
+    }
+}
+
 /// Full configuration of one [`crate::runtime::EventNet`] execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetConfig {
@@ -233,8 +378,10 @@ pub struct NetConfig {
     pub latency: LatencyModel,
     /// The delivery-order policy.
     pub scheduler: SchedulerPolicy,
-    /// Link faults (loss, partitions).
-    pub faults: LinkFaults,
+    /// The fault plan: link faults (loss, partitions) plus planned
+    /// process crashes/recoveries (see [`FaultPlan`]). Plain
+    /// [`LinkFaults`] values convert via `.into()`.
+    pub faults: FaultPlan,
     /// Virtual ticks per protocol round for round-based processes driven
     /// through [`crate::adapter::RoundAdapter`]. Must be ≥ 1; latencies at
     /// or above this make synchronous protocols miss messages, which is
@@ -259,11 +406,18 @@ impl NetConfig {
             seed,
             latency: LatencyModel::Constant(0),
             scheduler: SchedulerPolicy::Fifo,
-            faults: LinkFaults::none(),
+            faults: FaultPlan::none(),
             round_ticks: 1,
             record_trace: false,
             queue: QueueImpl::default(),
         }
+    }
+
+    /// Sets the fault plan (builder style); accepts a [`FaultPlan`] or a
+    /// plain [`LinkFaults`].
+    pub fn fault_plan(mut self, plan: impl Into<FaultPlan>) -> Self {
+        self.faults = plan.into();
+        self
     }
 
     /// Enables event-trace recording (builder style).
@@ -332,6 +486,37 @@ mod tests {
         assert!(!p.severs(2, 3, 5), "same side is unaffected");
         assert!(!p.severs(0, 2, 10), "healed at heal_at");
         assert_eq!(p.duration(), 10);
+    }
+
+    #[test]
+    fn fault_plan_builder_and_link_conversion() {
+        let plan = FaultPlan::lossy(0.25)
+            .partition(Partition::until([0usize].into_iter().collect(), 9))
+            .crash(1, 4)
+            .recover_at(30)
+            .crash_at_start(2);
+        assert_eq!(plan.link.drop_prob, 0.25);
+        assert!(plan.link.partition.is_some());
+        assert!(plan.has_process_faults());
+        assert_eq!(plan.process.len(), 2);
+        assert_eq!(plan.process[0].recover_at, Some(30));
+        assert_eq!(plan.process[1].trigger, CrashTrigger::AtTime(0));
+        // only the unrecovered crash counts as permanent
+        assert_eq!(
+            plan.permanently_crashed(),
+            [2usize].into_iter().collect::<BTreeSet<_>>()
+        );
+
+        let from_link: FaultPlan = LinkFaults::lossy(0.25).into();
+        assert_eq!(from_link.link, LinkFaults::lossy(0.25));
+        assert!(!from_link.has_process_faults());
+        assert!(FaultPlan::none() == FaultPlan::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "before any crash")]
+    fn recover_at_without_a_crash_panics() {
+        let _ = FaultPlan::none().recover_at(10);
     }
 
     #[test]

@@ -14,20 +14,30 @@
 //! * [`BenOrProcess`] — Ben-Or randomized consensus
 //!   ([`bne_byzantine::ben_or`]), with a per-process seeded coin and a
 //!   round probe for measuring rounds-to-decide;
-//! * [`SilentAsyncProcess`] — a crashed-from-the-start participant for
-//!   any message type;
+//! * [`PaxosProcess`] — single-decree Paxos ([`bne_byzantine::paxos`]),
+//!   with timeout-driven ballot escalation for leader failover and a
+//!   durable acceptor snapshot for crash-recovery plans;
+//! * [`HsucProcess`] — leader-driven rotating-coordinator consensus
+//!   ([`bne_byzantine::hsuc`]), timeout-driven round advancement;
 //! * [`BenOrNoiseProcess`] — a Byzantine participant injecting seeded
 //!   random reports and proposals for every round it observes.
+//!
+//! The crashed-from-the-start participant that used to live here
+//! ([`SilentAsyncProcess`]) is superseded by the runtime's fault plans:
+//! `FaultPlan::crash_at_start(proc)` halts *any* process — no wrapper
+//! type needed. A deprecated alias to [`crate::runtime::IdleProcess`]
+//! remains for one release.
 
-use crate::runtime::{AsyncProcess, EventNet, NetCtx};
+use crate::runtime::{AsyncProcess, DurableState, EventNet, NetCtx};
 use bne_byzantine::ben_or::{BenOrMsg, BenOrState};
 use bne_byzantine::bracha::{BrachaMsg, BrachaState};
+use bne_byzantine::hsuc::{HsucMsg, HsucState};
+use bne_byzantine::paxos::{PaxosMsg, PaxosState};
 use bne_byzantine::{ProcId, Value};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::cell::Cell;
 use std::collections::BTreeSet;
-use std::marker::PhantomData;
 use std::rc::Rc;
 
 /// Bracha reliable broadcast as an [`AsyncProcess`].
@@ -74,7 +84,17 @@ impl AsyncProcess for BrachaProcess {
         }
     }
 
-    fn on_timer(&mut self, _timer: u64, _ctx: &mut NetCtx<BrachaMsg>) {}
+    fn save_durable(&self) -> Option<DurableState> {
+        self.state
+            .as_ref()
+            .map(|s| DurableState::from(s.durable_words()))
+    }
+
+    fn restore_durable(&mut self, state: &DurableState) {
+        if let Some(s) = self.state.as_mut() {
+            s.restore_durable(state.words());
+        }
+    }
 
     fn decision(&self) -> Option<u64> {
         self.state.as_ref().and_then(|s| s.delivered())
@@ -157,42 +177,243 @@ impl AsyncProcess for BenOrProcess {
         self.flush(out, ctx);
     }
 
-    fn on_timer(&mut self, _timer: u64, _ctx: &mut NetCtx<BenOrMsg>) {}
+    fn decision(&self) -> Option<u64> {
+        self.state.as_ref().and_then(|s| s.decided())
+    }
+}
+
+/// Deprecated name for [`crate::runtime::IdleProcess`]: crash injection
+/// is the runtime's job now — put `FaultPlan::crash_at_start(proc)` in
+/// [`crate::model::NetConfig::fault_plan`] and keep the real process.
+#[deprecated(
+    since = "0.7.0",
+    note = "use FaultPlan::crash_at_start on NetConfig (or IdleProcess for a genuinely inert slot)"
+)]
+pub type SilentAsyncProcess<M> = crate::runtime::IdleProcess<M>;
+
+/// Single-decree Paxos as an [`AsyncProcess`].
+///
+/// Process 0 opens ballot 1 at start; every process arms a retry timer
+/// and, if still undecided when it fires, escalates to a fresh own
+/// ballot ([`PaxosState::on_timeout`]) — that timeout path is the leader
+/// failover mechanism the crash plans of `e22` exercise. Timers are
+/// staggered by process id so concurrent escalations do not duel
+/// forever under symmetric schedules.
+///
+/// The acceptor state (promise + accepted ballot/value) is durable
+/// across planned crashes; the in-flight proposal, quorum tallies and
+/// even the learned decision are volatile and are re-learned through a
+/// fresh ballot after recovery ([`AsyncProcess::on_recover`] re-arms the
+/// timer, since pending timers are absorbed while crashed).
+pub struct PaxosProcess {
+    input: Value,
+    timeout_ticks: u64,
+    max_timeouts: u32,
+    timeouts: u32,
+    state: Option<PaxosState>,
+    ballot_probe: Option<Rc<Cell<Option<u64>>>>,
+}
+
+impl PaxosProcess {
+    /// A participant proposing `input` when free to choose. The retry
+    /// timer fires every `timeout_ticks` (staggered by id) at most
+    /// `max_timeouts` times, bounding ballot escalation so executions
+    /// always drain.
+    pub fn new(input: Value, timeout_ticks: u64, max_timeouts: u32) -> Self {
+        PaxosProcess {
+            input,
+            timeout_ticks,
+            max_timeouts,
+            timeouts: 0,
+            state: None,
+            ballot_probe: None,
+        }
+    }
+
+    /// Attaches a probe cell set to the deciding ballot the moment this
+    /// process decides (scenarios read it after the run).
+    pub fn with_ballot_probe(mut self, probe: Rc<Cell<Option<u64>>>) -> Self {
+        self.ballot_probe = Some(probe);
+        self
+    }
+
+    fn arm(&self, ctx: &mut NetCtx<PaxosMsg>) {
+        ctx.set_timer(self.timeout_ticks + ctx.id() as u64, 0);
+    }
+
+    fn flush(&mut self, out: Vec<PaxosMsg>, ctx: &mut NetCtx<PaxosMsg>) {
+        for m in out {
+            ctx.multicast(0..ctx.n(), m);
+        }
+        if let (Some(probe), Some(state)) = (&self.ballot_probe, &self.state) {
+            if probe.get().is_none() {
+                probe.set(state.decided_ballot());
+            }
+        }
+    }
+
+    fn decided(&self) -> bool {
+        self.state.as_ref().is_some_and(|s| s.decided().is_some())
+    }
+}
+
+impl AsyncProcess for PaxosProcess {
+    type Msg = PaxosMsg;
+
+    fn on_start(&mut self, ctx: &mut NetCtx<PaxosMsg>) {
+        let mut state = PaxosState::new(ctx.id(), ctx.n(), self.input);
+        let out = state.start();
+        self.state = Some(state);
+        self.flush(out, ctx);
+        self.arm(ctx);
+    }
+
+    fn on_message(&mut self, src: ProcId, msg: PaxosMsg, ctx: &mut NetCtx<PaxosMsg>) {
+        let state = self.state.as_mut().expect("on_start ran");
+        let out = state.handle(src, &msg);
+        self.flush(out, ctx);
+    }
+
+    fn on_timer(&mut self, _timer: u64, ctx: &mut NetCtx<PaxosMsg>) {
+        if self.decided() || self.timeouts >= self.max_timeouts {
+            return; // stop re-arming: let the execution drain
+        }
+        self.timeouts += 1;
+        let out = self.state.as_mut().expect("on_start ran").on_timeout();
+        self.flush(out, ctx);
+        self.arm(ctx);
+    }
+
+    fn on_recover(&mut self, ctx: &mut NetCtx<PaxosMsg>) {
+        // pending timers were absorbed while crashed: re-arm, so the
+        // next timeout runs a recovery ballot and re-learns the value
+        self.arm(ctx);
+    }
+
+    fn save_durable(&self) -> Option<DurableState> {
+        self.state
+            .as_ref()
+            .map(|s| DurableState::from(s.durable_words()))
+    }
+
+    fn restore_durable(&mut self, state: &DurableState) {
+        if let Some(s) = self.state.as_mut() {
+            s.restore_durable(state.words());
+        }
+    }
 
     fn decision(&self) -> Option<u64> {
         self.state.as_ref().and_then(|s| s.decided())
     }
 }
 
-/// A crashed-from-the-start participant: never sends, never decides.
-/// Generic over the message type, so it drops into any protocol (wrapped
-/// or not).
-pub struct SilentAsyncProcess<M: Clone> {
-    _marker: PhantomData<M>,
+/// Leader-driven (HSUC-style) consensus as an [`AsyncProcess`].
+///
+/// Everyone enters round 1 at start (led by process 0); an undecided
+/// process whose retry timer fires advances one round, rotating the
+/// coordinator ([`HsucState::on_timeout`]). Round entry is contagious
+/// through higher-round messages, so one impatient process pulls the
+/// whole network forward — the failover path the crash plans exercise.
+///
+/// The locked estimate pair and round counter are durable across
+/// planned crashes; tallies and the decision are volatile (a recovered
+/// process re-learns from decided peers' `Decide` rebroadcasts).
+pub struct HsucProcess {
+    input: Value,
+    timeout_ticks: u64,
+    max_timeouts: u32,
+    timeouts: u32,
+    state: Option<HsucState>,
+    round_probe: Option<Rc<Cell<Option<u64>>>>,
 }
 
-impl<M: Clone> SilentAsyncProcess<M> {
-    /// A new silent process.
-    pub fn new() -> Self {
-        SilentAsyncProcess {
-            _marker: PhantomData,
+impl HsucProcess {
+    /// A participant with initial estimate `input`; the retry timer
+    /// fires every `timeout_ticks` (staggered by id) at most
+    /// `max_timeouts` times.
+    pub fn new(input: Value, timeout_ticks: u64, max_timeouts: u32) -> Self {
+        HsucProcess {
+            input,
+            timeout_ticks,
+            max_timeouts,
+            timeouts: 0,
+            state: None,
+            round_probe: None,
         }
     }
-}
 
-impl<M: Clone> Default for SilentAsyncProcess<M> {
-    fn default() -> Self {
-        Self::new()
+    /// Attaches a probe cell set to the deciding round the moment this
+    /// process decides.
+    pub fn with_round_probe(mut self, probe: Rc<Cell<Option<u64>>>) -> Self {
+        self.round_probe = Some(probe);
+        self
+    }
+
+    fn arm(&self, ctx: &mut NetCtx<HsucMsg>) {
+        ctx.set_timer(self.timeout_ticks + ctx.id() as u64, 0);
+    }
+
+    fn flush(&mut self, out: Vec<HsucMsg>, ctx: &mut NetCtx<HsucMsg>) {
+        for m in out {
+            ctx.multicast(0..ctx.n(), m);
+        }
+        if let (Some(probe), Some(state)) = (&self.round_probe, &self.state) {
+            if probe.get().is_none() {
+                probe.set(state.decided_round());
+            }
+        }
+    }
+
+    fn decided(&self) -> bool {
+        self.state.as_ref().is_some_and(|s| s.decided().is_some())
     }
 }
 
-impl<M: Clone> AsyncProcess for SilentAsyncProcess<M> {
-    type Msg = M;
-    fn on_start(&mut self, _ctx: &mut NetCtx<M>) {}
-    fn on_message(&mut self, _src: ProcId, _msg: M, _ctx: &mut NetCtx<M>) {}
-    fn on_timer(&mut self, _timer: u64, _ctx: &mut NetCtx<M>) {}
+impl AsyncProcess for HsucProcess {
+    type Msg = HsucMsg;
+
+    fn on_start(&mut self, ctx: &mut NetCtx<HsucMsg>) {
+        let mut state = HsucState::new(ctx.id(), ctx.n(), self.input);
+        let out = state.start();
+        self.state = Some(state);
+        self.flush(out, ctx);
+        self.arm(ctx);
+    }
+
+    fn on_message(&mut self, src: ProcId, msg: HsucMsg, ctx: &mut NetCtx<HsucMsg>) {
+        let state = self.state.as_mut().expect("on_start ran");
+        let out = state.handle(src, &msg);
+        self.flush(out, ctx);
+    }
+
+    fn on_timer(&mut self, _timer: u64, ctx: &mut NetCtx<HsucMsg>) {
+        if self.decided() || self.timeouts >= self.max_timeouts {
+            return;
+        }
+        self.timeouts += 1;
+        let out = self.state.as_mut().expect("on_start ran").on_timeout();
+        self.flush(out, ctx);
+        self.arm(ctx);
+    }
+
+    fn on_recover(&mut self, ctx: &mut NetCtx<HsucMsg>) {
+        self.arm(ctx);
+    }
+
+    fn save_durable(&self) -> Option<DurableState> {
+        self.state
+            .as_ref()
+            .map(|s| DurableState::from(s.durable_words()))
+    }
+
+    fn restore_durable(&mut self, state: &DurableState) {
+        if let Some(s) = self.state.as_mut() {
+            s.restore_durable(state.words());
+        }
+    }
+
     fn decision(&self) -> Option<u64> {
-        None
+        self.state.as_ref().and_then(|s| s.decided())
     }
 }
 
@@ -264,8 +485,6 @@ impl AsyncProcess for BenOrNoiseProcess {
         );
     }
 
-    fn on_timer(&mut self, _timer: u64, _ctx: &mut NetCtx<BenOrMsg>) {}
-
     fn decision(&self) -> Option<u64> {
         None
     }
@@ -297,10 +516,62 @@ pub fn run_bracha(
     net
 }
 
+/// Convenience: runs a full Paxos network (process `i` proposing
+/// `inputs[i]` when free to choose) on `cfg`, returning the drained
+/// network. Fault injection goes through `cfg`'s fault plan.
+///
+/// # Panics
+///
+/// Panics if the event queue fails to drain within `max_events`.
+pub fn run_paxos(
+    inputs: &[Value],
+    timeout_ticks: u64,
+    max_timeouts: u32,
+    cfg: crate::model::NetConfig,
+    max_events: usize,
+) -> EventNet<PaxosMsg> {
+    let procs: Vec<Box<dyn AsyncProcess<Msg = PaxosMsg>>> = inputs
+        .iter()
+        .map(|&v| Box::new(PaxosProcess::new(v, timeout_ticks, max_timeouts)) as _)
+        .collect();
+    let mut net = EventNet::new(procs, cfg);
+    assert!(
+        net.run(max_events),
+        "paxos event queue did not drain within {max_events} events"
+    );
+    net
+}
+
+/// Convenience: runs a full HSUC-style network (process `i` with initial
+/// estimate `inputs[i]`) on `cfg`, returning the drained network.
+///
+/// # Panics
+///
+/// Panics if the event queue fails to drain within `max_events`.
+pub fn run_hsuc(
+    inputs: &[Value],
+    timeout_ticks: u64,
+    max_timeouts: u32,
+    cfg: crate::model::NetConfig,
+    max_events: usize,
+) -> EventNet<HsucMsg> {
+    let procs: Vec<Box<dyn AsyncProcess<Msg = HsucMsg>>> = inputs
+        .iter()
+        .map(|&v| Box::new(HsucProcess::new(v, timeout_ticks, max_timeouts)) as _)
+        .collect();
+    let mut net = EventNet::new(procs, cfg);
+    assert!(
+        net.run(max_events),
+        "hsuc event queue did not drain within {max_events} events"
+    );
+    net
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{LatencyModel, LinkFaults, NetConfig, SchedulerPolicy};
+    use crate::model::{FaultPlan, LatencyModel, LinkFaults, NetConfig, SchedulerPolicy};
+    use crate::runtime::IdleProcess;
 
     #[test]
     fn bracha_delivers_everywhere_on_a_clean_network() {
@@ -368,7 +639,7 @@ mod tests {
                         if noisy {
                             Box::new(BenOrNoiseProcess::new(900 + i as u64))
                         } else {
-                            Box::new(SilentAsyncProcess::new())
+                            Box::new(IdleProcess::new())
                         }
                     } else {
                         Box::new(BenOrProcess::new(2, (i % 2) as u64, 80, 300 + i as u64))
@@ -384,11 +655,91 @@ mod tests {
     }
 
     #[test]
+    fn paxos_clean_network_decides_the_first_proposers_input() {
+        let cfg = NetConfig {
+            latency: LatencyModel::Constant(1),
+            ..NetConfig::lockstep(0)
+        };
+        let net = run_paxos(&[7, 8, 9, 10, 11], 100, 10, cfg, 1_000_000);
+        assert_eq!(net.decisions(), vec![Some(7); 5]);
+        // P1a → P1b → P2a → P2b: four hops of constant latency 1
+        assert!(net.decision_times().iter().all(|t| *t == Some(4)));
+    }
+
+    #[test]
+    fn paxos_survives_a_crashed_initial_proposer_via_failover() {
+        // process 0 (owner of ballot 1) is crashed from the start: the
+        // others' retry timers escalate to their own ballots and a
+        // majority of the 4 survivors (of n = 5) decides
+        let cfg = NetConfig {
+            latency: LatencyModel::Constant(1),
+            ..NetConfig::lockstep(0)
+        }
+        .fault_plan(FaultPlan::none().crash_at_start(0));
+        let net = run_paxos(&[7, 8, 9, 10, 11], 20, 10, cfg, 1_000_000);
+        let decisions = net.decisions();
+        assert_eq!(decisions[0], None, "crashed process never decides");
+        let survivors: Vec<u64> = decisions[1..].iter().map(|d| d.expect("decides")).collect();
+        assert!(
+            survivors.iter().all(|&v| v == survivors[0]),
+            "{decisions:?}"
+        );
+        assert_eq!(net.stats().recoveries, vec![0; 5]);
+    }
+
+    #[test]
+    fn hsuc_clean_network_decides_round_one() {
+        let cfg = NetConfig {
+            latency: LatencyModel::Constant(1),
+            ..NetConfig::lockstep(0)
+        };
+        let net = run_hsuc(&[3, 4, 5, 6, 7], 100, 10, cfg, 1_000_000);
+        assert_eq!(net.decisions(), vec![Some(3); 5]);
+    }
+
+    #[test]
+    fn hsuc_rotates_past_a_crashed_leader() {
+        let cfg = NetConfig {
+            latency: LatencyModel::Constant(1),
+            ..NetConfig::lockstep(0)
+        }
+        .fault_plan(FaultPlan::none().crash_at_start(0));
+        let net = run_hsuc(&[3, 4, 5, 6, 7], 20, 10, cfg, 1_000_000);
+        let decisions = net.decisions();
+        assert_eq!(decisions[0], None);
+        let survivors: Vec<u64> = decisions[1..].iter().map(|d| d.expect("decides")).collect();
+        assert!(
+            survivors.iter().all(|&v| v == survivors[0]),
+            "{decisions:?}"
+        );
+    }
+
+    #[test]
+    fn paxos_recovers_a_crashed_acceptor_and_relearns_the_decision() {
+        // process 2 crashes after its first handled event and recovers
+        // at t = 200, after the others decided: its recovery ballot must
+        // re-learn the already-chosen value (quorum intersection)
+        let cfg = NetConfig {
+            latency: LatencyModel::Constant(1),
+            ..NetConfig::lockstep(0)
+        }
+        .fault_plan(FaultPlan::none().crash(2, 1).recover_at(200));
+        let net = run_paxos(&[7, 8, 9], 30, 20, cfg, 1_000_000);
+        let decisions = net.decisions();
+        assert_eq!(net.stats().recoveries, vec![0, 0, 1]);
+        assert_eq!(
+            decisions,
+            vec![Some(7); 3],
+            "recovered process re-learns the chosen value"
+        );
+    }
+
+    #[test]
     fn bracha_runs_are_seed_deterministic() {
         let cfg = NetConfig {
             latency: LatencyModel::UniformJitter { min: 0, max: 4 },
             scheduler: SchedulerPolicy::RandomInterleave { seed: 2, jitter: 3 },
-            faults: LinkFaults::lossy(0.2),
+            faults: LinkFaults::lossy(0.2).into(),
             ..NetConfig::lockstep(9)
         }
         .with_trace();

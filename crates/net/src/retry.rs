@@ -347,6 +347,38 @@ impl<P: AsyncProcess> AsyncProcess for RetryAdapter<P> {
         ctx.set_timer(timeout, (id << 1) | 1);
     }
 
+    fn on_crash(&mut self) {
+        self.inner.on_crash();
+    }
+
+    fn on_recover(&mut self, ctx: &mut NetCtx<Self::Msg>) {
+        // re-arm the retransmission timer of every still-pending entry
+        // (the timers scheduled before the crash were absorbed), then
+        // give the inner process its own recovery callback. The pending
+        // and delivered tables survive the crash in the adapter's
+        // in-memory state by the suspend/resume default; a peer's
+        // retransmissions re-fill whatever the crash window dropped —
+        // the adapter IS the replay mechanism for durable protocols.
+        let timeout = self.policy.timeout;
+        for (&id, p) in &mut self.pending {
+            p.timeout = timeout;
+            ctx.set_timer(timeout, (id << 1) | 1);
+        }
+        let mut ictx = self.scratch.take().unwrap_or_else(|| NetCtx::new(0, 0, 0));
+        ictx.reset(ctx.id(), ctx.n(), ctx.now());
+        self.inner.on_recover(&mut ictx);
+        self.absorb(&mut ictx, ctx);
+        self.scratch = Some(ictx);
+    }
+
+    fn save_durable(&self) -> Option<crate::runtime::DurableState> {
+        self.inner.save_durable()
+    }
+
+    fn restore_durable(&mut self, state: &crate::runtime::DurableState) {
+        self.inner.restore_durable(state);
+    }
+
     fn decision(&self) -> Option<u64> {
         self.inner.decision()
     }
@@ -390,7 +422,7 @@ mod tests {
     #[test]
     fn heavy_loss_is_survived_by_retransmission() {
         let cfg = NetConfig {
-            faults: LinkFaults::lossy(0.5),
+            faults: LinkFaults::lossy(0.5).into(),
             latency: LatencyModel::Constant(1),
             ..NetConfig::lockstep(77)
         };
@@ -405,7 +437,7 @@ mod tests {
         // 100% loss: nothing ever arrives; with max_attempts = 3 every
         // message is sent exactly 3 times and the queue still drains
         let cfg = NetConfig {
-            faults: LinkFaults::lossy(1.0),
+            faults: LinkFaults::lossy(1.0).into(),
             ..NetConfig::lockstep(5)
         };
         let policy = RetryPolicy {

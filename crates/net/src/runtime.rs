@@ -26,11 +26,24 @@
 //! * the original **global binary heap** — the reference implementation
 //!   and escape hatch, differentially tested against the wheel.
 //!
+//! # The crash-recovery fault model
+//!
+//! Beyond link faults, a [`crate::FaultPlan`] can crash and recover
+//! *processes*: a crashed process receives nothing (deliveries and timers
+//! addressed to it are counted as [`NetStats::crashed_drops`]) and sends
+//! nothing, until a planned recovery restores its durable state (see
+//! [`DurableState`]) and hands control back via
+//! [`AsyncProcess::on_recover`]. The plan is enforced entirely by the
+//! runtime, so any protocol can be crashed without per-protocol wrappers,
+//! and the crash/recover events participate in the same `(time, tie, seq)`
+//! total order — wheel and heap executions stay bit-identical.
+//!
 //! # Examples
 //!
 //! An [`AsyncProcess`] sees only message arrivals and its own timers —
 //! no rounds. A two-process ping/pong, run to quiescence under the
-//! lockstep configuration:
+//! lockstep configuration (note that the timer and crash-lifecycle hooks
+//! all have default no-op implementations):
 //!
 //! ```
 //! use bne_net::{AsyncProcess, EventNet, NetConfig, NetCtx};
@@ -52,7 +65,6 @@
 //!             ctx.send(src, msg + 1); // pong once
 //!         }
 //!     }
-//!     fn on_timer(&mut self, _timer: u64, _ctx: &mut NetCtx<u64>) {}
 //!     fn decision(&self) -> Option<u64> {
 //!         self.last
 //!     }
@@ -66,7 +78,7 @@
 //! assert_eq!(net.stats().messages_delivered, 2);
 //! ```
 
-use crate::model::{NetConfig, QueueImpl, SchedulerPolicy};
+use crate::model::{CrashTrigger, NetConfig, QueueImpl, SchedulerPolicy};
 use bne_byzantine::ProcId;
 use bne_sim::derive_seed;
 use rand::rngs::StdRng;
@@ -91,6 +103,14 @@ pub enum TraceKind {
     Drop,
     /// A timer fired (`src` = process, `dst` = timer id).
     Timer,
+    /// A planned process crash fired (`src` = process, `dst` = 0).
+    Crash,
+    /// A planned process recovery fired (`src` = process, `dst` = 0).
+    Recover,
+    /// A delivery or timer addressed to a crashed process was absorbed
+    /// (`src`/`dst` as the corresponding [`TraceKind::Deliver`] or
+    /// [`TraceKind::Timer`] entry would have carried).
+    CrashDrop,
 }
 
 /// One entry of the deterministic event trace (recorded only when
@@ -115,7 +135,7 @@ pub struct TraceEvent {
 /// slots ever allocated — the allocation footprint of the run). All of
 /// them are part of the deterministic execution, so they are bit-identical
 /// across queue implementations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct NetStats {
     /// Messages handed to the network with a valid destination (counted at
     /// send time, like [`bne_byzantine::RoundStats::messages_sent`]).
@@ -124,7 +144,13 @@ pub struct NetStats {
     pub messages_delivered: usize,
     /// Messages lost to iid drops or partitions.
     pub messages_dropped: usize,
-    /// Total events processed (deliveries + timers).
+    /// Deliveries and timers absorbed because their target process was
+    /// crashed when they fired (work the crash model discarded — without
+    /// this the atlas columns would undercount what the network actually
+    /// did).
+    pub crashed_drops: usize,
+    /// Total events processed (deliveries + timers, plus any planned
+    /// crash/recovery events from the fault plan).
     pub events_processed: usize,
     /// Virtual time of the last processed event.
     pub virtual_time: u64,
@@ -134,6 +160,9 @@ pub struct NetStats {
     /// slots are recycled through a free list, so this is the peak number
     /// of concurrently live events, not a per-event allocation count).
     pub arena_high_water: usize,
+    /// Per-process recovery counts (in process-id order): how many times
+    /// each process came back from a planned crash.
+    pub recoveries: Vec<u64>,
 }
 
 /// A queued message payload: unicast sends own their message outright
@@ -246,12 +275,80 @@ impl<M> NetCtx<M> {
     }
 }
 
+/// The state a process carries across a planned crash: an opaque list of
+/// words, snapshotted by [`AsyncProcess::save_durable`] when the crash
+/// fires and handed back to [`AsyncProcess::restore_durable`] at recovery.
+///
+/// Protocols encode whatever their stable storage would hold (a Paxos
+/// acceptor's promise and accepted ballot/value, a broadcast's delivered
+/// flag); everything *not* encoded is, by convention, volatile and should
+/// be wiped in `restore_durable`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DurableState {
+    words: Vec<u64>,
+}
+
+impl DurableState {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        DurableState::default()
+    }
+
+    /// Appends one word to the snapshot.
+    pub fn push(&mut self, word: u64) {
+        self.words.push(word);
+    }
+
+    /// Reads the `idx`-th word, if present.
+    pub fn get(&self, idx: usize) -> Option<u64> {
+        self.words.get(idx).copied()
+    }
+
+    /// The whole snapshot as a word slice.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of words in the snapshot.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+impl From<Vec<u64>> for DurableState {
+    fn from(words: Vec<u64>) -> Self {
+        DurableState { words }
+    }
+}
+
 /// An event-driven protocol participant.
 ///
 /// Unlike the round-based [`bne_byzantine::Process`], an `AsyncProcess`
 /// never sees global rounds — only message arrivals and its own timers.
 /// Round-based processes run unchanged through
 /// [`crate::adapter::RoundAdapter`].
+///
+/// # The crash-recovery lifecycle
+///
+/// When a [`crate::FaultPlan`] crashes this process, the runtime calls
+/// [`AsyncProcess::on_crash`], snapshots [`AsyncProcess::save_durable`],
+/// and stops delivering events (they are absorbed and counted as
+/// [`NetStats::crashed_drops`]). At the planned recovery time it calls
+/// [`AsyncProcess::restore_durable`] with the snapshot (if one was saved)
+/// and then [`AsyncProcess::on_recover`], from which the process may send
+/// and re-arm timers — pending timers armed before the crash were
+/// absorbed, so a timer-driven protocol must re-arm here to stay live.
+///
+/// The defaults give *suspend/resume* semantics: `save_durable` returns
+/// `None`, so in-memory state silently survives and a crash window is
+/// pure event omission. Protocols modeling real stable storage return a
+/// snapshot of their durable fraction and wipe everything volatile in
+/// `restore_durable`.
 pub trait AsyncProcess {
     /// The message type exchanged by this protocol.
     type Msg: Clone;
@@ -263,10 +360,70 @@ pub trait AsyncProcess {
     fn on_message(&mut self, src: ProcId, msg: Self::Msg, ctx: &mut NetCtx<Self::Msg>);
 
     /// Called when a timer armed via [`NetCtx::set_timer`] fires.
-    fn on_timer(&mut self, timer: u64, ctx: &mut NetCtx<Self::Msg>);
+    /// Defaults to doing nothing.
+    fn on_timer(&mut self, timer: u64, ctx: &mut NetCtx<Self::Msg>) {
+        let _ = (timer, ctx);
+    }
+
+    /// Called when a planned crash fires, immediately before the durable
+    /// snapshot is taken. Defaults to doing nothing.
+    fn on_crash(&mut self) {}
+
+    /// Called when a planned recovery fires, immediately after
+    /// [`AsyncProcess::restore_durable`]. Defaults to doing nothing.
+    fn on_recover(&mut self, ctx: &mut NetCtx<Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Snapshots the state that survives a crash. Defaults to `None`,
+    /// meaning the whole in-memory state survives (suspend/resume).
+    fn save_durable(&self) -> Option<DurableState> {
+        None
+    }
+
+    /// Restores a snapshot taken by [`AsyncProcess::save_durable`];
+    /// implementations should reset everything volatile here. Only called
+    /// when the crash-time snapshot was `Some`. Defaults to doing nothing.
+    fn restore_durable(&mut self, state: &DurableState) {
+        let _ = state;
+    }
 
     /// The process's decision, if it has decided.
     fn decision(&self) -> Option<u64>;
+}
+
+/// A process that does nothing at all: no sends, no timers, no decision.
+///
+/// Useful as a placeholder participant (e.g. to pad a process vector to a
+/// fixed `n`). For modeling a *crashed* participant, prefer
+/// [`crate::FaultPlan::crash_at_start`], which works on any process and
+/// is visible in the statistics.
+pub struct IdleProcess<M: Clone> {
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M: Clone> IdleProcess<M> {
+    /// Creates an inert process.
+    pub fn new() -> Self {
+        IdleProcess {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M: Clone> Default for IdleProcess<M> {
+    fn default() -> Self {
+        IdleProcess::new()
+    }
+}
+
+impl<M: Clone> AsyncProcess for IdleProcess<M> {
+    type Msg = M;
+    fn on_start(&mut self, _ctx: &mut NetCtx<M>) {}
+    fn on_message(&mut self, _src: ProcId, _msg: M, _ctx: &mut NetCtx<M>) {}
+    fn decision(&self) -> Option<u64> {
+        None
+    }
 }
 
 enum EventKind<M> {
@@ -278,6 +435,15 @@ enum EventKind<M> {
     Timer {
         proc: ProcId,
         timer: u64,
+    },
+    /// A planned crash from the fault plan (index into
+    /// [`crate::FaultPlan::process`]).
+    Crash {
+        fault: usize,
+    },
+    /// A planned recovery of a crashed process.
+    Recover {
+        proc: ProcId,
     },
 }
 
@@ -594,6 +760,20 @@ pub struct EventNet<M: Clone> {
     /// Recycled action buffer: one live callback at a time, so a single
     /// scratch context serves every event.
     scratch: Option<NetCtx<M>>,
+    /// Which processes are currently crashed (events addressed to them
+    /// are absorbed).
+    crashed: Vec<bool>,
+    /// Events (deliveries + timers) each process has handled; drives
+    /// [`CrashTrigger::AfterEvents`]. Absorbed events do not count.
+    handled: Vec<u64>,
+    /// Durable snapshots taken at crash time, consumed at recovery.
+    saved: Vec<Option<DurableState>>,
+    /// Whether each process's [`AsyncProcess::on_start`] has run. A
+    /// process crashed *at start* boots via `on_start` at recovery
+    /// instead of `on_recover` — it never initialized.
+    started: Vec<bool>,
+    /// Which plan faults have already fired (each fires at most once).
+    fault_fired: Vec<bool>,
 }
 
 impl<M: Clone> EventNet<M> {
@@ -606,6 +786,7 @@ impl<M: Clone> EventNet<M> {
             _ => 0,
         };
         let n = procs.len();
+        let fault_count = cfg.faults.process.len();
         let mut net = EventNet {
             queue: EventQueue::new(cfg.queue),
             arena: Arena::new(),
@@ -619,19 +800,51 @@ impl<M: Clone> EventNet<M> {
             cfg,
             now: 0,
             next_seq: 0,
-            stats: NetStats::default(),
+            stats: NetStats {
+                recoveries: vec![0; n],
+                ..NetStats::default()
+            },
             queue_len: 0,
             procs: Vec::new(),
             decision_times: vec![None; n],
             scratch: None,
+            crashed: vec![false; n],
+            handled: vec![0; n],
+            saved: (0..n).map(|_| None).collect(),
+            started: vec![false; n],
+            fault_fired: vec![false; fault_count],
         };
         // install the processes before starting them, so destination
         // validity checks in `route` see the real process count; one
         // context serves every start callback (and seeds the scratch
         // buffer the event loop recycles)
         net.procs = procs;
+        // enact the fault plan: time-0 crashes fire before any `on_start`
+        // (the crash-at-start semantics replacing `SilentAsyncProcess`),
+        // and later timed crashes are queued ahead of every send, so at
+        // equal (time, tie) a planned crash beats a delivery
+        let plan = net.cfg.faults.process.clone();
+        for (i, fault) in plan.iter().enumerate() {
+            assert!(
+                fault.proc < n,
+                "fault plan names process {} but the network has {n}",
+                fault.proc
+            );
+            match fault.trigger {
+                CrashTrigger::AtTime(0) => {
+                    net.fault_fired[i] = true;
+                    net.crash_proc(fault.proc, fault.recover_at);
+                }
+                CrashTrigger::AtTime(t) => net.push_event(t, 0, EventKind::Crash { fault: i }),
+                CrashTrigger::AfterEvents(_) => {} // checked after each dispatch
+            }
+        }
         let mut ctx = NetCtx::new(0, n, 0);
         for id in 0..n {
+            if net.crashed[id] {
+                continue; // crashed at start: boots at recovery, if any
+            }
+            net.started[id] = true;
             ctx.reset(id, n, 0);
             net.procs[id].on_start(&mut ctx);
             net.note_decision(id);
@@ -653,7 +866,7 @@ impl<M: Clone> EventNet<M> {
 
     /// Statistics so far.
     pub fn stats(&self) -> NetStats {
-        let mut stats = self.stats;
+        let mut stats = self.stats.clone();
         // both are implied by hot-path state — the arena never shrinks,
         // so its slot count IS the running high-water mark, and `now` is
         // the time of the last processed event — so neither is stored
@@ -691,6 +904,52 @@ impl<M: Clone> EventNet<M> {
     fn note_decision(&mut self, proc: ProcId) {
         if self.decision_times[proc].is_none() && self.procs[proc].decision().is_some() {
             self.decision_times[proc] = Some(self.now);
+        }
+    }
+
+    /// Whether `proc` is currently crashed under the fault plan.
+    pub fn is_crashed(&self, proc: ProcId) -> bool {
+        self.crashed[proc]
+    }
+
+    /// Fires one planned crash. A fault firing while its target is
+    /// already crashed is consumed without effect (in particular its
+    /// recovery is *not* scheduled — the earlier crash owns the process
+    /// until its own recovery, if any).
+    fn crash_proc(&mut self, proc: ProcId, recover_at: Option<u64>) {
+        if self.crashed[proc] {
+            return;
+        }
+        self.procs[proc].on_crash();
+        self.saved[proc] = self.procs[proc].save_durable();
+        self.crashed[proc] = true;
+        self.record(TraceKind::Crash, proc as u64, 0);
+        if let Some(t) = recover_at {
+            // a recovery time already in the past fires immediately
+            self.push_event(t.max(self.now), 0, EventKind::Recover { proc });
+        }
+    }
+
+    /// Bumps `proc`'s handled-event counter and fires any
+    /// [`CrashTrigger::AfterEvents`] fault it has now reached.
+    fn after_dispatch(&mut self, proc: ProcId) {
+        if self.fault_fired.is_empty() {
+            return; // no process faults: zero bookkeeping on the hot path
+        }
+        self.handled[proc] += 1;
+        for i in 0..self.cfg.faults.process.len() {
+            if self.fault_fired[i] {
+                continue;
+            }
+            let fault = self.cfg.faults.process[i];
+            if fault.proc == proc {
+                if let CrashTrigger::AfterEvents(k) = fault.trigger {
+                    if self.handled[proc] >= k {
+                        self.fault_fired[i] = true;
+                        self.crash_proc(proc, fault.recover_at);
+                    }
+                }
+            }
         }
     }
 
@@ -749,14 +1008,15 @@ impl<M: Clone> EventNet<M> {
         }
         self.stats.messages_sent += 1;
         self.record(TraceKind::Send, src as u64, dst as u64);
-        if let Some(p) = &self.cfg.faults.partition {
+        if let Some(p) = &self.cfg.faults.link.partition {
             if p.severs(src, dst, self.now) {
                 self.stats.messages_dropped += 1;
                 self.record(TraceKind::Drop, src as u64, dst as u64);
                 return;
             }
         }
-        if self.cfg.faults.drop_prob > 0.0 && self.link_rng.random_bool(self.cfg.faults.drop_prob) {
+        let drop_prob = self.cfg.faults.link.drop_prob;
+        if drop_prob > 0.0 && self.link_rng.random_bool(drop_prob) {
             self.stats.messages_dropped += 1;
             self.record(TraceKind::Drop, src as u64, dst as u64);
             return;
@@ -809,20 +1069,58 @@ impl<M: Clone> EventNet<M> {
         let mut ctx = self.scratch.take().unwrap_or_else(|| NetCtx::new(0, n, 0));
         match event {
             EventKind::Deliver { src, dst, msg } => {
-                self.stats.messages_delivered += 1;
-                self.record(TraceKind::Deliver, src as u64, dst as u64);
-                ctx.reset(dst, n, self.now);
-                // the last live reference moves out without cloning
-                self.procs[dst].on_message(src, msg.into_msg(), &mut ctx);
-                self.note_decision(dst);
-                self.apply(dst, &mut ctx);
+                if self.crashed[dst] {
+                    // absorbed: the shared payload is released without a clone
+                    self.stats.crashed_drops += 1;
+                    self.record(TraceKind::CrashDrop, src as u64, dst as u64);
+                } else {
+                    self.stats.messages_delivered += 1;
+                    self.record(TraceKind::Deliver, src as u64, dst as u64);
+                    ctx.reset(dst, n, self.now);
+                    // the last live reference moves out without cloning
+                    self.procs[dst].on_message(src, msg.into_msg(), &mut ctx);
+                    self.note_decision(dst);
+                    self.apply(dst, &mut ctx);
+                    self.after_dispatch(dst);
+                }
             }
             EventKind::Timer { proc, timer } => {
-                self.record(TraceKind::Timer, proc as u64, timer);
-                ctx.reset(proc, n, self.now);
-                self.procs[proc].on_timer(timer, &mut ctx);
-                self.note_decision(proc);
-                self.apply(proc, &mut ctx);
+                if self.crashed[proc] {
+                    self.stats.crashed_drops += 1;
+                    self.record(TraceKind::CrashDrop, proc as u64, timer);
+                } else {
+                    self.record(TraceKind::Timer, proc as u64, timer);
+                    ctx.reset(proc, n, self.now);
+                    self.procs[proc].on_timer(timer, &mut ctx);
+                    self.note_decision(proc);
+                    self.apply(proc, &mut ctx);
+                    self.after_dispatch(proc);
+                }
+            }
+            EventKind::Crash { fault } => {
+                let fault = self.cfg.faults.process[fault];
+                self.crash_proc(fault.proc, fault.recover_at);
+            }
+            EventKind::Recover { proc } => {
+                self.record(TraceKind::Recover, proc as u64, 0);
+                if self.crashed[proc] {
+                    self.crashed[proc] = false;
+                    self.stats.recoveries[proc] += 1;
+                    if let Some(state) = self.saved[proc].take() {
+                        self.procs[proc].restore_durable(&state);
+                    }
+                    ctx.reset(proc, n, self.now);
+                    if self.started[proc] {
+                        self.procs[proc].on_recover(&mut ctx);
+                    } else {
+                        // crashed before it ever initialized: recovery
+                        // is a (late) boot, not a resume
+                        self.started[proc] = true;
+                        self.procs[proc].on_start(&mut ctx);
+                    }
+                    self.note_decision(proc);
+                    self.apply(proc, &mut ctx);
+                }
             }
         }
         self.scratch = Some(ctx);
@@ -844,7 +1142,7 @@ impl<M: Clone> EventNet<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{LatencyModel, LinkFaults, Partition};
+    use crate::model::{FaultPlan, LatencyModel, LinkFaults, Partition};
 
     /// Echoes every received message back to its sender, once.
     struct Echo {
@@ -877,7 +1175,6 @@ mod tests {
             }
             self.decided = Some(msg);
         }
-        fn on_timer(&mut self, _timer: u64, _ctx: &mut NetCtx<u64>) {}
         fn decision(&self) -> Option<u64> {
             self.decided
         }
@@ -905,7 +1202,7 @@ mod tests {
         let cfg = NetConfig {
             latency: LatencyModel::UniformJitter { min: 0, max: 9 },
             scheduler: SchedulerPolicy::RandomInterleave { seed: 3, jitter: 4 },
-            faults: LinkFaults::lossy(0.2),
+            faults: LinkFaults::lossy(0.2).into(),
             ..NetConfig::lockstep(77)
         }
         .with_trace();
@@ -944,7 +1241,8 @@ mod tests {
             faults: LinkFaults {
                 drop_prob: 0.0,
                 partition: Some(Partition::until([0usize].into_iter().collect(), 100)),
-            },
+            }
+            .into(),
             ..NetConfig::lockstep(0)
         };
         let mut net = echo_net(cfg, 4);
@@ -974,7 +1272,6 @@ mod tests {
             fn on_message(&mut self, src: ProcId, _msg: u64, _ctx: &mut NetCtx<u64>) {
                 self.order.push(src);
             }
-            fn on_timer(&mut self, _timer: u64, _ctx: &mut NetCtx<u64>) {}
             fn decision(&self) -> Option<u64> {
                 self.order.first().map(|&p| p as u64)
             }
@@ -1019,7 +1316,6 @@ mod tests {
             fn on_message(&mut self, src: ProcId, msg: u64, _ctx: &mut NetCtx<u64>) {
                 self.sum += msg + src as u64;
             }
-            fn on_timer(&mut self, _t: u64, _c: &mut NetCtx<u64>) {}
             fn decision(&self) -> Option<u64> {
                 Some(self.sum)
             }
@@ -1028,7 +1324,7 @@ mod tests {
             let cfg = NetConfig {
                 latency: LatencyModel::UniformJitter { min: 0, max: 4 },
                 scheduler: crate::model::SchedulerPolicy::RandomInterleave { seed: 9, jitter: 2 },
-                faults: LinkFaults::lossy(0.25),
+                faults: LinkFaults::lossy(0.25).into(),
                 ..NetConfig::lockstep(44)
             }
             .with_trace();
@@ -1083,7 +1379,6 @@ mod tests {
             fn on_message(&mut self, _s: ProcId, _m: Counted, _c: &mut NetCtx<Counted>) {
                 self.got += 1;
             }
-            fn on_timer(&mut self, _t: u64, _c: &mut NetCtx<Counted>) {}
             fn decision(&self) -> Option<u64> {
                 Some(self.got as u64)
             }
@@ -1113,7 +1408,8 @@ mod tests {
             faults: LinkFaults {
                 drop_prob: 0.0,
                 partition: Some(Partition::until([0usize].into_iter().collect(), 100)),
-            },
+            }
+            .into(),
             ..NetConfig::lockstep(0)
         });
         assert_eq!(stats.messages_dropped, n - 1);
@@ -1129,7 +1425,6 @@ mod tests {
                 ctx.send(99, 1);
             }
             fn on_message(&mut self, _s: ProcId, _m: u64, _c: &mut NetCtx<u64>) {}
-            fn on_timer(&mut self, _t: u64, _c: &mut NetCtx<u64>) {}
             fn decision(&self) -> Option<u64> {
                 None
             }
@@ -1191,7 +1486,7 @@ mod tests {
             NetConfig {
                 latency: LatencyModel::UniformJitter { min: 0, max: 9 },
                 scheduler: SchedulerPolicy::RandomInterleave { seed: 3, jitter: 4 },
-                faults: LinkFaults::lossy(0.2),
+                faults: LinkFaults::lossy(0.2).into(),
                 ..NetConfig::lockstep(77)
             }
             .with_trace()
@@ -1217,5 +1512,217 @@ mod tests {
         // slots are recycled: the arena never grows past the peak
         assert_eq!(stats.arena_high_water, 4);
         assert_eq!(stats.events_processed, 8);
+    }
+
+    #[test]
+    fn crash_at_start_suppresses_on_start_and_absorbs_deliveries() {
+        // process 1 never runs: no echo back, and the delivery addressed
+        // to it is absorbed as a crashed drop rather than delivered
+        let cfg = NetConfig {
+            faults: FaultPlan::none().crash_at_start(1),
+            ..NetConfig::lockstep(0)
+        }
+        .with_trace();
+        let mut net = echo_net(cfg, 4);
+        assert!(net.run(1_000));
+        assert!(net.is_crashed(1));
+        let stats = net.stats();
+        assert_eq!(stats.messages_sent, 3 + 2); // 3 out, 2 echoes
+        assert_eq!(stats.messages_delivered, 4);
+        assert_eq!(stats.crashed_drops, 1);
+        assert_eq!(stats.recoveries, vec![0; 4]);
+        assert_eq!(net.decisions()[1], None);
+        assert_eq!(
+            net.trace()[0],
+            TraceEvent {
+                time: 0,
+                kind: TraceKind::Crash,
+                src: 1,
+                dst: 0
+            }
+        );
+        assert!(net
+            .trace()
+            .iter()
+            .any(|e| e.kind == TraceKind::CrashDrop && e.dst == 1));
+    }
+
+    #[test]
+    fn crash_after_k_events_halts_mid_execution() {
+        // Echo process 0 handles 3 deliveries (the echoes); crash it
+        // after the first, so the remaining two are absorbed.
+        let cfg = NetConfig {
+            faults: FaultPlan::none().crash(0, 1),
+            ..NetConfig::lockstep(0)
+        };
+        let mut net = echo_net(cfg, 4);
+        assert!(net.run(1_000));
+        assert!(net.is_crashed(0));
+        let stats = net.stats();
+        assert_eq!(stats.messages_delivered, 4); // 3 pings + 1 echo
+        assert_eq!(stats.crashed_drops, 2);
+    }
+
+    #[test]
+    fn crash_after_infinite_events_is_bit_identical_to_fault_free() {
+        let base = NetConfig {
+            latency: LatencyModel::UniformJitter { min: 0, max: 9 },
+            scheduler: SchedulerPolicy::RandomInterleave { seed: 3, jitter: 4 },
+            faults: LinkFaults::lossy(0.2).into(),
+            ..NetConfig::lockstep(77)
+        }
+        .with_trace();
+        let planned = NetConfig {
+            faults: FaultPlan::lossy(0.2).crash(2, u64::MAX),
+            ..base.clone()
+        };
+        let mut a = echo_net(base, 5);
+        let mut b = echo_net(planned, 5);
+        assert!(a.run(10_000));
+        assert!(b.run(10_000));
+        assert_eq!(a.trace(), b.trace());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.decisions(), b.decisions());
+        assert_eq!(a.decision_times(), b.decision_times());
+    }
+
+    /// A process with explicit durable state: it accumulates every
+    /// received value into `volatile`, decides the durable checkpoint, and
+    /// checkpoints on crash.
+    struct Checkpointed {
+        volatile: u64,
+        checkpoint: Option<u64>,
+        recoveries: u64,
+    }
+    impl AsyncProcess for Checkpointed {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut NetCtx<u64>) {
+            if ctx.id() == 0 {
+                ctx.send(1, 5);
+                ctx.send(1, 6);
+            }
+        }
+        fn on_message(&mut self, _src: ProcId, msg: u64, _ctx: &mut NetCtx<u64>) {
+            self.volatile += msg;
+        }
+        fn on_crash(&mut self) {
+            self.checkpoint = Some(self.volatile);
+        }
+        fn on_recover(&mut self, ctx: &mut NetCtx<u64>) {
+            self.recoveries += 1;
+            ctx.set_timer(1, 9); // recovered processes may re-arm timers
+        }
+        fn on_timer(&mut self, timer: u64, _ctx: &mut NetCtx<u64>) {
+            self.volatile += timer;
+        }
+        fn save_durable(&self) -> Option<DurableState> {
+            let mut st = DurableState::new();
+            st.push(self.checkpoint.unwrap_or(0));
+            Some(st)
+        }
+        fn restore_durable(&mut self, state: &DurableState) {
+            // volatile state is lost; only the checkpoint survives
+            self.volatile = state.get(0).expect("checkpoint word");
+        }
+        fn decision(&self) -> Option<u64> {
+            self.checkpoint
+        }
+    }
+
+    #[test]
+    fn recovery_restores_durable_state_and_runs_on_recover() {
+        // process 1 receives 5 (volatile = 5), crashes at time 2 (its
+        // second delivery of 6 arrives at time 1... with constant latency
+        // both arrive at time 0, so crash AfterEvents(1) instead:
+        // checkpoint = 5, the second delivery is absorbed, recovery at
+        // time 10 restores volatile = 5 and fires the re-armed timer.
+        let cfg = NetConfig {
+            faults: FaultPlan::none().crash(1, 1).recover_at(10),
+            ..NetConfig::lockstep(0)
+        }
+        .with_trace();
+        let procs: Vec<Box<dyn AsyncProcess<Msg = u64>>> = (0..2)
+            .map(|_| {
+                Box::new(Checkpointed {
+                    volatile: 0,
+                    checkpoint: None,
+                    recoveries: 0,
+                }) as _
+            })
+            .collect();
+        let mut net = EventNet::new(procs, cfg);
+        assert!(net.run(1_000));
+        assert!(!net.is_crashed(1));
+        let stats = net.stats();
+        assert_eq!(stats.crashed_drops, 1, "the second delivery is absorbed");
+        assert_eq!(stats.recoveries, vec![0, 1]);
+        assert_eq!(net.decisions()[1], Some(5), "checkpoint survives");
+        assert!(net
+            .trace()
+            .iter()
+            .any(|e| e.kind == TraceKind::Recover && e.src == 1 && e.time == 10));
+        // the re-armed timer fired at recovery + 1
+        assert!(net
+            .trace()
+            .iter()
+            .any(|e| e.kind == TraceKind::Timer && e.src == 1 && e.time == 11));
+    }
+
+    #[test]
+    fn timed_crash_window_suspends_and_resumes_without_durable_loss() {
+        // Echo keeps all in-memory state across the window (default
+        // suspend/resume semantics): the crash only absorbs what fires
+        // inside [2, 4).
+        let cfg = |faults: FaultPlan| NetConfig {
+            latency: LatencyModel::Constant(2),
+            faults,
+            ..NetConfig::lockstep(0)
+        };
+        let mut healthy = echo_net(cfg(FaultPlan::none()), 3);
+        let mut windowed = echo_net(cfg(FaultPlan::none().crash_at(1, 2).recover_at(4)), 3);
+        assert!(healthy.run(1_000));
+        assert!(windowed.run(1_000));
+        // the ping to 1 (arriving at time 2, exactly when the crash
+        // fires) is absorbed, so 1 never echoes and never decides
+        assert_eq!(healthy.decisions()[1], Some(10));
+        assert_eq!(windowed.decisions()[1], None);
+        assert_eq!(windowed.stats().crashed_drops, 1);
+        assert_eq!(windowed.stats().recoveries, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn crash_plans_are_bit_identical_across_queue_impls() {
+        let cfg = |queue| {
+            NetConfig {
+                latency: LatencyModel::UniformJitter { min: 0, max: 9 },
+                scheduler: SchedulerPolicy::RandomInterleave { seed: 3, jitter: 4 },
+                faults: FaultPlan::lossy(0.1)
+                    .crash(0, 2)
+                    .recover_at(12)
+                    .crash_at(3, 7)
+                    .crash_at_start(4),
+                ..NetConfig::lockstep(77)
+            }
+            .with_trace()
+            .with_queue(queue)
+        };
+        let mut wheel = echo_net(cfg(QueueImpl::Wheel), 6);
+        let mut heap = echo_net(cfg(QueueImpl::Heap), 6);
+        assert!(wheel.run(10_000));
+        assert!(heap.run(10_000));
+        assert!(!wheel.trace().is_empty());
+        assert_eq!(wheel.trace(), heap.trace());
+        assert_eq!(wheel.stats(), heap.stats());
+        assert_eq!(wheel.decisions(), heap.decisions());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plan names process")]
+    fn fault_plans_naming_unknown_processes_panic() {
+        let cfg = NetConfig {
+            faults: FaultPlan::none().crash(9, 1),
+            ..NetConfig::lockstep(0)
+        };
+        let _ = echo_net(cfg, 3);
     }
 }

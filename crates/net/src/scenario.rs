@@ -8,7 +8,9 @@
 //! comparable. Experiments e17–e18 are built from these scenarios.
 
 use crate::adapter::run_round_protocol;
-use crate::model::{LatencyModel, LinkFaults, NetConfig, Partition, QueueImpl, SchedulerPolicy};
+use crate::model::{
+    FaultPlan, LatencyModel, LinkFaults, NetConfig, Partition, QueueImpl, SchedulerPolicy,
+};
 use bne_byzantine::adversary::{FaultyBehavior, FaultyProcess};
 use bne_byzantine::broadcast::{DolevStrongProcess, EquivocatingSender, SignedMessage};
 use bne_byzantine::network::Process;
@@ -89,8 +91,9 @@ pub struct NetProfile {
     pub latency: LatencyModel,
     /// Delivery-order policy.
     pub scheduler: SchedulerSpec,
-    /// Link faults (loss, partitions).
-    pub faults: LinkFaults,
+    /// The fault plan: link faults (loss, partitions) plus process
+    /// crash/recovery faults. Plain [`LinkFaults`] convert via `.into()`.
+    pub faults: FaultPlan,
     /// Virtual ticks per protocol round.
     pub round_ticks: u64,
     /// Event-queue implementation (identical executions either way; the
@@ -106,7 +109,7 @@ impl NetProfile {
         NetProfile {
             latency: LatencyModel::Constant(0),
             scheduler: SchedulerSpec::Fifo,
-            faults: LinkFaults::none(),
+            faults: FaultPlan::none(),
             round_ticks: 1,
             queue: QueueImpl::default(),
         }
@@ -122,7 +125,7 @@ impl NetProfile {
     /// loss sweeps.
     pub fn lossy(drop_prob: f64) -> Self {
         NetProfile {
-            faults: LinkFaults::lossy(drop_prob),
+            faults: FaultPlan::lossy(drop_prob),
             ..NetProfile::lockstep()
         }
     }
@@ -444,7 +447,7 @@ impl Scenario for AsyncBroadcastScenario {
 /// those combinations are **skipped** rather than emitted under a
 /// misleading label; a single no-partition baseline cell per `(n, t)` is
 /// emitted instead of one per heal time. Read each cell's actual window
-/// from its `net.faults.partition` when labelling tables.
+/// from its `net.faults.link.partition` when labelling tables.
 pub fn async_broadcast_partition_grid(
     cells: &[(usize, usize)],
     durations: &[u64],
@@ -459,7 +462,8 @@ pub fn async_broadcast_partition_grid(
             faults: LinkFaults {
                 drop_prob: 0.0,
                 partition,
-            },
+            }
+            .into(),
             round_ticks,
             ..NetProfile::lockstep()
         },
@@ -561,7 +565,8 @@ impl Scenario for BenOrScenario {
     type Outcome = ConsensusStats;
 
     fn run(&self, cell: &BenOrCell, seed: u64) -> ConsensusStats {
-        use crate::protocols::{BenOrNoiseProcess, BenOrProcess, SilentAsyncProcess};
+        use crate::protocols::{BenOrNoiseProcess, BenOrProcess};
+        use crate::runtime::IdleProcess;
         use std::cell::Cell;
         use std::rc::Rc;
 
@@ -597,12 +602,21 @@ impl Scenario for BenOrScenario {
                     i as u64,
                 ))));
             } else {
-                procs.push(Box::new(SilentAsyncProcess::new()));
+                // a silent adversary is a crash fault: an inert slot
+                // crashed at start by the runtime's fault plan (the
+                // per-protocol SilentAsyncProcess wrapper is gone)
+                procs.push(Box::new(IdleProcess::new()));
             }
         }
         let byzantine: BTreeSet<ProcId> = (honest_count..cell.n).collect();
         let net_seed = derive_seed(seed, STREAM_NET_SEED, 0);
-        let mut net = crate::runtime::EventNet::new(procs, cell.net.config(net_seed, &byzantine));
+        let mut cfg = cell.net.config(net_seed, &byzantine);
+        if !cell.noisy {
+            for i in honest_count..cell.n {
+                cfg.faults = std::mem::take(&mut cfg.faults).crash_at_start(i);
+            }
+        }
+        let mut net = crate::runtime::EventNet::new(procs, cfg);
         let drained = net.run(20_000_000);
         debug_assert!(drained, "Ben-Or event queue failed to drain");
         let decisions = net.decisions();
@@ -843,7 +857,8 @@ pub fn bracha_partition_grid(
             faults: LinkFaults {
                 drop_prob: 0.0,
                 partition,
-            },
+            }
+            .into(),
             ..NetProfile::lockstep()
         },
     };
@@ -866,6 +881,264 @@ pub fn bracha_partition_grid(
                         Some(Partition::window(group, heal_at - duration, heal_at)),
                     ));
                 }
+            }
+        }
+    }
+    grid
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery consensus: Paxos and HSUC (experiment e22)
+// ---------------------------------------------------------------------------
+
+/// The fault regime of one protocol-atlas cell (experiment e22): what the
+/// *process* fault plan does to the execution. Link faults stay in the
+/// cell's [`NetProfile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashRegime {
+    /// No process faults.
+    None,
+    /// Process 0 (initial Paxos proposer / HSUC round-1 leader) halts
+    /// after handling `after_events` events and never returns.
+    CrashStop {
+        /// Events handled before the halt.
+        after_events: u64,
+    },
+    /// Process 0 halts after `after_events` events and recovers at
+    /// virtual time `recover_at` from its durable state.
+    CrashRecovery {
+        /// Events handled before the halt.
+        after_events: u64,
+        /// Virtual time of the recovery.
+        recover_at: u64,
+    },
+}
+
+impl CrashRegime {
+    /// Applies the regime to a fault plan.
+    pub fn apply(&self, plan: FaultPlan) -> FaultPlan {
+        match *self {
+            CrashRegime::None => plan,
+            CrashRegime::CrashStop { after_events } => plan.crash(0, after_events),
+            CrashRegime::CrashRecovery {
+                after_events,
+                recover_at,
+            } => plan.crash(0, after_events).recover_at(recover_at),
+        }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> String {
+        match *self {
+            CrashRegime::None => "none".to_string(),
+            CrashRegime::CrashStop { after_events } => format!("stop(k={after_events})"),
+            CrashRegime::CrashRecovery {
+                after_events,
+                recover_at,
+            } => format!("recover(k={after_events},t={recover_at})"),
+        }
+    }
+}
+
+/// One grid cell of the Paxos / HSUC sweeps (experiment e22).
+#[derive(Debug, Clone)]
+pub struct QuorumConsensusCell {
+    /// Total number of processes (tolerates `f < n/2` crashed).
+    pub n: usize,
+    /// What the process fault plan does (always targets process 0, the
+    /// initial proposer/leader — the hardest process to lose).
+    pub crash: CrashRegime,
+    /// Retry-timer period of the shells (leader-failover detection
+    /// time); staggered per process id by the shell.
+    pub timeout_ticks: u64,
+    /// Retry-timer firing cap per process, bounding ballot/round
+    /// escalation so executions always drain.
+    pub max_timeouts: u32,
+    /// Network conditions.
+    pub net: NetProfile,
+}
+
+impl QuorumConsensusCell {
+    fn run_common(
+        &self,
+        decisions: Vec<Option<Value>>,
+        times: &[Option<u64>],
+        rounds: Option<f64>,
+        stats: crate::runtime::NetStats,
+        inputs: &[Value],
+        drained: bool,
+    ) -> ConsensusStats {
+        debug_assert!(drained, "consensus event queue failed to drain");
+        // a permanently crashed process is exempt from deciding; a
+        // *recovered* one is not — that is the whole point of recovery
+        let exempt = self.crash.apply(FaultPlan::none()).permanently_crashed();
+        let obligated: Vec<usize> = (0..self.n).filter(|i| !exempt.contains(i)).collect();
+        let decided = obligated.iter().all(|&i| decisions[i].is_some());
+        let values: BTreeSet<Value> = decisions.iter().filter_map(|d| *d).collect();
+        // agreement over ALL decisions ever made (safety: no two decided
+        // values, crashed or not); validity: the decided value is some
+        // process's input
+        let agreement = values.len() <= 1;
+        let validity = values.iter().all(|v| inputs.contains(v));
+        let (rounds, decide_time) = if decided {
+            let max_time = obligated
+                .iter()
+                .filter_map(|&i| times[i])
+                .max()
+                .unwrap_or(0);
+            (
+                rounds.map(StreamingStats::of).unwrap_or_default(),
+                StreamingStats::of(max_time as f64),
+            )
+        } else {
+            (StreamingStats::new(), StreamingStats::new())
+        };
+        ConsensusStats {
+            decided: StreamingStats::of(f64::from(u8::from(decided))),
+            agreement: StreamingStats::of(f64::from(u8::from(agreement))),
+            validity: StreamingStats::of(f64::from(u8::from(validity))),
+            rounds,
+            decide_time,
+            messages: StreamingStats::of(stats.messages_sent as f64),
+            events: StreamingStats::of(stats.events_processed as f64),
+        }
+    }
+
+    fn config(&self, seed: u64) -> NetConfig {
+        let mut cfg = self.net.config(seed, &BTreeSet::new());
+        cfg.faults = self.crash.apply(std::mem::take(&mut cfg.faults));
+        cfg
+    }
+}
+
+/// Single-decree Paxos on the event runtime under a crash plan: process
+/// `i` proposes a seed-drawn value; decisions must be unique network-wide
+/// (the safety gate of e22) and every non-permanently-crashed process
+/// must learn one. "Rounds" is the highest deciding *ballot* — 1 means
+/// the initial proposer won, higher means failover escalated.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaxosScenario;
+
+impl Scenario for PaxosScenario {
+    type Config = QuorumConsensusCell;
+    type Outcome = ConsensusStats;
+
+    fn run(&self, cell: &QuorumConsensusCell, seed: u64) -> ConsensusStats {
+        use crate::protocols::PaxosProcess;
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs: Vec<Value> = (0..cell.n).map(|_| rng.random_range(0..100u64)).collect();
+        let probes: Vec<Rc<Cell<Option<u64>>>> =
+            (0..cell.n).map(|_| Rc::new(Cell::new(None))).collect();
+        let procs: Vec<Box<dyn crate::runtime::AsyncProcess<Msg = bne_byzantine::PaxosMsg>>> =
+            inputs
+                .iter()
+                .zip(&probes)
+                .map(|(&v, probe)| {
+                    Box::new(
+                        PaxosProcess::new(v, cell.timeout_ticks, cell.max_timeouts)
+                            .with_ballot_probe(Rc::clone(probe)),
+                    ) as _
+                })
+                .collect();
+        let net_seed = derive_seed(seed, STREAM_NET_SEED, 0);
+        let mut net = crate::runtime::EventNet::new(procs, cell.config(net_seed));
+        let drained = net.run(20_000_000);
+        let rounds = probes
+            .iter()
+            .filter_map(|p| p.get())
+            .max()
+            .map(|b| b as f64);
+        cell.run_common(
+            net.decisions(),
+            net.decision_times(),
+            rounds,
+            net.stats(),
+            &inputs,
+            drained,
+        )
+    }
+}
+
+/// Leader-driven (HSUC-style) consensus on the event runtime under a
+/// crash plan — same cell shape and outcome as [`PaxosScenario`], so the
+/// e22 atlas compares them column-for-column. "Rounds" is the highest
+/// deciding round — 1 means leader 0's round sufficed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HsucScenario;
+
+impl Scenario for HsucScenario {
+    type Config = QuorumConsensusCell;
+    type Outcome = ConsensusStats;
+
+    fn run(&self, cell: &QuorumConsensusCell, seed: u64) -> ConsensusStats {
+        use crate::protocols::HsucProcess;
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs: Vec<Value> = (0..cell.n).map(|_| rng.random_range(0..100u64)).collect();
+        let probes: Vec<Rc<Cell<Option<u64>>>> =
+            (0..cell.n).map(|_| Rc::new(Cell::new(None))).collect();
+        let procs: Vec<Box<dyn crate::runtime::AsyncProcess<Msg = bne_byzantine::HsucMsg>>> =
+            inputs
+                .iter()
+                .zip(&probes)
+                .map(|(&v, probe)| {
+                    Box::new(
+                        HsucProcess::new(v, cell.timeout_ticks, cell.max_timeouts)
+                            .with_round_probe(Rc::clone(probe)),
+                    ) as _
+                })
+                .collect();
+        let net_seed = derive_seed(seed, STREAM_NET_SEED, 0);
+        let mut net = crate::runtime::EventNet::new(procs, cell.config(net_seed));
+        let drained = net.run(20_000_000);
+        let rounds = probes
+            .iter()
+            .filter_map(|p| p.get())
+            .max()
+            .map(|r| r as f64);
+        cell.run_common(
+            net.decisions(),
+            net.decision_times(),
+            rounds,
+            net.stats(),
+            &inputs,
+            drained,
+        )
+    }
+}
+
+/// The e22 atlas grid for one protocol: crash regimes × schedulers × n,
+/// at one-tick latency so decision times are hop counts. The crash plans
+/// always hit process 0 — the initial Paxos proposer and HSUC round-1
+/// leader — because losing the coordinator is the regime where failover
+/// (and recovery) actually shows up in the measured columns.
+pub fn quorum_consensus_grid(
+    sizes: &[usize],
+    regimes: &[CrashRegime],
+    schedulers: &[SchedulerSpec],
+    timeout_ticks: u64,
+    max_timeouts: u32,
+) -> Vec<QuorumConsensusCell> {
+    let mut grid = Vec::new();
+    for scheduler in schedulers {
+        for &regime in regimes {
+            for &n in sizes {
+                grid.push(QuorumConsensusCell {
+                    n,
+                    crash: regime,
+                    timeout_ticks,
+                    max_timeouts,
+                    net: NetProfile {
+                        latency: LatencyModel::Constant(1),
+                        scheduler: scheduler.clone(),
+                        ..NetProfile::lockstep()
+                    },
+                });
             }
         }
     }
@@ -980,12 +1253,12 @@ mod tests {
         // one baseline + the untruncated windows (2,2), (2,4), (4,4) —
         // duration > heal_at combinations are skipped, not mislabeled
         assert_eq!(grid.len(), 4);
-        assert!(grid[0].net.faults.partition.is_none());
+        assert!(grid[0].net.faults.link.partition.is_none());
         let results = SimRunner::new(16, 1_905).run_sequential(&AsyncBroadcastScenario, &grid);
         let rate = |duration: u64, heal: u64| {
             let idx = grid
                 .iter()
-                .position(|c| match &c.net.faults.partition {
+                .position(|c| match &c.net.faults.link.partition {
                     None => duration == 0,
                     Some(p) => p.duration() == duration && p.heal_at == heal,
                 })
@@ -1119,6 +1392,90 @@ mod tests {
     }
 
     #[test]
+    fn paxos_and_hsuc_atlas_cells_hold_safety_under_every_regime() {
+        // the e22 acceptance shape in miniature: all three crash regimes
+        // across both quorum protocols — agreement (the safety gate) and
+        // validity must be perfect in every replica; the crash-stop and
+        // crash-recovery regimes must still decide via failover
+        let grid = quorum_consensus_grid(
+            &[5],
+            &[
+                CrashRegime::None,
+                CrashRegime::CrashStop { after_events: 2 },
+                CrashRegime::CrashRecovery {
+                    after_events: 2,
+                    recover_at: 400,
+                },
+            ],
+            &[SchedulerSpec::Fifo, SchedulerSpec::Random { jitter: 2 }],
+            40,
+            12,
+        );
+        for (label, results) in [
+            (
+                "paxos",
+                SimRunner::new(8, 2_201).run_sequential(&PaxosScenario, &grid),
+            ),
+            (
+                "hsuc",
+                SimRunner::new(8, 2_202).run_sequential(&HsucScenario, &grid),
+            ),
+        ] {
+            for cell in &results {
+                assert_eq!(
+                    cell.outcome.agreement.mean(),
+                    1.0,
+                    "{label} safety violated in cell {}",
+                    cell.cell
+                );
+                assert_eq!(
+                    cell.outcome.validity.mean(),
+                    1.0,
+                    "{label} validity violated in cell {}",
+                    cell.cell
+                );
+                assert_eq!(
+                    cell.outcome.decided.mean(),
+                    1.0,
+                    "{label} liveness lost in cell {}",
+                    cell.cell
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paxos_crash_recovery_regime_actually_recovers_and_costs_time() {
+        let mk = |crash| QuorumConsensusCell {
+            n: 5,
+            crash,
+            timeout_ticks: 40,
+            max_timeouts: 12,
+            net: NetProfile {
+                latency: LatencyModel::Constant(1),
+                ..NetProfile::lockstep()
+            },
+        };
+        let grid = vec![
+            mk(CrashRegime::None),
+            mk(CrashRegime::CrashRecovery {
+                after_events: 1,
+                recover_at: 300,
+            }),
+        ];
+        let results = SimRunner::new(12, 2_203).run_sequential(&PaxosScenario, &grid);
+        let (clean, recover) = (&results[0].outcome, &results[1].outcome);
+        assert_eq!(clean.decided.mean(), 1.0);
+        assert_eq!(recover.decided.mean(), 1.0, "recovered process re-learns");
+        assert!(
+            recover.decide_time.mean() > clean.decide_time.mean(),
+            "recovery cannot be free: {} vs {}",
+            recover.decide_time.mean(),
+            clean.decide_time.mean()
+        );
+    }
+
+    #[test]
     fn async_runs_are_reproducible_from_the_replica_seed() {
         // heavy loss + mixed starts: outcomes genuinely vary by seed,
         // so reproducibility is not vacuous
@@ -1130,7 +1487,7 @@ mod tests {
             net: NetProfile {
                 latency: LatencyModel::UniformJitter { min: 0, max: 5 },
                 scheduler: SchedulerSpec::Random { jitter: 3 },
-                faults: LinkFaults::lossy(0.45),
+                faults: LinkFaults::lossy(0.45).into(),
                 round_ticks: 4,
                 ..NetProfile::lockstep()
             },

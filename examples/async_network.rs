@@ -78,7 +78,8 @@ fn main() {
         faults: LinkFaults {
             drop_prob: 0.15,
             partition: Some(Partition::until([0usize, 1].into_iter().collect(), 8)),
-        },
+        }
+        .into(),
         round_ticks: 4,
         record_trace: false,
         queue: QueueImpl::Wheel,
@@ -100,7 +101,7 @@ fn main() {
             byzantine: [N - 1].into_iter().collect(),
             honest_delay: 2,
         },
-        faults: LinkFaults::none(),
+        faults: LinkFaults::none().into(),
         round_ticks: 1,
         record_trace: false,
         queue: QueueImpl::Wheel,
@@ -127,7 +128,8 @@ fn main() {
         faults: LinkFaults {
             drop_prob: 0.0,
             partition: Some(Partition::window((0..N / 2).collect(), 0, 6)),
-        },
+        }
+        .into(),
         round_ticks: 1,
         record_trace: false,
         queue: QueueImpl::Wheel,

@@ -1,0 +1,347 @@
+//! Cross-crate tests of the crash-recovery fault model and the quorum
+//! consensus family (single-decree Paxos, leader-driven HSUC):
+//!
+//! * **Paxos safety** — at most one value is ever decided, across every
+//!   scheduler policy × latency model × proptest-drawn crash plan
+//!   (crash-stop, crash-recovery, crash-at-start); quorum intersection
+//!   does the work, the network only gets to pick *which* quorum;
+//! * **fault-plan bit-identity** — a [`FaultPlan`] with no process
+//!   faults executes bit-identically to the same link faults alone, and
+//!   a crash scheduled at `AfterEvents(u64::MAX)` never fires, so the
+//!   run is bit-identical to a fault-free one (the redesigned API costs
+//!   nothing when unused);
+//! * **durable round-trips** — a crashed-and-recovered Paxos acceptor
+//!   restores its promise/accept triple and re-learns the decision via a
+//!   fresh ballot, and a retry-wrapped Bracha process rebuilds its
+//!   quorum tallies from retransmissions without ever equivocating.
+
+use bne_core::byzantine::bracha::BrachaMsg;
+use bne_core::byzantine::{HsucMsg, PaxosMsg};
+use bne_core::net::{
+    run_hsuc, run_paxos, AsyncProcess, BrachaProcess, EventNet, FaultPlan, HsucProcess,
+    LatencyModel, LinkFaults, NetConfig, NetStats, Partition, PaxosProcess, QueueImpl,
+    RetryAdapter, RetryMsg, RetryPolicy, SchedulerPolicy, TraceEvent,
+};
+use bne_core::sim::derive_seed;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const MAX_EVENTS: usize = 20_000_000;
+
+/// Everything observable about one execution, for bit-identity checks.
+type Fingerprint = (
+    bool,
+    Vec<TraceEvent>,
+    NetStats,
+    Vec<Option<u64>>,
+    Vec<Option<u64>>,
+);
+
+fn fingerprint<M: Clone>(
+    procs: Vec<Box<dyn AsyncProcess<Msg = M>>>,
+    cfg: NetConfig,
+) -> Fingerprint {
+    let mut net = EventNet::new(procs, cfg);
+    let drained = net.run(MAX_EVENTS);
+    (
+        drained,
+        net.trace().to_vec(),
+        net.stats(),
+        net.decisions(),
+        net.decision_times().to_vec(),
+    )
+}
+
+/// One latency model from a proptest-drawn small integer.
+fn latency_from(kind: u8, seed: u64) -> LatencyModel {
+    match kind % 3 {
+        0 => LatencyModel::Constant(seed % 4),
+        1 => LatencyModel::UniformJitter {
+            min: 0,
+            max: 1 + seed % 7,
+        },
+        _ => LatencyModel::HeavyTail {
+            base: 1 + seed % 3,
+            tail_prob: 0.3,
+            max_doublings: 4,
+        },
+    }
+}
+
+/// One scheduler policy from a proptest-drawn small integer. All three
+/// policies appear: FIFO, seeded-random interleaving, and the rushing
+/// adversary (which for crash-fault protocols is just a reordering —
+/// there are no Byzantine processes to favor, only slow ones).
+fn scheduler_from(kind: u8, n: usize, seed: u64) -> SchedulerPolicy {
+    match kind % 3 {
+        0 => SchedulerPolicy::Fifo,
+        1 => SchedulerPolicy::RandomInterleave {
+            seed: derive_seed(seed, 7, 0),
+            jitter: 3,
+        },
+        _ => SchedulerPolicy::AdversarialRush {
+            byzantine: (0..n / 3).collect(),
+            honest_delay: 2,
+        },
+    }
+}
+
+/// One crash plan from proptest-drawn small integers: none, crash-stop
+/// after `k` events, crash-at-start, or crash with a timed recovery.
+fn crash_plan_from(kind: u8, proc: usize, after_k: u64, recover_at: u64) -> FaultPlan {
+    match kind % 4 {
+        0 => FaultPlan::none(),
+        1 => FaultPlan::none().crash(proc, after_k),
+        2 => FaultPlan::none().crash_at_start(proc),
+        _ => FaultPlan::none()
+            .crash(proc, after_k)
+            .recover_at(recover_at),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline gate: single-decree Paxos never decides two
+    /// different values, whatever the scheduler, latency model or crash
+    /// plan. Liveness is *not* asserted here — a crash plan may take a
+    /// majority down or timeouts may run out — only that every decision
+    /// that does happen names the same input value.
+    #[test]
+    fn paxos_is_safe_under_every_scheduler_latency_and_crash_plan(
+        n in 3usize..=6,
+        latency_kind in 0u8..3,
+        scheduler_kind in 0u8..3,
+        crash_kind in 0u8..4,
+        crash_slot in 0usize..6,
+        after_k in 1u64..60,
+        recover_at in 50u64..600,
+        seed in 0u64..u64::MAX,
+    ) {
+        let inputs: Vec<u64> = (0..n as u64).map(|i| (seed >> (i * 7)) % 100).collect();
+        let cfg = NetConfig {
+            latency: latency_from(latency_kind, seed),
+            scheduler: scheduler_from(scheduler_kind, n, seed),
+            faults: crash_plan_from(crash_kind, crash_slot % n, after_k, recover_at),
+            ..NetConfig::lockstep(seed)
+        };
+        let net = run_paxos(&inputs, 40, 8, cfg, MAX_EVENTS);
+        let decided: BTreeSet<u64> = net.decisions().iter().flatten().copied().collect();
+        prop_assert!(decided.len() <= 1, "two values decided: {decided:?}");
+        for v in &decided {
+            prop_assert!(inputs.contains(v), "decided {v} was nobody's input");
+        }
+    }
+
+    /// The same safety gate for the leader-driven HSUC protocol: round
+    /// locks plus majority acks play the role quorum intersection plays
+    /// in Paxos, and the guarantee is the same — at most one value, and
+    /// it was somebody's input.
+    #[test]
+    fn hsuc_is_safe_under_every_scheduler_latency_and_crash_plan(
+        n in 3usize..=6,
+        latency_kind in 0u8..3,
+        scheduler_kind in 0u8..3,
+        crash_kind in 0u8..4,
+        crash_slot in 0usize..6,
+        after_k in 1u64..60,
+        recover_at in 50u64..600,
+        seed in 0u64..u64::MAX,
+    ) {
+        let inputs: Vec<u64> = (0..n as u64).map(|i| (seed >> (i * 7)) % 100).collect();
+        let cfg = NetConfig {
+            latency: latency_from(latency_kind, seed),
+            scheduler: scheduler_from(scheduler_kind, n, seed),
+            faults: crash_plan_from(crash_kind, crash_slot % n, after_k, recover_at),
+            ..NetConfig::lockstep(seed)
+        };
+        let net = run_hsuc(&inputs, 40, 8, cfg, MAX_EVENTS);
+        let decided: BTreeSet<u64> = net.decisions().iter().flatten().copied().collect();
+        prop_assert!(decided.len() <= 1, "two values decided: {decided:?}");
+        for v in &decided {
+            prop_assert!(inputs.contains(v), "decided {v} was nobody's input");
+        }
+    }
+
+    /// Satellite 3a: the redesigned fault plan is free when unused. A
+    /// `FaultPlan` carrying only link faults must execute bit-identically
+    /// (trace, stats, decisions, decision times) to the converted
+    /// `LinkFaults` value — they are the *same* configuration, reached
+    /// through the builder and through `From<LinkFaults>`.
+    #[test]
+    fn fault_plan_without_process_faults_is_bit_identical_to_link_faults(
+        n in 4usize..8,
+        drop_percent in 0u64..40,
+        partitioned_bit in 0u8..2,
+        latency_kind in 0u8..3,
+        seed in 0u64..u64::MAX,
+    ) {
+        let link = LinkFaults {
+            drop_prob: drop_percent as f64 / 100.0,
+            partition: (partitioned_bit == 1).then(|| {
+                Partition::window((0..n / 2).collect(), 2 + seed % 5, 10 + seed % 20)
+            }),
+        };
+        let mut built = FaultPlan::lossy(link.drop_prob);
+        if let Some(p) = link.partition.clone() {
+            built = built.partition(p);
+        }
+        prop_assert!(!built.has_process_faults());
+        let run = |faults: FaultPlan| {
+            let cfg = NetConfig {
+                latency: latency_from(latency_kind, seed),
+                faults,
+                record_trace: true,
+                ..NetConfig::lockstep(seed)
+            };
+            let procs: Vec<Box<dyn AsyncProcess<Msg = BrachaMsg>>> = (0..n)
+                .map(|_| Box::new(BrachaProcess::new(1, 0, 1)) as _)
+                .collect();
+            fingerprint(procs, cfg)
+        };
+        prop_assert_eq!(run(FaultPlan::from(link)), run(built));
+    }
+
+    /// Satellite 3b: a crash scheduled after `u64::MAX` handled events
+    /// never fires, so the run — planned crash events and all — is
+    /// bit-identical to one with no process faults.
+    #[test]
+    fn crash_after_infinitely_many_events_is_bit_identical_to_fault_free(
+        n in 4usize..8,
+        crash_slot in 0usize..8,
+        latency_kind in 0u8..3,
+        scheduler_kind in 0u8..3,
+        seed in 0u64..u64::MAX,
+    ) {
+        let inputs: Vec<u64> = (0..n as u64).map(|i| (seed >> (i * 5)) % 100).collect();
+        let run = |faults: FaultPlan| {
+            let cfg = NetConfig {
+                latency: latency_from(latency_kind, seed),
+                scheduler: scheduler_from(scheduler_kind, n, seed),
+                faults,
+                record_trace: true,
+                ..NetConfig::lockstep(seed)
+            };
+            let procs: Vec<Box<dyn AsyncProcess<Msg = PaxosMsg>>> = inputs
+                .iter()
+                .map(|&v| Box::new(PaxosProcess::new(v, 30, 6)) as _)
+                .collect();
+            fingerprint(procs, cfg)
+        };
+        let never = FaultPlan::none().crash(crash_slot % n, u64::MAX);
+        prop_assert_eq!(run(never), run(FaultPlan::none()));
+    }
+
+    /// Durable round-trip, Paxos: crash any acceptor mid-run and recover
+    /// it later. Its promise/accept triple survives in durable state, its
+    /// volatile decision is wiped — and the recovery timeout opens a
+    /// fresh ballot whose phase-1 quorum *must* intersect the decision
+    /// quorum, so the recovered process re-learns the same value.
+    #[test]
+    fn recovered_paxos_process_relearns_the_unique_decision(
+        n in 3usize..=5,
+        crash_slot in 0usize..5,
+        crash_time in 1u64..200,
+        recover_at in 200u64..500,
+        seed in 0u64..u64::MAX,
+    ) {
+        // a timed crash is scheduled unconditionally at construction, so
+        // the round-trip happens even if the protocol has already
+        // quiesced — the recovered process then re-learns via its
+        // re-armed timeout
+        let inputs: Vec<u64> = (0..n as u64).map(|i| (seed >> (i * 7)) % 100).collect();
+        let cfg = NetConfig {
+            faults: FaultPlan::none().crash_at(crash_slot % n, crash_time).recover_at(recover_at),
+            ..NetConfig::lockstep(seed)
+        };
+        let net = run_paxos(&inputs, 40, 12, cfg, MAX_EVENTS);
+        let decisions = net.decisions();
+        let decided: BTreeSet<u64> = decisions.iter().flatten().copied().collect();
+        prop_assert_eq!(decided.len(), 1, "decisions: {:?}", decisions);
+        prop_assert!(decisions.iter().all(|d| d.is_some()),
+            "everyone (crashed process included) must decide: {:?}", decisions);
+        let recoveries = net.stats().recoveries;
+        prop_assert_eq!(recoveries.iter().sum::<u64>(), 1);
+        prop_assert_eq!(recoveries[crash_slot % n], 1);
+    }
+
+    /// Durable round-trip, Bracha under retransmission: the sent flags
+    /// (echoed/readied/delivered) survive the crash so the recovered
+    /// process never equivocates, and the retry adapter's pending
+    /// retransmissions replay the traffic its wiped tallies need.
+    /// Everyone — the crashed process included — delivers the broadcast
+    /// value.
+    #[test]
+    fn recovered_bracha_process_redelivers_under_retransmission(
+        n in 4usize..=7,
+        crash_slot in 0usize..7,
+        after_k in 1u64..20,
+        recover_at in 100u64..300,
+        seed in 0u64..u64::MAX,
+    ) {
+        let crash_proc = crash_slot % n;
+        let cfg = NetConfig {
+            faults: FaultPlan::none().crash(crash_proc, after_k).recover_at(recover_at),
+            ..NetConfig::lockstep(seed)
+        };
+        let procs: Vec<Box<dyn AsyncProcess<Msg = RetryMsg<BrachaMsg>>>> = (0..n)
+            .map(|_| {
+                Box::new(RetryAdapter::new(
+                    BrachaProcess::new(1, 0, 7),
+                    RetryPolicy::exponential(4),
+                )) as _
+            })
+            .collect();
+        let mut net = EventNet::new(procs, cfg);
+        prop_assert!(net.run(MAX_EVENTS), "event queue did not drain");
+        let decisions = net.decisions();
+        prop_assert!(decisions.iter().all(|d| *d == Some(7)),
+            "everyone must deliver 7 (crash at proc {crash_proc}): {:?}", decisions);
+    }
+}
+
+/// Deterministic spot check of the recovery accounting: the crash plan
+/// shows up in [`NetStats`] as per-process recovery counts plus a count
+/// of the deliveries/timers the crashed window absorbed.
+#[test]
+fn crash_window_accounting_lands_in_net_stats() {
+    let inputs = [7u64, 3, 9, 1, 5];
+    let cfg = NetConfig {
+        faults: FaultPlan::none().crash(2, 1).recover_at(250),
+        ..NetConfig::lockstep(42)
+    };
+    let net = run_paxos(&inputs, 40, 12, cfg, MAX_EVENTS);
+    let stats = net.stats();
+    assert_eq!(
+        stats.recoveries,
+        vec![0, 0, 1, 0, 0],
+        "process 2 recovers exactly once"
+    );
+    assert!(
+        stats.crashed_drops > 0,
+        "a majority keeps talking to the crashed acceptor; those deliveries are absorbed"
+    );
+    assert!(net.decisions().iter().all(|d| d.is_some()));
+}
+
+/// The wheel/heap invariant holds for HSUC under a crashed leader: the
+/// failover path (timeouts, round advances, Decide rebroadcasts) is as
+/// deterministic as the happy path.
+#[test]
+fn hsuc_leader_failover_is_bit_identical_across_queue_impls() {
+    let inputs = [4u64, 8, 2, 6, 0];
+    let run = |queue: QueueImpl| {
+        let cfg = NetConfig {
+            faults: FaultPlan::none().crash_at_start(0),
+            record_trace: true,
+            ..NetConfig::lockstep(99)
+        }
+        .with_queue(queue);
+        let procs: Vec<Box<dyn AsyncProcess<Msg = HsucMsg>>> = inputs
+            .iter()
+            .map(|&v| Box::new(HsucProcess::new(v, 40, 8)) as _)
+            .collect();
+        fingerprint(procs, cfg)
+    };
+    assert_eq!(run(QueueImpl::Wheel), run(QueueImpl::Heap));
+}

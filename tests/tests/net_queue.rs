@@ -8,9 +8,10 @@
 //! counters: events processed, peak queue length, arena high-water
 //! mark), same decisions, same decision times. The proptests sweep
 //! random (protocol × scheduler × latency × faults × seed) workloads
-//! across OM, phase king, Bracha and Ben-Or, including retry policies
-//! whose exponential backoff crosses the wheel horizon (the overflow
-//! heap path).
+//! across OM, phase king, Bracha, Ben-Or and Paxos — including retry
+//! policies whose exponential backoff crosses the wheel horizon (the
+//! overflow heap path) and crash-recovery fault plans whose planned
+//! `Crash`/`Recover` events share the queue with ordinary traffic.
 
 use bne_core::byzantine::adversary::{FaultyBehavior, FaultyProcess};
 use bne_core::byzantine::bracha::BrachaMsg;
@@ -18,11 +19,12 @@ use bne_core::byzantine::network::Process;
 use bne_core::byzantine::om::{OmConfig, TraitorStrategy};
 use bne_core::byzantine::om_process::{om_process_set, OmProcess};
 use bne_core::byzantine::phase_king::PhaseKingProcess;
+use bne_core::byzantine::PaxosMsg;
 use bne_core::byzantine::Value;
 use bne_core::net::{
     AsyncProcess, BenOrProcess, BrachaProcess, EventNet, LatencyModel, LinkFaults, NetConfig,
-    NetStats, Partition, QueueImpl, RetryAdapter, RetryMsg, RetryPolicy, RoundAdapter,
-    SchedulerPolicy, TraceEvent,
+    NetStats, Partition, PaxosProcess, QueueImpl, RetryAdapter, RetryMsg, RetryPolicy,
+    RoundAdapter, SchedulerPolicy, TraceEvent,
 };
 use bne_core::sim::derive_seed;
 use proptest::prelude::*;
@@ -103,7 +105,8 @@ fn config(
         faults: LinkFaults {
             drop_prob: drop_percent as f64 / 100.0,
             partition,
-        },
+        }
+        .into(),
         round_ticks,
         record_trace: true,
         ..NetConfig::lockstep(seed)
@@ -305,6 +308,44 @@ proptest! {
         };
         prop_assert_eq!(run(QueueImpl::Wheel), run(QueueImpl::Heap));
     }
+
+    /// Single-decree Paxos under proptest-drawn crash-recovery plans:
+    /// planned `Crash`/`Recover` events flow through the same queue as
+    /// deliveries and timers (and crashed processes absorb events as
+    /// `crashed_drops`), so wheel and heap must still agree bit-for-bit
+    /// — traces, decisions, decision times, recovery stats and all.
+    #[test]
+    fn wheel_equals_heap_under_crash_plans(
+        n in 3usize..=6,
+        latency_kind in 0u8..3,
+        scheduler_kind in 0u8..3,
+        crash_slot in 0usize..6,
+        after_k in 1u64..40,
+        recover_bit in 0u8..2,
+        recover_time in 50u64..400,
+        seed in 0u64..u64::MAX,
+    ) {
+        let crash_proc = crash_slot % n;
+        let recover = (recover_bit == 1).then_some(recover_time);
+        let inputs: Vec<u64> = (0..n as u64).map(|i| (seed >> i) % 100).collect();
+        let run = |queue| {
+            let mut cfg = config(
+                n, latency_kind, scheduler_kind, 0, false,
+                1, seed, queue,
+            );
+            let mut plan = std::mem::take(&mut cfg.faults).crash(crash_proc, after_k);
+            if let Some(t) = recover {
+                plan = plan.recover_at(t);
+            }
+            cfg.faults = plan;
+            let procs: Vec<Box<dyn AsyncProcess<Msg = PaxosMsg>>> = inputs
+                .iter()
+                .map(|&v| Box::new(PaxosProcess::new(v, 30, 6)) as _)
+                .collect();
+            fingerprint(procs, cfg)
+        };
+        prop_assert_eq!(run(QueueImpl::Wheel), run(QueueImpl::Heap));
+    }
 }
 
 /// Deterministic spot check: the counters confirming "identical work"
@@ -319,7 +360,7 @@ fn work_counters_are_identical_across_queue_impls() {
                 seed: 11,
                 jitter: 2,
             },
-            faults: LinkFaults::lossy(0.1),
+            faults: LinkFaults::lossy(0.1).into(),
             round_ticks: 3,
             ..NetConfig::lockstep(17)
         }

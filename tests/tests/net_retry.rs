@@ -70,7 +70,7 @@ proptest! {
         let cfg = NetConfig {
             latency: LatencyModel::Constant(latency),
             scheduler: SchedulerPolicy::Fifo,
-            faults: LinkFaults::none(),
+            faults: LinkFaults::none().into(),
             ..NetConfig::lockstep(seed)
         };
         // timeout strictly beyond the ack round trip: no spurious resends
@@ -112,7 +112,7 @@ proptest! {
         let cfg = NetConfig {
             latency: LatencyModel::Constant(1),
             scheduler: SchedulerPolicy::Fifo,
-            faults: LinkFaults::lossy(drop_percent as f64 / 100.0),
+            faults: LinkFaults::lossy(drop_percent as f64 / 100.0).into(),
             ..NetConfig::lockstep(seed)
         };
         let policy = RetryPolicy { timeout, backoff, max_attempts: 0 };
@@ -237,7 +237,7 @@ proptest! {
         let cfg = NetConfig {
             latency: LatencyModel::Constant(latency),
             scheduler: SchedulerPolicy::Fifo,
-            faults: LinkFaults::none(),
+            faults: LinkFaults::none().into(),
             ..NetConfig::lockstep(seed)
         };
         let policy = RetryPolicy {
@@ -277,7 +277,7 @@ proptest! {
         let cfg = NetConfig {
             latency: LatencyModel::Constant(1),
             scheduler: SchedulerPolicy::Fifo,
-            faults: LinkFaults::lossy(drop_percent as f64 / 100.0),
+            faults: LinkFaults::lossy(drop_percent as f64 / 100.0).into(),
             ..NetConfig::lockstep(seed)
         };
         let policy = RetryPolicy { timeout, backoff: 2, max_attempts: 0 };

@@ -176,7 +176,7 @@ proptest! {
         let cfg = NetConfig {
             latency,
             scheduler,
-            faults: LinkFaults::lossy(drop_percent as f64 / 100.0),
+            faults: LinkFaults::lossy(drop_percent as f64 / 100.0).into(),
             round_ticks,
             record_trace: true,
             ..NetConfig::lockstep(seed)
@@ -215,7 +215,7 @@ fn different_seeds_change_stochastic_traces() {
             seed: derive_seed(seed, 7, 0),
             jitter: 3,
         },
-        faults: LinkFaults::lossy(0.2),
+        faults: LinkFaults::lossy(0.2).into(),
         round_ticks: 2,
         record_trace: true,
         ..NetConfig::lockstep(seed)
