@@ -4,13 +4,16 @@
 //!
 //! Run and record to `BENCH_3.json` (all legs), `BENCH_5.json`
 //! (event-driven protocol legs), `BENCH_6.json` (timing-wheel vs
-//! reference-heap legs plus the 10^6-run mega sweep) and `BENCH_7.json`
+//! reference-heap legs plus the 10^6-run mega sweep), `BENCH_7.json`
 //! (crash-recovery consensus: Paxos throughput, failover latency, the
-//! durable round-trip, and the e22 crash-grid sweeps):
+//! durable round-trip, and the e22 crash-grid sweeps) and `BENCH_8.json`
+//! (observability overhead: trace sink off vs recording vs streaming
+//! metrics on the identical, gate-verified bit-identical workload):
 //!
 //! ```text
 //! BNE_BENCH_JSON=BENCH_3.json BNE_BENCH5_JSON=BENCH_5.json \
 //!     BNE_BENCH6_JSON=BENCH_6.json BNE_BENCH7_JSON=BENCH_7.json \
+//!     BNE_BENCH8_JSON=BENCH_8.json \
 //!     cargo bench -p bne-bench --features parallel --bench net_engine
 //! ```
 //!
@@ -29,6 +32,7 @@ use bne_core::byzantine::bracha::BrachaMsg;
 use bne_core::byzantine::network::{Process, SyncNetwork};
 use bne_core::byzantine::om::{OmConfig, TraitorStrategy};
 use bne_core::byzantine::om_process::{om_process_set, OmProcess};
+use bne_core::byzantine::paxos::PaxosMsg;
 use bne_core::byzantine::phase_king::PhaseKingProcess;
 use bne_core::byzantine::Value;
 use bne_core::net::protocols::run_bracha;
@@ -38,8 +42,9 @@ use bne_core::net::scenario::{
 };
 use bne_core::net::{
     run_paxos, run_round_protocol, AsyncOmScenario, AsyncPhaseKingScenario, AsyncProcess,
-    BrachaProcess, EventNet, FaultPlan, LatencyModel, LinkFaults, NetConfig, QueueImpl,
-    RetryAdapter, RetryMsg, RetryPolicy, RoundAdapter, SchedulerPolicy,
+    BrachaProcess, EventNet, FaultPlan, HistogramSpec, LatencyModel, LinkFaults, MetricsObserver,
+    NetConfig, PaxosProcess, QueueImpl, RetryAdapter, RetryMsg, RetryPolicy, RoundAdapter,
+    SchedulerPolicy,
 };
 use bne_core::sim::SimRunner;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -555,6 +560,98 @@ fn bench_net_engine(c: &mut Criterion) {
         b.iter(|| black_box(crash_runner.run_sequential(&HsucScenario, &crash_grid)))
     });
 
+    // -- observability: the BENCH_8 legs -----------------------------------
+    //
+    // What watching costs. The identical Paxos crash-recovery workload
+    // (the `event_paxos/crash_recovery` leg above) is run three ways:
+    // trace sink off (the default), recording the full event trace, and
+    // streaming into a `MetricsObserver` (per-kind counters plus
+    // Lamport-clock latency histograms). Gate first, as always: all
+    // three sinks must leave decisions, runtime stats and per-process
+    // Lamport clocks bit-identical — an observer that perturbed the run
+    // would invalidate every "observed" experiment — and the streaming
+    // observer's own counters must agree with the runtime's.
+    let obs_cfg = |seed: u64| NetConfig {
+        faults: FaultPlan::none().crash(pxn - 1, 1).recover_at(300),
+        ..NetConfig::lockstep(seed)
+    };
+    let run_paxos_observed = |cfg: NetConfig| {
+        use std::{cell::RefCell, rc::Rc};
+        let procs: Vec<Box<dyn AsyncProcess<Msg = PaxosMsg>>> = paxos_inputs
+            .iter()
+            .map(|&v| Box::new(PaxosProcess::new(v, 40, 12)) as _)
+            .collect();
+        let obs = Rc::new(RefCell::new(MetricsObserver::new(
+            paxos_inputs.len(),
+            &HistogramSpec::ticks(64),
+        )));
+        let mut net = EventNet::with_observer(procs, cfg, Box::new(Rc::clone(&obs)));
+        assert!(net.run(10_000_000), "observed paxos queue must drain");
+        (net, obs)
+    };
+    for seed in 0..4u64 {
+        let off = run_paxos(&paxos_inputs, 40, 12, obs_cfg(seed), 10_000_000);
+        let rec = run_paxos(
+            &paxos_inputs,
+            40,
+            12,
+            obs_cfg(seed).with_trace(),
+            10_000_000,
+        );
+        let (strm, metrics) = run_paxos_observed(obs_cfg(seed));
+        for other in [&rec, &strm] {
+            assert_eq!(
+                off.decisions(),
+                other.decisions(),
+                "sink changed decisions (seed {seed})"
+            );
+            assert_eq!(
+                off.stats(),
+                other.stats(),
+                "sink changed runtime stats (seed {seed})"
+            );
+            assert_eq!(
+                off.lamport_clocks(),
+                other.lamport_clocks(),
+                "sink changed lamport clocks (seed {seed})"
+            );
+        }
+        let counts = metrics.borrow().counts();
+        assert_eq!(
+            counts.sends,
+            off.stats().messages_sent as u64,
+            "seed {seed}"
+        );
+        assert_eq!(
+            counts.delivers,
+            off.stats().messages_delivered as u64,
+            "seed {seed}"
+        );
+        assert_eq!(
+            counts.timers,
+            off.stats().timers_fired as u64,
+            "seed {seed}"
+        );
+        assert_eq!(counts.recoveries, 1, "seed {seed}");
+    }
+    c.bench_function("net_obs/off", |b| {
+        b.iter(|| black_box(run_paxos(&paxos_inputs, 40, 12, obs_cfg(1), 10_000_000).decisions()))
+    });
+    c.bench_function("net_obs/record", |b| {
+        b.iter(|| {
+            black_box(
+                run_paxos(&paxos_inputs, 40, 12, obs_cfg(1).with_trace(), 10_000_000).decisions(),
+            )
+        })
+    });
+    c.bench_function("net_obs/stream_metrics", |b| {
+        b.iter(|| {
+            let (net, obs) = run_paxos_observed(obs_cfg(1));
+            let counts = obs.borrow().counts();
+            black_box((net.decisions(), counts))
+        })
+    });
+
     // -- the BENCH_6 mega sweep: 10^6 protocol runs, wall-clock ------------
     //
     // One million minimal Ben-Or replicas (n = 4, unanimous start,
@@ -712,6 +809,28 @@ fn bench_net_engine(c: &mut Criterion) {
             "event_hsuc_sweep/crash_grid: {:.2}x the paxos sweep (median; rotation vs ballot race)",
             hsuc / paxos
         );
+    }
+    // BENCH_8 headlines: what each trace sink costs over the silent run
+    // on the identical (gate-verified bit-identical) workload.
+    for (name, label) in [
+        ("net_obs/record", "recording the full trace"),
+        ("net_obs/stream_metrics", "streaming metrics"),
+    ] {
+        if let (Some(off), Some(on)) = (median("net_obs/off"), median(name)) {
+            println!("{name}: {:.2}x the silent run (median; {label})", on / off);
+        }
+    }
+    if let Ok(path) = std::env::var("BNE_BENCH8_JSON") {
+        let legs = ["net_obs/off", "net_obs/record", "net_obs/stream_metrics"];
+        let bench8: Vec<_> = results
+            .iter()
+            .filter(|r| legs.contains(&r.name.as_str()))
+            .cloned()
+            .collect();
+        match std::fs::write(&path, criterion::results_to_json(&bench8)) {
+            Ok(()) => println!("BENCH_8 summary written to {path}"),
+            Err(e) => eprintln!("warning: could not write BENCH_8 JSON to {path}: {e}"),
+        }
     }
     if let Ok(path) = std::env::var("BNE_BENCH7_JSON") {
         let legs = [

@@ -67,10 +67,11 @@ pub fn fmt_bool(b: bool) -> String {
 /// partition sweeps); `e20..e22` run the **event-driven** protocols
 /// (Ben-Or expected convergence under adversarial schedulers, Bracha ±
 /// retransmission under partitions, and the Paxos/HSUC crash-recovery
-/// consensus atlas).
+/// consensus atlas); `e23` re-describes the e22 Paxos executions through
+/// the observability layer (per-phase queue latency vs timer wait).
 pub const EXPERIMENT_IDS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
 ];
 
 /// Whether the benches should run in bounded smoke mode (the CI
@@ -191,7 +192,7 @@ mod tests {
         assert_eq!(fmt_bool(false), "no");
         assert_eq!(fmt_f64(1234.5678), "1234.6");
         assert_eq!(fmt_f64(0.5), "0.500");
-        assert_eq!(EXPERIMENT_IDS.len(), 22);
+        assert_eq!(EXPERIMENT_IDS.len(), 23);
     }
 
     #[test]

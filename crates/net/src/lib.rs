@@ -56,6 +56,7 @@
 pub mod adapter;
 pub mod cheap_talk;
 pub mod model;
+pub mod obs;
 pub mod protocols;
 pub mod retry;
 pub mod runtime;
@@ -66,6 +67,9 @@ pub use model::{
     CrashTrigger, FaultPlan, LatencyModel, LinkFaults, NetConfig, Partition, ProcessFault,
     QueueImpl, SchedulerPolicy,
 };
+pub use obs::{
+    EventCounts, HistogramSpec, MetricsObserver, Observer, TimelineEntry, TimelineObserver,
+};
 #[allow(deprecated)]
 pub use protocols::SilentAsyncProcess;
 pub use protocols::{
@@ -73,7 +77,8 @@ pub use protocols::{
 };
 pub use retry::{RetryAdapter, RetryMsg, RetryPolicy};
 pub use runtime::{
-    AsyncProcess, DurableState, EventNet, IdleProcess, NetCtx, NetStats, TraceEvent, TraceKind,
+    AsyncProcess, DurableState, EventNet, IdleProcess, NetCtx, NetStats, TraceEvent, TraceFields,
+    TraceKind,
 };
 pub use scenario::{
     quorum_consensus_grid, AsyncBrachaScenario, AsyncBroadcastScenario, AsyncOmScenario,

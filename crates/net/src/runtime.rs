@@ -79,6 +79,7 @@
 //! ```
 
 use crate::model::{CrashTrigger, NetConfig, QueueImpl, SchedulerPolicy};
+use crate::obs::Observer;
 use bne_byzantine::ProcId;
 use bne_sim::derive_seed;
 use rand::rngs::StdRng;
@@ -93,6 +94,24 @@ const STREAM_LINK: u64 = 1;
 const STREAM_SCHEDULER: u64 = 2;
 
 /// What a processed event was; part of [`TraceEvent`].
+///
+/// # Field encoding
+///
+/// A [`TraceEvent`] packs every kind into the same two `u64` fields, so
+/// `src`/`dst` are **overloaded** per kind:
+///
+/// | kind                  | `src`            | `dst`        |
+/// |-----------------------|------------------|--------------|
+/// | `Send`/`Deliver`/`Drop` | sending process | receiving process |
+/// | `Timer`               | timer owner      | timer id     |
+/// | `Crash`/`Recover`     | process          | always 0     |
+/// | `CrashDrop`           | as the absorbed `Deliver` *or* `Timer` entry |
+///
+/// Consumers should not re-derive this table: [`TraceEvent::fields`]
+/// decodes an entry into a [`TraceFields`] view. Note that `CrashDrop`
+/// is genuinely ambiguous — the trace does not retain whether the
+/// absorbed event was a delivery or a timer, so its decoded view keeps
+/// the raw pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceKind {
     /// A process sent a message (`src → dst`).
@@ -114,17 +133,74 @@ pub enum TraceKind {
 }
 
 /// One entry of the deterministic event trace (recorded only when
-/// [`NetConfig::record_trace`] is set).
+/// [`NetConfig::record_trace`] is set). See [`TraceKind`] for how the
+/// `src`/`dst` fields are overloaded per kind, and [`TraceEvent::fields`]
+/// for the decoded view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Virtual time of the event.
     pub time: u64,
     /// Event class.
     pub kind: TraceKind,
-    /// Sender / timer owner.
+    /// Sender / timer owner (see [`TraceKind`]).
     pub src: u64,
-    /// Recipient / timer id.
+    /// Recipient / timer id (see [`TraceKind`]).
     pub dst: u64,
+}
+
+/// The decoded `src`/`dst` fields of one [`TraceEvent`] — the accessor
+/// exporters use instead of re-deriving the per-kind encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFields {
+    /// A message event (`Send`, `Deliver`, `Drop`): sender and receiver.
+    Message {
+        /// Sending process.
+        src: u64,
+        /// Receiving process.
+        dst: u64,
+    },
+    /// A `Timer` event: the owning process and the timer id it armed.
+    Timer {
+        /// Timer owner.
+        proc: u64,
+        /// Timer id (as passed to [`NetCtx::set_timer`]).
+        timer: u64,
+    },
+    /// A `Crash` or `Recover` lifecycle event.
+    Lifecycle {
+        /// The crashing / recovering process.
+        proc: u64,
+    },
+    /// A `CrashDrop`: the raw fields of the absorbed event. The trace
+    /// does not retain whether a delivery (`src → dst`) or a timer
+    /// (`proc`, `timer id`) was absorbed, so the pair stays undecoded.
+    Absorbed {
+        /// `src` of the absorbed entry (sender, or timer owner).
+        src: u64,
+        /// `dst` of the absorbed entry (receiver, or timer id).
+        dst: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Decodes the overloaded `src`/`dst` fields per [`TraceKind`].
+    pub fn fields(&self) -> TraceFields {
+        match self.kind {
+            TraceKind::Send | TraceKind::Deliver | TraceKind::Drop => TraceFields::Message {
+                src: self.src,
+                dst: self.dst,
+            },
+            TraceKind::Timer => TraceFields::Timer {
+                proc: self.src,
+                timer: self.dst,
+            },
+            TraceKind::Crash | TraceKind::Recover => TraceFields::Lifecycle { proc: self.src },
+            TraceKind::CrashDrop => TraceFields::Absorbed {
+                src: self.src,
+                dst: self.dst,
+            },
+        }
+    }
 }
 
 /// Aggregate statistics of one execution.
@@ -152,6 +228,11 @@ pub struct NetStats {
     /// Total events processed (deliveries + timers, plus any planned
     /// crash/recovery events from the fault plan).
     pub events_processed: usize,
+    /// Timers actually fired (delivered to a live process). A subset of
+    /// [`NetStats::events_processed`]; absorbed timers count as
+    /// [`NetStats::crashed_drops`] instead. Separating them makes
+    /// retry/timeout pressure visible without recording a trace.
+    pub timers_fired: usize,
     /// Virtual time of the last processed event.
     pub virtual_time: u64,
     /// Peak number of simultaneously queued events.
@@ -431,20 +512,25 @@ enum EventKind<M> {
         src: ProcId,
         dst: ProcId,
         msg: Payload<M>,
+        /// Virtual time the message was sent — carried so the delivery
+        /// can be annotated with its queue latency (`deliver − send`).
+        sent_at: u64,
+        /// The sender's Lamport clock at send time (see
+        /// [`EventNet::lamport_clocks`]).
+        clk: u64,
     },
     Timer {
         proc: ProcId,
         timer: u64,
+        /// Virtual time the timer was armed, so a firing can be
+        /// annotated with its wait (`fire − arm`).
+        armed_at: u64,
     },
     /// A planned crash from the fault plan (index into
     /// [`crate::FaultPlan::process`]).
-    Crash {
-        fault: usize,
-    },
+    Crash { fault: usize },
     /// A planned recovery of a crashed process.
-    Recover {
-        proc: ProcId,
-    },
+    Recover { proc: ProcId },
 }
 
 // ---------------------------------------------------------------------------
@@ -734,11 +820,14 @@ impl EventQueue {
 }
 
 /// Where trace events go: nowhere (the benchmark/ensemble fast path pays
-/// a single branch per record call and no memory traffic) or an in-memory
-/// log (the replay/property-test path).
+/// a single branch per record call and no memory traffic), an in-memory
+/// log (the replay/property-test path), or a streaming [`Observer`]
+/// (the observability path — hooks fire in event order with causal and
+/// latency enrichment, see [`crate::obs`]).
 enum TraceSink {
     Off,
     Record(Vec<TraceEvent>),
+    Stream(Box<dyn Observer>),
 }
 
 /// The deterministic discrete-event network runtime.
@@ -774,12 +863,52 @@ pub struct EventNet<M: Clone> {
     started: Vec<bool>,
     /// Which plan faults have already fired (each fires at most once).
     fault_fired: Vec<bool>,
+    /// Per-process Lamport clocks, maintained unconditionally (sends,
+    /// deliveries, timer firings and crash/recover transitions tick
+    /// them) so the causal annotations handed to an [`Observer`] are
+    /// identical whether or not one is attached.
+    lamport: Vec<u64>,
 }
 
 impl<M: Clone> EventNet<M> {
     /// Builds the network and runs every process's
     /// [`AsyncProcess::on_start`] (in process-id order, at time 0).
     pub fn new(procs: Vec<Box<dyn AsyncProcess<Msg = M>>>, cfg: NetConfig) -> Self {
+        let sink = if cfg.record_trace {
+            TraceSink::Record(Vec::new())
+        } else {
+            TraceSink::Off
+        };
+        Self::with_sink(procs, cfg, sink)
+    }
+
+    /// Builds the network with a streaming [`Observer`] attached.
+    ///
+    /// The observer sees every event the trace would record — including
+    /// the time-0 crashes and `on_start` sends that fire during
+    /// construction — enriched with causal and latency metadata. It
+    /// replaces the trace sink, so [`EventNet::trace`] stays empty and
+    /// [`NetConfig::record_trace`] is ignored. Attaching an observer
+    /// cannot perturb the execution: decisions, decision times and
+    /// statistics are bit-identical to a [`NetConfig::record_trace`]`
+    /// = false` run (property-tested in `tests/tests/net_obs.rs`).
+    ///
+    /// To read results out after the run, attach an
+    /// `Rc<RefCell<impl Observer>>` and keep a clone of the handle (the
+    /// blanket [`Observer`] impl forwards through it).
+    pub fn with_observer(
+        procs: Vec<Box<dyn AsyncProcess<Msg = M>>>,
+        cfg: NetConfig,
+        observer: Box<dyn Observer>,
+    ) -> Self {
+        Self::with_sink(procs, cfg, TraceSink::Stream(observer))
+    }
+
+    fn with_sink(
+        procs: Vec<Box<dyn AsyncProcess<Msg = M>>>,
+        cfg: NetConfig,
+        trace: TraceSink,
+    ) -> Self {
         assert!(cfg.round_ticks >= 1, "round_ticks must be at least 1");
         let sched_seed = match cfg.scheduler {
             SchedulerPolicy::RandomInterleave { seed, .. } => seed,
@@ -792,11 +921,7 @@ impl<M: Clone> EventNet<M> {
             arena: Arena::new(),
             link_rng: StdRng::seed_from_u64(derive_seed(cfg.seed, STREAM_LINK, 0)),
             sched_rng: StdRng::seed_from_u64(derive_seed(cfg.seed, STREAM_SCHEDULER, sched_seed)),
-            trace: if cfg.record_trace {
-                TraceSink::Record(Vec::new())
-            } else {
-                TraceSink::Off
-            },
+            trace,
             cfg,
             now: 0,
             next_seq: 0,
@@ -813,6 +938,7 @@ impl<M: Clone> EventNet<M> {
             saved: (0..n).map(|_| None).collect(),
             started: vec![false; n],
             fault_fired: vec![false; fault_count],
+            lamport: vec![0; n],
         };
         // install the processes before starting them, so destination
         // validity checks in `route` see the real process count; one
@@ -877,12 +1003,25 @@ impl<M: Clone> EventNet<M> {
     }
 
     /// The recorded event trace (empty unless
-    /// [`NetConfig::record_trace`] was set).
+    /// [`NetConfig::record_trace`] was set; a streaming observer
+    /// replaces the in-memory log, so it is empty then too).
     pub fn trace(&self) -> &[TraceEvent] {
         match &self.trace {
-            TraceSink::Off => &[],
+            TraceSink::Off | TraceSink::Stream(_) => &[],
             TraceSink::Record(trace) => trace,
         }
+    }
+
+    /// The per-process Lamport clocks (in process-id order).
+    ///
+    /// Maintained unconditionally by the runtime: a send ticks the
+    /// sender, a delivery sets the receiver to
+    /// `max(local, sender-at-send) + 1`, and timer firings, crashes and
+    /// recoveries tick the owning process. Absorbed events
+    /// ([`NetStats::crashed_drops`]) tick nothing — the process saw
+    /// nothing.
+    pub fn lamport_clocks(&self) -> &[u64] {
+        &self.lamport
     }
 
     /// The decisions of every process (in process-id order).
@@ -902,8 +1041,13 @@ impl<M: Clone> EventNet<M> {
 
     /// Records the decision time of `proc` if its decision just appeared.
     fn note_decision(&mut self, proc: ProcId) {
-        if self.decision_times[proc].is_none() && self.procs[proc].decision().is_some() {
-            self.decision_times[proc] = Some(self.now);
+        if self.decision_times[proc].is_none() {
+            if let Some(value) = self.procs[proc].decision() {
+                self.decision_times[proc] = Some(self.now);
+                if let TraceSink::Stream(obs) = &mut self.trace {
+                    obs.on_decide(self.now, proc as u64, value);
+                }
+            }
         }
     }
 
@@ -923,7 +1067,9 @@ impl<M: Clone> EventNet<M> {
         self.procs[proc].on_crash();
         self.saved[proc] = self.procs[proc].save_durable();
         self.crashed[proc] = true;
-        self.record(TraceKind::Crash, proc as u64, 0);
+        self.lamport[proc] += 1;
+        let clk = self.lamport[proc];
+        self.record(TraceKind::Crash, proc as u64, 0, 0, clk);
         if let Some(t) = recover_at {
             // a recovery time already in the past fires immediately
             self.push_event(t.max(self.now), 0, EventKind::Recover { proc });
@@ -953,15 +1099,31 @@ impl<M: Clone> EventNet<M> {
         }
     }
 
+    /// Routes one trace record to the active sink. `cause` and `clock`
+    /// are the streaming enrichment (send/arm time and the acting
+    /// process's Lamport clock); the in-memory log keeps the legacy
+    /// 4-field [`TraceEvent`] and the disabled path is still a single
+    /// branch on the `Off` discriminant.
     #[inline]
-    fn record(&mut self, kind: TraceKind, src: u64, dst: u64) {
-        if let TraceSink::Record(trace) = &mut self.trace {
-            trace.push(TraceEvent {
-                time: self.now,
+    fn record(&mut self, kind: TraceKind, src: u64, dst: u64, cause: u64, clock: u64) {
+        let time = self.now;
+        match &mut self.trace {
+            TraceSink::Off => {}
+            TraceSink::Record(trace) => trace.push(TraceEvent {
+                time,
                 kind,
                 src,
                 dst,
-            });
+            }),
+            TraceSink::Stream(obs) => match kind {
+                TraceKind::Send => obs.on_send(time, src, dst, clock),
+                TraceKind::Deliver => obs.on_deliver(time, src, dst, cause, clock),
+                TraceKind::Drop => obs.on_drop(time, src, dst),
+                TraceKind::Timer => obs.on_timer(time, src, dst, cause, clock),
+                TraceKind::Crash => obs.on_crash(time, src, clock),
+                TraceKind::Recover => obs.on_recover(time, src, clock),
+                TraceKind::CrashDrop => obs.on_crash_drop(time, src, dst),
+            },
         }
     }
 
@@ -989,7 +1151,11 @@ impl<M: Clone> EventNet<M> {
             self.push_event(
                 self.now.saturating_add(delay),
                 0,
-                EventKind::Timer { proc: src, timer },
+                EventKind::Timer {
+                    proc: src,
+                    timer,
+                    armed_at: self.now,
+                },
             );
         }
         ctx.timers.clear();
@@ -1007,18 +1173,22 @@ impl<M: Clone> EventNet<M> {
             return; // nonexistent destination: discarded, not counted
         }
         self.stats.messages_sent += 1;
-        self.record(TraceKind::Send, src as u64, dst as u64);
+        // a send is a local Lamport event; the clock value rides with the
+        // queued delivery so the receiver can take max(local, sender) + 1
+        self.lamport[src] += 1;
+        let clk = self.lamport[src];
+        self.record(TraceKind::Send, src as u64, dst as u64, 0, clk);
         if let Some(p) = &self.cfg.faults.link.partition {
             if p.severs(src, dst, self.now) {
                 self.stats.messages_dropped += 1;
-                self.record(TraceKind::Drop, src as u64, dst as u64);
+                self.record(TraceKind::Drop, src as u64, dst as u64, 0, 0);
                 return;
             }
         }
         let drop_prob = self.cfg.faults.link.drop_prob;
         if drop_prob > 0.0 && self.link_rng.random_bool(drop_prob) {
             self.stats.messages_dropped += 1;
-            self.record(TraceKind::Drop, src as u64, dst as u64);
+            self.record(TraceKind::Drop, src as u64, dst as u64, 0, 0);
             return;
         }
         let latency = self.cfg.latency.sample(&mut self.link_rng);
@@ -1052,7 +1222,17 @@ impl<M: Clone> EventNet<M> {
                 }
             }
         };
-        self.push_event(time, tie, EventKind::Deliver { src, dst, msg });
+        self.push_event(
+            time,
+            tie,
+            EventKind::Deliver {
+                src,
+                dst,
+                msg,
+                sent_at: self.now,
+                clk,
+            },
+        );
     }
 
     /// Processes a single event. Returns `false` when the queue is empty.
@@ -1062,20 +1242,36 @@ impl<M: Clone> EventNet<M> {
         };
         debug_assert!(time >= self.now, "time must be monotone");
         self.queue_len -= 1;
+        let advanced = time > self.now;
         self.now = time;
+        if advanced {
+            // a new tick began: the previous wheel bucket fully drained,
+            // so sample the queue-depth timeline at this boundary
+            if let TraceSink::Stream(obs) = &mut self.trace {
+                obs.on_queue_depth(time, self.queue_len);
+            }
+        }
         self.stats.events_processed += 1;
         let event = self.arena.take(slot);
         let n = self.procs.len();
         let mut ctx = self.scratch.take().unwrap_or_else(|| NetCtx::new(0, n, 0));
         match event {
-            EventKind::Deliver { src, dst, msg } => {
+            EventKind::Deliver {
+                src,
+                dst,
+                msg,
+                sent_at,
+                clk,
+            } => {
                 if self.crashed[dst] {
                     // absorbed: the shared payload is released without a clone
                     self.stats.crashed_drops += 1;
-                    self.record(TraceKind::CrashDrop, src as u64, dst as u64);
+                    self.record(TraceKind::CrashDrop, src as u64, dst as u64, 0, 0);
                 } else {
                     self.stats.messages_delivered += 1;
-                    self.record(TraceKind::Deliver, src as u64, dst as u64);
+                    self.lamport[dst] = self.lamport[dst].max(clk) + 1;
+                    let clock = self.lamport[dst];
+                    self.record(TraceKind::Deliver, src as u64, dst as u64, sent_at, clock);
                     ctx.reset(dst, n, self.now);
                     // the last live reference moves out without cloning
                     self.procs[dst].on_message(src, msg.into_msg(), &mut ctx);
@@ -1084,12 +1280,19 @@ impl<M: Clone> EventNet<M> {
                     self.after_dispatch(dst);
                 }
             }
-            EventKind::Timer { proc, timer } => {
+            EventKind::Timer {
+                proc,
+                timer,
+                armed_at,
+            } => {
                 if self.crashed[proc] {
                     self.stats.crashed_drops += 1;
-                    self.record(TraceKind::CrashDrop, proc as u64, timer);
+                    self.record(TraceKind::CrashDrop, proc as u64, timer, 0, 0);
                 } else {
-                    self.record(TraceKind::Timer, proc as u64, timer);
+                    self.stats.timers_fired += 1;
+                    self.lamport[proc] += 1;
+                    let clock = self.lamport[proc];
+                    self.record(TraceKind::Timer, proc as u64, timer, armed_at, clock);
                     ctx.reset(proc, n, self.now);
                     self.procs[proc].on_timer(timer, &mut ctx);
                     self.note_decision(proc);
@@ -1102,7 +1305,9 @@ impl<M: Clone> EventNet<M> {
                 self.crash_proc(fault.proc, fault.recover_at);
             }
             EventKind::Recover { proc } => {
-                self.record(TraceKind::Recover, proc as u64, 0);
+                self.lamport[proc] += 1;
+                let clock = self.lamport[proc];
+                self.record(TraceKind::Recover, proc as u64, 0, 0, clock);
                 if self.crashed[proc] {
                     self.crashed[proc] = false;
                     self.stats.recoveries[proc] += 1;

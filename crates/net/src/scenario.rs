@@ -11,6 +11,7 @@ use crate::adapter::run_round_protocol;
 use crate::model::{
     FaultPlan, LatencyModel, LinkFaults, NetConfig, Partition, QueueImpl, SchedulerPolicy,
 };
+use crate::obs::{HistogramSpec, MetricsObserver};
 use bne_byzantine::adversary::{FaultyBehavior, FaultyProcess};
 use bne_byzantine::broadcast::{DolevStrongProcess, EquivocatingSender, SignedMessage};
 use bne_byzantine::network::Process;
@@ -21,7 +22,7 @@ use bne_byzantine::properties::{check_agreement, check_validity};
 use bne_byzantine::scenario::ProtocolStats;
 use bne_byzantine::{ProcId, Value};
 use bne_crypto::pki::PublicKeyInfrastructure;
-use bne_sim::{derive_seed, Merge, Scenario, StreamingStats};
+use bne_sim::{derive_seed, Histogram, Merge, Scenario, StreamingStats};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use std::collections::BTreeSet;
 
@@ -100,6 +101,13 @@ pub struct NetProfile {
     /// wheel is the fast default, the heap is the differential-testing
     /// reference — see [`QueueImpl`]).
     pub queue: QueueImpl,
+    /// When set, each replica runs with a streaming
+    /// [`crate::obs::MetricsObserver`] attached and its outcome carries a
+    /// queue-latency histogram of this shape (observer attachment is
+    /// zero-perturbation, so every other column is unchanged). A shared
+    /// *spec* rather than a histogram, because [`Histogram`]'s merge
+    /// panics on shape mismatch — all replicas of a cell must agree.
+    pub latency_hist: Option<HistogramSpec>,
 }
 
 impl NetProfile {
@@ -112,12 +120,19 @@ impl NetProfile {
             faults: FaultPlan::none(),
             round_ticks: 1,
             queue: QueueImpl::default(),
+            latency_hist: None,
         }
     }
 
     /// Selects the event-queue implementation (builder style).
     pub fn with_queue(mut self, queue: QueueImpl) -> Self {
         self.queue = queue;
+        self
+    }
+
+    /// Enables the per-replica queue-latency histogram (builder style).
+    pub fn with_latency_hist(mut self, spec: HistogramSpec) -> Self {
+        self.latency_hist = Some(spec);
         self
     }
 
@@ -519,6 +534,15 @@ pub struct ConsensusStats {
     /// Runtime events processed (deliveries + timers) — the work metric
     /// the BENCH_6 queue comparison reports alongside wall time.
     pub events: StreamingStats,
+    /// Timers fired on live processes ([`crate::NetStats::timers_fired`])
+    /// — the retry/timeout-pressure column previously hidden inside
+    /// `events`.
+    pub timers: StreamingStats,
+    /// Per-message queue-latency histogram (`deliver − send`, in ticks),
+    /// summed over all replicas. `Some` only when the cell's
+    /// [`NetProfile::latency_hist`] is set; `None` merges as identity, so
+    /// grids mixing it on and off stay well-defined per cell.
+    pub latency: Option<Histogram>,
 }
 
 impl Merge for ConsensusStats {
@@ -530,6 +554,8 @@ impl Merge for ConsensusStats {
         self.decide_time.merge(&other.decide_time);
         self.messages.merge(&other.messages);
         self.events.merge(&other.events);
+        self.timers.merge(&other.timers);
+        self.latency.merge(&other.latency);
     }
 }
 
@@ -616,7 +642,15 @@ impl Scenario for BenOrScenario {
                 cfg.faults = std::mem::take(&mut cfg.faults).crash_at_start(i);
             }
         }
-        let mut net = crate::runtime::EventNet::new(procs, cfg);
+        let obs = cell
+            .net
+            .latency_hist
+            .as_ref()
+            .map(|spec| Rc::new(std::cell::RefCell::new(MetricsObserver::new(cell.n, spec))));
+        let mut net = match &obs {
+            Some(o) => crate::runtime::EventNet::with_observer(procs, cfg, Box::new(Rc::clone(o))),
+            None => crate::runtime::EventNet::new(procs, cfg),
+        };
         let drained = net.run(20_000_000);
         debug_assert!(drained, "Ben-Or event queue failed to drain");
         let decisions = net.decisions();
@@ -650,6 +684,8 @@ impl Scenario for BenOrScenario {
             decide_time,
             messages: StreamingStats::of(net.stats().messages_sent as f64),
             events: StreamingStats::of(net.stats().events_processed as f64),
+            timers: StreamingStats::of(net.stats().timers_fired as f64),
+            latency: obs.map(|o| o.borrow().merged_latency().clone()),
         }
     }
 }
@@ -712,6 +748,15 @@ pub struct RbStats {
     /// Retransmissions sent by the retry adapters (0 for the bare arm),
     /// summed over all processes via the adapters' shared probe.
     pub retransmissions: StreamingStats,
+    /// Timers fired on live processes
+    /// ([`crate::NetStats::timers_fired`]) — for Bracha this counts the
+    /// retry adapters' retransmission timers, making retry pressure
+    /// visible separately from `events`.
+    pub timers: StreamingStats,
+    /// Per-message queue-latency histogram (`deliver − send`, in ticks),
+    /// summed over all replicas; `Some` only when the cell's
+    /// [`NetProfile::latency_hist`] is set.
+    pub latency: Option<Histogram>,
 }
 
 impl Merge for RbStats {
@@ -724,6 +769,8 @@ impl Merge for RbStats {
         self.messages.merge(&other.messages);
         self.events.merge(&other.events);
         self.retransmissions.merge(&other.retransmissions);
+        self.timers.merge(&other.timers);
+        self.latency.merge(&other.latency);
     }
 }
 
@@ -766,13 +813,21 @@ impl Scenario for AsyncBrachaScenario {
         fn drive<M: Clone>(
             procs: Vec<Box<dyn crate::runtime::AsyncProcess<Msg = M>>>,
             cfg: NetConfig,
+            obs: Option<&std::rc::Rc<std::cell::RefCell<MetricsObserver>>>,
         ) -> (
             Vec<Option<Value>>,
             Vec<Option<u64>>,
             crate::runtime::NetStats,
             bool,
         ) {
-            let mut net = crate::runtime::EventNet::new(procs, cfg);
+            let mut net = match obs {
+                Some(o) => crate::runtime::EventNet::with_observer(
+                    procs,
+                    cfg,
+                    Box::new(std::rc::Rc::clone(o)),
+                ),
+                None => crate::runtime::EventNet::new(procs, cfg),
+            };
             let drained = net.run(20_000_000);
             (
                 net.decisions(),
@@ -789,12 +844,16 @@ impl Scenario for AsyncBrachaScenario {
         // one shared counter across all adapters: total retransmissions
         // stay readable after the adapters are boxed behind the trait
         let retrans_probe = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let obs = cell.net.latency_hist.as_ref().map(|spec| {
+            std::rc::Rc::new(std::cell::RefCell::new(MetricsObserver::new(cell.n, spec)))
+        });
         let (decisions, times, stats, drained) = match cell.retry {
             None => drive::<BrachaMsg>(
                 (0..cell.n)
                     .map(|_| Box::new(BrachaProcess::new(cell.t, 0, input)) as _)
                     .collect(),
                 cfg,
+                obs.as_ref(),
             ),
             Some(policy) => drive::<RetryMsg<BrachaMsg>>(
                 (0..cell.n)
@@ -806,6 +865,7 @@ impl Scenario for AsyncBrachaScenario {
                     })
                     .collect(),
                 cfg,
+                obs.as_ref(),
             ),
         };
         debug_assert!(drained, "Bracha event queue failed to drain");
@@ -827,6 +887,8 @@ impl Scenario for AsyncBrachaScenario {
             messages: StreamingStats::of(stats.messages_sent as f64),
             events: StreamingStats::of(stats.events_processed as f64),
             retransmissions: StreamingStats::of(retrans_probe.get() as f64),
+            timers: StreamingStats::of(stats.timers_fired as f64),
+            latency: obs.map(|o| o.borrow().merged_latency().clone()),
         }
     }
 }
@@ -959,6 +1021,7 @@ pub struct QuorumConsensusCell {
 }
 
 impl QuorumConsensusCell {
+    #[allow(clippy::too_many_arguments)]
     fn run_common(
         &self,
         decisions: Vec<Option<Value>>,
@@ -967,6 +1030,7 @@ impl QuorumConsensusCell {
         stats: crate::runtime::NetStats,
         inputs: &[Value],
         drained: bool,
+        latency: Option<Histogram>,
     ) -> ConsensusStats {
         debug_assert!(drained, "consensus event queue failed to drain");
         // a permanently crashed process is exempt from deciding; a
@@ -1001,6 +1065,8 @@ impl QuorumConsensusCell {
             decide_time,
             messages: StreamingStats::of(stats.messages_sent as f64),
             events: StreamingStats::of(stats.events_processed as f64),
+            timers: StreamingStats::of(stats.timers_fired as f64),
+            latency,
         }
     }
 
@@ -1044,7 +1110,19 @@ impl Scenario for PaxosScenario {
                 })
                 .collect();
         let net_seed = derive_seed(seed, STREAM_NET_SEED, 0);
-        let mut net = crate::runtime::EventNet::new(procs, cell.config(net_seed));
+        let obs = cell
+            .net
+            .latency_hist
+            .as_ref()
+            .map(|spec| Rc::new(std::cell::RefCell::new(MetricsObserver::new(cell.n, spec))));
+        let mut net = match &obs {
+            Some(o) => crate::runtime::EventNet::with_observer(
+                procs,
+                cell.config(net_seed),
+                Box::new(Rc::clone(o)),
+            ),
+            None => crate::runtime::EventNet::new(procs, cell.config(net_seed)),
+        };
         let drained = net.run(20_000_000);
         let rounds = probes
             .iter()
@@ -1058,6 +1136,7 @@ impl Scenario for PaxosScenario {
             net.stats(),
             &inputs,
             drained,
+            obs.map(|o| o.borrow().merged_latency().clone()),
         )
     }
 }
@@ -1094,7 +1173,19 @@ impl Scenario for HsucScenario {
                 })
                 .collect();
         let net_seed = derive_seed(seed, STREAM_NET_SEED, 0);
-        let mut net = crate::runtime::EventNet::new(procs, cell.config(net_seed));
+        let obs = cell
+            .net
+            .latency_hist
+            .as_ref()
+            .map(|spec| Rc::new(std::cell::RefCell::new(MetricsObserver::new(cell.n, spec))));
+        let mut net = match &obs {
+            Some(o) => crate::runtime::EventNet::with_observer(
+                procs,
+                cell.config(net_seed),
+                Box::new(Rc::clone(o)),
+            ),
+            None => crate::runtime::EventNet::new(procs, cell.config(net_seed)),
+        };
         let drained = net.run(20_000_000);
         let rounds = probes
             .iter()
@@ -1108,6 +1199,7 @@ impl Scenario for HsucScenario {
             net.stats(),
             &inputs,
             drained,
+            obs.map(|o| o.borrow().merged_latency().clone()),
         )
     }
 }
