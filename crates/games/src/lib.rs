@@ -20,7 +20,13 @@
 //! * [`oracle`] — the [`DeviationOracle`]: the shared, pruned
 //!   deviation-search core (best-response certificate tables, iterated
 //!   pre-elimination, incremental flat-index sweeps) that `bne-solvers`,
-//!   `bne-robust` and `bne-mediator` run their searches through.
+//!   `bne-robust` and `bne-mediator` run their searches through;
+//! * [`backend`] — the [`PayoffBackend`] abstraction over payoff queries:
+//!   the dense tensor backend plus the utility-locality [`LocalBackend`]
+//!   whose memory is O(players · neighborhood) instead of O(∏ actions);
+//! * [`sampled`] — the [`SampledOracle`]: seeded sampled deviation audits
+//!   producing ε-equilibrium certificates with (ε, δ) confidence bounds
+//!   over any payoff backend, bit-identical sequential/parallel.
 //!
 //! All games are finite and use `f64` utilities. Beyond the oracle's
 //! deviation predicates the crate is free of equilibrium computation:
@@ -30,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod bayesian;
 pub mod classic;
 pub mod error;
@@ -42,8 +49,10 @@ pub mod parallel;
 pub mod profile;
 pub mod random;
 pub mod repeated;
+pub mod sampled;
 pub mod search;
 
+pub use backend::{DenseBackend, LocalBackend, PayoffBackend, ProfileView};
 pub use bayesian::{BayesianGame, BayesianStrategy, TypeDistribution};
 pub use error::GameError;
 pub use extensive::{ExtensiveGame, Node, NodeId, Outcome, PureBehaviorStrategy};
@@ -51,6 +60,7 @@ pub use mixed::{MixedProfile, MixedStrategy};
 pub use normal_form::{NormalFormBuilder, NormalFormGame};
 pub use oracle::{DeviationOracle, ResilienceVariant, SearchStrategy};
 pub use profile::{ActionProfile, ProfileIter};
+pub use sampled::{AuditSpec, SampledAudit, SampledCertificate, SampledDeviation, SampledOracle};
 
 /// Index of a player in a game (0-based).
 pub type PlayerId = usize;

@@ -1,0 +1,209 @@
+//! The scrip economy as a [`PayoffBackend`]: threshold strategies as
+//! actions, per-round average utility as payoff, so the sampled oracle
+//! can audit "the common threshold is an ε-equilibrium" at any scale.
+//!
+//! The induced game has one player per **rational** slot of the economy
+//! (hoarders and altruists are environment, not players — they are the
+//! paper's "standardly irrational" agents), and one action per candidate
+//! threshold. A payoff query runs the full economy with the queried
+//! threshold assignment and reads the player's per-round average utility,
+//! averaged over a fixed set of seeded trials — **common random numbers**,
+//! so two queries that differ only in the deviation see identical request
+//! arrivals and the gain estimate is low-variance. Queries are therefore
+//! deterministic, as the [`PayoffBackend`] contract requires.
+//!
+//! Per-round utilities are bounded a priori — a slot can at best be served
+//! every round (`benefit`) and at worst volunteer every round (`-cost`) —
+//! which gives the sampled oracle's Hoeffding bound a tight payoff range
+//! without scanning anything.
+//!
+//! Cost model: one payoff query is `trials` full economy runs, so audits
+//! should batch with [`PayoffBackend::payoffs_into`] (one set of runs
+//! yields *every* player's base payoff; the
+//! [`SampledOracle`](bne_games::sampled::SampledOracle) does this for the
+//! base profile automatically).
+
+use crate::economy::{Economy, EconomyConfig};
+use bne_games::backend::{PayoffBackend, ProfileView};
+use bne_games::{ActionId, PlayerId, Utility};
+
+/// The threshold-strategy audit game over a scrip economy.
+#[derive(Debug, Clone)]
+pub struct ThresholdAuditBackend {
+    config: EconomyConfig,
+    candidates: Vec<u32>,
+    trials: usize,
+    sim_seed: u64,
+}
+
+impl ThresholdAuditBackend {
+    /// Builds the audit game: `candidates` is the action set (candidate
+    /// thresholds, must contain the config's common threshold so the
+    /// base profile exists), `trials` runs are averaged per query with
+    /// seeds `sim_seed, sim_seed + 1, …` shared across queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no rational agents, no candidates, zero
+    /// trials, or the common threshold is not a candidate.
+    pub fn new(config: EconomyConfig, candidates: Vec<u32>, trials: usize, sim_seed: u64) -> Self {
+        assert!(config.rational > 0, "the audit game needs rational players");
+        assert!(
+            !candidates.is_empty(),
+            "need at least one candidate threshold"
+        );
+        assert!(trials > 0, "need at least one trial per query");
+        assert!(
+            candidates.contains(&config.threshold),
+            "the common threshold {} must be a candidate",
+            config.threshold
+        );
+        ThresholdAuditBackend {
+            config,
+            candidates,
+            trials,
+            sim_seed,
+        }
+    }
+
+    /// The base profile: every rational player at the common threshold.
+    pub fn base_profile(&self) -> Vec<ActionId> {
+        let common = self
+            .candidates
+            .iter()
+            .position(|&t| t == self.config.threshold)
+            .expect("checked at construction");
+        vec![common; self.config.rational]
+    }
+
+    /// The candidate threshold set (the action labels).
+    pub fn candidates(&self) -> &[u32] {
+        &self.candidates
+    }
+
+    /// The audited economy configuration.
+    pub fn config(&self) -> &EconomyConfig {
+        &self.config
+    }
+
+    /// Runs the economy under `view`'s threshold assignment, accumulating
+    /// each trial's per-slot average utilities through `sink(player,
+    /// per-round utility)` — the shared core of both query paths. Only
+    /// deviations from the common threshold are materialized as engine
+    /// overrides, so the override list stays as small as the coalition.
+    fn run_view<F: FnMut(PlayerId, f64)>(&self, view: &ProfileView<'_>, mut sink: F) {
+        let base = self.config.rational_base();
+        let mut overrides: Vec<(usize, u32)> = Vec::with_capacity(view.overrides().len());
+        for p in 0..self.config.rational {
+            let t = self.candidates[view.action(p)];
+            if t != self.config.threshold {
+                overrides.push((base + p, t));
+            }
+        }
+        let mut economy = Economy::new(&self.config);
+        for trial in 0..self.trials {
+            economy.run_with_thresholds(&overrides, self.sim_seed.wrapping_add(trial as u64));
+            for p in 0..self.config.rational {
+                sink(p, economy.average_utility(base + p));
+            }
+        }
+    }
+}
+
+impl PayoffBackend for ThresholdAuditBackend {
+    fn num_players(&self) -> usize {
+        self.config.rational
+    }
+
+    fn num_actions(&self, _player: PlayerId) -> usize {
+        self.candidates.len()
+    }
+
+    fn payoff(&self, player: PlayerId, view: &ProfileView<'_>) -> Utility {
+        let mut total = 0.0;
+        self.run_view(view, |p, u| {
+            if p == player {
+                total += u;
+            }
+        });
+        total / self.trials as f64
+    }
+
+    fn payoffs_into(&self, view: &ProfileView<'_>, out: &mut [Utility]) {
+        out.fill(0.0);
+        self.run_view(view, |p, u| out[p] += u);
+        for u in out.iter_mut() {
+            *u /= self.trials as f64;
+        }
+    }
+
+    fn payoff_bounds(&self) -> (Utility, Utility) {
+        // a slot can at best be served every round, at worst work for
+        // free every round
+        (-self.config.cost, self.config.benefit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bne_games::sampled::{AuditSpec, SampledOracle};
+
+    fn small_config() -> EconomyConfig {
+        EconomyConfig::homogeneous(30, 8, 6_000)
+    }
+
+    #[test]
+    fn base_profile_points_at_the_common_threshold() {
+        let backend = ThresholdAuditBackend::new(small_config(), vec![0, 4, 8, 16], 2, 90);
+        assert_eq!(backend.base_profile(), vec![2; 30]);
+        assert_eq!(backend.num_players(), 30);
+        assert_eq!(backend.num_actions(0), 4);
+        assert_eq!(backend.payoff_bounds(), (-0.2, 1.0));
+    }
+
+    #[test]
+    fn queries_are_deterministic_and_batched_reads_match() {
+        let backend = ThresholdAuditBackend::new(small_config(), vec![0, 8], 2, 90);
+        let base = backend.base_profile();
+        let view = ProfileView::of_base(&base);
+        let mut batch = vec![0.0; 30];
+        backend.payoffs_into(&view, &mut batch);
+        for p in [0usize, 7, 29] {
+            assert_eq!(backend.payoff(p, &view), batch[p], "player {p}");
+        }
+        // deterministic: a second read is bit-identical
+        let mut again = vec![0.0; 30];
+        backend.payoffs_into(&view, &mut again);
+        assert_eq!(batch, again);
+    }
+
+    #[test]
+    fn never_volunteering_is_a_bad_deviation() {
+        // threshold 0 ⇒ never volunteer ⇒ never earn scrip ⇒ rarely
+        // served: the deviation payoff drops below the common payoff
+        let backend = ThresholdAuditBackend::new(small_config(), vec![0, 8], 3, 90);
+        let base = backend.base_profile();
+        let deviation = [(4usize, 0usize)];
+        let view = ProfileView::new(&base, &deviation);
+        let conform = backend.payoff(4, &ProfileView::of_base(&base));
+        let deviate = backend.payoff(4, &view);
+        assert!(deviate < conform, "deviate {deviate} vs conform {conform}");
+    }
+
+    #[test]
+    fn sampled_oracle_audits_the_economy_end_to_end() {
+        let backend = ThresholdAuditBackend::new(small_config(), vec![0, 8], 2, 90);
+        let oracle = SampledOracle::new(&backend);
+        let base = backend.base_profile();
+        // with a generous epsilon the common threshold passes a small
+        // unilateral audit; the certificate carries real bounds
+        let spec = AuditSpec::unilateral(0.5, 0.05, 16, 7);
+        let audit = oracle.audit(&base, &spec);
+        assert!(audit.accepted, "audit {:?}", audit.certificates[0]);
+        let cert = &audit.certificates[0];
+        assert_eq!(cert.samples, 16);
+        assert!(cert.miss_mass > 0.0 && cert.miss_mass <= 1.0);
+        assert!(cert.hoeffding_radius > 0.0);
+    }
+}

@@ -21,11 +21,27 @@
 //! satisfied — and lets the experiments show how thresholds, hoarders and
 //! altruists move it, plus a best-response check that a common threshold is
 //! an (approximate) equilibrium.
+//!
+//! Two generations of simulator coexist:
+//!
+//! * [`simulate`] — the legacy O(n)-per-round reference loop, kept for the
+//!   small-population experiments and as the behavioural baseline;
+//! * [`economy`] — the scaled [`Economy`] engine: flat index-based agent
+//!   state, O(1) rounds via incrementally maintained volunteer pools,
+//!   arrival/departure churn, streaming aggregates, built for 10^6+
+//!   agents. [`audit`] exposes it as a `bne-games` payoff backend so the
+//!   sampled deviation oracle can audit its equilibrium claims.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
+pub mod economy;
 pub mod scenario;
+
+pub use audit::ThresholdAuditBackend;
+pub use economy::{Economy, EconomyConfig, EconomyOutcome};
+pub use scenario::{economy_grid, EconomyScenario, EconomyStats};
 
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 

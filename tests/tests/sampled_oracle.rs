@@ -1,0 +1,185 @@
+//! Property tests pinning the sampled deviation oracle to the exhaustive
+//! one on small dense games, where ground truth is enumerable:
+//!
+//! * **no false rejections** — any profile the exhaustive
+//!   [`DeviationOracle`] certifies as `k`-resilient (no coalition of size
+//!   ≤ k has a profitable deviation, some-member-gains) is never rejected
+//!   by a sampled audit at ε = 0, for any seed or sample count: sampling
+//!   can only *find* deviations, and there are none to find;
+//! * **rejections are sound** — a sampled counterexample is a concrete
+//!   coalition + joint action whose gain re-derives exactly from direct
+//!   payoff queries, exceeds ε, and therefore witnesses the exhaustive
+//!   oracle's own rejection at that coalition size;
+//! * **backend independence** — auditing a utility-locality
+//!   [`LocalBackend`] and auditing its own densification produce
+//!   bit-identical certificates (same samples, same gains, same bounds);
+//! * **seq == par** — with the `parallel` feature, forced worker counts
+//!   reproduce the sequential audit bit-for-bit.
+
+use bne_core::games::backend::{DenseBackend, LocalBackend, PayoffBackend};
+use bne_core::games::sampled::{AuditSpec, SampledOracle};
+use bne_core::games::{DeviationOracle, ResilienceVariant};
+use bne_integration_tests::game_from_payoff_seed;
+use proptest::prelude::*;
+
+fn spec(epsilon: f64, samples: usize, max_coalition: usize, seed: u64) -> AuditSpec {
+    AuditSpec {
+        epsilon,
+        delta: 1e-6,
+        samples,
+        max_coalition,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exhaustively certified profiles survive every sampled audit at
+    /// zero tolerance.
+    #[test]
+    fn exhaustive_accepts_are_never_sampled_rejects(
+        num_players in 2usize..5,
+        payoffs in prop::collection::vec(-5i8..=5, 8..64),
+        audit_seed in 0u64..1_000,
+    ) {
+        let game = game_from_payoff_seed(num_players, &payoffs);
+        let backend = DenseBackend::new(&game);
+        let sampled = SampledOracle::new(&backend);
+        let exhaustive = DeviationOracle::new(&game);
+        for flat in 0..game.num_profiles() {
+            let base = game.profile_at(flat);
+            for k in 1..=num_players {
+                if exhaustive.is_k_resilient(flat, k, ResilienceVariant::SomeMemberGains) {
+                    let audit = sampled.audit(&base, &spec(0.0, 96, k, audit_seed));
+                    prop_assert!(
+                        audit.accepted,
+                        "flat {} certified {}-resilient but sampled-rejected: {:?}",
+                        flat, k, audit.counterexample()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Sampled rejections carry sound, re-derivable counterexamples that
+    /// the exhaustive oracle corroborates.
+    #[test]
+    fn sampled_rejections_are_exhaustively_corroborated(
+        num_players in 2usize..5,
+        payoffs in prop::collection::vec(-5i8..=5, 8..64),
+        audit_seed in 0u64..1_000,
+    ) {
+        let game = game_from_payoff_seed(num_players, &payoffs);
+        let backend = DenseBackend::new(&game);
+        let sampled = SampledOracle::new(&backend);
+        let exhaustive = DeviationOracle::new(&game);
+        for flat in 0..game.num_profiles() {
+            let base = game.profile_at(flat);
+            let audit = sampled.audit(&base, &spec(0.0, 64, num_players, audit_seed));
+            for cert in &audit.certificates {
+                let Some(cx) = &cert.counterexample else { continue };
+                // the witness re-derives exactly from direct payoffs
+                let mut deviated = base.clone();
+                for (p, a) in cx.players.iter().zip(cx.actions.iter()) {
+                    deviated[*p] = *a;
+                }
+                let gain = cx
+                    .players
+                    .iter()
+                    .map(|&p| game.payoff(p, &deviated) - game.payoff(p, &base))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                prop_assert_eq!(gain, cx.gain);
+                prop_assert!(gain > 0.0);
+                // ...and witnesses the exhaustive verdict at that size
+                prop_assert!(
+                    !exhaustive.is_k_resilient(
+                        flat,
+                        cert.size,
+                        ResilienceVariant::SomeMemberGains
+                    ),
+                    "sampled found a size-{} deviation the exhaustive oracle denies",
+                    cert.size
+                );
+            }
+        }
+    }
+
+    /// A sampled ε-certificate never claims less than the truth: every
+    /// sampled gain really is ≤ ε when the audit accepts, so an accepted
+    /// audit at tolerance ε can never coexist with max_gain > ε.
+    #[test]
+    fn accepted_audits_bound_their_own_samples(
+        num_players in 2usize..4,
+        payoffs in prop::collection::vec(-5i8..=5, 8..32),
+        eps_tenths in 0u32..60,
+    ) {
+        let epsilon = f64::from(eps_tenths) / 10.0;
+        let game = game_from_payoff_seed(num_players, &payoffs);
+        let backend = DenseBackend::new(&game);
+        let sampled = SampledOracle::new(&backend);
+        let base = vec![0usize; num_players];
+        let audit = sampled.audit(&base, &spec(epsilon, 48, num_players, 5));
+        for cert in &audit.certificates {
+            if cert.accepted {
+                prop_assert!(cert.max_gain <= epsilon + 1e-9);
+            } else {
+                prop_assert!(cert.max_gain > epsilon);
+            }
+        }
+    }
+}
+
+/// A ring economy audited through its sparse representation and through
+/// its densification yields bit-identical certificates.
+#[test]
+fn local_and_dense_audits_are_bit_identical() {
+    let local = LocalBackend::ring(6, 3, 1, |_, acts| {
+        -acts.iter().map(|&a| a as f64).sum::<f64>()
+    });
+    let dense_game = local.to_dense();
+    let dense = DenseBackend::new(&dense_game);
+    assert_eq!(local.payoff_bounds(), dense.payoff_bounds());
+    let base = vec![1usize; 6];
+    for seed in [1u64, 9, 77] {
+        let s = spec(0.0, 200, 2, seed);
+        let via_local = SampledOracle::new(&local).audit(&base, &s);
+        let via_dense = SampledOracle::new(&dense).audit(&base, &s);
+        assert_eq!(via_local, via_dense, "seed {seed}");
+    }
+    // ...and the all-zeros profile (everyone at their optimum) accepts
+    let zeros = vec![0usize; 6];
+    assert!(
+        SampledOracle::new(&local)
+            .audit(&zeros, &spec(0.0, 200, 3, 3))
+            .accepted
+    );
+}
+
+#[cfg(feature = "parallel")]
+mod parallel {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Forced worker counts never change a sampled audit.
+        #[test]
+        fn sampled_audit_seq_equals_par(
+            num_players in 2usize..5,
+            payoffs in prop::collection::vec(-5i8..=5, 8..48),
+            audit_seed in 0u64..500,
+        ) {
+            let game = game_from_payoff_seed(num_players, &payoffs);
+            let backend = DenseBackend::new(&game);
+            let oracle = SampledOracle::new(&backend);
+            let base = vec![0usize; num_players];
+            let s = spec(0.0, 300, num_players, audit_seed);
+            let sequential = oracle.audit(&base, &s);
+            for workers in [2usize, 3, 5] {
+                let par = oracle.audit_with_workers(&base, &s, workers);
+                prop_assert_eq!(&sequential, &par, "workers {}", workers);
+            }
+        }
+    }
+}
