@@ -71,10 +71,13 @@ pub fn fmt_bool(b: bool) -> String {
 /// the observability layer (per-phase queue latency vs timer wait);
 /// `e24` audits the million-agent scrip economy's threshold equilibrium
 /// with the sampled deviation oracle across money supply × churn ×
-/// hoarder fraction.
+/// hoarder fraction; `e25` runs the schedule-space model checker —
+/// exhaustive proofs with and without partial-order reduction, the
+/// planted-bug counterexample, and the synthesized worst-case adversary
+/// against e20's rush heuristic.
 pub const EXPERIMENT_IDS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25",
 ];
 
 /// Whether the benches should run in bounded smoke mode (the CI
@@ -195,7 +198,7 @@ mod tests {
         assert_eq!(fmt_bool(false), "no");
         assert_eq!(fmt_f64(1234.5678), "1234.6");
         assert_eq!(fmt_f64(0.5), "0.500");
-        assert_eq!(EXPERIMENT_IDS.len(), 24);
+        assert_eq!(EXPERIMENT_IDS.len(), 25);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use rand::{RngExt, SeedableRng};
 use std::collections::BTreeMap;
 
 /// One Ben-Or message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BenOrMsg {
     /// Phase-1 vote: "my round-`round` preference is `value`".
     Report {
@@ -90,6 +90,10 @@ pub struct BenOrState {
     decided_round: Option<u32>,
     halted: bool,
     coin: StdRng,
+    /// When set, coin flips come from the scripted tap instead of the
+    /// seeded RNG — the model checker's hook for enumerating *all* coin
+    /// outcomes (Ben-Or's safety must hold for every one of them).
+    coin_tap: Option<crate::choice::SharedTap>,
 }
 
 impl BenOrState {
@@ -119,7 +123,17 @@ impl BenOrState {
             decided_round: None,
             halted: false,
             coin: StdRng::seed_from_u64(coin_seed),
+            coin_tap: None,
         }
+    }
+
+    /// Reroutes coin flips through a scripted [`crate::choice::ChoiceTap`]
+    /// (domain 2 per flip). Clones of this state share the tap — which is
+    /// what the model checker wants: the tap's contents are search state,
+    /// saved and restored alongside the runtime snapshot.
+    pub fn with_coin_tap(mut self, tap: crate::choice::SharedTap) -> Self {
+        self.coin_tap = Some(tap);
+        self
     }
 
     /// This process's id.
@@ -225,7 +239,12 @@ impl BenOrState {
                         }
                         // c ≥ t + 1: at least one honest proposer
                         Some((v, c)) if c > self.t => self.pref = v,
-                        _ => self.pref = self.coin.random_range(0..2u64),
+                        _ => {
+                            self.pref = match &self.coin_tap {
+                                Some(tap) => tap.borrow_mut().draw(2),
+                                None => self.coin.random_range(0..2u64),
+                            }
+                        }
                     }
                     self.round += 1;
                     if self.round > self.max_rounds {
@@ -240,6 +259,126 @@ impl BenOrState {
                     });
                 }
             }
+        }
+    }
+
+    /// A canonical encoding of the *behaviorally live* local state, or
+    /// `None` when the coin is the seeded RNG (whose internal state has
+    /// no canonical word encoding — state-space deduplication would be
+    /// unsound). Exhaustive checking therefore requires
+    /// [`BenOrState::with_coin_tap`]. The tap's own contents are
+    /// deliberately *not* encoded: every consumed choice's effect is
+    /// already visible in the protocol state, and the checker forks over
+    /// future draws on demand.
+    ///
+    /// *Dead* state is canonicalized away, so two states that differ only
+    /// in facts that can never again influence behavior share an
+    /// encoding: a halted process keeps only its decision (its tallies
+    /// are never re-read and it never speaks again), and tally rows that
+    /// no future [`BenOrState::handle`] call can reach — past rounds, the
+    /// current round's reports once the phase has moved on, and rows from
+    /// peers in `decided_peers` (the tallies skip them in favor of the
+    /// permanent decided vote) — are dropped. The taxonomy matches
+    /// [`BenOrState::absorbs`] exactly: a message is absorbed precisely
+    /// when handling it could only create or refresh a dead row.
+    pub fn state_words(&self) -> Option<Vec<u64>> {
+        self.coin_tap.as_ref()?;
+        if self.halted {
+            // tag 2 cannot collide with a live encoding, whose first
+            // word is a binary preference
+            return Some(vec![
+                2,
+                u64::from(self.decided.is_some()),
+                self.decided.unwrap_or(0),
+            ]);
+        }
+        let mut out = vec![
+            self.pref,
+            u64::from(self.round),
+            match self.phase {
+                Phase::Reporting => 0,
+                Phase::Proposing => 1,
+            },
+        ];
+        let report_rows: Vec<(u32, ProcId, u64)> = self
+            .reports
+            .iter()
+            .flat_map(|(&round, votes)| votes.iter().map(move |(&src, &v)| (round, src, v)))
+            .filter(|&(round, src, _)| {
+                (round > self.round || (round == self.round && self.phase == Phase::Reporting))
+                    && !self.decided_peers.contains_key(&src)
+            })
+            .collect();
+        out.push(report_rows.len() as u64);
+        for (round, src, v) in report_rows {
+            out.extend([u64::from(round), src as u64, v]);
+        }
+        let proposal_rows: Vec<(u32, ProcId, Option<Value>)> = self
+            .proposals
+            .iter()
+            .flat_map(|(&round, votes)| votes.iter().map(move |(&src, &v)| (round, src, v)))
+            .filter(|&(round, src, _)| {
+                round >= self.round && !self.decided_peers.contains_key(&src)
+            })
+            .collect();
+        out.push(proposal_rows.len() as u64);
+        for (round, src, v) in proposal_rows {
+            out.extend([
+                u64::from(round),
+                src as u64,
+                u64::from(v.is_some()),
+                v.unwrap_or(0),
+            ]);
+        }
+        out.push(self.decided_peers.len() as u64);
+        for (&src, &v) in &self.decided_peers {
+            out.push(src as u64);
+            out.push(v);
+        }
+        Some(out)
+    }
+
+    /// Whether this process has permanently stopped speaking: decided or
+    /// given up at the round cap. Every later incoming message is a
+    /// behavioral no-op (see [`BenOrState::absorbs`]).
+    pub fn is_quiescent(&self) -> bool {
+        self.halted
+    }
+
+    /// Whether handling `msg` from `src` is a *permanent* behavioral
+    /// no-op: it cannot trigger sends, cannot change the decision, and
+    /// leaves the canonical [`BenOrState::state_words`] unchanged — now
+    /// and after any further messages. True when halted, when `src`
+    /// already has a row in the relevant tally (first write wins), when
+    /// `src` is a known decided peer (the tallies use its permanent
+    /// decided vote instead), and when the vote's round can no longer be
+    /// read (past rounds; current-round reports once the phase has moved
+    /// to proposing). All those conditions are monotone, which is what
+    /// makes the no-op permanent.
+    pub fn absorbs(&self, src: ProcId, msg: &BenOrMsg) -> bool {
+        if self.halted {
+            return true;
+        }
+        if self.decided_peers.contains_key(&src) {
+            return true;
+        }
+        match *msg {
+            BenOrMsg::Report { round, .. } => {
+                round < self.round
+                    || (round == self.round && self.phase == Phase::Proposing)
+                    || self
+                        .reports
+                        .get(&round)
+                        .is_some_and(|votes| votes.contains_key(&src))
+            }
+            BenOrMsg::Proposal { round, .. } => {
+                round < self.round
+                    || self
+                        .proposals
+                        .get(&round)
+                        .is_some_and(|votes| votes.contains_key(&src))
+            }
+            BenOrMsg::Decided { .. } => false,
         }
     }
 

@@ -36,7 +36,7 @@ use crate::Value;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One reliable-broadcast message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BrachaMsg {
     /// The broadcaster's initial value.
     Init(Value),
@@ -63,6 +63,13 @@ pub struct BrachaState {
     echoes: BTreeMap<Value, BTreeSet<ProcId>>,
     readies: BTreeMap<Value, BTreeSet<ProcId>>,
     delivered: Option<Value>,
+    /// Ready votes required to join the ready wave (amplification).
+    /// `t + 1` in the real protocol; overridable via
+    /// [`BrachaState::with_thresholds`] so the model checker can verify
+    /// that planted off-by-one quorum bugs are actually caught.
+    amp_quorum: usize,
+    /// Ready votes required to deliver. `2t + 1` in the real protocol.
+    deliver_quorum: usize,
 }
 
 impl BrachaState {
@@ -79,7 +86,20 @@ impl BrachaState {
             echoes: BTreeMap::new(),
             readies: BTreeMap::new(),
             delivered: None,
+            amp_quorum: t + 1,
+            deliver_quorum: 2 * t + 1,
         }
+    }
+
+    /// Overrides the ready-amplification and delivery quorums — the
+    /// *mutation hook* for model-checker self-tests. The real protocol
+    /// uses `(t + 1, 2t + 1)`; a checker that cannot find a violation
+    /// after planting, say, `(t, 2t + 1)` here is not exhausting the
+    /// schedule space. Production code has no reason to call this.
+    pub fn with_thresholds(mut self, amp_quorum: usize, deliver_quorum: usize) -> Self {
+        self.amp_quorum = amp_quorum;
+        self.deliver_quorum = deliver_quorum;
+        self
     }
 
     /// This process's id.
@@ -90,6 +110,16 @@ impl BrachaState {
     /// The delivered value, if the `2t + 1` ready quorum has been reached.
     pub fn delivered(&self) -> Option<Value> {
         self.delivered
+    }
+
+    /// Whether this participant can never act again: it has echoed,
+    /// joined the ready wave and delivered, so [`BrachaState::handle`]
+    /// can only record further votes (commutative set inserts) — every
+    /// send and the delivery are behind one-shot flags that are all
+    /// already set. The model checker relies on this to linearize
+    /// late-arriving traffic to finished processes.
+    pub fn is_quiescent(&self) -> bool {
+        self.echoed && self.readied && self.delivered.is_some()
     }
 
     /// The broadcaster's opening move: multicast `Init(value)` to everyone
@@ -137,12 +167,12 @@ impl BrachaState {
                 let count = votes.len();
                 // amplification: t + 1 readies contain an honest witness,
                 // so it is safe (and necessary for totality) to join in
-                if count > self.t && !self.readied {
+                if count >= self.amp_quorum && !self.readied {
                     self.readied = true;
                     out.push(BrachaMsg::Ready(v));
                 }
                 // 2t + 1 readies: a majority of them are honest
-                if count > 2 * self.t && self.delivered.is_none() {
+                if count >= self.deliver_quorum && self.delivered.is_none() {
                     self.delivered = Some(v);
                 }
             }
@@ -163,6 +193,75 @@ impl BrachaState {
             u64::from(self.delivered.is_some()),
             self.delivered.unwrap_or(0),
         ]
+    }
+
+    /// Appends a canonical encoding of the local state (volatile tallies
+    /// included, unlike [`BrachaState::durable_words`]) — the model
+    /// checker's state-fingerprint contribution. The encoding is
+    /// *behavioral*: state that can no longer influence any future
+    /// transition is canonicalized away, so states differing only in
+    /// dead bookkeeping collapse. Echo tallies feed exactly the
+    /// echo-quorum → ready rule, dead once `readied`; ready tallies feed
+    /// amplification (dead once `readied`) and delivery (dead once
+    /// `delivered`). Voter sets are encoded as bitmasks, so this
+    /// supports `n ≤ 64`.
+    pub fn state_words(&self, out: &mut Vec<u64>) {
+        debug_assert!(self.n <= 64, "voter bitmask encoding needs n <= 64");
+        out.push(u64::from(self.echoed));
+        out.push(u64::from(self.readied));
+        out.push(u64::from(self.delivered.is_some()));
+        out.push(self.delivered.unwrap_or(0));
+        let echoes_live = !self.readied;
+        let readies_live = !(self.readied && self.delivered.is_some());
+        for (live, tally) in [(echoes_live, &self.echoes), (readies_live, &self.readies)] {
+            if !live {
+                out.push(0);
+                continue;
+            }
+            out.push(tally.len() as u64);
+            for (v, votes) in tally {
+                let mut mask = 0u64;
+                for &p in votes {
+                    mask |= 1 << p;
+                }
+                out.push(*v);
+                out.push(mask);
+            }
+        }
+    }
+
+    /// Whether delivering `msg` from `src` to this participant — now or
+    /// after any further events — is a behavioral no-op: no sends, no
+    /// delivery, no change to [`BrachaState::state_words`]. The one-shot
+    /// flags (`echoed`, `readied`, `delivered`) are monotone and the
+    /// tallies are first-write-wins sets, so every clause here is stable
+    /// once true. The model checker uses this to dispatch inert
+    /// stragglers (duplicate votes, echoes to a process already past the
+    /// echo rule, anything late) as forced moves instead of exploring
+    /// their interleavings.
+    pub fn absorbs(&self, src: ProcId, msg: &BrachaMsg) -> bool {
+        match *msg {
+            // only the broadcaster's first Init triggers anything
+            BrachaMsg::Init(_) => src != self.broadcaster || self.echoed,
+            // echo tallies only feed the (dead once readied) ready rule;
+            // a duplicate echo is a no-op set insert
+            BrachaMsg::Echo(v) => {
+                self.readied
+                    || self
+                        .echoes
+                        .get(&v)
+                        .is_some_and(|votes| votes.contains(&src))
+            }
+            // ready tallies feed amplification (dead once readied) and
+            // delivery (dead once delivered); duplicates are no-ops
+            BrachaMsg::Ready(v) => {
+                (self.readied && self.delivered.is_some())
+                    || self
+                        .readies
+                        .get(&v)
+                        .is_some_and(|votes| votes.contains(&src))
+            }
+        }
     }
 
     /// Restores [`BrachaState::durable_words`] after a crash, wiping the

@@ -28,6 +28,9 @@
 //! * [`ben_or`] — Ben-Or's randomized binary consensus with a seeded
 //!   per-process coin: the first protocol here whose running time is a
 //!   random variable rather than a fixed round count;
+//! * [`choice`] — scripted nondeterminism taps ([`choice::ChoiceTap`])
+//!   replacing coins and Byzantine lie draws when the `bne-mc` model
+//!   checker enumerates them instead of sampling;
 //! * [`paxos`] — single-decree Paxos as a ballot/quorum-intersection
 //!   state machine, correct for any crash pattern and tolerant of
 //!   `f < n/2` crash-recovery faults (no Byzantine behavior);
@@ -47,6 +50,7 @@ pub mod adversary;
 pub mod ben_or;
 pub mod bracha;
 pub mod broadcast;
+pub mod choice;
 pub mod hsuc;
 pub mod mediator_ba;
 pub mod network;
@@ -60,6 +64,7 @@ pub mod scenario;
 pub use adversary::FaultyBehavior;
 pub use ben_or::{BenOrMsg, BenOrState};
 pub use bracha::{BrachaMsg, BrachaState};
+pub use choice::{shared_tap, ChoiceTap, SharedTap};
 pub use hsuc::{HsucMsg, HsucState};
 pub use mediator_ba::mediator_byzantine_agreement;
 pub use network::{ProcId, Process, RoundStats, SyncNetwork};

@@ -40,7 +40,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// One single-decree Paxos message. Ballot numbers start at 1; ballot 0
 /// encodes "none" in `P1b`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PaxosMsg {
     /// Phase-1a: the proposer owning `ballot` asks for promises.
     P1a {
@@ -160,6 +160,100 @@ impl PaxosState {
     /// A majority quorum: any two intersect.
     fn majority(&self) -> usize {
         self.n / 2 + 1
+    }
+
+    /// Appends a canonical encoding of the *behaviorally live* local
+    /// state (volatile proposer/learner fractions included, unlike
+    /// [`PaxosState::durable_words`]) — the model checker's
+    /// state-fingerprint contribution. Paxos has no internal randomness,
+    /// so unlike Ben-Or this is always available. Voter sets are encoded
+    /// as bitmasks (`n ≤ 64`).
+    ///
+    /// Dead state is canonicalized away so the checker merges states
+    /// that cannot behave differently: `decided_ballot` is never read
+    /// after the decision broadcast, the phase-1 `promises` tally is
+    /// cleared unread by the next `PaxosState::open_ballot` unless the
+    /// proposer is actually in phase 1, and the learner's `accepts`
+    /// tallies are only ever consulted by the decision rule, which is a
+    /// no-op once `decided` is set. (A crash wipes every volatile field
+    /// either way, so recovery cannot tell canonicalized states apart.)
+    pub fn state_words(&self, out: &mut Vec<u64>) {
+        debug_assert!(self.n <= 64, "voter bitmask encoding needs n <= 64");
+        out.push(self.promised);
+        out.push(self.acc_ballot);
+        out.push(u64::from(self.acc_value.is_some()));
+        out.push(self.acc_value.unwrap_or(0));
+        out.push(self.my_ballot);
+        out.push(match self.phase {
+            ProposerPhase::Idle => 0,
+            ProposerPhase::Phase1 => 1,
+            ProposerPhase::Phase2 => 2,
+        });
+        out.push(u64::from(self.decided.is_some()));
+        out.push(self.decided.unwrap_or(0));
+        if self.phase == ProposerPhase::Phase1 {
+            out.push(self.promises.len() as u64);
+            for (&src, &(acc_ballot, acc_value)) in &self.promises {
+                out.push(src as u64);
+                out.push(acc_ballot);
+                out.push(u64::from(acc_value.is_some()));
+                out.push(acc_value.unwrap_or(0));
+            }
+        } else {
+            out.push(0);
+        }
+        if self.decided.is_none() {
+            out.push(self.accepts.len() as u64);
+            for (&ballot, (value, voters)) in &self.accepts {
+                let mut mask = 0u64;
+                for &p in voters {
+                    mask |= 1 << p;
+                }
+                out.push(ballot);
+                out.push(*value);
+                out.push(mask);
+            }
+        } else {
+            out.push(0);
+        }
+    }
+
+    /// Whether handling `msg` from `src` is a behavioral no-op that will
+    /// stay one for the rest of this incarnation: no response, no state
+    /// change visible in [`PaxosState::state_words`]. Every condition is
+    /// monotone while the process stays up — `promised`, `my_ballot` and
+    /// the tallies only grow, a ballot's phase-1 window never reopens
+    /// (reopening means a *higher* ballot), and a decision is final.
+    /// A crash-*recovery* resets the volatile fields, reviving e.g. the
+    /// learner's appetite for `Decided`, so callers draining absorbed
+    /// messages must not do so past a possible recovery (the model
+    /// checker runs crash-stop faults only).
+    pub fn absorbs(&self, src: ProcId, msg: &PaxosMsg) -> bool {
+        match *msg {
+            // promises are strictly increasing
+            PaxosMsg::P1a { ballot } => ballot <= self.promised,
+            // a P1b matters only to the proposer still in phase 1 of
+            // exactly that ballot, and only once per acceptor
+            PaxosMsg::P1b { ballot, .. } => {
+                ballot < self.my_ballot
+                    || (ballot == self.my_ballot
+                        && (self.phase != ProposerPhase::Phase1
+                            || self.promises.contains_key(&src)))
+            }
+            // an old-ballot P2a is refused without a response; at the
+            // promised ballot it (re-)accepts and re-sends P2b, so it is
+            // never a no-op
+            PaxosMsg::P2a { ballot, .. } => ballot < self.promised,
+            // the decision rule is one-shot, and voter sets dedupe
+            PaxosMsg::P2b { ballot, .. } => {
+                self.decided.is_some()
+                    || self
+                        .accepts
+                        .get(&ballot)
+                        .is_some_and(|(_, voters)| voters.contains(&src))
+            }
+            PaxosMsg::Decided { .. } => self.decided.is_some(),
+        }
     }
 
     /// The smallest ballot strictly above `above` that this process

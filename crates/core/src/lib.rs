@@ -49,6 +49,7 @@ pub use bne_byzantine as byzantine;
 pub use bne_crypto as crypto;
 pub use bne_games as games;
 pub use bne_machine as machine;
+pub use bne_mc as mc;
 pub use bne_mediator as mediator;
 pub use bne_net as net;
 pub use bne_p2p as p2p;

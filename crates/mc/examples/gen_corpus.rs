@@ -1,0 +1,30 @@
+//! Regenerates the counterexample regression corpus under
+//! `tests/corpus/`.
+//!
+//! Each corpus file is a real checker artifact, not a hand-written
+//! fixture: this example re-runs the planted-bug searches and prints the
+//! serialized [`bne_mc::CounterexampleTrace`] JSON to stdout. Redirect
+//! it over the corpus file when the trace format or the search order
+//! changes intentionally:
+//!
+//! ```text
+//! cargo run --release -p bne-mc --example gen_corpus > tests/corpus/bracha_amp_quorum.json
+//! ```
+
+use bne_mc::{bracha_net, BrachaParams, Explorer, Verdict};
+
+fn main() {
+    // Bracha with the ready-amplification quorum lowered from t+1 to t:
+    // one forged Ready converts an honest process and the honest
+    // amplification chain delivers the forged value.
+    let params = BrachaParams::new(4, 1, 1).with_liar().with_thresholds(1, 3);
+    let (net, tap) = bracha_net(&params);
+    let report = Explorer::new(net, tap, params.properties(), params.explore_config()).run();
+    match report.verdict {
+        Verdict::Violated(trace) => println!("{}", trace.to_json()),
+        other => {
+            eprintln!("expected a violation, got {other:?}");
+            std::process::exit(1);
+        }
+    }
+}

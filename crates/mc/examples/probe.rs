@@ -1,0 +1,318 @@
+use bne_mc::{ben_or_net, bracha_net, paxos_net, BenOrParams, BrachaParams, Explorer, PaxosParams};
+
+fn show(label: &str, report: bne_mc::ExploreReport, t0: std::time::Instant) {
+    println!(
+        "{label}: verdict={:?} states={} transitions={} terminals={} depth={} vecs={} in {:?}",
+        match &report.verdict {
+            bne_mc::Verdict::Proven => "Proven".to_string(),
+            bne_mc::Verdict::Violated(t) => format!("Violated({} choices)", t.len()),
+            bne_mc::Verdict::Truncated(w) => format!("Truncated({w})"),
+        },
+        report.states,
+        report.transitions,
+        report.terminals,
+        report.max_depth_seen,
+        report.decision_vectors.len(),
+        t0.elapsed()
+    );
+}
+
+fn cap() -> u64 {
+    std::env::var("BNE_PROBE_CAP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000_000)
+}
+
+fn main() {
+    let arg: Vec<String> = std::env::args().collect();
+    let which = arg.get(1).map(|s| s.as_str()).unwrap_or("bracha");
+    match which {
+        "bracha" => {
+            let p = BrachaParams::new(4, 1, 1);
+            let (net, tap) = bracha_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "honest n=4 POR",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "bracha-nc" => {
+            let p = BrachaParams::new(4, 1, 1);
+            let (net, tap) = bracha_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.confluent = false;
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "honest n=4 POR no-confluent",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "liar" => {
+            let p = BrachaParams::new(4, 1, 1).with_liar();
+            let (net, tap) = bracha_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "liar n=4 POR",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "planted" => {
+            let p = BrachaParams::new(4, 1, 1).with_liar().with_thresholds(1, 3);
+            let (net, tap) = bracha_net(&p);
+            let t0 = std::time::Instant::now();
+            show(
+                "planted POR",
+                Explorer::new(net, tap, p.properties(), p.explore_config()).run(),
+                t0,
+            );
+        }
+        "planted-naive" => {
+            let p = BrachaParams::new(4, 1, 1).with_liar().with_thresholds(1, 3);
+            let (net, tap) = bracha_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.por = false;
+            if let Ok(cap) = std::env::var("BNE_PROBE_CAP") {
+                cfg.max_states = cap.parse().unwrap();
+            }
+            let t0 = std::time::Instant::now();
+            show(
+                "planted naive",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "liar-naive" => {
+            let p = BrachaParams::new(4, 1, 1).with_liar();
+            let (net, tap) = bracha_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.por = false;
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "liar n=4 naive",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "benor" => {
+            let p = BenOrParams::new(1, vec![1, 0, 1, 0], 2);
+            let (net, tap) = ben_or_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "ben-or n=4 t=1 r<=2 POR",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "benor31" => {
+            let p = BenOrParams::new(1, vec![1, 1, 1, 0], 1);
+            let (net, tap) = ben_or_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "ben-or n=4 t=1 [1,1,1,0] r<=1 POR",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "benor-u" => {
+            let p = BenOrParams::new(1, vec![1, 1, 1, 1], 1);
+            let (net, tap) = ben_or_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "ben-or n=4 t=1 unanimous r<=1 POR",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "benor3" => {
+            let p = BenOrParams::new(0, vec![1, 0, 1], 1);
+            let (net, tap) = ben_or_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "ben-or n=3 t=0 [1,0,1] r<=1 POR",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "benor31r2" => {
+            let p = BenOrParams::new(1, vec![1, 1, 1, 0], 2);
+            let (net, tap) = ben_or_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "ben-or n=4 t=1 [1,1,1,0] r<=2 POR",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "paxos3" => {
+            let p = PaxosParams::new(vec![0, 1, 1], 8, 1).with_crash_budget(1);
+            let (net, tap) = paxos_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "paxos n=3 f=1 POR",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "paxos-l" => {
+            let p = PaxosParams::new(vec![0, 1, 1, 0], 8, 1).with_crash_budget(1);
+            let (net, tap) = paxos_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.crashable = vec![0];
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "paxos n=4 f=1 leader-only POR",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "paxos3-l" => {
+            let p = PaxosParams::new(vec![0, 1, 1], 8, 1).with_crash_budget(1);
+            let (net, tap) = paxos_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.crashable = vec![0];
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "paxos n=3 f=1 leader-only POR",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "paxos-nr" => {
+            let p = PaxosParams::new(vec![0, 1, 1, 0], 8, 0).with_crash_budget(1);
+            let (net, tap) = paxos_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "paxos n=4 f=1 no-retry POR",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "paxos-nr-l" => {
+            let p = PaxosParams::new(vec![0, 1, 1, 0], 8, 0).with_crash_budget(1);
+            let (net, tap) = paxos_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.crashable = vec![0];
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "paxos n=4 f=1 no-retry leader-only POR",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "paxos3-nr" => {
+            let p = PaxosParams::new(vec![0, 1, 1], 8, 0).with_crash_budget(1);
+            let (net, tap) = paxos_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "paxos n=3 f=1 no-retry POR",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "paxos3-nr-l" => {
+            let p = PaxosParams::new(vec![0, 1, 1], 8, 0).with_crash_budget(1);
+            let (net, tap) = paxos_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.crashable = vec![0];
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "paxos n=3 f=1 no-retry leader-only POR",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "paxos0" => {
+            let p = PaxosParams::new(vec![0, 1, 1, 0], 8, 1);
+            let (net, tap) = paxos_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "paxos n=4 f=0 POR",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "paxos" => {
+            let p = PaxosParams::new(vec![0, 1, 1, 0], 8, 1).with_crash_budget(1);
+            let (net, tap) = paxos_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.max_states = cap();
+            let t0 = std::time::Instant::now();
+            show(
+                "paxos n=4 f=1 POR",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        "liar3" => {
+            let p = BrachaParams::new(3, 1, 1).with_liar();
+            let (net, tap) = bracha_net(&p);
+            let t0 = std::time::Instant::now();
+            show(
+                "liar n=3 POR",
+                Explorer::new(net, tap, p.properties(), p.explore_config()).run(),
+                t0,
+            );
+            let p = BrachaParams::new(3, 1, 1).with_liar();
+            let (net, tap) = bracha_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.por = false;
+            let t0 = std::time::Instant::now();
+            show(
+                "liar n=3 naive",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+            let p = BrachaParams::new(3, 1, 1).with_liar().with_thresholds(1, 3);
+            let (net, tap) = bracha_net(&p);
+            let t0 = std::time::Instant::now();
+            show(
+                "planted n=3 POR",
+                Explorer::new(net, tap, p.properties(), p.explore_config()).run(),
+                t0,
+            );
+            let p = BrachaParams::new(3, 1, 1).with_liar().with_thresholds(1, 3);
+            let (net, tap) = bracha_net(&p);
+            let mut cfg = p.explore_config();
+            cfg.por = false;
+            let t0 = std::time::Instant::now();
+            show(
+                "planted n=3 naive",
+                Explorer::new(net, tap, p.properties(), cfg).run(),
+                t0,
+            );
+        }
+        _ => eprintln!("unknown probe {which}"),
+    }
+}

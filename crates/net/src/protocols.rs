@@ -31,6 +31,7 @@
 use crate::runtime::{AsyncProcess, DurableState, EventNet, NetCtx};
 use bne_byzantine::ben_or::{BenOrMsg, BenOrState};
 use bne_byzantine::bracha::{BrachaMsg, BrachaState};
+use bne_byzantine::choice::SharedTap;
 use bne_byzantine::hsuc::{HsucMsg, HsucState};
 use bne_byzantine::paxos::{PaxosMsg, PaxosState};
 use bne_byzantine::{ProcId, Value};
@@ -51,6 +52,10 @@ pub struct BrachaProcess {
     broadcaster: ProcId,
     input: Value,
     state: Option<BrachaState>,
+    /// Quorum overrides `(amp, deliver)` forwarded to
+    /// [`BrachaState::with_thresholds`] — the model checker's planted-bug
+    /// hook. `None` = the real protocol.
+    thresholds: Option<(usize, usize)>,
 }
 
 impl BrachaProcess {
@@ -62,7 +67,16 @@ impl BrachaProcess {
             broadcaster,
             input,
             state: None,
+            thresholds: None,
         }
+    }
+
+    /// Overrides the ready-amplification / delivery quorums (see
+    /// [`BrachaState::with_thresholds`]): the mutation hook `bne-mc`
+    /// self-tests use to plant quorum bugs the checker must catch.
+    pub fn with_thresholds(mut self, amp_quorum: usize, deliver_quorum: usize) -> Self {
+        self.thresholds = Some((amp_quorum, deliver_quorum));
+        self
     }
 }
 
@@ -71,6 +85,9 @@ impl AsyncProcess for BrachaProcess {
 
     fn on_start(&mut self, ctx: &mut NetCtx<BrachaMsg>) {
         let mut state = BrachaState::new(ctx.id(), ctx.n(), self.t, self.broadcaster);
+        if let Some((amp, deliver)) = self.thresholds {
+            state = state.with_thresholds(amp, deliver);
+        }
         for m in state.start(self.input) {
             ctx.multicast(0..ctx.n(), m);
         }
@@ -82,6 +99,14 @@ impl AsyncProcess for BrachaProcess {
         for m in state.handle(src, &msg) {
             ctx.multicast(0..ctx.n(), m);
         }
+    }
+
+    fn quiescent(&self) -> bool {
+        self.state.as_ref().is_some_and(BrachaState::is_quiescent)
+    }
+
+    fn absorbs(&self, src: ProcId, msg: &BrachaMsg) -> bool {
+        self.state.as_ref().is_some_and(|s| s.absorbs(src, msg))
     }
 
     fn save_durable(&self) -> Option<DurableState> {
@@ -99,6 +124,24 @@ impl AsyncProcess for BrachaProcess {
     fn decision(&self) -> Option<u64> {
         self.state.as_ref().and_then(|s| s.delivered())
     }
+
+    fn fork(&self) -> Option<Box<dyn AsyncProcess<Msg = BrachaMsg>>> {
+        Some(Box::new(BrachaProcess {
+            t: self.t,
+            broadcaster: self.broadcaster,
+            input: self.input,
+            state: self.state.clone(),
+            thresholds: self.thresholds,
+        }))
+    }
+
+    fn state_words(&self) -> Option<Vec<u64>> {
+        let mut out = vec![u64::from(self.state.is_some())];
+        if let Some(state) = &self.state {
+            state.state_words(&mut out);
+        }
+        Some(out)
+    }
 }
 
 /// Ben-Or randomized binary consensus as an [`AsyncProcess`].
@@ -115,6 +158,7 @@ pub struct BenOrProcess {
     coin_seed: u64,
     state: Option<BenOrState>,
     round_probe: Option<Rc<Cell<Option<u32>>>>,
+    coin_tap: Option<SharedTap>,
 }
 
 impl BenOrProcess {
@@ -128,7 +172,20 @@ impl BenOrProcess {
             coin_seed,
             state: None,
             round_probe: None,
+            coin_tap: None,
         }
+    }
+
+    /// Routes coin flips through a shared [`ChoiceTap`] instead of the
+    /// seeded RNG (see [`BenOrState::with_coin_tap`]): the hook `bne-mc`
+    /// uses to enumerate coin outcomes. Tapped processes have canonical
+    /// [`AsyncProcess::state_words`], so the checker can deduplicate
+    /// states; untapped ones do not (an RNG has no canonical encoding).
+    ///
+    /// [`ChoiceTap`]: bne_byzantine::choice::ChoiceTap
+    pub fn with_coin_tap(mut self, tap: SharedTap) -> Self {
+        self.coin_tap = Some(tap);
+        self
     }
 
     /// Attaches a probe cell that is set to the decision round the moment
@@ -163,6 +220,9 @@ impl AsyncProcess for BenOrProcess {
             self.max_rounds,
             self.coin_seed,
         );
+        if let Some(tap) = &self.coin_tap {
+            state = state.with_coin_tap(Rc::clone(tap));
+        }
         let out = state.start();
         self.state = Some(state);
         self.flush(out, ctx);
@@ -179,6 +239,40 @@ impl AsyncProcess for BenOrProcess {
 
     fn decision(&self) -> Option<u64> {
         self.state.as_ref().and_then(|s| s.decided())
+    }
+
+    fn fork(&self) -> Option<Box<dyn AsyncProcess<Msg = BenOrMsg>>> {
+        // the probe and tap are Rc-shared, not duplicated: probes are a
+        // measurement channel the checker does not read, and the tap is
+        // search state the checker saves/restores itself
+        Some(Box::new(BenOrProcess {
+            t: self.t,
+            pref: self.pref,
+            max_rounds: self.max_rounds,
+            coin_seed: self.coin_seed,
+            state: self.state.clone(),
+            round_probe: self.round_probe.as_ref().map(Rc::clone),
+            coin_tap: self.coin_tap.as_ref().map(Rc::clone),
+        }))
+    }
+
+    fn state_words(&self) -> Option<Vec<u64>> {
+        match &self.state {
+            None => Some(vec![0]),
+            Some(state) => state.state_words().map(|words| {
+                let mut out = vec![1];
+                out.extend(words);
+                out
+            }),
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        self.state.as_ref().is_some_and(BenOrState::is_quiescent)
+    }
+
+    fn absorbs(&self, src: ProcId, msg: &BenOrMsg) -> bool {
+        self.state.as_ref().is_some_and(|s| s.absorbs(src, msg))
     }
 }
 
@@ -304,6 +398,44 @@ impl AsyncProcess for PaxosProcess {
 
     fn decision(&self) -> Option<u64> {
         self.state.as_ref().and_then(|s| s.decided())
+    }
+
+    // no `quiescent` override: even a decided acceptor keeps answering
+    // phase messages and re-broadcasting `Decided`, so no Paxos process
+    // is ever permanently silent while peers may still ask.
+    fn timer_absorbed(&self, _timer: u64) -> bool {
+        // mirrors the `on_timer` early return: once decided or out of
+        // retry budget a firing neither acts nor re-arms, and (under
+        // crash-stop faults) both conditions are permanent
+        self.decided() || self.timeouts >= self.max_timeouts
+    }
+
+    fn absorbs(&self, src: ProcId, msg: &PaxosMsg) -> bool {
+        // sound here because the checker's faults are crash-stop
+        // (injected crashes never recover), so `PaxosState::absorbs`'s
+        // no-recovery caveat holds
+        self.state.as_ref().is_some_and(|s| s.absorbs(src, msg))
+    }
+
+    fn fork(&self) -> Option<Box<dyn AsyncProcess<Msg = PaxosMsg>>> {
+        Some(Box::new(PaxosProcess {
+            input: self.input,
+            timeout_ticks: self.timeout_ticks,
+            max_timeouts: self.max_timeouts,
+            timeouts: self.timeouts,
+            state: self.state.clone(),
+            ballot_probe: self.ballot_probe.as_ref().map(Rc::clone),
+        }))
+    }
+
+    fn state_words(&self) -> Option<Vec<u64>> {
+        // the timeout counter bounds future escalations, so it is part
+        // of the reachable-behavior state
+        let mut out = vec![u64::from(self.state.is_some()), u64::from(self.timeouts)];
+        if let Some(state) = &self.state {
+            state.state_words(&mut out);
+        }
+        Some(out)
     }
 }
 

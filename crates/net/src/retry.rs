@@ -246,12 +246,12 @@ impl<P: AsyncProcess> RetryAdapter<P> {
     /// entry; the payload is extracted by dropping the redundant `Rc`
     /// handles and unwrapping the last — no clone on this path.
     fn absorb(&mut self, ictx: &mut NetCtx<P::Msg>, ctx: &mut NetCtx<RetryMsg<P::Msg>>) {
-        for &(delay, timer) in &ictx.timers {
+        let actions = ictx.drain_actions();
+        for (delay, timer) in actions.timers {
             debug_assert!(timer < 1 << 63, "inner timer id overflows the namespace");
             ctx.set_timer(delay, timer << 1);
         }
-        ictx.timers.clear();
-        let mut sends = ictx.sends.drain(..).peekable();
+        let mut sends = actions.sends.peekable();
         while let Some((dst, payload)) = sends.next() {
             match payload {
                 Payload::Owned(msg) => self.track(vec![dst], msg, ctx),
@@ -559,7 +559,10 @@ mod tests {
         adapter.on_timer(1, &mut ctx);
         assert_eq!(adapter.retransmissions(), 2);
         assert_eq!(
-            ctx.sends.iter().map(|(d, _)| *d).collect::<Vec<_>>(),
+            ctx.drain_actions()
+                .sends
+                .map(|(d, _)| d)
+                .collect::<Vec<_>>(),
             vec![0, 2],
             "recipient 1 is not retransmitted to"
         );

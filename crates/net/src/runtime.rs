@@ -261,6 +261,17 @@ pub(crate) enum Payload<M> {
     Shared(Rc<M>),
 }
 
+impl<M: Clone> Clone for Payload<M> {
+    fn clone(&self) -> Self {
+        match self {
+            // a cloned snapshot shares the multicast allocation — payloads
+            // are immutable once queued, so sharing across snapshots is safe
+            Payload::Owned(msg) => Payload::Owned(msg.clone()),
+            Payload::Shared(rc) => Payload::Shared(Rc::clone(rc)),
+        }
+    }
+}
+
 impl<M: Clone> Payload<M> {
     /// Materializes an owned message for delivery, cloning only when
     /// other recipients still hold the shared payload.
@@ -268,6 +279,15 @@ impl<M: Clone> Payload<M> {
         match self {
             Payload::Owned(msg) => msg,
             Payload::Shared(rc) => Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()),
+        }
+    }
+
+    /// Borrows the queued message without materializing it — the model
+    /// checker's read-only view for state fingerprinting.
+    pub(crate) fn as_msg(&self) -> &M {
+        match self {
+            Payload::Owned(msg) => msg,
+            Payload::Shared(rc) => rc,
         }
     }
 }
@@ -283,8 +303,21 @@ pub struct NetCtx<M> {
     id: ProcId,
     n: usize,
     now: u64,
-    pub(crate) sends: Vec<(ProcId, Payload<M>)>,
-    pub(crate) timers: Vec<(u64, u64)>,
+    sends: Vec<(ProcId, Payload<M>)>,
+    timers: Vec<(u64, u64)>,
+}
+
+/// The drained action buffers of one [`NetCtx`], handed out by
+/// [`NetCtx::drain_actions`]: timers and sends as separate draining
+/// iterators (in request order, capacity retained by the context). This
+/// is the one sanctioned way for adapters in this crate to consume an
+/// inner context's buffered actions — previously `retry.rs` reached into
+/// the fields directly.
+pub(crate) struct NetActions<'a, M> {
+    /// Buffered `(delay, timer-id)` requests, in request order.
+    pub(crate) timers: std::vec::Drain<'a, (u64, u64)>,
+    /// Buffered `(destination, payload)` sends, in request order.
+    pub(crate) sends: std::vec::Drain<'a, (ProcId, Payload<M>)>,
 }
 
 impl<M> NetCtx<M> {
@@ -353,6 +386,15 @@ impl<M> NetCtx<M> {
     /// [`AsyncProcess::on_timer`] with the given id.
     pub fn set_timer(&mut self, delay: u64, timer: u64) {
         self.timers.push((delay, timer));
+    }
+
+    /// Drains the buffered actions (timers and sends, each in request
+    /// order) while retaining buffer capacity for the next callback.
+    pub(crate) fn drain_actions(&mut self) -> NetActions<'_, M> {
+        NetActions {
+            timers: self.timers.drain(..),
+            sends: self.sends.drain(..),
+        }
     }
 }
 
@@ -471,6 +513,67 @@ pub trait AsyncProcess {
 
     /// The process's decision, if it has decided.
     fn decision(&self) -> Option<u64>;
+
+    /// Clones this process, full volatile state included — the hook
+    /// behind [`EventNet::snapshot`]. Unlike
+    /// [`AsyncProcess::save_durable`] (which deliberately drops volatile
+    /// state to model stable storage), a fork must preserve *everything*:
+    /// the model checker restores it mid-protocol and expects identical
+    /// future behavior. Defaults to `None`, meaning the process does not
+    /// support checkpointing and `snapshot()` on its network fails.
+    fn fork(&self) -> Option<Box<dyn AsyncProcess<Msg = Self::Msg>>> {
+        None
+    }
+
+    /// A canonical encoding of the full local state, used by the model
+    /// checker to deduplicate visited states. Two processes with equal
+    /// `state_words` must behave identically on every future event.
+    /// Defaults to `None` (no canonical encoding — exhaustive exploration
+    /// with deduplication is unavailable for this process).
+    fn state_words(&self) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Whether this process has gone permanently quiet: it will never
+    /// again send, arm a timer or change its decision, **on any future
+    /// input**, and handling any two future messages in either order
+    /// leaves it in the same state (its remaining updates commute — e.g.
+    /// set-insert vote bookkeeping). The model checker uses this to
+    /// linearize deliveries to quiescent processes instead of exploring
+    /// their interleavings, so a wrong `true` here is a soundness bug
+    /// (the POR-vs-full property tests in `tests/` guard the overrides).
+    /// Defaults to `false` — no claim, no reduction.
+    fn quiescent(&self) -> bool {
+        false
+    }
+
+    /// Whether delivering `msg` from `src` to this process — now or
+    /// after any sequence of further events — is a permanent behavioral
+    /// no-op: no sends, no timers, no decision change, no
+    /// [`AsyncProcess::state_words`] change. A duplicate vote or a
+    /// message whose rule is behind an already-set one-shot flag
+    /// qualifies; anything whose effect could be *revived* (e.g. a vote
+    /// tally wiped by crash-recovery) does not, unless the fault model
+    /// is crash-stop. The model checker dispatches absorbed deliveries
+    /// as forced moves instead of exploring their interleavings; like
+    /// [`AsyncProcess::quiescent`], a wrong `true` is a soundness bug
+    /// guarded by the POR-vs-full property tests. Defaults to `false`.
+    fn absorbs(&self, src: ProcId, msg: &Self::Msg) -> bool {
+        let _ = (src, msg);
+        false
+    }
+
+    /// Whether firing `timer` on this process — now or after any
+    /// sequence of further events — is a permanent behavioral no-op: no
+    /// sends, no re-arm, no decision change, no
+    /// [`AsyncProcess::state_words`] change. A retry timer whose budget
+    /// is exhausted (and which therefore will not be re-armed) qualifies;
+    /// the same crash-stop caveat and property-test guard as
+    /// [`AsyncProcess::absorbs`] apply. Defaults to `false`.
+    fn timer_absorbed(&self, timer: u64) -> bool {
+        let _ = timer;
+        false
+    }
 }
 
 /// A process that does nothing at all: no sends, no timers, no decision.
@@ -498,15 +601,25 @@ impl<M: Clone> Default for IdleProcess<M> {
     }
 }
 
-impl<M: Clone> AsyncProcess for IdleProcess<M> {
+impl<M: Clone + 'static> AsyncProcess for IdleProcess<M> {
     type Msg = M;
     fn on_start(&mut self, _ctx: &mut NetCtx<M>) {}
     fn on_message(&mut self, _src: ProcId, _msg: M, _ctx: &mut NetCtx<M>) {}
     fn decision(&self) -> Option<u64> {
         None
     }
+    fn fork(&self) -> Option<Box<dyn AsyncProcess<Msg = M>>> {
+        Some(Box::new(IdleProcess::new()))
+    }
+    fn state_words(&self) -> Option<Vec<u64>> {
+        Some(Vec::new())
+    }
+    fn quiescent(&self) -> bool {
+        true // does nothing, by construction
+    }
 }
 
+#[derive(Clone)]
 enum EventKind<M> {
     Deliver {
         src: ProcId,
@@ -541,6 +654,7 @@ enum EventKind<M> {
 /// `u32` handle; freed slots are recycled through a free list, so a
 /// steady-state run stops allocating once it reaches its peak in-flight
 /// event count (the high-water mark reported in [`NetStats`]).
+#[derive(Clone)]
 struct Arena<M> {
     slots: Vec<Option<EventKind<M>>>,
     free: Vec<u32>,
@@ -578,6 +692,12 @@ impl<M> Arena<M> {
     fn high_water(&self) -> usize {
         self.slots.len()
     }
+
+    /// Borrows a live slot without freeing it — the model checker's
+    /// read-only view of a queued event.
+    fn peek(&self, slot: u32) -> &EventKind<M> {
+        self.slots[slot as usize].as_ref().expect("live arena slot")
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -614,7 +734,7 @@ struct TickKey {
 /// a partially drained tick) marks the bucket dirty; the *undrained tail*
 /// is then sorted lazily at the next pop — exactly reproducing the
 /// global heap's "minimum of the remaining events" semantics.
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct Bucket {
     items: Vec<TickKey>,
     /// Drain cursor: `items[..next]` have been popped. `u32` keeps the
@@ -663,6 +783,7 @@ impl Bucket {
 /// `[base, base + WHEEL_SLOTS)` plus an overflow heap for events beyond
 /// the horizon. An occupancy bitmap makes "find the next non-empty tick"
 /// a handful of word scans instead of a ring walk.
+#[derive(Clone)]
 struct TimingWheel {
     buckets: Vec<Bucket>,
     occupied: [u64; WHEEL_WORDS],
@@ -775,11 +896,60 @@ impl TimingWheel {
         }
         Some((time, key.slot))
     }
+
+    /// Every queued `(time, tie, seq, slot)` key, unsorted. Buckets only
+    /// hold times in `[base, base + WHEEL_SLOTS)`, so the ring offset
+    /// reconstructs each key's absolute time.
+    fn keys(&self, out: &mut Vec<(u64, u64, u64, u32)>) {
+        for offset in 0..WHEEL_SLOTS as u64 {
+            let time = self.base + offset;
+            let bucket = &self.buckets[(time & WHEEL_MASK) as usize];
+            for key in &bucket.items[bucket.next as usize..] {
+                out.push((time, key.tie, key.seq, key.slot));
+            }
+        }
+        for &Reverse(key) in &self.overflow {
+            out.push(key);
+        }
+    }
+
+    /// Removes one specific queued key (the model checker's out-of-order
+    /// dispatch). Returns whether the key was present.
+    fn remove(&mut self, time: u64, tie: u64, seq: u64, slot: u32) -> bool {
+        if time >= self.base && time - self.base < WHEEL_SLOTS as u64 {
+            let idx = (time & WHEEL_MASK) as usize;
+            let bucket = &mut self.buckets[idx];
+            let next = bucket.next as usize;
+            let Some(pos) = bucket.items[next..]
+                .iter()
+                .position(|k| k.tie == tie && k.seq == seq && k.slot == slot)
+            else {
+                return false;
+            };
+            // removal preserves the relative order of the undrained tail,
+            // so the bucket's dirty flag stays valid as-is
+            bucket.items.remove(next + pos);
+            self.len -= 1;
+            if bucket.is_empty() {
+                bucket.items.clear();
+                bucket.next = 0;
+                bucket.dirty = false;
+                self.clear_bit(idx);
+            }
+            true
+        } else {
+            let before = self.overflow.len();
+            self.overflow
+                .retain(|&Reverse(key)| key != (time, tie, seq, slot));
+            before != self.overflow.len()
+        }
+    }
 }
 
 /// The two interchangeable queue implementations behind [`EventNet`].
 /// Both realize the `(time, tie, seq)` total order exactly; see
 /// [`QueueImpl`].
+#[derive(Clone)]
 enum EventQueue {
     Wheel(TimingWheel),
     Heap(BinaryHeap<Reverse<(u64, u64, u64, u32)>>),
@@ -817,6 +987,93 @@ impl EventQueue {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Every queued key, sorted by the `(time, tie, seq)` total order.
+    fn keys(&self) -> Vec<(u64, u64, u64, u32)> {
+        let mut out = Vec::with_capacity(self.len());
+        match self {
+            EventQueue::Wheel(wheel) => wheel.keys(&mut out),
+            EventQueue::Heap(heap) => out.extend(heap.iter().map(|&Reverse(key)| key)),
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Removes one specific queued key; returns whether it was present.
+    fn remove(&mut self, time: u64, tie: u64, seq: u64, slot: u32) -> bool {
+        match self {
+            EventQueue::Wheel(wheel) => wheel.remove(time, tie, seq, slot),
+            EventQueue::Heap(heap) => {
+                let before = heap.len();
+                heap.retain(|&Reverse(key)| key != (time, tie, seq, slot));
+                before != heap.len()
+            }
+        }
+    }
+}
+
+/// The decoded class of one pending queue event, as seen by
+/// [`EventNet::enabled_events`]. Payloads stay in the arena; the model
+/// checker reads them through [`EventNet::event_msg`] when it needs the
+/// message for state fingerprinting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EnabledKind {
+    /// A pending message delivery `src → dst`.
+    Deliver {
+        /// Sending process.
+        src: ProcId,
+        /// Receiving process.
+        dst: ProcId,
+    },
+    /// A pending timer firing.
+    Timer {
+        /// Timer owner.
+        proc: ProcId,
+        /// Timer id (as passed to [`NetCtx::set_timer`]).
+        timer: u64,
+    },
+    /// A planned crash from the fault plan.
+    Crash {
+        /// The process the fault targets.
+        proc: ProcId,
+    },
+    /// A planned recovery of a crashed process.
+    Recover {
+        /// The recovering process.
+        proc: ProcId,
+    },
+}
+
+impl EnabledKind {
+    /// The process whose state this event can affect — the dependency
+    /// class the partial-order reduction groups by.
+    pub fn target(&self) -> ProcId {
+        match *self {
+            EnabledKind::Deliver { dst, .. } => dst,
+            EnabledKind::Timer { proc, .. }
+            | EnabledKind::Crash { proc }
+            | EnabledKind::Recover { proc } => proc,
+        }
+    }
+}
+
+/// One pending event of the queue, decoded for the model checker's
+/// choice enumeration: the `(time, tie, seq)` total-order key (`seq` is
+/// unique per event) plus the decoded [`EnabledKind`]. Obtained from
+/// [`EventNet::enabled_events`] and consumed by
+/// [`EventNet::step_chosen`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EnabledEvent {
+    /// Scheduled virtual time.
+    pub time: u64,
+    /// Scheduler tiebreak.
+    pub tie: u64,
+    /// Unique sequence number (the event's identity).
+    pub seq: u64,
+    /// Arena slot (private: only meaningful to the owning net).
+    slot: u32,
+    /// Decoded event class.
+    pub kind: EnabledKind,
 }
 
 /// Where trace events go: nowhere (the benchmark/ensemble fast path pays
@@ -1056,6 +1313,21 @@ impl<M: Clone> EventNet<M> {
         self.crashed[proc]
     }
 
+    /// The canonical state encoding of one process
+    /// ([`AsyncProcess::state_words`]) — the per-process component of
+    /// the model checker's exact state fingerprint. `None` if the
+    /// process has no canonical encoding.
+    pub fn process_state_words(&self, proc: ProcId) -> Option<Vec<u64>> {
+        self.procs[proc].state_words()
+    }
+
+    /// Whether `proc` claims permanent quiescence
+    /// ([`AsyncProcess::quiescent`]) — the model checker's
+    /// delivery-linearization hook.
+    pub fn process_quiescent(&self, proc: ProcId) -> bool {
+        self.procs[proc].quiescent()
+    }
+
     /// Fires one planned crash. A fault firing while its target is
     /// already crashed is consumed without effect (in particular its
     /// recovery is *not* scheduled — the earlier crash owns the process
@@ -1146,8 +1418,8 @@ impl<M: Clone> EventNet<M> {
     /// first, then sends, each in request order. The context's buffers
     /// are drained in place (capacity retained for the next event).
     fn apply(&mut self, src: ProcId, ctx: &mut NetCtx<M>) {
-        for i in 0..ctx.timers.len() {
-            let (delay, timer) = ctx.timers[i];
+        let actions = ctx.drain_actions();
+        for (delay, timer) in actions.timers {
             self.push_event(
                 self.now.saturating_add(delay),
                 0,
@@ -1158,8 +1430,7 @@ impl<M: Clone> EventNet<M> {
                 },
             );
         }
-        ctx.timers.clear();
-        for (dst, msg) in ctx.sends.drain(..) {
+        for (dst, msg) in actions.sends {
             self.route(src, dst, msg);
         }
     }
@@ -1242,6 +1513,13 @@ impl<M: Clone> EventNet<M> {
         };
         debug_assert!(time >= self.now, "time must be monotone");
         self.queue_len -= 1;
+        self.dispatch(time, slot);
+        true
+    }
+
+    /// Dispatches the event in `slot` at virtual time `time` (already
+    /// removed from the queue by the caller).
+    fn dispatch(&mut self, time: u64, slot: u32) {
         let advanced = time > self.now;
         self.now = time;
         if advanced {
@@ -1329,7 +1607,6 @@ impl<M: Clone> EventNet<M> {
             }
         }
         self.scratch = Some(ctx);
-        true
     }
 
     /// Runs until the event queue drains or `max_events` have been
@@ -1342,6 +1619,199 @@ impl<M: Clone> EventNet<M> {
         }
         self.queue.is_empty()
     }
+
+    // -----------------------------------------------------------------
+    // The model-checker surface: enabled-set enumeration, out-of-order
+    // dispatch, crash injection and whole-runtime snapshots
+    // -----------------------------------------------------------------
+
+    /// Number of events currently queued.
+    pub fn pending_events(&self) -> usize {
+        self.queue_len
+    }
+
+    /// Every pending queue event, decoded and sorted by the
+    /// `(time, tie, seq)` total order — the model checker's choice set.
+    /// `step()` always dispatches the first entry; [`Self::step_chosen`]
+    /// dispatches any of them.
+    pub fn enabled_events(&self) -> Vec<EnabledEvent> {
+        self.queue
+            .keys()
+            .into_iter()
+            .map(|(time, tie, seq, slot)| {
+                let kind = match self.arena.peek(slot) {
+                    EventKind::Deliver { src, dst, .. } => EnabledKind::Deliver {
+                        src: *src,
+                        dst: *dst,
+                    },
+                    EventKind::Timer { proc, timer, .. } => EnabledKind::Timer {
+                        proc: *proc,
+                        timer: *timer,
+                    },
+                    EventKind::Crash { fault } => EnabledKind::Crash {
+                        proc: self.cfg.faults.process[*fault].proc,
+                    },
+                    EventKind::Recover { proc } => EnabledKind::Recover { proc: *proc },
+                };
+                EnabledEvent {
+                    time,
+                    tie,
+                    seq,
+                    slot,
+                    kind,
+                }
+            })
+            .collect()
+    }
+
+    /// Borrows the message payload of a pending [`EnabledKind::Deliver`]
+    /// event (`None` for timers and lifecycle events) — the read-only
+    /// view state fingerprinting uses.
+    pub fn event_msg(&self, ev: &EnabledEvent) -> Option<&M> {
+        match self.arena.peek(ev.slot) {
+            EventKind::Deliver { msg, .. } => Some(msg.as_msg()),
+            _ => None,
+        }
+    }
+
+    /// Whether a pending delivery or timer would be absorbed by its
+    /// (live) target as a permanent behavioral no-op
+    /// ([`AsyncProcess::absorbs`] / [`AsyncProcess::timer_absorbed`]);
+    /// `false` for other events.
+    pub fn event_absorbed(&self, ev: &EnabledEvent) -> bool {
+        match self.arena.peek(ev.slot) {
+            EventKind::Deliver { src, dst, msg, .. } => {
+                self.procs[*dst].absorbs(*src, msg.as_msg())
+            }
+            EventKind::Timer { proc, timer, .. } => self.procs[*proc].timer_absorbed(*timer),
+            _ => false,
+        }
+    }
+
+    /// Dispatches one specific pending event, ignoring the queue order —
+    /// the model checker's transition relation. The event's virtual time
+    /// is clamped to `max(now, event time)` so time stays monotone even
+    /// when a later-scheduled event is chosen first. Returns `false` if
+    /// `ev` is not (or no longer) pending.
+    ///
+    /// Only meaningful views from [`Self::enabled_events`] on *this* net
+    /// (or a snapshot-restored copy of it, where slots coincide) should
+    /// be passed in.
+    pub fn step_chosen(&mut self, ev: &EnabledEvent) -> bool {
+        if !self.queue.remove(ev.time, ev.tie, ev.seq, ev.slot) {
+            return false;
+        }
+        self.queue_len -= 1;
+        self.dispatch(ev.time.max(self.now), ev.slot);
+        true
+    }
+
+    /// Crashes `proc` immediately, crash-stop style (no scheduled
+    /// recovery): the model checker's crash-choice hook, letting the
+    /// explorer place a crash *anywhere* in the schedule instead of at a
+    /// preplanned trigger. Production runs should keep using
+    /// [`crate::FaultPlan`]. A no-op if `proc` is already crashed.
+    pub fn inject_crash(&mut self, proc: ProcId) {
+        assert!(proc < self.procs.len(), "inject_crash: no such process");
+        self.crash_proc(proc, None);
+    }
+
+    /// Captures the entire runtime state — processes (via
+    /// [`AsyncProcess::fork`]), queue, arena, RNG streams, fault and
+    /// clock bookkeeping — as a restorable checkpoint.
+    ///
+    /// Returns `None` if any process does not implement `fork`, or if a
+    /// streaming observer is attached (observers are not cloneable; the
+    /// in-memory trace sink is snapshotted fine). Cost is one clone of
+    /// every live structure: for the small models the checker targets
+    /// (n ≤ 5, tens of pending events) that is a few microseconds.
+    pub fn snapshot(&self) -> Option<NetSnapshot<M>> {
+        let mut procs = Vec::with_capacity(self.procs.len());
+        for p in &self.procs {
+            procs.push(p.fork()?);
+        }
+        let trace = match &self.trace {
+            TraceSink::Off => None,
+            TraceSink::Record(t) => Some(t.clone()),
+            TraceSink::Stream(_) => return None,
+        };
+        Some(NetSnapshot {
+            procs,
+            queue: self.queue.clone(),
+            arena: self.arena.clone(),
+            link_rng: self.link_rng.clone(),
+            sched_rng: self.sched_rng.clone(),
+            now: self.now,
+            next_seq: self.next_seq,
+            stats: self.stats.clone(),
+            queue_len: self.queue_len,
+            trace,
+            decision_times: self.decision_times.clone(),
+            crashed: self.crashed.clone(),
+            handled: self.handled.clone(),
+            saved: self.saved.clone(),
+            started: self.started.clone(),
+            fault_fired: self.fault_fired.clone(),
+            lamport: self.lamport.clone(),
+        })
+    }
+
+    /// Rewinds the runtime to a [`Self::snapshot`] taken earlier on this
+    /// same net (configuration included). The snapshot stays valid and
+    /// can be restored any number of times — the backtracking step of
+    /// the model checker's depth-first search.
+    pub fn restore(&mut self, snap: &NetSnapshot<M>) {
+        self.procs = snap
+            .procs
+            .iter()
+            .map(|p| p.fork().expect("snapshotted processes support fork"))
+            .collect();
+        self.queue = snap.queue.clone();
+        self.arena = snap.arena.clone();
+        self.link_rng = snap.link_rng.clone();
+        self.sched_rng = snap.sched_rng.clone();
+        self.now = snap.now;
+        self.next_seq = snap.next_seq;
+        self.stats = snap.stats.clone();
+        self.queue_len = snap.queue_len;
+        if let (TraceSink::Record(t), Some(s)) = (&mut self.trace, &snap.trace) {
+            t.clear();
+            t.extend_from_slice(s);
+        }
+        self.decision_times.clone_from(&snap.decision_times);
+        self.crashed.clone_from(&snap.crashed);
+        self.handled.clone_from(&snap.handled);
+        self.saved.clone_from(&snap.saved);
+        self.started.clone_from(&snap.started);
+        self.fault_fired.clone_from(&snap.fault_fired);
+        self.lamport.clone_from(&snap.lamport);
+    }
+}
+
+/// A point-in-time checkpoint of an [`EventNet`], produced by
+/// [`EventNet::snapshot`] and consumed (repeatedly, if needed) by
+/// [`EventNet::restore`]. Opaque: it is only meaningful to the net (and
+/// configuration) it was taken from.
+pub struct NetSnapshot<M: Clone> {
+    procs: Vec<Box<dyn AsyncProcess<Msg = M>>>,
+    queue: EventQueue,
+    arena: Arena<M>,
+    link_rng: StdRng,
+    sched_rng: StdRng,
+    now: u64,
+    next_seq: u64,
+    stats: NetStats,
+    queue_len: usize,
+    /// The in-memory trace log at snapshot time (`None` when the sink
+    /// was off; streaming sinks refuse to snapshot).
+    trace: Option<Vec<TraceEvent>>,
+    decision_times: Vec<Option<u64>>,
+    crashed: Vec<bool>,
+    handled: Vec<u64>,
+    saved: Vec<Option<DurableState>>,
+    started: Vec<bool>,
+    fault_fired: Vec<bool>,
+    lamport: Vec<u64>,
 }
 
 #[cfg(test)]

@@ -1,0 +1,121 @@
+//! Soundness of the model checker's partial-order reduction.
+//!
+//! The explorer's reductions — sleep sets, inert-event drains, and the
+//! scenario-declared confluence claim — must never change what the
+//! checker can conclude. These tests run the exhaustive explorer twice
+//! over randomly drawn small Bracha models (honest and Byzantine,
+//! standard and mutated quorums), once with the reduction enabled and
+//! once as a naive full DFS, and require the same verdict; on proven
+//! models they additionally require the same set of observable outcomes
+//! (per-process decision vectors over all terminal states), the
+//! strongest equivalence the reduced search claims to preserve.
+
+use bne_core::mc::{BenOrParams, BrachaParams, ExploreReport, Explorer, Verdict};
+use proptest::prelude::*;
+
+/// Runs the explorer on a fresh net for `params`, with or without POR.
+fn explore_bracha(params: &BrachaParams, por: bool) -> ExploreReport {
+    let (net, tap) = bne_core::mc::bracha_net(params);
+    let mut cfg = params.explore_config();
+    cfg.por = por;
+    Explorer::new(net, tap, params.properties(), cfg).run()
+}
+
+fn explore_ben_or(params: &BenOrParams, por: bool) -> ExploreReport {
+    let (net, tap) = bne_core::mc::ben_or_net(params);
+    let mut cfg = params.explore_config();
+    cfg.por = por;
+    Explorer::new(net, tap, params.properties(), cfg).run()
+}
+
+/// Same verdict kind; on `Proven` also the same outcome set, and the
+/// reduction must not have *added* states.
+fn assert_equivalent(por: &ExploreReport, naive: &ExploreReport) {
+    prop_assert!(
+        !matches!(por.verdict, Verdict::Truncated(_))
+            && !matches!(naive.verdict, Verdict::Truncated(_)),
+        "config too large for the equivalence check: por={:?} naive={:?}",
+        por.verdict,
+        naive.verdict
+    );
+    prop_assert_eq!(
+        std::mem::discriminant(&por.verdict),
+        std::mem::discriminant(&naive.verdict),
+        "verdicts disagree: por={:?} naive={:?}",
+        &por.verdict,
+        &naive.verdict
+    );
+    if matches!(por.verdict, Verdict::Proven) {
+        prop_assert_eq!(
+            &por.decision_vectors,
+            &naive.decision_vectors,
+            "reduced search changed the observable outcome set"
+        );
+    }
+    prop_assert!(
+        por.states <= naive.states,
+        "reduction explored more states ({} > {}) than the full DFS",
+        por.states,
+        naive.states
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// POR and naive DFS agree on random small Bracha models: honest or
+    /// with a tap-driven liar, quorum thresholds standard or mutated
+    /// below their safe bounds (the mutation space includes the planted
+    /// amplification bug the regression corpus replays).
+    #[test]
+    fn por_and_naive_dfs_agree_on_random_bracha_models(
+        n in 2usize..=3,
+        input in 0u64..=1,
+        liar in 0u64..=1,
+        amp_delta in 0usize..=1,
+        deliver_delta in 0usize..=1,
+    ) {
+        let t = 1usize;
+        let amp = (t + 1 - amp_delta).max(1);
+        let deliver = (2 * t + 1 - deliver_delta).max(1);
+        let mut params = BrachaParams::new(n, t, input).with_thresholds(amp, deliver);
+        if liar == 1 {
+            params = params.with_liar();
+        }
+        let por = explore_bracha(&params, true);
+        let naive = explore_bracha(&params, false);
+        assert_equivalent(&por, &naive);
+    }
+}
+
+/// The same equivalence over the coin-enumerating Ben-Or models, where
+/// the reduction additionally interacts with the tap-refinement forking
+/// (every coin flip is a choice point, not just every delivery).
+#[test]
+fn por_and_naive_dfs_agree_on_small_ben_or_models() {
+    for prefs in [vec![0, 0], vec![0, 1], vec![1, 1]] {
+        for max_rounds in [1, 2] {
+            let params = BenOrParams::new(0, prefs.clone(), max_rounds);
+            let por = explore_ben_or(&params, true);
+            let naive = explore_ben_or(&params, false);
+            assert!(
+                !matches!(por.verdict, Verdict::Truncated(_))
+                    && !matches!(naive.verdict, Verdict::Truncated(_)),
+                "ben-or {prefs:?} r<={max_rounds} truncated"
+            );
+            assert_eq!(
+                std::mem::discriminant(&por.verdict),
+                std::mem::discriminant(&naive.verdict),
+                "ben-or {prefs:?} r<={max_rounds}: por={:?} naive={:?}",
+                por.verdict,
+                naive.verdict
+            );
+            if matches!(por.verdict, Verdict::Proven) {
+                assert_eq!(
+                    por.decision_vectors, naive.decision_vectors,
+                    "ben-or {prefs:?} r<={max_rounds}: outcome sets differ"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The exhaustive checker dominates schedule sampling.
+//!
+//! e20's methodology *samples* the schedule space: random interleavings,
+//! statistics over seeds. The model checker quantifies over it. These
+//! tests pin the containment both ways on concrete models:
+//!
+//! * on a **mutated** protocol (the planted ready-amplification bug),
+//!   every violation any sampled run stumbles into is also found by the
+//!   exhaustive explorer — and sampling does find it, so the comparison
+//!   is not vacuous;
+//! * on **correct** protocols the explorer proves safety, and no
+//!   sampled run may observe a violation (a sampled witness would be a
+//!   soundness bug in the checker, since every sampled execution is a
+//!   path of the explored model).
+
+use bne_core::byzantine::bracha::BrachaMsg;
+use bne_core::mc::StateView;
+use bne_core::mc::{bracha_net, BrachaLiar, BrachaParams, Explorer, Verdict, Violation};
+use bne_core::net::{
+    AsyncProcess, BrachaProcess, EventNet, LatencyModel, NetConfig, SchedulerPolicy,
+};
+
+const SAMPLE_SEEDS: u64 = 256;
+
+/// The Bracha model on the *sampling* substrate: same processes as
+/// [`bracha_net`], but scheduled by seeded [`RandomInterleave`] instead
+/// of the checker's deterministic FIFO regime, with the liar's lies
+/// drawn from a seeded RNG ([`BrachaLiar::seeded`]) over the same
+/// per-target menu the explorer enumerates.
+///
+/// [`RandomInterleave`]: SchedulerPolicy::RandomInterleave
+fn sampled_bracha_net(params: &BrachaParams, seed: u64) -> EventNet<BrachaMsg> {
+    let procs: Vec<Box<dyn AsyncProcess<Msg = BrachaMsg>>> = (0..params.n)
+        .map(|id| -> Box<dyn AsyncProcess<Msg = BrachaMsg>> {
+            if params.liar && id == params.n - 1 {
+                Box::new(BrachaLiar::seeded(seed))
+            } else {
+                Box::new(
+                    BrachaProcess::new(params.t, 0, params.input)
+                        .with_thresholds(params.amp_quorum, params.deliver_quorum),
+                )
+            }
+        })
+        .collect();
+    let mut cfg = NetConfig::lockstep(seed);
+    cfg.latency = LatencyModel::Constant(1);
+    cfg.scheduler = SchedulerPolicy::RandomInterleave { seed, jitter: 3 };
+    EventNet::new(procs, cfg)
+}
+
+/// Runs one sampled execution to quiescence and checks the scenario's
+/// properties on the final state, exactly as counterexample replay does.
+fn sample_once(params: &BrachaParams, seed: u64) -> Option<Violation> {
+    let mut net = sampled_bracha_net(params, seed);
+    assert!(net.run(100_000), "sampled run failed to drain");
+    let decisions = net.decisions();
+    let crashed: Vec<bool> = (0..net.num_processes())
+        .map(|p| net.is_crashed(p))
+        .collect();
+    let view = StateView {
+        decisions: &decisions,
+        crashed: &crashed,
+    };
+    params.properties().iter().find_map(|p| {
+        p.check(&view).map(|detail| Violation {
+            property: p.name().to_string(),
+            detail,
+        })
+    })
+}
+
+fn exhaustive_verdict(params: &BrachaParams) -> Verdict {
+    let (net, tap) = bracha_net(params);
+    Explorer::new(net, tap, params.properties(), params.explore_config())
+        .run()
+        .verdict
+}
+
+/// Mutated protocol: anything sampling can find, the checker finds too.
+#[test]
+fn sampled_violations_on_the_planted_bug_are_all_found_by_the_checker() {
+    let params = BrachaParams::new(4, 1, 1).with_liar().with_thresholds(1, 3);
+    let sampled: Vec<u64> = (0..SAMPLE_SEEDS)
+        .filter(|&seed| sample_once(&params, seed).is_some())
+        .collect();
+    // not vacuous: across 256 seeds the random lies do hit the forged
+    // Ready amplification chain
+    assert!(
+        !sampled.is_empty(),
+        "no sampled seed found the planted violation — comparison is vacuous"
+    );
+    // containment: the exhaustive verdict dominates every sampled witness
+    let verdict = exhaustive_verdict(&params);
+    assert!(
+        matches!(verdict, Verdict::Violated(_)),
+        "sampling found violations on seeds {sampled:?} but the checker proved the model: {verdict:?}"
+    );
+}
+
+/// Correct protocols: the checker proves safety, so sampling must never
+/// observe a violation — on the honest model at the checker's headline
+/// size (n = 4) and on the lie-enumerated model at its proof size
+/// (n = 3).
+#[test]
+fn no_sampled_run_violates_a_protocol_the_checker_proved() {
+    for params in [
+        BrachaParams::new(4, 1, 1),
+        BrachaParams::new(3, 1, 0).with_liar(),
+    ] {
+        assert!(
+            matches!(exhaustive_verdict(&params), Verdict::Proven),
+            "expected a proof for {params:?}"
+        );
+        for seed in 0..SAMPLE_SEEDS {
+            let violation = sample_once(&params, seed);
+            assert!(
+                violation.is_none(),
+                "seed {seed} observed {violation:?} on a proven model {params:?}"
+            );
+        }
+    }
+}
